@@ -1,0 +1,60 @@
+"""Ablation — sphere radius (context size).
+
+DESIGN.md design choice #1: how does the sphere radius trade quality
+against cost?  Sweeps d in {1..4} on the combined process and reports
+f-value per group plus the runtime of disambiguating one Group 1
+document (context grows with d, so cost should rise monotonically).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.datasets.stats import document_tree
+from repro.evaluation import evaluate_quality, make_system_factory, select_eval_nodes
+
+RADII = (1, 2, 3, 4)
+
+
+def test_ablation_radius_quality(benchmark, corpus, network, tree_cache):
+    """f-value as a function of the sphere radius."""
+
+    def run():
+        results = {}
+        for radius in RADII:
+            system = make_system_factory(f"xsdf-combined-d{radius}", network)()
+            for group in (1, 2, 3, 4):
+                quality = evaluate_quality(
+                    system, corpus.by_group(group), network, tree_cache
+                )
+                results[(radius, group)] = quality.prf.f_value
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"d={radius}"] + [f"{results[(radius, g)]:.3f}" for g in (1, 2, 3, 4)]
+        for radius in RADII
+    ]
+    print_table(
+        "Ablation: sphere radius (combined process)",
+        ["radius", "Group 1", "Group 2", "Group 3", "Group 4"],
+        rows,
+    )
+    # A mid-size context must beat the degenerate tiny context somewhere,
+    # and growing the radius past the optimum should not keep helping
+    # every group (the noise argument of Section 4.3.1).
+    assert max(results[(2, g)] for g in (1, 2, 3, 4)) > min(
+        results[(1, g)] for g in (1, 2, 3, 4)
+    )
+    gains = [results[(4, g)] - results[(3, g)] for g in (1, 2, 3, 4)]
+    assert min(gains) < 0.02
+
+
+def test_ablation_radius_cost(benchmark, corpus, network):
+    """Wall-clock cost of one document at the largest swept radius."""
+    document = corpus.by_group(1)[0]
+    tree = document_tree(document, network)
+    targets = select_eval_nodes(tree, document)
+    system = make_system_factory("xsdf-combined-d3", network)()
+    system.disambiguate_tree(tree, targets=targets)  # warm caches
+    benchmark(lambda: system.disambiguate_tree(tree, targets=targets))

@@ -1,0 +1,62 @@
+"""Ablation — semantic similarity measure mix (Definition 9).
+
+DESIGN.md design choice #2: the paper combines edge-, node-, and
+gloss-based measures with uniform weights.  This ablation runs the
+concept-based process with each single measure and with the uniform mix,
+showing that the combination is more robust across groups than any
+corner of the weight simplex.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import XSDF, XSDFConfig
+from repro.core.config import DisambiguationApproach
+from repro.evaluation import evaluate_quality
+from repro.similarity import SimilarityWeights
+
+MIXES = {
+    "edge only": SimilarityWeights(1, 0, 0),
+    "node only": SimilarityWeights(0, 1, 0),
+    "gloss only": SimilarityWeights(0, 0, 1),
+    "uniform mix": SimilarityWeights(1, 1, 1),
+}
+
+
+def test_ablation_similarity_mix(benchmark, corpus, network, tree_cache):
+    """f-value per group for each similarity weighting."""
+
+    def run():
+        results = {}
+        for name, weights in MIXES.items():
+            config = XSDFConfig(
+                sphere_radius=2,
+                approach=DisambiguationApproach.CONCEPT_BASED,
+                similarity_weights=weights,
+            )
+            system = XSDF(network, config)
+            for group in (1, 2, 3, 4):
+                quality = evaluate_quality(
+                    system, corpus.by_group(group), network, tree_cache
+                )
+                results[(name, group)] = quality.prf.f_value
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{results[(name, g)]:.3f}" for g in (1, 2, 3, 4)]
+        for name in MIXES
+    ]
+    print_table(
+        "Ablation: similarity measure mix (concept-based, d=2)",
+        ["mix", "Group 1", "Group 2", "Group 3", "Group 4"],
+        rows,
+    )
+    # Robustness: the uniform mix's worst group beats the worst group of
+    # every single-measure configuration.
+    def worst(name):
+        return min(results[(name, g)] for g in (1, 2, 3, 4))
+
+    for name in ("edge only", "node only", "gloss only"):
+        assert worst("uniform mix") >= worst(name), name

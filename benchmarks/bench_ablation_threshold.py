@@ -1,0 +1,72 @@
+"""Ablation — ambiguity threshold (target node selection).
+
+DESIGN.md design choice #3: ``Thresh_Amb`` trades coverage against work.
+Sweeping the threshold shows the selection mechanism's value: the number
+of disambiguated nodes (and hence runtime) falls monotonically while the
+nodes that remain are the genuinely ambiguous ones (their mean polysemy
+rises).  This is the paper's Motivation 1 — prior systems disambiguate
+everything.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.core import XSDF, XSDFConfig
+from repro.core.ambiguity import select_targets
+from repro.datasets.stats import document_tree
+
+THRESHOLDS = (0.0, 0.005, 0.01, 0.02, 0.05)
+
+
+def test_ablation_threshold_selectivity(benchmark, corpus, network, tree_cache):
+    """Target counts and mean target polysemy per threshold."""
+
+    def run():
+        trees = [
+            tree_cache.setdefault(doc.name, document_tree(doc, network))
+            for doc in corpus.by_group(1)
+        ]
+        results = {}
+        for threshold in THRESHOLDS:
+            counts = []
+            polysemies = []
+            for tree in trees:
+                targets = select_targets(tree, network, threshold=threshold)
+                counts.append(len(targets))
+                polysemies.extend(
+                    network.polysemy(node.label) for node in targets
+                )
+            results[threshold] = (
+                sum(counts) / len(counts),
+                sum(polysemies) / len(polysemies) if polysemies else 0.0,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{t:.2f}", f"{results[t][0]:.1f}", f"{results[t][1]:.2f}"]
+        for t in THRESHOLDS
+    ]
+    print_table(
+        "Ablation: ambiguity threshold (Group 1)",
+        ["Thresh_Amb", "avg targets/doc", "avg target polysemy"],
+        rows,
+    )
+    counts = [results[t][0] for t in THRESHOLDS]
+    polysemies = [results[t][1] for t in THRESHOLDS]
+    # Selection is monotone: higher threshold, fewer targets...
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert counts[0] > counts[-1]
+    # ...and the surviving targets are more ambiguous on average.
+    assert polysemies[-1] > polysemies[0]
+
+
+def test_ablation_threshold_work_saved(benchmark, corpus, network, tree_cache):
+    """End-to-end time with selection on vs off (threshold 0.05 vs 0)."""
+    doc = corpus.by_group(1)[0]
+    tree = tree_cache.setdefault(doc.name, document_tree(doc, network))
+    selective = XSDF(network, XSDFConfig(ambiguity_threshold=0.05))
+    selective.disambiguate_tree(tree)  # warm caches
+
+    benchmark(lambda: selective.disambiguate_tree(tree))

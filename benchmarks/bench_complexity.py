@@ -1,0 +1,112 @@
+"""Empirical complexity of the disambiguation processes.
+
+The paper states (Section 3.5.3) that overall complexity is the sum of
+the concept-based and context-based processes:
+``O(|senses(x.l)| * |S_d(x)| * |senses(x_i.l)|)`` and
+``O(|senses(x.l)| * (|S_d(x)| + |S_d(s_p)|))`` respectively.  This
+benchmark measures per-node disambiguation time while the dominant term
+— the sphere size ``|S_d(x)|`` — grows, and checks the growth is
+polynomial of low degree (time ratio bounded by a cubic of the size
+ratio), not exponential.
+
+Synthetic stars make the sphere size exact: a center with ``k``
+children labeled from a fixed ambiguous vocabulary gives ``|S_1| =
+k + 1`` with every other quantity held constant.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import print_table
+
+from repro.core import XSDF, XSDFConfig
+from repro.core.config import DisambiguationApproach
+from repro.xmltree.dom import XMLNode, XMLTree
+
+SIZES = (8, 16, 32, 64, 128)
+VOCAB = ("star", "line", "play", "act", "state", "head", "title", "stock")
+
+
+def _star_tree(k: int) -> XMLTree:
+    root = XMLNode("cast")
+    for i in range(k):
+        root.add_child(XMLNode(VOCAB[i % len(VOCAB)]))
+    return XMLTree(root)
+
+
+def _time_per_node(network, tree, repeats: int = 3) -> float:
+    system = XSDF(network, XSDFConfig(
+        sphere_radius=1, approach=DisambiguationApproach.CONCEPT_BASED,
+    ))
+    system.disambiguate_node(tree, tree.root)  # warm similarity caches
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        system.disambiguate_node(tree, tree.root)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_complexity_scales_polynomially(benchmark, network):
+    """Per-node time vs sphere size |S_1| = k + 1."""
+
+    def run():
+        return {k: _time_per_node(network, _star_tree(k)) for k in SIZES}
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_size, base_time = SIZES[0], timings[SIZES[0]]
+    rows = []
+    for k in SIZES:
+        rows.append([
+            f"|S|={k + 1}",
+            f"{timings[k] * 1e3:.3f} ms",
+            f"x{timings[k] / base_time:.1f}",
+        ])
+    print_table(
+        "Complexity: concept-based time vs sphere size (cached similarity)",
+        ["sphere size", "per-node time", "vs smallest"],
+        rows,
+    )
+    # Growth bounded by ~cubic in the size ratio (the paper's bound is
+    # quadratic in sphere-size terms; cubic leaves timer headroom).
+    for k in SIZES[1:]:
+        size_ratio = (k + 1) / (base_size + 1)
+        assert timings[k] / base_time < size_ratio**3 + 8.0, k
+
+
+def test_complexity_radius_growth(benchmark, corpus, network, tree_cache):
+    """Whole-document time as the radius doubles (Group 1 document)."""
+    from repro.datasets.stats import document_tree
+    from repro.evaluation import select_eval_nodes
+
+    doc = corpus.by_group(1)[0]
+    tree = tree_cache.setdefault(doc.name, document_tree(doc, network))
+    targets = select_eval_nodes(tree, doc)
+
+    def run():
+        timings = {}
+        for radius in (1, 2, 4):
+            system = XSDF(network, XSDFConfig(
+                sphere_radius=radius,
+                approach=DisambiguationApproach.CONCEPT_BASED,
+            ))
+            system.disambiguate_tree(tree, targets=targets)  # warm
+            start = time.perf_counter()
+            system.disambiguate_tree(tree, targets=targets)
+            timings[radius] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"d={radius}", f"{seconds * 1e3:.1f} ms"]
+        for radius, seconds in sorted(timings.items())
+    ]
+    print_table(
+        "Complexity: document time vs radius (Group 1)",
+        ["radius", "time"],
+        rows,
+    )
+    # Bigger spheres cost more overall; no assertion on exact exponents
+    # (sphere growth depends on tree shape), just sane monotone-ish cost.
+    assert timings[4] > timings[1] * 0.5

@@ -1,0 +1,76 @@
+"""Figure 8 — f-value under different XSDF configurations.
+
+Sweeps the three disambiguation processes (concept-based, context-based,
+combined) across sphere radii d in {1, 2, 3} for each of the four test
+groups, printing the f-value series of the paper's Figure 8.
+
+Expected shape (paper Section 4.3.1):
+
+1. for the concept-based process, Group 1 peaks at the smallest context
+   (d = 1) while Groups 2-4 prefer larger contexts (d >= 2);
+2. the context-based process is markedly more sensitive to context size
+   than the concept-based one (its d=1 -> d=3 swing is larger);
+3. the combined process tracks the better of the two at large radii.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.evaluation import evaluate_quality, make_system_factory
+
+RADII = (1, 2, 3)
+PROCESSES = ("concept", "context", "combined")
+
+
+def _run(corpus, network, tree_cache):
+    results: dict[tuple[str, int, int], float] = {}
+    for process in PROCESSES:
+        for radius in RADII:
+            system = make_system_factory(
+                f"xsdf-{process}-d{radius}", network
+            )()
+            for group in (1, 2, 3, 4):
+                quality = evaluate_quality(
+                    system, corpus.by_group(group), network, tree_cache
+                )
+                results[(process, radius, group)] = quality.prf.f_value
+    return results
+
+
+def test_figure8_configuration_sweep(benchmark, corpus, network, tree_cache):
+    """Regenerate Figure 8's f-value series and assert its shape."""
+    results = benchmark.pedantic(
+        _run, args=(corpus, network, tree_cache), rounds=1, iterations=1
+    )
+    rows = []
+    for process in PROCESSES:
+        for radius in RADII:
+            rows.append(
+                [process, f"d={radius}"]
+                + [f"{results[(process, radius, g)]:.3f}" for g in (1, 2, 3, 4)]
+            )
+    print_table(
+        "Figure 8: f-value by process, radius, group",
+        ["process", "radius", "Group 1", "Group 2", "Group 3", "Group 4"],
+        rows,
+    )
+
+    concept = {(d, g): results[("concept", d, g)] for d in RADII for g in (1, 2, 3, 4)}
+    # (1) Group 1 peaks at d=1 for the concept-based process...
+    assert concept[(1, 1)] == max(concept[(d, 1)] for d in RADII)
+    # ...while Groups 2-4 do better with a larger context than d=1.
+    for group in (2, 3, 4):
+        assert max(concept[(d, group)] for d in (2, 3)) > concept[(1, group)]
+    # (2) Context-based is more size-sensitive than concept-based
+    # (average d1->d3 swing across groups).
+    def swing(process):
+        return sum(
+            abs(results[(process, 3, g)] - results[(process, 1, g)])
+            for g in (1, 2, 3, 4)
+        ) / 4.0
+    assert swing("context") > swing("concept")
+    # (3) All configurations stay in a usable band on their best radius.
+    for process in PROCESSES:
+        for group in (1, 2, 3, 4):
+            assert max(results[(process, d, group)] for d in RADII) > 0.45

@@ -1,0 +1,75 @@
+"""Figure 9 — precision / recall / f-value: XSDF vs RPD vs VSD.
+
+XSDF runs at its per-group optimal configuration (concept-based process;
+d = 1 for Group 1, the best of d in {2, 3} for Groups 2-4, mirroring the
+paper's protocol of picking optimal parameters by repeated tests); RPD
+and VSD run as published.
+
+Expected shape (paper Section 4.3.2): XSDF wins Groups 1-3, with the
+largest improvement on Group 1 (highly ambiguous + richly structured)
+shrinking monotonically toward Group 4 where RPD is competitive (the
+paper reports RPD slightly ahead there; in our reproduction XSDF stays
+marginally ahead — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.evaluation import evaluate_quality, make_system_factory
+
+#: Per-group optimal XSDF configuration (identified by the Figure 8 sweep).
+OPTIMAL = {1: "xsdf-concept-d1", 2: "xsdf-concept-d2",
+           3: "xsdf-concept-d2", 4: "xsdf-concept-d3"}
+
+
+def _run(corpus, network, tree_cache):
+    results: dict[tuple[str, int], object] = {}
+    for group in (1, 2, 3, 4):
+        docs = corpus.by_group(group)
+        for name, factory_name in (
+            ("XSDF", OPTIMAL[group]),
+            ("RPD", "rpd"),
+            ("VSD", "vsd"),
+        ):
+            system = make_system_factory(factory_name, network)()
+            results[(name, group)] = evaluate_quality(
+                system, docs, network, tree_cache
+            )
+    return results
+
+
+def test_figure9_comparative_quality(benchmark, corpus, network, tree_cache):
+    """Regenerate Figure 9's P/R/F bars and assert who wins where."""
+    results = benchmark.pedantic(
+        _run, args=(corpus, network, tree_cache), rounds=1, iterations=1
+    )
+    rows = []
+    for group in (1, 2, 3, 4):
+        for name in ("XSDF", "RPD", "VSD"):
+            prf = results[(name, group)].prf
+            rows.append(
+                [f"Group {group}", name, f"{prf.precision:.3f}",
+                 f"{prf.recall:.3f}", f"{prf.f_value:.3f}"]
+            )
+    print_table(
+        "Figure 9: XSDF vs RPD vs VSD",
+        ["group", "system", "P", "R", "F"],
+        rows,
+    )
+
+    def f(name, group):
+        return results[(name, group)].prf.f_value
+
+    # XSDF wins groups 1-3 against both published baselines.
+    for group in (1, 2, 3):
+        assert f("XSDF", group) > f("RPD", group)
+        assert f("XSDF", group) > f("VSD", group)
+    # The improvement is largest on Group 1 and shrinks toward Group 4.
+    def improvement(group):
+        best_baseline = max(f("RPD", group), f("VSD", group))
+        return f("XSDF", group) / best_baseline - 1.0
+    assert improvement(1) > improvement(2) > improvement(4)
+    assert improvement(3) > improvement(4)
+    # Group 4: RPD is competitive (within 10% of XSDF).
+    assert abs(f("XSDF", 4) - f("RPD", 4)) < 0.1 * f("XSDF", 4)

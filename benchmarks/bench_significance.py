@@ -1,0 +1,63 @@
+"""Statistical significance of the Figure 9 comparison (extension).
+
+The paper reports raw P/R/F bars; this benchmark adds what a modern
+evaluation would require: a paired bootstrap test of XSDF (per-group
+optimal configuration) against the stronger published baseline on each
+group's shared evaluation nodes.
+
+Expected shape: the Group 1-2 wins are decisive (p < 0.05); the Group
+3-4 margins are small and may not separate from sampling noise — which
+is precisely the paper's "improvement shrinks toward Group 4" narrative,
+now with error awareness.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.evaluation import make_system_factory
+from repro.evaluation.significance import compare_systems
+
+OPTIMAL = {1: "xsdf-concept-d1", 2: "xsdf-concept-d2",
+           3: "xsdf-concept-d2", 4: "xsdf-concept-d3"}
+BASELINE = {1: "rpd", 2: "vsd", 3: "rpd", 4: "rpd"}
+
+
+def test_significance_of_comparison(benchmark, corpus, network, tree_cache):
+    """Paired bootstrap per group: XSDF vs the stronger baseline."""
+
+    def run():
+        results = {}
+        for group in (1, 2, 3, 4):
+            xsdf = make_system_factory(OPTIMAL[group], network)()
+            baseline = make_system_factory(BASELINE[group], network)()
+            results[group] = compare_systems(
+                xsdf, baseline, corpus.by_group(group), network,
+                n_resamples=1000, tree_cache=tree_cache,
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for group, outcome in sorted(results.items()):
+        rows.append([
+            f"Group {group}",
+            BASELINE[group].upper(),
+            f"{outcome.accuracy_a:.3f}",
+            f"{outcome.accuracy_b:.3f}",
+            f"{outcome.delta:+.3f}",
+            f"{outcome.p_value:.3f}",
+            "yes" if outcome.significant() else "no",
+        ])
+    print_table(
+        "Extension: paired bootstrap, XSDF vs stronger baseline",
+        ["group", "baseline", "XSDF acc", "baseline acc", "delta",
+         "p-value", "significant"],
+        rows,
+    )
+    # The large-ambiguity wins separate cleanly from noise.
+    assert results[1].significant()
+    assert results[2].delta > 0
+    # Every group's delta is non-negative (XSDF never loses here).
+    for group in (1, 2, 3, 4):
+        assert results[group].delta >= 0

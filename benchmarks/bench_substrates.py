@@ -1,0 +1,84 @@
+"""Substrate micro-benchmarks: parser, stemmer, spheres, similarity.
+
+Not a paper table — these track the performance of the building blocks
+every experiment rests on, and exercise the synthetic network generator
+at sizes beyond the curated lexicon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context_vector import concept_context_vector
+from repro.core.sphere import build_sphere
+from repro.datasets.stats import document_tree
+from repro.linguistics import PorterStemmer
+from repro.semnet import GeneratorConfig, InformationContent, generate_network
+from repro.similarity import CombinedSimilarity
+from repro.xmltree import parse
+
+_WORDS = [
+    "caresses", "ponies", "relational", "rational", "agreement",
+    "disambiguation", "semantically", "neighborhood", "structural",
+    "experimental", "generalization", "probability", "hopefulness",
+]
+
+
+def test_bench_parser_throughput(benchmark, corpus):
+    """Parse every generated document (full collection, one pass)."""
+    documents = [doc.xml for doc in corpus]
+
+    def run():
+        for xml in documents:
+            parse(xml)
+
+    benchmark(run)
+
+
+def test_bench_stemmer(benchmark):
+    """Stem a mixed vocabulary batch."""
+    stemmer = PorterStemmer()
+
+    def run():
+        for word in _WORDS * 50:
+            stemmer.stem(word)
+
+    benchmark(run)
+
+
+def test_bench_sphere_construction(benchmark, corpus, network, tree_cache):
+    """Build radius-3 spheres around every node of a Group 1 document."""
+    doc = corpus.by_group(1)[0]
+    tree = tree_cache.setdefault(doc.name, document_tree(doc, network))
+
+    def run():
+        for node in tree:
+            build_sphere(tree, node, 3)
+
+    benchmark(run)
+
+
+def test_bench_combined_similarity(benchmark, network):
+    """Uncached combined similarity over a synthetic pair batch."""
+    concepts = [c.id for c in network.concepts()[:60]]
+    pairs = [(a, b) for a in concepts[:20] for b in concepts[40:60]]
+
+    def run():
+        similarity = CombinedSimilarity(network)  # fresh cache each round
+        for a, b in pairs:
+            similarity(a, b)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("n_concepts", [500, 2000])
+def test_bench_synthetic_network_spheres(benchmark, n_concepts):
+    """Concept context vectors over generated networks of growing size."""
+    synthetic = generate_network(GeneratorConfig(n_concepts=n_concepts, seed=11))
+    sample = [c.id for c in synthetic.concepts()[:: max(1, n_concepts // 50)]]
+
+    def run():
+        for concept_id in sample:
+            concept_context_vector(synthetic, concept_id, 2)
+
+    benchmark(run)

@@ -1,0 +1,52 @@
+"""Table 1 — test groups by average node ambiguity and structure.
+
+Paper: Group 1 = ambiguity+/structure+, Group 2 = ambiguity+/structure-,
+Group 3 = ambiguity-/structure+, Group 4 = ambiguity-/structure-.
+
+We report the measured average ``Amb_Deg`` per group (per-document
+normalization, as used for target selection) and the measured
+``Struct_Deg`` with collection-wide normalization (see DESIGN.md for why
+corpus characterization normalizes across the collection).  Expected
+shape: Groups 1-2 well above Groups 3-4 in ambiguity, Groups 1 and 3
+above Groups 2 and 4 in structure.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.datasets.stats import group_stats, group_struct_degrees
+
+_QUADRANT = {
+    1: "ambiguity+ / structure+",
+    2: "ambiguity+ / structure-",
+    3: "ambiguity- / structure+",
+    4: "ambiguity- / structure-",
+}
+
+
+def _compute(corpus, network):
+    amb = {g: s.amb_degree for g, s in group_stats(corpus, network).items()}
+    struct = group_struct_degrees(corpus, network)
+    return amb, struct
+
+
+def test_table1_group_characterization(benchmark, corpus, network):
+    """Regenerate Table 1 and assert the 2x2 quadrant ordering."""
+    amb, struct = benchmark.pedantic(
+        _compute, args=(corpus, network), rounds=1, iterations=1
+    )
+    rows = [
+        [f"Group {g}", _QUADRANT[g], f"{amb[g]:.4f}", f"{struct[g]:.4f}"]
+        for g in sorted(amb)
+    ]
+    print_table(
+        "Table 1: group characterization",
+        ["group", "paper quadrant", "Amb_Deg", "Struct_Deg"],
+        rows,
+    )
+    # Ambiguity axis: groups 1-2 above groups 3-4.
+    assert min(amb[1], amb[2]) > max(amb[3], amb[4])
+    # Structure axis: groups 1 and 3 above groups 2 and 4.
+    assert struct[1] > max(struct[2], struct[4])
+    assert struct[3] > max(struct[2], struct[4])

@@ -1,0 +1,64 @@
+"""Table 3 — characteristics of the test documents.
+
+Per-dataset: document count, average node count, label polysemy
+(avg/max), node depth, fan-out, and density — the columns of the paper's
+Table 3 computed over our generated collection.
+
+Absolute values differ from the paper (synthetic corpora, curated
+lexicon); the shape that must hold: the Group 1/2 datasets carry the
+highest average polysemy, the maximum polysemy column is dominated by
+the 33-sense entry (*head*, in the amazon corpus), and Shakespeare has
+the largest documents.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.datasets import DATASETS, dataset_stats
+
+
+def test_table3_dataset_characteristics(benchmark, corpus, network):
+    """Regenerate Table 3 and check its structural landmarks."""
+    stats = benchmark.pedantic(
+        dataset_stats, args=(corpus, network), rounds=1, iterations=1
+    )
+    rows = []
+    for spec in DATASETS:
+        s = stats[spec.name]
+        rows.append(
+            [
+                f"G{spec.group}",
+                spec.name,
+                spec.grammar,
+                spec.n_docs,
+                s.n_nodes,
+                f"{s.avg_polysemy:.2f}",
+                s.max_polysemy,
+                f"{s.avg_depth:.2f}",
+                s.max_depth,
+                f"{s.avg_fan_out:.2f}",
+                s.max_fan_out,
+                f"{s.avg_density:.2f}",
+                s.max_density,
+            ]
+        )
+    print_table(
+        "Table 3: dataset characteristics",
+        ["grp", "dataset", "grammar", "docs", "nodes", "poly",
+         "max", "depth", "max", "fan", "max", "dens", "max"],
+        rows,
+    )
+    # Document counts follow the paper's Table 3.
+    assert {spec.name: spec.n_docs for spec in DATASETS}["shakespeare"] == 10
+    assert sum(spec.n_docs for spec in DATASETS) == 60
+    # The 33-sense maximum-polysemy entry appears (amazon's `head` tag).
+    assert stats["amazon_product"].max_polysemy == network.max_polysemy == 33
+    # Shakespeare documents are the largest; high-ambiguity datasets lead
+    # the average-polysemy column.
+    assert stats["shakespeare"].n_nodes == max(s.n_nodes for s in stats.values())
+    high = min(stats["shakespeare"].avg_polysemy,
+               stats["amazon_product"].avg_polysemy)
+    low = max(s.avg_polysemy for name, s in stats.items()
+              if name not in ("shakespeare", "amazon_product"))
+    assert high > low

@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures.  The
+reference lexicon, the generated test collection, and the parsed tree
+cache are expensive, so they are built once per session and shared.
+Benchmarks print the reproduced table rows (the "same rows/series the
+paper reports") in addition to timing a representative computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_test_corpus
+from repro.semnet import default_lexicon
+
+
+@pytest.fixture(scope="session")
+def network():
+    """The curated mini-WordNet (shared, read-only)."""
+    return default_lexicon()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The full generated test collection (all datasets/groups)."""
+    return generate_test_corpus()
+
+
+@pytest.fixture(scope="session")
+def tree_cache():
+    """Shared document-name -> XMLTree cache across benchmarks."""
+    return {}
+
+
+def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Render one reproduced table to stdout (shown with pytest -s)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

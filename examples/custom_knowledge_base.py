@@ -1,0 +1,122 @@
+"""Bring your own knowledge base.
+
+The paper: "any other knowledge base can be used based on the
+application scenario, e.g. ODP for describing semantic relations between
+Web pages, or FOAF to identify relations between persons in social
+networks."  This example builds a tiny FOAF-style network for a social
+feed, validates it, persists it to JSON, and disambiguates a post where
+*profile*, *wall*, and *follower* are ambiguous between their social and
+everyday senses.
+
+Run with::
+
+    python examples/custom_knowledge_base.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import XSDF, XSDFConfig
+from repro.semnet import NetworkBuilder, load_network, save_network
+from repro.semnet.validate import validate_network
+
+FEED = """<?xml version="1.0"?>
+<feed>
+  <profile>
+    <handle>gracek</handle>
+    <follower>jstewart</follower>
+    <follower>anovak</follower>
+  </profile>
+  <wall>
+    <post>met a director at the studio</post>
+  </wall>
+</feed>
+"""
+
+
+def build_social_network():
+    """A miniature FOAF-like semantic network."""
+    b = NetworkBuilder("mini-foaf")
+    b.synset("entity", ["entity"], "anything that exists", freq=1)
+    b.synset("person", ["person", "agent"], "a human being",
+             hypernym="entity", freq=40)
+    b.synset("document", ["document"], "a piece of written content",
+             hypernym="entity", freq=20)
+    b.synset("structure", ["structure"], "something built from parts",
+             hypernym="entity", freq=15)
+
+    # The social senses...
+    b.synset("profile.social", ["profile", "user profile"],
+             "a page describing a person on a social network, listing "
+             "their handle, posts, and followers",
+             hypernym="document", freq=10)
+    b.synset("wall.social", ["wall", "timeline"],
+             "the stream of posts a person publishes on their profile",
+             hypernym="document", freq=8)
+    b.synset("follower.social", ["follower", "subscriber"],
+             "a person who subscribes to another person's posts on a "
+             "social network", hypernym="person", freq=9)
+    b.synset("post.social", ["post", "status update"],
+             "a short message published to a wall or feed",
+             hypernym="document", freq=12)
+    b.synset("handle.social", ["handle", "screen name", "username"],
+             "the name a person uses on a social network profile",
+             hypernym="document", freq=6)
+    b.synset("feed.social", ["feed", "activity stream"],
+             "the stream of posts shown to a person on a social network",
+             hypernym="document", freq=7)
+
+    # ...and their everyday competitors.
+    b.synset("profile.side", ["profile"],
+             "an outline of a face seen from the side",
+             hypernym="entity", freq=14)
+    b.synset("wall.brick", ["wall"],
+             "an upright structure of masonry that divides rooms or "
+             "encloses a yard", hypernym="structure", freq=30)
+    b.synset("follower.disciple", ["follower", "disciple"],
+             "a person who accepts the leadership of a religious or "
+             "political figure", hypernym="person", freq=11)
+    b.synset("post.pole", ["post", "pole"],
+             "an upright timber fixed in the ground, as for a fence",
+             hypernym="structure", freq=16)
+    b.synset("handle.grip", ["handle", "grip"],
+             "the part of a tool that you hold in the hand",
+             hypernym="structure", freq=13)
+    b.synset("feed.fodder", ["feed", "provender"],
+             "food given to domestic animals",
+             hypernym="entity", freq=9)
+
+    from repro.semnet import Relation
+    b.relation("wall.social", Relation.PART_HOLONYM, "profile.social")
+    b.relation("handle.social", Relation.PART_HOLONYM, "profile.social")
+    b.relation("post.social", Relation.PART_HOLONYM, "wall.social")
+    b.relation("follower.social", Relation.DERIVATION, "profile.social")
+    b.relation("post.social", Relation.DERIVATION, "feed.social")
+    return b.build()
+
+
+def main() -> None:
+    network = build_social_network()
+    report = validate_network(network)
+    print(f"network: {len(network)} concepts, "
+          f"{len(report.warnings())} warnings, ok={report.ok}")
+
+    # Persist and reload: the JSON file is what you would ship.
+    path = Path(tempfile.mkdtemp()) / "mini-foaf.json"
+    save_network(network, path)
+    network = load_network(path)
+    print(f"round-tripped through {path.name}\n")
+
+    xsdf = XSDF(network, XSDFConfig(
+        sphere_radius=2, strip_target_dimension=True,
+    ))
+    result = xsdf.disambiguate_document(FEED)
+    print(f"{'label':<12}{'sense':<20}gloss")
+    print("-" * 70)
+    for assignment in result.assignments:
+        gloss = network.concept(assignment.concept_id).gloss
+        print(f"{assignment.label:<12}{assignment.concept_id:<20}{gloss[:40]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Semantic-aware query answering over disambiguated XML.
+
+The paper's first motivating application: a keyword query should match
+XML elements by *meaning* — searching "movie" should hit documents that
+tag their records ``picture`` or ``film``, but not a ``film`` element
+meaning the photographic material.  After XSDF disambiguation every
+element carries a concept, so matching reduces to comparing the query
+term's senses against node concepts (including hypernym expansion).
+
+Run with::
+
+    python examples/query_expansion.py
+"""
+
+from repro import XSDF, XSDFConfig
+from repro.semnet import default_lexicon
+
+COLLECTION = {
+    "catalog-a": """<films><picture title="Rear Window">
+        <director>Hitchcock</director><genre>mystery</genre>
+        <cast><star>Kelly</star></cast></picture></films>""",
+    "catalog-b": """<movies><movie year="1954"><name>Vertigo</name>
+        <directed_by>Alfred Hitchcock</directed_by>
+        <actors><actor><LastName>Novak</LastName></actor></actors>
+        </movie></movies>""",
+    "photo-shop": """<products><product><title>Retro camera pack</title>
+        <brand>Retro Supplies</brand><line>film line</line>
+        <stock>12</stock><order>PO-1234</order><price>19.99</price>
+        <head>fine grain photographic film for the camera</head>
+        <state>new</state></product></products>""",
+}
+
+
+def search(query: str, annotated, network) -> list[tuple[str, str, str]]:
+    """Documents whose concepts match any sense of ``query`` (or a
+    direct hyponym of one — mild semantic expansion)."""
+    query_senses = {sense.id for sense in network.senses(query)}
+    expanded = set(query_senses)
+    for sense_id in query_senses:
+        expanded.update(network.hyponyms(sense_id))
+    hits = []
+    for doc_name, assignments in annotated.items():
+        for assignment in assignments:
+            if assignment.concept_id in expanded:
+                hits.append((doc_name, assignment.label, assignment.concept_id))
+    return hits
+
+
+def main() -> None:
+    network = default_lexicon()
+    xsdf = XSDF(network, XSDFConfig(sphere_radius=2, strip_target_dimension=True))
+    annotated = {
+        name: xsdf.disambiguate_document(xml).assignments
+        for name, xml in COLLECTION.items()
+    }
+
+    for query in ("movie", "actress", "merchandise"):
+        print(f"\nquery: {query!r}")
+        hits = search(query, annotated, network)
+        if not hits:
+            print("   no semantic matches")
+        for doc_name, label, concept_id in hits:
+            print(f"   {doc_name:<12} <{label}>  ->  {concept_id}")
+    print(
+        "\nNote: 'movie' matches <picture> and <movie> records but not the "
+        "photographic 'film' products; 'actress' reaches the Kelly value "
+        "via its disambiguated person sense."
+    )
+
+
+if __name__ == "__main__":
+    main()

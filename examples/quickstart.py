@@ -1,0 +1,52 @@
+"""Quickstart: disambiguate the paper's Figure 1 document.
+
+Runs the full XSDF pipeline on the running example from the paper — a
+movie description where *picture*, *cast*, *star*, *Kelly*, and
+*Stewart* are all lexically ambiguous — and prints the chosen sense,
+its gloss, and the semantically annotated XML tree.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import XSDF, XSDFConfig
+from repro.semnet import default_lexicon
+
+DOCUMENT = """<?xml version="1.0"?>
+<films>
+  <picture title="Rear Window">
+    <director>Hitchcock</director>
+    <year>1954</year>
+    <genre>mystery</genre>
+    <cast>
+      <star>Stewart</star>
+      <star>Kelly</star>
+    </cast>
+    <plot>A wheelchair bound photographer spies on his neighbors</plot>
+  </picture>
+</films>
+"""
+
+
+def main() -> None:
+    network = default_lexicon()
+    xsdf = XSDF(network, XSDFConfig(sphere_radius=2, strip_target_dimension=True))
+
+    result = xsdf.disambiguate_document(DOCUMENT)
+    print(f"{result.n_targets} target nodes out of {result.n_nodes} total\n")
+    print(f"{'label':<14}{'sense':<18}{'score':>7}  gloss")
+    print("-" * 86)
+    for assignment in result.assignments:
+        gloss = network.concept(assignment.concept_id).gloss
+        print(
+            f"{assignment.label:<14}{assignment.concept_id:<18}"
+            f"{assignment.score:>7.3f}  {gloss[:48]}"
+        )
+
+    print("\nSemantic XML tree (concept-annotated):\n")
+    print(xsdf.to_semantic_xml(DOCUMENT))
+
+
+if __name__ == "__main__":
+    main()

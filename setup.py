@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The build environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``.  This shim
+lets ``pip install -e . --no-build-isolation --no-use-pep517`` work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — XSDF: XML Semantic Disambiguation Framework.
+
+A full reproduction of *Resolving XML Semantic Ambiguity* (Charbel,
+Tekli, Chbeir, Tekli — EDBT 2015): linguistic pre-processing, ambiguity
+degree node selection, sphere neighborhood contexts, and hybrid
+concept/context-based disambiguation over a semantic network — plus every
+substrate (XML parser/DOM, WordNet-style network engine, curated lexicon,
+baselines, datasets, evaluation harness) the experiments need.
+
+Quickstart::
+
+    from repro import XSDF, XSDFConfig
+    from repro.semnet import default_lexicon
+
+    xsdf = XSDF(default_lexicon(), XSDFConfig(sphere_radius=1))
+    result = xsdf.disambiguate_document("<films><picture>...</picture></films>")
+    for assignment in result.assignments:
+        print(assignment.label, "->", assignment.concept_id)
+"""
+
+from .core.config import AmbiguityWeights, DisambiguationApproach, XSDFConfig
+from .core.framework import XSDF
+from .core.results import DisambiguationResult, SenseAssignment
+from .similarity.combined import SimilarityWeights
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmbiguityWeights",
+    "DisambiguationApproach",
+    "DisambiguationResult",
+    "SenseAssignment",
+    "SimilarityWeights",
+    "XSDF",
+    "XSDFConfig",
+    "__version__",
+]

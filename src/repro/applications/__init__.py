@@ -1,0 +1,27 @@
+"""Downstream applications the paper motivates, built on XSDF.
+
+Schema/document matching, semantic clustering, and semantic search —
+the consumers that make XML sense disambiguation worth having.
+"""
+
+from .clustering import (
+    Clustering,
+    cluster_documents,
+    cluster_profiles,
+    concept_profile,
+    label_profile,
+)
+from .matching import Correspondence, SemanticMatcher
+from .search import Hit, SemanticIndex
+
+__all__ = [
+    "Clustering",
+    "Correspondence",
+    "Hit",
+    "SemanticIndex",
+    "SemanticMatcher",
+    "cluster_documents",
+    "cluster_profiles",
+    "concept_profile",
+    "label_profile",
+]

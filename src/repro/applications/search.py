@@ -1,0 +1,98 @@
+"""Semantic search over disambiguated XML — the paper's query-rewriting
+application.
+
+"Semantic-aware query rewriting and expansion (expanding keyword queries
+by including semantically related terms)": an index maps concepts (and
+their taxonomic expansions) to the XML nodes that carry them, so a
+keyword query matches by meaning — `movie` finds `<picture>` elements,
+and `actress` finds the value token `Kelly` once it is disambiguated to
+Grace Kelly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.framework import XSDF
+from ..semnet.network import SemanticNetwork
+
+
+@dataclass(frozen=True)
+class Hit:
+    """One query match."""
+
+    document: str
+    label: str
+    concept_id: str
+    node_index: int
+    score: float
+
+
+@dataclass
+class SemanticIndex:
+    """Concept -> occurrences index over a document collection."""
+
+    network: SemanticNetwork
+    _postings: dict[str, list[Hit]] = field(default_factory=dict)
+    _documents: set[str] = field(default_factory=set)
+
+    def add(self, name: str, xsdf: XSDF, xml_text: str) -> int:
+        """Disambiguate and index one document; returns entries added."""
+        if name in self._documents:
+            raise ValueError(f"document {name!r} already indexed")
+        self._documents.add(name)
+        result = xsdf.disambiguate_document(xml_text)
+        for assignment in result.assignments:
+            hit = Hit(
+                document=name,
+                label=assignment.label,
+                concept_id=assignment.concept_id,
+                node_index=assignment.node_index,
+                score=assignment.score,
+            )
+            self._postings.setdefault(assignment.concept_id, []).append(hit)
+        return len(result.assignments)
+
+    def __len__(self) -> int:
+        return sum(len(hits) for hits in self._postings.values())
+
+    @property
+    def documents(self) -> set[str]:
+        return set(self._documents)
+
+    # -- querying ----------------------------------------------------------
+
+    def expand_query(self, word: str, depth: int = 1) -> set[str]:
+        """Concept ids for ``word``: its senses plus hyponyms to ``depth``.
+
+        Hyponym expansion implements the query-*expansion* half: asking
+        for ``performer`` also retrieves actors and stars.
+        """
+        frontier = {sense.id for sense in self.network.senses(word)}
+        expanded = set(frontier)
+        for _ in range(depth):
+            nxt: set[str] = set()
+            for concept_id in frontier:
+                nxt.update(self.network.hyponyms(concept_id))
+            nxt -= expanded
+            if not nxt:
+                break
+            expanded |= nxt
+            frontier = nxt
+        return expanded
+
+    def search(self, word: str, depth: int = 1) -> list[Hit]:
+        """Hits for ``word`` across the collection, best score first."""
+        concepts = self.expand_query(word, depth=depth)
+        hits: list[Hit] = []
+        for concept_id in concepts:
+            hits.extend(self._postings.get(concept_id, []))
+        hits.sort(key=lambda h: (-h.score, h.document, h.node_index))
+        return hits
+
+    def search_documents(self, word: str, depth: int = 1) -> list[str]:
+        """Distinct matching document names, best-hit order."""
+        seen: dict[str, None] = {}
+        for hit in self.search(word, depth=depth):
+            seen.setdefault(hit.document, None)
+        return list(seen)

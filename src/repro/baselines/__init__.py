@@ -1,0 +1,25 @@
+"""Comparative baselines: RPD, VSD, parent/sub-tree contexts, trivia.
+
+Reimplementations of the approaches the paper compares against (Section
+2.2, Table 4, Figure 9), sharing the candidate-enumeration and result
+types of the core framework so results are directly comparable.
+"""
+
+from .bag_of_words import BagOfWordsDisambiguator
+from .base import Baseline
+from .parent import ParentContextDisambiguator
+from .rpd import RootPathDisambiguator
+from .subtree import SubtreeContextDisambiguator
+from .trivial import FirstSenseBaseline, RandomSenseBaseline
+from .vsd import VersatileStructuralDisambiguator
+
+__all__ = [
+    "BagOfWordsDisambiguator",
+    "Baseline",
+    "FirstSenseBaseline",
+    "ParentContextDisambiguator",
+    "RandomSenseBaseline",
+    "RootPathDisambiguator",
+    "SubtreeContextDisambiguator",
+    "VersatileStructuralDisambiguator",
+]

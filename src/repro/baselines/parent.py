@@ -1,0 +1,56 @@
+"""Parent-node context baseline (Taha & Elmasri, XCDSearch [52]).
+
+Treats the parent node and its children as one canonical entity — "the
+simplest semantically meaningful structural entity".  The disambiguation
+context of a node is therefore just its parent and siblings (plus its
+own children when it is itself a parent), compared with an edge-based
+measure.  This is the narrowest structural context in the comparison and
+illustrates the paper's Motivation 2.
+"""
+
+from __future__ import annotations
+
+from ..core.candidates import Candidate, context_sense_ids
+from ..semnet.network import SemanticNetwork
+from ..similarity.edge import WuPalmerSimilarity
+from ..xmltree.dom import XMLNode, XMLTree
+from .base import Baseline
+
+
+class ParentContextDisambiguator(Baseline):
+    """Canonical-entity (parent + children) context disambiguation."""
+
+    name = "parent-context"
+
+    def __init__(self, network: SemanticNetwork):
+        super().__init__(network)
+        self._edge = WuPalmerSimilarity(network)
+
+    def _context(self, node: XMLNode) -> list[XMLNode]:
+        context: list[XMLNode] = []
+        if node.parent is not None:
+            context.append(node.parent)
+            context.extend(
+                sibling for sibling in node.parent.children if sibling is not node
+            )
+        context.extend(node.children)
+        return context
+
+    def score_candidates(
+        self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
+    ) -> dict[Candidate, float]:
+        sense_lists = [
+            sense_ids
+            for context_node in self._context(node)
+            if (sense_ids := context_sense_ids(context_node, self.network))
+        ]
+        scores: dict[Candidate, float] = {}
+        for candidate in candidates:
+            total = 0.0
+            for sense_ids in sense_lists:
+                total += max(
+                    self.candidate_similarity(self._edge, candidate, sid)
+                    for sid in sense_ids
+                )
+            scores[candidate] = total / len(sense_lists) if sense_lists else 0.0
+        return scores

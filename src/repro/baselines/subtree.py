@@ -1,0 +1,55 @@
+"""Sub-tree context baseline (Theobald et al., WebDB 2003 [56]).
+
+The context of an element is the set of labels in the sub-tree rooted at
+it.  The same paradigm identifies the context of each candidate sense in
+the semantic network (its neighborhood concepts), and the label context
+is compared with each candidate sense context — the sense with the
+highest context similarity wins.  This is the original *context-based*
+strand XSDF generalizes (Section 2.2.3), restricted to descendants and
+with no structural weighting (plain bag-of-words).
+"""
+
+from __future__ import annotations
+
+from ..core.candidates import Candidate
+from ..core.context_vector import compound_concept_context_vector
+from ..semnet.network import SemanticNetwork
+from ..similarity.vector import cosine_similarity
+from ..xmltree.dom import XMLNode, XMLTree
+from .base import Baseline
+
+
+class SubtreeContextDisambiguator(Baseline):
+    """Bag-of-words sub-tree context vs. sense neighborhood contexts."""
+
+    name = "subtree-context"
+
+    def __init__(self, network: SemanticNetwork, concept_radius: int = 2):
+        super().__init__(network)
+        self._concept_radius = concept_radius
+        self._vector_cache: dict[Candidate, dict[str, float]] = {}
+
+    def _label_vector(self, node: XMLNode) -> dict[str, float]:
+        """Unweighted (bag-of-words) label frequencies of the sub-tree."""
+        vector: dict[str, float] = {}
+        for descendant in node.preorder():
+            vector[descendant.label] = vector.get(descendant.label, 0.0) + 1.0
+        return vector
+
+    def _sense_vector(self, candidate: Candidate) -> dict[str, float]:
+        cached = self._vector_cache.get(candidate)
+        if cached is None:
+            cached = compound_concept_context_vector(
+                self.network, candidate, self._concept_radius
+            )
+            self._vector_cache[candidate] = cached
+        return cached
+
+    def score_candidates(
+        self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
+    ) -> dict[Candidate, float]:
+        label_vector = self._label_vector(node)
+        return {
+            candidate: cosine_similarity(label_vector, self._sense_vector(candidate))
+            for candidate in candidates
+        }

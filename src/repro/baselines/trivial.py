@@ -1,0 +1,50 @@
+"""Trivial WSD baselines: first sense and random sense.
+
+First-sense is the standard hard-to-beat WSD floor (sense ranks encode
+corpus frequency); random-sense calibrates how much signal any informed
+method adds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.candidates import Candidate
+from ..semnet.network import SemanticNetwork
+from ..xmltree.dom import XMLNode, XMLTree
+from .base import Baseline
+
+
+class FirstSenseBaseline(Baseline):
+    """Always choose the first-ranked (most frequent) sense."""
+
+    name = "first-sense"
+
+    def score_candidates(
+        self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
+    ) -> dict[Candidate, float]:
+        # Candidates are enumerated in sense-rank order; score by rank.
+        n = len(candidates)
+        return {c: (n - i) / n for i, c in enumerate(candidates)}
+
+
+class RandomSenseBaseline(Baseline):
+    """Choose a uniformly random sense (seeded, hence reproducible).
+
+    The choice is deterministic per (document shape, node index): the
+    per-node RNG is seeded with ``seed ^ node.index`` so repeated runs —
+    and runs over the same tree in different processes — agree.
+    """
+
+    name = "random-sense"
+
+    def __init__(self, network: SemanticNetwork, seed: int = 13):
+        super().__init__(network)
+        self._seed = seed
+
+    def score_candidates(
+        self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
+    ) -> dict[Candidate, float]:
+        rng = random.Random(self._seed ^ (node.index * 2654435761))
+        scores = {c: rng.random() for c in candidates}
+        return scores

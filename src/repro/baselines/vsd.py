@@ -1,0 +1,91 @@
+"""VSD — Versatile Structural Disambiguation (Mandreoli et al., CIKM 2005 [29]).
+
+The second comparator in the paper's Figure 9.  VSD combines parent and
+descendant context with a *Gaussian decay* edge-weighting: a context
+node at tree distance ``dist`` from the target carries weight
+``exp(-dist^2 / (2 sigma^2))``, and edges are *crossable* while the
+decayed weight stays above a cut-off — nodes reachable through crossable
+edges form the context (the "relational information model").  The target
+label is compared with each candidate sense of the context labels using
+an edge-based measure (Leacock-Chodorow [24]) and the best-supported
+sense wins.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.candidates import Candidate, context_sense_ids
+from ..semnet.network import SemanticNetwork
+from ..similarity.edge import LeacockChodorowSimilarity
+from ..xmltree.dom import XMLNode, XMLTree
+from .base import Baseline
+
+
+class VersatileStructuralDisambiguator(Baseline):
+    """Gaussian-decay structural context + edge-based similarity."""
+
+    name = "VSD"
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        sigma: float = 1.5,
+        weight_cutoff: float = 0.1,
+    ):
+        super().__init__(network)
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        if not 0.0 < weight_cutoff < 1.0:
+            raise ValueError("weight_cutoff must be in (0, 1)")
+        self._sigma = sigma
+        self._cutoff = weight_cutoff
+        self._edge = LeacockChodorowSimilarity(network)
+
+    def decay(self, distance: int) -> float:
+        """The Gaussian decay weight of a context node at ``distance``."""
+        return math.exp(-(distance**2) / (2.0 * self._sigma**2))
+
+    def _context(self, tree: XMLTree, node: XMLNode) -> list[tuple[XMLNode, float]]:
+        """(node, weight) pairs reachable through crossable edges.
+
+        The decay is monotone in distance, so crossability reduces to a
+        maximum radius: the largest distance whose weight clears the
+        cut-off.
+        """
+        max_distance = int(
+            math.floor(math.sqrt(-2.0 * self._sigma**2 * math.log(self._cutoff)))
+        )
+        out = []
+        for other in tree:
+            if other is node:
+                continue
+            distance = tree.distance(node, other)
+            if distance <= max_distance:
+                weight = self.decay(distance)
+                if weight >= self._cutoff:
+                    out.append((other, weight))
+        return out
+
+    def score_candidates(
+        self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
+    ) -> dict[Candidate, float]:
+        context = self._context(tree, node)
+        weighted_senses: list[tuple[list[str], float]] = []
+        for context_node, weight in context:
+            sense_ids = context_sense_ids(context_node, self.network)
+            if sense_ids:
+                weighted_senses.append((sense_ids, weight))
+        scores: dict[Candidate, float] = {}
+        for candidate in candidates:
+            total = 0.0
+            weight_mass = 0.0
+            for sense_ids, weight in weighted_senses:
+                best = max(
+                    self.candidate_similarity(self._edge, candidate, sid)
+                    for sid in sense_ids
+                )
+                total += weight * best
+                weight_mass += weight
+            scores[candidate] = total / weight_mass if weight_mass else 0.0
+        return scores

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``disambiguate FILE``
+    Run the full XSDF pipeline on an XML file and print either a
+    per-node sense report (default) or the concept-annotated semantic
+    XML tree (``--xml``).
+``audit FILE``
+    Print the ambiguity-degree ranking of the file's nodes — which
+    nodes are worth disambiguating, before spending any effort.
+``lexicon``
+    Summary statistics of the bundled mini-WordNet, or the sense
+    inventory of one word (``--word``).
+
+All pipeline knobs are exposed as flags (radius, approach, threshold,
+weights, the strip-target-dimension extension).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.ambiguity import rank_nodes
+from .core.config import DisambiguationApproach, XSDFConfig
+from .core.framework import XSDF
+from .semnet import default_lexicon
+from .similarity.combined import SimilarityWeights
+
+_APPROACHES = {
+    "concept": DisambiguationApproach.CONCEPT_BASED,
+    "context": DisambiguationApproach.CONTEXT_BASED,
+    "combined": DisambiguationApproach.COMBINED,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XSDF: XML semantic disambiguation (EDBT 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dis = sub.add_parser("disambiguate", help="disambiguate an XML file")
+    dis.add_argument("file", help="path to the XML document")
+    dis.add_argument("--radius", type=int, default=2,
+                     help="sphere context radius d (default 2)")
+    dis.add_argument("--approach", choices=sorted(_APPROACHES),
+                     default="combined", help="disambiguation process")
+    dis.add_argument("--threshold", type=float, default=0.0,
+                     help="ambiguity threshold Thresh_Amb (default 0)")
+    dis.add_argument("--weights", metavar="EDGE,NODE,GLOSS", default=None,
+                     help="similarity weight mix, e.g. 1,1,1")
+    dis.add_argument("--strip-target-dimension", action="store_true",
+                     help="enable the context-vector bias fix (extension)")
+    dis.add_argument("--structure-only", action="store_true",
+                     help="ignore text values (structure-only mode)")
+    dis.add_argument("--xml", action="store_true",
+                     help="emit the semantic XML tree instead of a report")
+
+    audit = sub.add_parser("audit", help="rank nodes by ambiguity degree")
+    audit.add_argument("file", help="path to the XML document")
+    audit.add_argument("--top", type=int, default=15,
+                       help="how many nodes to show (default 15)")
+
+    lex = sub.add_parser("lexicon", help="inspect the bundled lexicon")
+    lex.add_argument("--word", default=None,
+                     help="show the sense inventory of one word")
+
+    match = sub.add_parser(
+        "match", help="semantically match two documents' tag vocabularies"
+    )
+    match.add_argument("file_a", help="first XML document")
+    match.add_argument("file_b", help="second XML document")
+    match.add_argument("--min-score", type=float, default=0.5,
+                       help="drop soft matches below this similarity")
+
+    val = sub.add_parser(
+        "validate", help="validate a semantic network JSON file"
+    )
+    val.add_argument("file", help="path to a repro-semnet JSON document")
+
+    corpus = sub.add_parser(
+        "corpus", help="export the generated test collection to a directory"
+    )
+    corpus.add_argument("directory", help="output directory")
+    corpus.add_argument("--seed", type=int, default=2015,
+                        help="generation seed (default 2015)")
+
+    rep = sub.add_parser(
+        "report",
+        help="regenerate every paper table/figure (markdown to stdout)",
+    )
+    rep.add_argument("--out", default=None,
+                     help="write the report to a file instead of stdout")
+    return parser
+
+
+def _make_config(args: argparse.Namespace) -> XSDFConfig:
+    weights = SimilarityWeights()
+    if args.weights:
+        try:
+            edge, node, gloss = (float(x) for x in args.weights.split(","))
+        except ValueError:
+            raise SystemExit(
+                f"--weights expects EDGE,NODE,GLOSS numbers, got {args.weights!r}"
+            )
+        weights = SimilarityWeights(edge, node, gloss)
+    return XSDFConfig(
+        sphere_radius=args.radius,
+        approach=_APPROACHES[args.approach],
+        ambiguity_threshold=args.threshold,
+        similarity_weights=weights,
+        include_values=not args.structure_only,
+        strip_target_dimension=args.strip_target_dimension,
+    )
+
+
+def _read(path: str) -> str:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+
+
+def _cmd_disambiguate(args: argparse.Namespace, out) -> int:
+    network = default_lexicon()
+    xsdf = XSDF(network, _make_config(args))
+    text = _read(args.file)
+    if args.xml:
+        out.write(xsdf.to_semantic_xml(text))
+        return 0
+    result = xsdf.disambiguate_document(text)
+    out.write(
+        f"{result.n_targets} targets / {result.n_nodes} nodes "
+        f"(radius d={result.radius})\n"
+    )
+    out.write(f"{'label':<18}{'sense':<22}{'score':>7}  gloss\n")
+    for assignment in result.assignments:
+        gloss = network.concept(assignment.concept_id).gloss
+        out.write(
+            f"{assignment.label:<18}{assignment.concept_id:<22}"
+            f"{assignment.score:>7.3f}  {gloss[:44]}\n"
+        )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace, out) -> int:
+    network = default_lexicon()
+    xsdf = XSDF(network, XSDFConfig())
+    tree = xsdf.build_tree(_read(args.file))
+    out.write(f"{'label':<18}{'Amb_Deg':>8}{'senses':>8}{'depth':>7}\n")
+    for report in rank_nodes(tree, network)[: args.top]:
+        out.write(
+            f"{report.label:<18}{report.degree:>8.4f}"
+            f"{network.polysemy(report.label):>8}"
+            f"{tree[report.node_index].depth:>7}\n"
+        )
+    return 0
+
+
+def _cmd_lexicon(args: argparse.Namespace, out) -> int:
+    network = default_lexicon()
+    if args.word is None:
+        for key, value in network.stats().items():
+            out.write(f"{key:>16}: {value}\n")
+        return 0
+    senses = network.senses(args.word)
+    if not senses:
+        out.write(f"{args.word!r} is not in the lexicon\n")
+        return 1
+    for sense in senses:
+        out.write(f"{sense.id:<22} {sense.gloss}\n")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace, out) -> int:
+    from .applications.matching import SemanticMatcher
+
+    network = default_lexicon()
+    xsdf = XSDF(network, XSDFConfig(
+        sphere_radius=2, strip_target_dimension=True,
+    ))
+    matcher = SemanticMatcher(xsdf, min_score=args.min_score)
+    correspondences = matcher.match(_read(args.file_a), _read(args.file_b))
+    if not correspondences:
+        out.write("no correspondences found\n")
+        return 1
+    out.write(f"{'label A':<16}{'label B':<16}{'score':>7}  concepts\n")
+    for c in correspondences:
+        concepts = (
+            c.concept_a if c.exact else f"{c.concept_a} ~ {c.concept_b}"
+        )
+        out.write(
+            f"{c.label_a:<16}{c.label_b:<16}{c.score:>7.3f}  {concepts}\n"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace, out) -> int:
+    from .semnet.io import NetworkFormatError, load_network
+    from .semnet.validate import validate_network
+
+    try:
+        network = load_network(args.file)
+    except NetworkFormatError as exc:
+        out.write(f"unreadable network: {exc}\n")
+        return 2
+    report = validate_network(network)
+    for issue in report.issues:
+        out.write(f"{issue.severity:>8}  {issue.code:<16} {issue.message}\n")
+    if report.ok:
+        out.write(
+            f"ok: {len(network)} concepts, "
+            f"{len(report.warnings())} warning(s)\n"
+        )
+        return 0
+    out.write(f"invalid: {len(report.errors())} error(s)\n")
+    return 1
+
+
+def _cmd_corpus(args: argparse.Namespace, out) -> int:
+    from .datasets.export import export_corpus
+
+    manifest = export_corpus(args.directory, seed=args.seed)
+    n_docs = sum(len(d["documents"]) for d in manifest["datasets"])
+    out.write(
+        f"exported {n_docs} documents across "
+        f"{len(manifest['datasets'])} datasets to {args.directory}\n"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    from .evaluation.experiments import full_report
+
+    report = full_report()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        out.write(f"report written to {args.out}\n")
+    else:
+        out.write(report)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "disambiguate": _cmd_disambiguate,
+        "audit": _cmd_audit,
+        "lexicon": _cmd_lexicon,
+        "match": _cmd_match,
+        "validate": _cmd_validate,
+        "report": _cmd_report,
+        "corpus": _cmd_corpus,
+    }
+    try:
+        return handlers[args.command](args, out)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — conventional clean exit.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

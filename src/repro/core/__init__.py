@@ -1,0 +1,91 @@
+"""XSDF core: ambiguity degree, sphere contexts, hybrid disambiguation.
+
+The paper's primary contribution (Sections 3.3-3.5).
+"""
+
+from .ambiguity import (
+    AmbiguityReport,
+    amb_density,
+    amb_depth,
+    amb_polysemy,
+    ambiguity_degree,
+    rank_nodes,
+    select_targets,
+    struct_degree,
+    tree_ambiguity_degree,
+    tree_struct_degree,
+)
+from .candidates import Candidate, candidate_senses, context_sense_ids
+from .concept_based import ConceptBasedScorer
+from .config import AmbiguityWeights, DisambiguationApproach, XSDFConfig
+from .context_based import ContextBasedScorer
+from .distances import (
+    DensityWeightedDistance,
+    DirectionWeightedDistance,
+    DistancePolicy,
+    UniformDistance,
+    resolve_policy,
+)
+from .discourse import (
+    disagreement_rate,
+    discourse_votes,
+    enforce_one_sense_per_discourse,
+)
+from .tuning import ParameterGrid, TrialResult, TuningResult, tune
+from .context_vector import (
+    compound_concept_context_vector,
+    concept_context_vector,
+    context_vector,
+    label_frequencies,
+    node_context_vector,
+    struct_proximity,
+)
+from .framework import XSDF
+from .results import DisambiguationResult, SenseAssignment
+from .sphere import Sphere, SphereMember, build_ring, build_sphere
+
+__all__ = [
+    "AmbiguityReport",
+    "AmbiguityWeights",
+    "Candidate",
+    "ConceptBasedScorer",
+    "ContextBasedScorer",
+    "DensityWeightedDistance",
+    "DirectionWeightedDistance",
+    "DistancePolicy",
+    "ParameterGrid",
+    "TrialResult",
+    "TuningResult",
+    "UniformDistance",
+    "resolve_policy",
+    "tune",
+    "disagreement_rate",
+    "discourse_votes",
+    "enforce_one_sense_per_discourse",
+    "DisambiguationApproach",
+    "DisambiguationResult",
+    "SenseAssignment",
+    "Sphere",
+    "SphereMember",
+    "XSDF",
+    "XSDFConfig",
+    "amb_density",
+    "amb_depth",
+    "amb_polysemy",
+    "ambiguity_degree",
+    "build_ring",
+    "build_sphere",
+    "candidate_senses",
+    "compound_concept_context_vector",
+    "concept_context_vector",
+    "context_sense_ids",
+    "context_vector",
+    "label_frequencies",
+    "node_context_vector",
+    "rank_nodes",
+    "select_targets",
+    "struct_degree",
+    "struct_proximity",
+    "tree_ambiguity_degree",
+    "tree_struct_degree",
+]

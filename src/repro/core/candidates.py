@@ -1,0 +1,60 @@
+"""Candidate sense enumeration for XML node labels.
+
+A *candidate* is a tuple of concept ids: a single concept for simple
+labels (or compounds matching one concept, e.g. ``first name``), or a
+pair ``(s_p, s_q)`` for a true compound label whose two tokens are
+looked up separately (the special cases of Definitions 8 and 10).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ..semnet.network import SemanticNetwork
+from ..xmltree.dom import XMLNode
+
+#: A sense candidate: one concept id, or one per compound token.
+Candidate = tuple[str, ...]
+
+
+def candidate_senses(node: XMLNode, network: SemanticNetwork) -> list[Candidate]:
+    """All sense candidates for ``node``'s label.
+
+    * Label known to the network → one candidate per sense.
+    * Compound label, both tokens known → the cross product of the
+      tokens' senses (each candidate is a pair).
+    * Compound label, one token known → that token's senses.
+    * Nothing known → no candidates (the node cannot be disambiguated).
+    """
+    if network.has_word(node.label):
+        return [(sense.id,) for sense in network.senses(node.label)]
+    if not node.is_compound:
+        return []
+    token_senses = [
+        [sense.id for sense in network.senses(token)]
+        for token in node.tokens
+        if network.has_word(token)
+    ]
+    if not token_senses:
+        return []
+    if len(token_senses) == 1:
+        return [(sense_id,) for sense_id in token_senses[0]]
+    return [tuple(combo) for combo in product(*token_senses)]
+
+
+def context_sense_ids(node: XMLNode, network: SemanticNetwork) -> list[str]:
+    """The individual sense ids a *context* node contributes.
+
+    Context nodes enter Definition 8 through ``Max_j Sim(s_p, s_j^i)``;
+    for compound context labels with no single concept match, the paper
+    processes them "similarly to a compound target node label" — the max
+    then ranges over the senses of each token.
+    """
+    if network.has_word(node.label):
+        return [sense.id for sense in network.senses(node.label)]
+    if not node.is_compound:
+        return []
+    out: list[str] = []
+    for token in node.tokens:
+        out.extend(sense.id for sense in network.senses(token))
+    return out

@@ -1,0 +1,82 @@
+"""Concept-based semantic disambiguation (paper Definition 8).
+
+For a target node ``x`` with sphere ``S_d(x)`` and candidate sense
+``s_p``::
+
+    Concept_Score(s_p) = (1/|S_d(x)|) * sum over x_i in S_d(x) of
+        max over senses s_j of x_i's label of
+            Sim(s_p, s_j) * w_V(x_i.label)
+
+i.e. every context node votes with its best-matching sense, its vote
+scaled by the node's context-vector weight (structural proximity ×
+frequency).  For compound candidates ``(s_p, s_q)`` the similarity is
+the average of the per-token similarities (Eq. 10).
+"""
+
+from __future__ import annotations
+
+from ..semnet.network import SemanticNetwork
+from ..similarity.combined import ConceptSimilarity
+from .candidates import Candidate, context_sense_ids
+from .context_vector import context_vector
+from .sphere import Sphere
+
+
+class ConceptBasedScorer:
+    """Scores candidate senses against a sphere context (Definition 8)."""
+
+    def __init__(self, network: SemanticNetwork, similarity: ConceptSimilarity):
+        self._network = network
+        self._similarity = similarity
+
+    def _candidate_similarity(self, candidate: Candidate, sense_id: str) -> float:
+        """``Sim((s_p, s_q), s_j)`` — the average over candidate parts."""
+        total = sum(self._similarity(part, sense_id) for part in candidate)
+        return total / len(candidate)
+
+    def score(self, candidate: Candidate, sphere: Sphere) -> float:
+        """``Concept_Score(candidate, S_d(x), SN-bar)`` in [0, 1]."""
+        weights = context_vector(sphere)
+        total = 0.0
+        for member in sphere:
+            context_node = member.node
+            sense_ids = context_sense_ids(context_node, self._network)
+            if not sense_ids:
+                continue
+            label_weight = weights[context_node.label]
+            best = max(
+                self._candidate_similarity(candidate, sense_id)
+                for sense_id in sense_ids
+            )
+            total += best * label_weight
+        if not len(sphere):
+            return 0.0
+        return total / len(sphere)
+
+    def score_all(
+        self, candidates: list[Candidate], sphere: Sphere
+    ) -> dict[Candidate, float]:
+        """Scores for every candidate against one (shared) sphere.
+
+        Computes the context vector and per-node sense inventories once,
+        which matters because real documents evaluate dozens of
+        candidates against the same context.
+        """
+        weights = context_vector(sphere)
+        context: list[tuple[list[str], float]] = []
+        for member in sphere:
+            sense_ids = context_sense_ids(member.node, self._network)
+            if sense_ids:
+                context.append((sense_ids, weights[member.node.label]))
+        size = len(sphere)
+        scores: dict[Candidate, float] = {}
+        for candidate in candidates:
+            total = 0.0
+            for sense_ids, label_weight in context:
+                best = max(
+                    self._candidate_similarity(candidate, sense_id)
+                    for sense_id in sense_ids
+                )
+                total += best * label_weight
+            scores[candidate] = total / size if size else 0.0
+        return scores

@@ -1,0 +1,113 @@
+"""Alternative XML tree node distance functions (paper future work).
+
+Section 3.4.1: "our approach can be straightforwardly extended to
+consider different kinds of tree node distance functions (including
+edge weights, density, or direction)" — the paper defers this to future
+work; this module implements it.
+
+A :class:`DistancePolicy` prices each tree edge; sphere construction
+(:func:`repro.core.sphere.build_sphere`) then runs a uniform-cost search
+instead of plain BFS, and every ring becomes a cost band.  Policies:
+
+* :class:`UniformDistance` — every edge costs 1 (Definition 4, default);
+* :class:`DirectionWeightedDistance` — ascending (toward the root) and
+  descending edges cost differently, e.g. making a node's subtree count
+  as closer context than its ancestors;
+* :class:`DensityWeightedDistance` — edges through high fan-out hubs
+  cost more: a context node reachable only through a 40-child container
+  says less about the target than one reached through a focused chain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..xmltree.dom import XMLNode
+
+
+class DistancePolicy(ABC):
+    """Prices one tree edge between a parent and one of its children."""
+
+    #: Identifier used in configuration / reporting.
+    name: str = "policy"
+
+    @abstractmethod
+    def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        """Cost of crossing the (parent, child) edge.
+
+        ``ascending`` is True when the traversal moves from ``child``
+        toward ``parent`` (i.e. toward the root).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class UniformDistance(DistancePolicy):
+    """Definition 4: distance = number of edges."""
+
+    name = "uniform"
+
+    def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        return 1.0
+
+
+class DirectionWeightedDistance(DistancePolicy):
+    """Different costs for ascending vs descending edges.
+
+    ``ascending_cost > descending_cost`` biases the sphere toward the
+    target's subtree (descendants describe a node's content); the
+    reverse biases it toward ancestors (they describe its role).
+    """
+
+    name = "direction"
+
+    def __init__(self, ascending_cost: float = 1.0, descending_cost: float = 1.0):
+        if ascending_cost <= 0 or descending_cost <= 0:
+            raise ValueError("edge costs must be positive")
+        self.ascending_cost = ascending_cost
+        self.descending_cost = descending_cost
+
+    def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        return self.ascending_cost if ascending else self.descending_cost
+
+
+class DensityWeightedDistance(DistancePolicy):
+    """Hub penalty: edges into/out of high fan-out nodes cost more.
+
+    The cost of an edge is ``1 + penalty * (fan_out(parent) - 1) /
+    max_fan_out`` using the parent's fan-out (the hub being crossed), so
+    a chain costs ~1 per edge while a 40-way container dilutes its
+    children's mutual relevance.
+    """
+
+    name = "density"
+
+    def __init__(self, penalty: float = 1.0, max_fan_out: int = 32):
+        if penalty < 0:
+            raise ValueError("penalty must be non-negative")
+        if max_fan_out < 1:
+            raise ValueError("max_fan_out must be >= 1")
+        self.penalty = penalty
+        self.max_fan_out = max_fan_out
+
+    def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        spread = min(max(parent.fan_out - 1, 0), self.max_fan_out)
+        return 1.0 + self.penalty * spread / self.max_fan_out
+
+
+def resolve_policy(policy: DistancePolicy | str | None) -> DistancePolicy:
+    """Accept a policy object, a name, or None (uniform)."""
+    if policy is None:
+        return UniformDistance()
+    if isinstance(policy, DistancePolicy):
+        return policy
+    names = {
+        "uniform": UniformDistance,
+        "direction": DirectionWeightedDistance,
+        "density": DensityWeightedDistance,
+    }
+    try:
+        return names[policy]()
+    except KeyError:
+        raise ValueError(f"unknown distance policy {policy!r}") from None

@@ -1,0 +1,215 @@
+"""The XSDF orchestrator (paper Figure 3).
+
+Chains the four modules end to end:
+
+1. **linguistic pre-processing** — tag names and values are tokenized,
+   stop-word-filtered, stemmed, and compound-resolved against the
+   semantic network while the XML tree is built;
+2. **node selection** — the ambiguity degree measure picks target nodes
+   above ``Thresh_Amb``;
+3. **context definition** — each target gets a sphere neighborhood of
+   the configured radius and its context vector;
+4. **semantic disambiguation** — concept-based, context-based, or the
+   weighted combination (Eq. 13) picks the best sense per target.
+
+Typical use::
+
+    from repro import XSDF, XSDFConfig
+    from repro.semnet import default_lexicon
+
+    xsdf = XSDF(default_lexicon(), XSDFConfig(sphere_radius=2))
+    result = xsdf.disambiguate_document(xml_text)
+    semantic_xml = xsdf.to_semantic_xml(xml_text)
+"""
+
+from __future__ import annotations
+
+from ..linguistics.pipeline import LinguisticPipeline
+from ..semnet.ic import InformationContent
+from ..semnet.network import SemanticNetwork
+from ..similarity.combined import CombinedSimilarity, ConceptSimilarity
+from ..xmltree.dom import XMLNode, XMLTree, build_tree
+from ..xmltree.parser import parse
+from ..xmltree.serializer import serialize_semantic_tree
+from .ambiguity import ambiguity_degree, select_targets
+from .candidates import Candidate, candidate_senses
+from .concept_based import ConceptBasedScorer
+from .config import DisambiguationApproach, XSDFConfig
+from .context_based import ContextBasedScorer
+from .distances import resolve_policy
+from .results import DisambiguationResult, SenseAssignment
+from .sphere import build_sphere
+
+
+class XSDF:
+    """XML Semantic Disambiguation Framework.
+
+    Parameters
+    ----------
+    network:
+        The reference semantic network (e.g. the curated lexicon).
+    config:
+        Pipeline parameters; defaults follow the paper.
+    similarity:
+        Optional pre-built concept similarity (shares caches across
+        framework instances); by default a :class:`CombinedSimilarity`
+        with the configured weights is created, computing information
+        content from the network's frequencies once.
+    """
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        config: XSDFConfig | None = None,
+        similarity: ConceptSimilarity | None = None,
+    ):
+        self.network = network
+        self.config = config or XSDFConfig()
+        self.pipeline = LinguisticPipeline(known=network.has_word)
+        if similarity is None:
+            needs_ic = self.config.similarity_weights.node > 0
+            ic = InformationContent(network) if needs_ic else None
+            similarity = CombinedSimilarity(
+                network, weights=self.config.similarity_weights, ic=ic
+            )
+        self._concept_scorer = ConceptBasedScorer(network, similarity)
+        self._distance_policy = (
+            None
+            if self.config.distance_policy is None
+            else resolve_policy(self.config.distance_policy)
+        )
+        self._context_scorer = ContextBasedScorer(
+            network,
+            self.config.sphere_radius,
+            self.config.vector_measure,
+            strip_target_dimension=self.config.strip_target_dimension,
+        )
+
+    # -- tree construction -------------------------------------------------
+
+    def build_tree(self, xml_text: str) -> XMLTree:
+        """Parse XML text into a pre-processed rooted labeled tree."""
+        document = parse(xml_text)
+        return build_tree(
+            document.root,
+            include_values=self.config.include_values,
+            label_processor=self.pipeline.process_label,
+            value_processor=self.pipeline.process_value,
+        )
+
+    # -- disambiguation ------------------------------------------------------
+
+    def disambiguate_document(self, xml_text: str) -> DisambiguationResult:
+        """Full pipeline: XML text in, sense assignments out."""
+        return self.disambiguate_tree(self.build_tree(xml_text))
+
+    def disambiguate_tree(
+        self, tree: XMLTree, targets: list[XMLNode] | None = None
+    ) -> DisambiguationResult:
+        """Run selection + disambiguation over an already-built tree.
+
+        ``targets`` overrides ambiguity-based selection — the evaluation
+        harness passes the pre-selected gold nodes so every system
+        disambiguates the same set (paper Section 4.3).
+        """
+        if targets is None:
+            targets = select_targets(
+                tree,
+                self.network,
+                threshold=self.config.ambiguity_threshold,
+                weights=self.config.ambiguity_weights,
+            )
+        assignments = []
+        for node in targets:
+            assignment = self.disambiguate_node(tree, node)
+            if assignment is not None:
+                assignments.append(assignment)
+        return DisambiguationResult(
+            assignments=assignments,
+            n_nodes=len(tree),
+            n_targets=len(targets),
+            radius=self.config.sphere_radius,
+        )
+
+    def disambiguate_node(
+        self, tree: XMLTree, node: XMLNode
+    ) -> SenseAssignment | None:
+        """Disambiguate a single node; None when it has no candidates."""
+        candidates = candidate_senses(node, self.network)
+        if not candidates:
+            return None
+        sphere = build_sphere(
+            tree, node, self.config.sphere_radius,
+            policy=self._distance_policy,
+        )
+        concept_scores, context_scores, combined = self._score(
+            candidates, sphere
+        )
+        chosen = self._pick(combined)
+        return SenseAssignment(
+            node_index=node.index,
+            label=node.label,
+            chosen=chosen,
+            score=combined[chosen],
+            concept_score=concept_scores.get(chosen, 0.0),
+            context_score=context_scores.get(chosen, 0.0),
+            ambiguity=ambiguity_degree(
+                node, tree, self.network, self.config.ambiguity_weights
+            ),
+            scores=combined,
+        )
+
+    def _score(self, candidates: list[Candidate], sphere):
+        """Per-candidate concept, context, and final scores (Eq. 13)."""
+        approach = self.config.approach
+        concept_scores: dict[Candidate, float] = {}
+        context_scores: dict[Candidate, float] = {}
+        if approach in (
+            DisambiguationApproach.CONCEPT_BASED,
+            DisambiguationApproach.COMBINED,
+        ):
+            concept_scores = self._concept_scorer.score_all(candidates, sphere)
+        if approach in (
+            DisambiguationApproach.CONTEXT_BASED,
+            DisambiguationApproach.COMBINED,
+        ):
+            context_scores = self._context_scorer.score_all(candidates, sphere)
+        if approach is DisambiguationApproach.CONCEPT_BASED:
+            combined = dict(concept_scores)
+        elif approach is DisambiguationApproach.CONTEXT_BASED:
+            combined = dict(context_scores)
+        else:
+            w_concept, w_context = self.config.normalized_approach_weights
+            combined = {
+                candidate: (
+                    w_concept * concept_scores[candidate]
+                    + w_context * context_scores[candidate]
+                )
+                for candidate in candidates
+            }
+        return concept_scores, context_scores, combined
+
+    @staticmethod
+    def _pick(scores: dict[Candidate, float]) -> Candidate:
+        """Arg-max with a deterministic tie-break (sense-rank order).
+
+        Candidates are enumerated in sense-rank order, so on ties the
+        more frequent (earlier) sense wins — the conventional WSD
+        fallback.
+        """
+        best: Candidate | None = None
+        best_score = float("-inf")
+        for candidate, score in scores.items():
+            if score > best_score:
+                best = candidate
+                best_score = score
+        assert best is not None
+        return best
+
+    # -- output ------------------------------------------------------------------
+
+    def to_semantic_xml(self, xml_text: str) -> str:
+        """Disambiguate and serialize the semantic XML tree (Figure 4)."""
+        tree = self.build_tree(xml_text)
+        result = self.disambiguate_tree(tree)
+        return serialize_semantic_tree(tree, result.concept_map(), self.network)

@@ -1,0 +1,100 @@
+"""Result types produced by the XSDF pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .candidates import Candidate
+
+
+@dataclass(frozen=True)
+class SenseAssignment:
+    """The outcome of disambiguating one target node.
+
+    ``chosen`` is the winning candidate (one concept id, or a pair for
+    compound labels); ``scores`` records the full per-candidate score
+    breakdown so callers can inspect margins and runner-ups.
+    """
+
+    node_index: int
+    label: str
+    chosen: Candidate
+    score: float
+    concept_score: float
+    context_score: float
+    ambiguity: float
+    scores: dict[Candidate, float] = field(default_factory=dict, hash=False)
+
+    @property
+    def concept_id(self) -> str:
+        """The primary concept id (first element of the candidate)."""
+        return self.chosen[0]
+
+    @property
+    def margin(self) -> float:
+        """Winning score minus the runner-up score (0 if unique)."""
+        others = [s for c, s in self.scores.items() if c != self.chosen]
+        if not others:
+            return self.score
+        return self.score - max(others)
+
+
+@dataclass
+class DisambiguationResult:
+    """Everything one XSDF run produced for one document tree."""
+
+    assignments: list[SenseAssignment]
+    n_nodes: int
+    n_targets: int
+    radius: int
+
+    def assignment_for(self, node_index: int) -> SenseAssignment | None:
+        """The assignment covering this node, if it was a target."""
+        for assignment in self.assignments:
+            if assignment.node_index == node_index:
+                return assignment
+        return None
+
+    def concept_map(self) -> dict[int, str]:
+        """Mapping node preorder index -> chosen primary concept id.
+
+        This is the shape :func:`repro.xmltree.serialize_semantic_tree`
+        consumes to emit the semantic XML tree.
+        """
+        return {a.node_index: a.concept_id for a in self.assignments}
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the result.
+
+        Candidates are rendered as lists of concept ids; per-candidate
+        score breakdowns are preserved with ``"+"``-joined keys so the
+        document round-trips through ``json.dumps``.
+        """
+        return {
+            "n_nodes": self.n_nodes,
+            "n_targets": self.n_targets,
+            "radius": self.radius,
+            "assignments": [
+                {
+                    "node_index": a.node_index,
+                    "label": a.label,
+                    "chosen": list(a.chosen),
+                    "score": a.score,
+                    "concept_score": a.concept_score,
+                    "context_score": a.context_score,
+                    "ambiguity": a.ambiguity,
+                    "scores": {
+                        "+".join(candidate): score
+                        for candidate, score in a.scores.items()
+                    },
+                }
+                for a in self.assignments
+            ],
+        }
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of targets that received a sense."""
+        if self.n_targets == 0:
+            return 0.0
+        return len(self.assignments) / self.n_targets

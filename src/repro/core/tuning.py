@@ -1,0 +1,149 @@
+"""Parameter fine-tuning for XSDF (paper future work).
+
+Section 3.3: "the fine-tuning of parameters is an optimization problem
+such that parameters should be chosen to maximize disambiguation quality
+(through some cost function such as f-measure)" — the paper defers the
+optimizer to future work and tunes by hand.  This module implements the
+deferred piece as a deterministic grid search: enumerate candidate
+configurations, evaluate each on a development document set, return them
+ranked by the cost function.
+
+Example::
+
+    from repro.core.tuning import ParameterGrid, tune
+
+    grid = ParameterGrid(
+        sphere_radius=(1, 2, 3),
+        approach=("concept", "combined"),
+    )
+    result = tune(network, dev_documents, grid)
+    best_config = result.best.config
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from ..semnet.network import SemanticNetwork
+
+if TYPE_CHECKING:  # avoid a core <-> datasets import cycle at runtime
+    from ..datasets.corpus import GeneratedDocument
+from ..similarity.combined import SimilarityWeights
+from .config import DisambiguationApproach, XSDFConfig
+from .framework import XSDF
+
+_APPROACHES = {
+    "concept": DisambiguationApproach.CONCEPT_BASED,
+    "context": DisambiguationApproach.CONTEXT_BASED,
+    "combined": DisambiguationApproach.COMBINED,
+}
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """Axes of the configuration search space.
+
+    Every combination of the given values is evaluated; axes left at
+    their defaults contribute a single value, so the grid size is the
+    product of the customized axes only.
+    """
+
+    sphere_radius: Sequence[int] = (1, 2, 3)
+    approach: Sequence[str] = ("concept", "context", "combined")
+    ambiguity_threshold: Sequence[float] = (0.0,)
+    similarity_weights: Sequence[SimilarityWeights] = (SimilarityWeights(),)
+    concept_weight: Sequence[float] = (0.5,)
+    strip_target_dimension: Sequence[bool] = (False,)
+
+    def configurations(self) -> Iterator[XSDFConfig]:
+        """Yield every configuration in the grid, deterministically."""
+        axes = itertools.product(
+            self.sphere_radius,
+            self.approach,
+            self.ambiguity_threshold,
+            self.similarity_weights,
+            self.concept_weight,
+            self.strip_target_dimension,
+        )
+        for radius, approach, threshold, weights, w_concept, strip in axes:
+            yield XSDFConfig(
+                sphere_radius=radius,
+                approach=_APPROACHES[approach],
+                ambiguity_threshold=threshold,
+                similarity_weights=weights,
+                concept_weight=w_concept,
+                context_weight=1.0 - w_concept if w_concept <= 1.0 else 0.0,
+                strip_target_dimension=strip,
+            )
+
+    def __len__(self) -> int:
+        return (
+            len(self.sphere_radius)
+            * len(self.approach)
+            * len(self.ambiguity_threshold)
+            * len(self.similarity_weights)
+            * len(self.concept_weight)
+            * len(self.strip_target_dimension)
+        )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One evaluated configuration."""
+
+    config: XSDFConfig
+    f_value: float
+    precision: float
+    recall: float
+
+
+@dataclass
+class TuningResult:
+    """All trials, best first."""
+
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> TrialResult:
+        if not self.trials:
+            raise ValueError("no trials were run")
+        return self.trials[0]
+
+    def top(self, k: int) -> list[TrialResult]:
+        return self.trials[:k]
+
+
+def tune(
+    network: SemanticNetwork,
+    documents: "list[GeneratedDocument]",
+    grid: ParameterGrid | None = None,
+) -> TuningResult:
+    """Grid-search XSDF configurations against gold-annotated documents.
+
+    The cost function is the f-value over the documents' pre-selected
+    evaluation nodes (the same protocol as the paper's experiments).
+    Trees are parsed once and shared across trials.  Ties break toward
+    earlier (simpler / smaller-radius) grid entries, keeping the result
+    deterministic.
+    """
+    from ..evaluation.harness import evaluate_quality
+
+    grid = grid or ParameterGrid()
+    tree_cache: dict = {}
+    trials: list[TrialResult] = []
+    for order, config in enumerate(grid.configurations()):
+        system = XSDF(network, config)
+        quality = evaluate_quality(system, documents, network, tree_cache)
+        trials.append(
+            TrialResult(
+                config=config,
+                f_value=quality.prf.f_value,
+                precision=quality.prf.precision,
+                recall=quality.prf.recall,
+            )
+        )
+    order_index = {id(t): i for i, t in enumerate(trials)}
+    trials.sort(key=lambda t: (-t.f_value, order_index[id(t)]))
+    return TuningResult(trials=trials)

@@ -1,0 +1,31 @@
+"""Synthetic test corpora matching the paper's Table 3 collection."""
+
+from .corpus import Corpus, GeneratedDocument
+from .export import export_corpus, load_exported_document
+from .registry import DATASETS, GROUPS, DatasetSpec, dataset, generate_test_corpus
+from .stats import (
+    DocumentStats,
+    aggregate,
+    compute_stats,
+    dataset_stats,
+    document_tree,
+    group_stats,
+)
+
+__all__ = [
+    "Corpus",
+    "DATASETS",
+    "DatasetSpec",
+    "DocumentStats",
+    "GROUPS",
+    "GeneratedDocument",
+    "aggregate",
+    "compute_stats",
+    "dataset",
+    "dataset_stats",
+    "export_corpus",
+    "load_exported_document",
+    "document_tree",
+    "generate_test_corpus",
+    "group_stats",
+]

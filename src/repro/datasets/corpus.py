@@ -1,0 +1,73 @@
+"""Generated test documents and corpora.
+
+A :class:`GeneratedDocument` bundles the XML text of one synthetic test
+document with its *gold annotation*: the mapping from (pre-processed)
+node label to the concept id a human annotator would assign in that
+document's context.  Within a single document a label is used
+consistently (in the Shakespeare corpus *line* always means the spoken
+verse), which is exactly how the paper's testers annotated: one sense
+per label per document.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GeneratedDocument:
+    """One synthetic test document plus its gold senses.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset identifier (e.g. ``shakespeare``).
+    group:
+        Test group 1-4 (ambiguity × structure quadrant, paper Table 1).
+    doc_id:
+        Index of the document inside its dataset.
+    xml:
+        The document text (well-formed, DTD-validated at generation).
+    gold:
+        Label -> concept id.  Labels are the *pre-processed* node labels
+        (lowercase, compounds joined by spaces); absent labels carry no
+        gold judgment and are excluded from scoring.
+    """
+
+    dataset: str
+    group: int
+    doc_id: int
+    xml: str
+    gold: dict[str, str] = field(hash=False)
+
+    @property
+    def name(self) -> str:
+        return f"{self.dataset}-{self.doc_id:02d}"
+
+
+@dataclass
+class Corpus:
+    """A set of generated documents spanning the four test groups."""
+
+    documents: list[GeneratedDocument]
+
+    def by_group(self, group: int) -> list[GeneratedDocument]:
+        """Documents of one test group."""
+        return [doc for doc in self.documents if doc.group == group]
+
+    def by_dataset(self, dataset: str) -> list[GeneratedDocument]:
+        """Documents of one named dataset."""
+        return [doc for doc in self.documents if doc.dataset == dataset]
+
+    def datasets(self) -> list[str]:
+        """Dataset names present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for doc in self.documents:
+            seen.setdefault(doc.dataset, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self):
+        return iter(self.documents)

@@ -1,0 +1,84 @@
+"""Export the generated test collection to disk.
+
+Writes the synthetic corpora as plain ``.xml`` files (one directory per
+dataset) together with machine-readable gold annotations and the DTD
+grammars, so the collection can be inspected, diffed, versioned, or fed
+to external tools::
+
+    corpus/
+      MANIFEST.json             seed, counts, per-dataset index
+      shakespeare/
+        shakespeare.dtd
+        gold.json               label -> concept id
+        shakespeare-00.xml
+        ...
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .corpus import Corpus
+from .registry import DATASETS, generate_test_corpus
+
+
+def export_corpus(
+    directory: str | Path,
+    corpus: Corpus | None = None,
+    seed: int = 2015,
+) -> dict:
+    """Write the collection under ``directory``; returns the manifest.
+
+    ``corpus`` defaults to the standard generated collection for
+    ``seed``.  Existing files are overwritten (the export is a pure
+    function of the seed, so overwriting is reproducible by design).
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    corpus = corpus or generate_test_corpus(seed)
+    manifest: dict = {"seed": seed, "datasets": []}
+    for spec in DATASETS:
+        dataset_dir = root / spec.name
+        dataset_dir.mkdir(exist_ok=True)
+        (dataset_dir / spec.grammar).write_text(
+            spec.dtd.strip() + "\n", encoding="utf-8"
+        )
+        documents = corpus.by_dataset(spec.name)
+        gold = documents[0].gold if documents else {}
+        with open(dataset_dir / "gold.json", "w", encoding="utf-8") as handle:
+            json.dump(gold, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        names = []
+        for document in documents:
+            filename = f"{document.name}.xml"
+            (dataset_dir / filename).write_text(
+                document.xml, encoding="utf-8"
+            )
+            names.append(filename)
+        manifest["datasets"].append(
+            {
+                "name": spec.name,
+                "group": spec.group,
+                "grammar": spec.grammar,
+                "documents": names,
+            }
+        )
+    with open(root / "MANIFEST.json", "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+        handle.write("\n")
+    return manifest
+
+
+def load_exported_document(path: str | Path) -> tuple[str, dict]:
+    """Read one exported document and its dataset's gold map.
+
+    Returns ``(xml_text, gold)``; companion to :func:`export_corpus`
+    for tools that consume the on-disk layout.
+    """
+    document_path = Path(path)
+    xml_text = document_path.read_text(encoding="utf-8")
+    gold_path = document_path.parent / "gold.json"
+    with open(gold_path, encoding="utf-8") as handle:
+        gold = json.load(handle)
+    return xml_text, gold

@@ -1,0 +1,27 @@
+"""Per-dataset synthetic corpus generators (one module per grammar)."""
+
+from . import (
+    amazon,
+    bib,
+    cdcatalog,
+    club,
+    foodmenu,
+    imdb,
+    personnel,
+    plantcatalog,
+    shakespeare,
+    sigmod,
+)
+
+__all__ = [
+    "amazon",
+    "bib",
+    "cdcatalog",
+    "club",
+    "foodmenu",
+    "imdb",
+    "personnel",
+    "plantcatalog",
+    "shakespeare",
+    "sigmod",
+]

@@ -1,0 +1,81 @@
+"""Group 2 corpus: product feeds (``amazon_product.dtd``).
+
+High ambiguity but *poor* structure: flat uniform records whose field
+tags are heavily polysemous (*title*, *line*, *stock*, *order*, *head*,
+*state*) with no nesting beyond the record — the quadrant where the
+paper finds larger contexts (d=3) necessary because the immediate
+neighborhood carries little signal.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import company_name, element, price, render
+
+DTD = """
+<!ELEMENT products (product+)>
+<!ELEMENT product (title, brand, line, stock, order, price, head, state)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT brand (#PCDATA)>
+<!ELEMENT line (#PCDATA)>
+<!ELEMENT stock (#PCDATA)>
+<!ELEMENT order (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT head (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+"""
+
+GOLD = {
+    "product": "merchandise.n.01",
+    "title": "title.n.02",
+    "brand": "brand.n.01",
+    "line": "line.n.06",
+    "stock": "stock.n.01",
+    "state": "state.n.02",
+    "order": "order.n.01",
+    "price": "monetary_value.n.01",
+    "head": "head.n.16",
+}
+
+_PRODUCT_KINDS = [
+    "camera", "lamp", "kettle", "backpack", "blender", "notebook",
+    "monitor", "keyboard", "teapot", "scarf", "wallet",
+]
+
+_REVIEW_HEADS = [
+    "great value for the money", "stopped working after a week",
+    "exactly as described", "quality of the merchandise surprised me",
+    "would buy again", "shipping was slow",
+]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one product feed document."""
+
+    def product():
+        kind = rng.choice(_PRODUCT_KINDS)
+        return element(
+            "product",
+            element("title", text=f"{company_name(rng)} {kind}"),
+            element("brand", text=company_name(rng)),
+            element("line", text=f"{kind} line"),
+            element("stock", text=str(rng.randint(0, 40))),
+            element("order", text=f"PO-{rng.randint(1000, 9999)}"),
+            element("price", text=price(rng)),
+            element("head", text=rng.choice(_REVIEW_HEADS)),
+            element("state", text=rng.choice(
+                ["new", "used", "refurbished", "open box"])),
+        )
+
+    root = element(
+        "products", *[product() for _ in range(rng.randint(3, 5))]
+    )
+    return GeneratedDocument(
+        dataset="amazon_product",
+        group=2,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

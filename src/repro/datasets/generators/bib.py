@@ -1,0 +1,78 @@
+"""Group 3 corpus: bibliography records (Niagara ``bib.dtd``).
+
+Classic book bibliography: wide structure, mostly specific tags, with
+*book*/*volume*, *edition*, and *price* carrying mild polysemy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import company_name, element, person_name, price, render, year
+
+DTD = """
+<!ELEMENT bib (book+)>
+<!ELEMENT book (title, author+, publisher, year, price, edition?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (first, last)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT edition (#PCDATA)>
+"""
+
+GOLD = {
+    "bib": "bibliography.n.01",
+    "book": "book.n.01",
+    "title": "title.n.02",
+    "author": "author.n.01",
+    "publisher": "publisher.n.01",
+    "year": "year.n.01",
+    "price": "monetary_value.n.01",
+    "edition": "edition.n.01",
+}
+
+_SUBJECTS = [
+    "Modern Database Systems", "A History of Printing",
+    "The Craft of Indexing", "Distributed Algorithms in Practice",
+    "Foundations of Information Retrieval", "The Paper Trade",
+    "Queries and Answers", "Semantics for Working Programmers",
+]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one bibliography document."""
+
+    def book():
+        children = [element("title", text=rng.choice(_SUBJECTS))]
+        for _ in range(rng.randint(1, 2)):
+            given, family = person_name(rng)
+            children.append(
+                element(
+                    "author",
+                    element("first", text=given),
+                    element("last", text=family),
+                )
+            )
+        children.extend(
+            [
+                element("publisher", text=company_name(rng)),
+                element("year", text=year(rng, 1980, 2014)),
+                element("price", text=price(rng, 15, 90)),
+            ]
+        )
+        if rng.random() < 0.4:
+            children.append(element("edition", text=str(rng.randint(1, 5))))
+        return element("book", *children)
+
+    root = element("bib", *[book() for _ in range(rng.randint(3, 5))])
+    return GeneratedDocument(
+        dataset="niagara_bib",
+        group=3,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

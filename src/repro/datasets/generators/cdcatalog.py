@@ -1,0 +1,66 @@
+"""Group 4 corpus: CD catalogs (W3Schools ``cd_catalog.dtd``).
+
+Low ambiguity, poor structure: a flat catalog of uniform records.  The
+residual polysemy (*title*, *artist*, *company*, *country*) is exactly
+what keeps Group 4 interesting for the correlation study (Table 2).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import COUNTRIES, company_name, element, person_name, price, render, year
+
+DTD = """
+<!ELEMENT catalog (cd+)>
+<!ELEMENT cd (title, artist, country, company, price, year)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT artist (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT company (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+"""
+
+GOLD = {
+    "catalog": "catalog.n.01",
+    "cd": "cd.n.01",
+    "title": "title.n.02",
+    "artist": "artist.n.02",
+    "country": "country.n.02",
+    "company": "company.n.01",
+    "price": "monetary_value.n.01",
+    "year": "year.n.01",
+}
+
+_ALBUMS = [
+    "Empire Burlesque", "Hide Your Heart", "Greatest Hits of the Road",
+    "Still Got the Blues", "One Night Only", "Romanza for Strings",
+    "Midnight Ferry", "Paper Lanterns", "The Long Echo",
+]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one CD catalog document."""
+
+    def cd():
+        given, family = person_name(rng)
+        return element(
+            "cd",
+            element("title", text=rng.choice(_ALBUMS)),
+            element("artist", text=f"{given} {family}"),
+            element("country", text=rng.choice(COUNTRIES)),
+            element("company", text=company_name(rng)),
+            element("price", text=price(rng, 8, 25)),
+            element("year", text=year(rng, 1985, 2014)),
+        )
+
+    root = element("catalog", *[cd() for _ in range(rng.randint(2, 3))])
+    return GeneratedDocument(
+        dataset="cd_catalog",
+        group=4,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

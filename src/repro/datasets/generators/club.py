@@ -1,0 +1,71 @@
+"""Group 4 corpus: sports club rosters (Niagara ``club.dtd``).
+
+Member records with mildly ambiguous roles: *club* (society / golf club
+/ nightclub), *position* (job / location / posture), *coach* (trainer /
+carriage).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import CITIES, element, person_name, render
+
+DTD = """
+<!ELEMENT club (city, coach, member+)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT coach (#PCDATA)>
+<!ELEMENT member (name, age, position, team?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT position (#PCDATA)>
+<!ELEMENT team (#PCDATA)>
+"""
+
+GOLD = {
+    "club": "club.n.01",
+    "city": "city.n.01",
+    "coach": "coach.n.01",
+    "member": "member.n.01",
+    "name": "name.n.01",
+    "age": "age.n.01",
+    "position": "position.n.02",
+    "team": "team.n.01",
+    "president": "president.n.01",
+    "secretary": "secretary.n.01",
+    "treasurer": "treasurer.n.01",
+}
+
+_POSITIONS = ["captain", "president", "secretary", "treasurer", "player"]
+_TEAMS = ["first team", "second team", "veterans"]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one club roster document."""
+
+    def member():
+        given, family = person_name(rng)
+        children = [
+            element("name", text=f"{given} {family}"),
+            element("age", text=str(rng.randint(18, 59))),
+            element("position", text=rng.choice(_POSITIONS)),
+        ]
+        if rng.random() < 0.5:
+            children.append(element("team", text=rng.choice(_TEAMS)))
+        return element("member", *children)
+
+    given, family = person_name(rng)
+    root = element(
+        "club",
+        element("city", text=rng.choice(CITIES)),
+        element("coach", text=f"{given} {family}"),
+        *[member() for _ in range(rng.randint(2, 3))],
+    )
+    return GeneratedDocument(
+        dataset="niagara_club",
+        group=4,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

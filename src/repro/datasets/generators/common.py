@@ -1,0 +1,91 @@
+"""Shared helpers for the synthetic corpus generators.
+
+Provides a tiny fluent element builder over the parser's
+:class:`~repro.xmltree.parser.Element` model, DTD validation plumbing,
+and the name/title pools the generators draw values from.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ...xmltree.dtd import parse_dtd
+from ...xmltree.parser import Element, Text
+from ...xmltree.serializer import serialize_element
+
+
+def element(name: str, *children, text: str | None = None, **attributes) -> Element:
+    """Build an :class:`Element` with children / text / attributes."""
+    node = Element(name=name, attributes={k: str(v) for k, v in attributes.items()})
+    if text is not None:
+        node.children.append(Text(str(text)))
+    node.children.extend(children)
+    return node
+
+
+def render(root: Element, dtd_text: str | None = None) -> str:
+    """Serialize ``root``; validate against ``dtd_text`` when given.
+
+    Generators always pass their grammar here, so every emitted document
+    is structurally honest by construction.
+    """
+    if dtd_text is not None:
+        parse_dtd(dtd_text).validate(root)
+    return '<?xml version="1.0"?>\n' + serialize_element(root)
+
+
+#: Pools of person names for value generation.  Includes the Figure 1
+#: celebrities (Kelly, Stewart, Hitchcock, Grant, Novak) on purpose —
+#: their surname collisions are the paper's running ambiguity example.
+FIRST_NAMES = [
+    "Grace", "James", "Alfred", "Cary", "Kim", "Gene", "Emmett", "John",
+    "Mary", "Robert", "Linda", "Michael", "Barbara", "William", "Susan",
+    "David", "Karen", "Richard", "Nancy", "Thomas", "Laura", "Paul",
+    "Anna", "Mark", "Julia", "Peter", "Alice", "Henry", "Clara", "Frank",
+]
+
+LAST_NAMES = [
+    "Kelly", "Stewart", "Hitchcock", "Grant", "Novak", "Miller", "Smith",
+    "Johnson", "Brown", "Davis", "Wilson", "Moore", "Taylor", "Anderson",
+    "Thomas", "Jackson", "White", "Harris", "Martin", "Thompson",
+    "Garcia", "Martinez", "Robinson", "Clark", "Lewis", "Lee", "Walker",
+    "Hall", "Allen", "Young",
+]
+
+CITIES = [
+    "Springfield", "Madison", "Georgetown", "Franklin", "Clinton",
+    "Arlington", "Salem", "Fairview", "Bristol", "Dover", "Hudson",
+    "Kingston", "Milton", "Newport", "Oxford",
+]
+
+STATES = [
+    "California", "Texas", "Ohio", "Georgia", "Virginia", "Oregon",
+    "Vermont", "Kansas", "Nevada", "Utah", "Iowa", "Maine",
+]
+
+COUNTRIES = [
+    "USA", "UK", "France", "Germany", "Italy", "Spain", "Canada",
+    "Norway", "Sweden", "Japan",
+]
+
+COMPANY_SUFFIXES = ["Records", "Media", "Press", "Books", "Music", "House"]
+
+
+def person_name(rng: random.Random) -> tuple[str, str]:
+    """A (first, last) name pair."""
+    return rng.choice(FIRST_NAMES), rng.choice(LAST_NAMES)
+
+
+def company_name(rng: random.Random) -> str:
+    """A plausible company name."""
+    return f"{rng.choice(LAST_NAMES)} {rng.choice(COMPANY_SUFFIXES)}"
+
+
+def year(rng: random.Random, start: int = 1950, end: int = 2014) -> int:
+    """A publication/production year."""
+    return rng.randint(start, end)
+
+
+def price(rng: random.Random, low: float = 5.0, high: float = 120.0) -> str:
+    """A price string with two decimals."""
+    return f"{rng.uniform(low, high):.2f}"

@@ -1,0 +1,71 @@
+"""Group 4 corpus: breakfast menus (W3Schools ``food_menu.dtd``).
+
+The least ambiguous dataset in the paper (average tag polysemy 2.375):
+*menu*, *food*, *name*, *price*, *description*, *calories* with flat
+structure.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import element, price, render
+
+DTD = """
+<!ELEMENT menu (food+)>
+<!ELEMENT food (name, price, description, calories)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT calories (#PCDATA)>
+"""
+
+GOLD = {
+    "menu": "menu.n.01",
+    "food": "food.n.01",
+    "name": "name.n.01",
+    "price": "monetary_value.n.01",
+    "description": "description.n.01",
+    "calories": "calorie.n.01",
+    "waffles": "waffle.n.01",
+    "toast": "toast.n.01",
+    "breakfast": "breakfast.n.01",
+}
+
+_DISHES = [
+    ("Belgian Waffles", "two waffles with plenty of real maple syrup"),
+    ("Strawberry Waffles", "light waffles covered with strawberry berry "
+                           "topping and whipped cream"),
+    ("Berry Berry Waffles", "waffles covered with assorted fresh berry "
+                            "topping"),
+    ("French Toast", "thick slices of toast made from our homemade "
+                     "bread"),
+    ("Homestyle Breakfast", "two eggs with bacon or sausage, toast, and "
+                            "our ever popular coffee"),
+    ("Pancake Stack", "three pancakes with syrup and whipped cream"),
+]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one breakfast menu document."""
+
+    def food(dish):
+        name, description = dish
+        return element(
+            "food",
+            element("name", text=name),
+            element("price", text=price(rng, 4, 11)),
+            element("description", text=description),
+            element("calories", text=str(rng.randrange(400, 1000, 50))),
+        )
+
+    dishes = rng.sample(_DISHES, k=rng.randint(3, 4))
+    root = element("menu", *[food(dish) for dish in dishes])
+    return GeneratedDocument(
+        dataset="food_menu",
+        group=4,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

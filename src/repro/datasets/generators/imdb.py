@@ -1,0 +1,110 @@
+"""Group 3 corpus: movie records (``movies.dtd``, IMDB-style).
+
+The paper's running example domain (Figure 1).  Exercises compound tag
+names (``directed_by``, ``FirstName``/``LastName``) and value-level
+ambiguity: the celebrity surnames *Kelly*, *Stewart*, *Grant* each have
+several person senses in the lexicon.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import element, render, year
+
+DTD = """
+<!ELEMENT movies (movie+)>
+<!ELEMENT movie (name, directed_by, genre, actors, plot?)>
+<!ATTLIST movie year CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT directed_by (#PCDATA)>
+<!ELEMENT genre (#PCDATA)>
+<!ELEMENT actors (actor+)>
+<!ELEMENT actor (FirstName, LastName)>
+<!ELEMENT FirstName (#PCDATA)>
+<!ELEMENT LastName (#PCDATA)>
+<!ELEMENT plot (#PCDATA)>
+"""
+
+GOLD = {
+    "movie": "movie.n.01",
+    "name": "name.n.01",
+    # ``directed_by`` tokenizes to [directed, by]; "by" is a stop word and
+    # "directed" stems to "direct" (unknown) -> the label stays compound.
+    "genre": "genre.n.01",
+    "actor": "actor.n.01",
+    # Compound concept matches: FirstName -> "first name" (one concept).
+    "first name": "first_name.n.01",
+    "last name": "last_name.n.01",
+    "plot": "plot.n.02",
+    "year": "year.n.01",
+    # Celebrity values (one intended person per surname in this corpus).
+    "kelly": "kelly.n.01",
+    "stewart": "stewart.n.01",
+    "grant": "grant.n.02",
+    "novak": "novak.n.01",
+    "hitchcock": "hitchcock.n.01",
+    "mystery": "mystery.n.01",
+    "thriller": "thriller.n.01",
+    "comedy": "comedy.n.01",
+    "drama": "drama.n.01",
+    "romance": "romance.n.01",
+    "western": "western.n.01",
+}
+
+_MOVIE_TITLES = [
+    "Rear Window", "The Silent Harbor", "Night Train to Lisbon",
+    "A Corner of the Sky", "The Last Reel", "Shadows on Main Street",
+    "The Glass Lighthouse", "Dial Again Tomorrow", "The Forgotten Coast",
+    "Letters from the Balcony",
+]
+
+_GENRES = ["mystery", "thriller", "comedy", "drama", "romance", "western"]
+
+#: (first, last) pairs kept consistent with the gold surname senses.
+_ACTORS = [
+    ("Grace", "Kelly"), ("James", "Stewart"), ("Cary", "Grant"),
+    ("Kim", "Novak"), ("Mary", "Miller"), ("John", "Walker"),
+]
+
+_PLOTS = [
+    "A wheelchair bound photographer spies on his neighbors",
+    "A detective follows a stranger through the harbor fog",
+    "A retired singer returns for one final concert",
+    "Two reporters uncover a plot inside the city council",
+    "A family inherits a lighthouse with a hidden room",
+]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one movie collection document."""
+
+    def actor(pair):
+        first, last = pair
+        return element(
+            "actor",
+            element("FirstName", text=first),
+            element("LastName", text=last),
+        )
+
+    def movie():
+        cast = rng.sample(_ACTORS, k=rng.randint(2, 3))
+        children = [
+            element("name", text=rng.choice(_MOVIE_TITLES)),
+            element("directed_by", text="Alfred Hitchcock"),
+            element("genre", text=rng.choice(_GENRES)),
+            element("actors", *[actor(pair) for pair in cast]),
+        ]
+        if rng.random() < 0.7:
+            children.append(element("plot", text=rng.choice(_PLOTS)))
+        return element("movie", *children, year=year(rng, 1950, 1965))
+
+    root = element("movies", *[movie() for _ in range(rng.randint(2, 3))])
+    return GeneratedDocument(
+        dataset="imdb_movies",
+        group=3,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

@@ -1,0 +1,87 @@
+"""Group 4 corpus: personnel records (Niagara ``personnel.dtd``).
+
+Contact-book structure with the paper's flagship Table 2 example: the
+*state* tag under *address*, obvious to humans but 7-way ambiguous in
+the lexicon.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import CITIES, STATES, element, person_name, render
+
+DTD = """
+<!ELEMENT personnel (person+)>
+<!ELEMENT person (name, email, url?, address)>
+<!ELEMENT name (given, family)>
+<!ELEMENT given (#PCDATA)>
+<!ELEMENT family (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT url (#PCDATA)>
+<!ELEMENT address (street, city, state, zip)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT zip (#PCDATA)>
+"""
+
+GOLD = {
+    "personnel": "personnel.n.01",
+    "person": "person.n.01",
+    "name": "name.n.01",
+    "email": "email.n.01",
+    "url": "url.n.01",
+    "address": "address.n.02",
+    "street": "street.n.01",
+    "city": "city.n.01",
+    "state": "state.n.01",
+    "zip": "zip_code.n.01",
+    # The bare word "family" has no surname sense in the lexicon (as in
+    # WordNet, where only "family name" carries it); annotators map the
+    # elliptical tag to the nearest available sense, the social unit.
+    "family": "family.n.01",
+}
+
+_STREETS = ["Oak", "Maple", "Cedar", "Elm", "Pine", "Walnut", "Chestnut"]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one personnel document."""
+
+    def person():
+        given, family = person_name(rng)
+        handle = f"{given.lower()}.{family.lower()}"
+        children = [
+            element(
+                "name",
+                element("given", text=given),
+                element("family", text=family),
+            ),
+            element("email", text=f"{handle}@example.org"),
+        ]
+        if rng.random() < 0.5:
+            children.append(element("url", text=f"https://example.org/{handle}"))
+        children.append(
+            element(
+                "address",
+                element(
+                    "street",
+                    text=f"{rng.randint(10, 999)} {rng.choice(_STREETS)} Street",
+                ),
+                element("city", text=rng.choice(CITIES)),
+                element("state", text=rng.choice(STATES)),
+                element("zip", text=f"{rng.randint(10000, 99999)}"),
+            )
+        )
+        return element("person", *children)
+
+    root = element("personnel", *[person() for _ in range(rng.randint(2, 3))])
+    return GeneratedDocument(
+        dataset="niagara_personnel",
+        group=4,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

@@ -1,0 +1,75 @@
+"""Group 4 corpus: plant catalogs (W3Schools ``plant_catalog.dtd``).
+
+Flat records with the famous *plant* homonymy (flora vs. factory) and
+the *light* / *zone* / *common* collisions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import element, price, render
+
+DTD = """
+<!ELEMENT catalog (plant+)>
+<!ELEMENT plant (common, botanical, zone, light, price, availability)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT botanical (#PCDATA)>
+<!ELEMENT zone (#PCDATA)>
+<!ELEMENT light (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT availability (#PCDATA)>
+"""
+
+GOLD = {
+    "catalog": "catalog.n.01",
+    "plant": "plant.n.02",
+    "common": "common_name.n.01",
+    "botanical": "botanical_name.n.01",
+    "zone": "zone.n.01",
+    "light": "light.n.01",
+    "price": "monetary_value.n.01",
+    "availability": "availability.n.01",
+    "shade": "shade.n.01",
+    "sun": "sun.n.01",
+}
+
+_PLANTS = [
+    ("Bloodroot", "Sanguinaria canadensis"),
+    ("Columbine", "Aquilegia canadensis"),
+    ("Marsh Marigold", "Caltha palustris"),
+    ("Primrose", "Primula vulgaris"),
+    ("Bluebell", "Hyacinthoides hispanica"),
+    ("Anemone", "Anemone blanda"),
+    ("Hosta", "Hosta plantaginea"),
+    ("Fern", "Matteuccia struthiopteris"),
+]
+
+_LIGHT = ["full sun", "mostly shade", "sun or shade", "mostly sun"]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one plant catalog document."""
+
+    def plant(entry):
+        common, botanical = entry
+        return element(
+            "plant",
+            element("common", text=common),
+            element("botanical", text=botanical),
+            element("zone", text=str(rng.randint(2, 9))),
+            element("light", text=rng.choice(_LIGHT)),
+            element("price", text=price(rng, 2, 12)),
+            element("availability", text=f"{rng.randint(1, 12):02d}{rng.randint(1, 28):02d}2014"),
+        )
+
+    entries = rng.sample(_PLANTS, k=rng.randint(2, 3))
+    root = element("catalog", *[plant(entry) for entry in entries])
+    return GeneratedDocument(
+        dataset="plant_catalog",
+        group=4,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

@@ -1,0 +1,134 @@
+"""Group 1 corpus: Shakespeare play editions (``shakespeare.dtd``).
+
+High ambiguity *and* rich structure: the tag vocabulary (*play*, *act*,
+*scene*, *speech*, *line*, *speaker*, *title*) is heavily polysemous in
+the lexicon while the documents are deep, wide, and label-diverse — the
+quadrant where the paper's approach shines (Figure 8-9, Group 1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import element, render
+
+DTD = """
+<!ELEMENT play (title, fm, personae, act+)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT fm (p+)>
+<!ELEMENT p (#PCDATA)>
+<!ELEMENT personae (persona+)>
+<!ELEMENT persona (#PCDATA)>
+<!ELEMENT act (title, prologue?, scene+, epilogue?)>
+<!ELEMENT prologue (line+)>
+<!ELEMENT epilogue (line+)>
+<!ELEMENT scene (title, stagedir?, speech+)>
+<!ELEMENT stagedir (#PCDATA)>
+<!ELEMENT speech (speaker, line+)>
+<!ELEMENT speaker (#PCDATA)>
+<!ELEMENT line (#PCDATA)>
+"""
+
+#: Gold senses for the pre-processed tag labels of this grammar.
+GOLD = {
+    "play": "play.n.01",
+    "title": "title.n.02",
+    "fm": "front_matter.n.01",
+    "persona": "persona.n.01",
+    "act": "act.n.01",
+    "prologue": "prologue.n.01",
+    "epilogue": "epilogue.n.01",
+    "scene": "scene.n.01",
+    "stagedir": "stage_direction.n.01",
+    "speech": "speech.n.02",
+    "speaker": "speaker.n.01",
+    "line": "line.n.01",
+    # Frequent value tokens with a clear in-context sense.
+    "stage": "stage.n.03",
+    "tragedy": "tragedy.n.01",
+    "drama": "drama.n.01",
+}
+
+_TITLES = [
+    "The Tragedy of the Winter Court", "A Midsummer Reckoning",
+    "The Merchant of the Northern Isles", "The Life of King Edgar",
+    "Much Sorrow About the Crown", "The Comedy of the Twin Heralds",
+    "The Lamentable Reign of Queen Maud", "Twelfth Knight",
+    "The Taming of the Tempest", "Loves Labour Rewarded",
+]
+
+# Pure proper names: speaker tags carry no common-noun tokens, so a
+# speaker's d=1 context is its parent speech (which pins the gold sense)
+# while larger radii pull in the polysemous verse vocabulary — the noise
+# the paper blames for degrading large contexts on Group 1.
+_PERSONAE = [
+    "ORSINO", "MIRANDA", "EDGAR", "MAUD", "BELCH", "MALVOLIO",
+    "VIOLA", "SEBASTIAN", "FESTE", "OLIVIA", "CESARIO", "ANTONIO",
+]
+
+_LINE_WORDS = [
+    "crown", "king", "night", "love", "ghost", "storm",
+    "throne", "grave", "honor", "blood", "heart",
+    "fortune", "kingdom", "daughter", "banner", "feast", "council",
+]
+
+
+def _line(rng: random.Random) -> str:
+    words = rng.sample(_LINE_WORDS, k=rng.randint(4, 7))
+    return "O " + " ".join(words)
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one play edition."""
+    personae = rng.sample(_PERSONAE, k=rng.randint(6, 9))
+
+    def speech():
+        return element(
+            "speech",
+            element("speaker", text=rng.choice(personae)),
+            *[element("line", text=_line(rng)) for _ in range(rng.randint(2, 4))],
+        )
+
+    def scene(act_no: int, scene_no: int):
+        children = [element("title", text=f"Scene {scene_no} of act {act_no}")]
+        if rng.random() < 0.4:
+            children.append(
+                element("stagedir", text="Enter the player upon the stage")
+            )
+        children.extend(speech() for _ in range(rng.randint(2, 4)))
+        return element("scene", *children)
+
+    def act(act_no: int):
+        children = [element("title", text=f"Act {act_no}")]
+        if act_no == 1 and rng.random() < 0.5:
+            children.append(
+                element("prologue", element("line", text=_line(rng)))
+            )
+        children.extend(
+            scene(act_no, s + 1) for s in range(rng.randint(2, 3))
+        )
+        if rng.random() < 0.25:
+            children.append(
+                element("epilogue", element("line", text=_line(rng)))
+            )
+        return element("act", *children)
+
+    root = element(
+        "play",
+        element("title", text=rng.choice(_TITLES)),
+        element(
+            "fm",
+            element("p", text="Text placed in the public domain"),
+            element("p", text="A drama edition for the tragedy stage"),
+        ),
+        element("personae", *[element("persona", text=p) for p in personae]),
+        *[act(a + 1) for a in range(rng.randint(3, 4))],
+    )
+    return GeneratedDocument(
+        dataset="shakespeare",
+        group=1,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

@@ -1,0 +1,106 @@
+"""Group 3 corpus: conference proceedings pages (``ProceedingsPage.dtd``).
+
+Low ambiguity, rich structure: bibliographic tags are mostly specific
+(*proceedings*, *conference*, *editor*, *publisher*, *abstract*) while
+documents are wide (many articles) with diverse children labels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..corpus import GeneratedDocument
+from .common import element, person_name, render, year
+
+DTD = """
+<!ELEMENT proceedings (conference, volume, number, editor, publisher, article+)>
+<!ELEMENT conference (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT number (#PCDATA)>
+<!ELEMENT editor (#PCDATA)>
+<!ELEMENT publisher (#PCDATA)>
+<!ELEMENT article (title, authors, page, abstract?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (first, last)>
+<!ELEMENT first (#PCDATA)>
+<!ELEMENT last (#PCDATA)>
+<!ELEMENT page (#PCDATA)>
+<!ELEMENT abstract (#PCDATA)>
+"""
+
+GOLD = {
+    "proceedings": "proceedings.n.01",
+    "conference": "conference.n.01",
+    "volume": "volume.n.01",
+    "number": "issue.n.01",
+    "editor": "editor.n.01",
+    "publisher": "publisher.n.01",
+    "article": "article.n.01",
+    "title": "title.n.02",
+    "author": "author.n.01",
+    "page": "page.n.01",
+    "abstract": "abstract.n.01",
+    "paper": "paper.n.02",
+    "journal": "journal.n.01",
+}
+
+_TOPICS = [
+    "query optimization", "schema matching", "stream processing",
+    "index structures", "transaction recovery", "graph databases",
+    "data integration", "semantic caching", "view maintenance",
+    "workload forecasting",
+]
+
+
+def generate(doc_id: int, rng: random.Random) -> GeneratedDocument:
+    """Generate one proceedings page."""
+    start_page = 1
+
+    def article():
+        nonlocal start_page
+        length = rng.randint(8, 18)
+        first, last = start_page, start_page + length
+        start_page = last + 1
+        topic = rng.choice(_TOPICS)
+        author_nodes = []
+        for _ in range(rng.randint(1, 3)):
+            given, family = person_name(rng)
+            author_nodes.append(
+                element(
+                    "author",
+                    element("first", text=given),
+                    element("last", text=family),
+                )
+            )
+        children = [
+            element("title", text=f"A paper on {topic}"),
+            element("authors", *author_nodes),
+            element("page", text=f"{first}-{last}"),
+        ]
+        if rng.random() < 0.5:
+            children.append(
+                element(
+                    "abstract",
+                    text=f"This article studies {topic} for the journal reader",
+                )
+            )
+        return element("article", *children)
+
+    given, family = person_name(rng)
+    root = element(
+        "proceedings",
+        element("conference", text=f"Record Conference {year(rng, 1995, 2014)}"),
+        element("volume", text=str(rng.randint(20, 44))),
+        element("number", text=str(rng.randint(1, 4))),
+        element("editor", text=f"{given} {family}"),
+        element("publisher", text="Database Press"),
+        *[article() for _ in range(rng.randint(4, 6))],
+    )
+    return GeneratedDocument(
+        dataset="sigmod_record",
+        group=3,
+        doc_id=doc_id,
+        xml=render(root, DTD),
+        gold=dict(GOLD),
+    )

@@ -1,0 +1,56 @@
+"""Evaluation: metrics, simulated annotators, experiment harness."""
+
+from .annotator import MAX_RATING, SimulatedAnnotator, panel_ratings
+from .experiments import (
+    figure8,
+    figure9,
+    full_report,
+    render_markdown,
+    table1,
+    table2,
+    table3,
+)
+from .harness import (
+    NODES_PER_DOC,
+    TABLE2_TESTS,
+    QualityResult,
+    ambiguity_correlation,
+    evaluate_quality,
+    make_system_factory,
+    select_eval_nodes,
+)
+from .metrics import PRF, average_prf, pearson_correlation, precision_recall
+from .significance import (
+    SignificanceResult,
+    compare_systems,
+    paired_bootstrap,
+    paired_outcomes,
+)
+
+__all__ = [
+    "MAX_RATING",
+    "NODES_PER_DOC",
+    "PRF",
+    "QualityResult",
+    "SimulatedAnnotator",
+    "TABLE2_TESTS",
+    "ambiguity_correlation",
+    "average_prf",
+    "evaluate_quality",
+    "figure8",
+    "figure9",
+    "full_report",
+    "render_markdown",
+    "table1",
+    "table2",
+    "table3",
+    "make_system_factory",
+    "panel_ratings",
+    "pearson_correlation",
+    "precision_recall",
+    "SignificanceResult",
+    "compare_systems",
+    "paired_bootstrap",
+    "paired_outcomes",
+    "select_eval_nodes",
+]

@@ -1,0 +1,160 @@
+"""Programmatic regeneration of every paper table and figure.
+
+The benchmark suite (``pytest benchmarks/``) runs these experiments with
+timing and shape assertions; this module exposes the same computations
+as plain functions returning structured rows, so library users (and the
+``python -m repro report`` command) can regenerate the full reproduction
+report without pytest.
+
+Each function takes the shared ``(corpus, network, tree_cache)`` trio;
+:func:`full_report` runs everything and renders one markdown document.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.config import XSDFConfig
+from ..core.framework import XSDF
+from ..datasets.corpus import Corpus
+from ..datasets.registry import DATASETS, generate_test_corpus
+from ..datasets.stats import dataset_stats, group_stats, group_struct_degrees
+from ..semnet.network import SemanticNetwork
+from .harness import TABLE2_TESTS, ambiguity_correlation, evaluate_quality, make_system_factory
+
+_QUADRANT = {
+    1: "ambiguity+ / structure+",
+    2: "ambiguity+ / structure-",
+    3: "ambiguity- / structure+",
+    4: "ambiguity- / structure-",
+}
+
+Rows = list[list[str]]
+Table = tuple[str, list[str], Rows]
+
+
+def table1(corpus: Corpus, network: SemanticNetwork) -> Table:
+    """Group characterization (paper Table 1)."""
+    amb = {g: s.amb_degree for g, s in group_stats(corpus, network).items()}
+    struct = group_struct_degrees(corpus, network)
+    rows = [
+        [f"Group {g}", _QUADRANT[g], f"{amb[g]:.4f}", f"{struct[g]:.4f}"]
+        for g in sorted(amb)
+    ]
+    return ("Table 1: group characterization",
+            ["group", "quadrant", "Amb_Deg", "Struct_Deg"], rows)
+
+
+def table2(corpus: Corpus, network: SemanticNetwork,
+           tree_cache: dict | None = None) -> Table:
+    """Human-vs-system ambiguity correlation (paper Table 2)."""
+    tree_cache = tree_cache if tree_cache is not None else {}
+    rows = []
+    for spec in DATASETS:
+        document = corpus.by_dataset(spec.name)[0]
+        cells = [
+            ambiguity_correlation(document, network, weights,
+                                  tree_cache=tree_cache)
+            for weights in TABLE2_TESTS.values()
+        ]
+        rows.append([f"{spec.name} (G{spec.group})"]
+                    + [f"{value:+.3f}" for value in cells])
+    headers = ["dataset"] + [t.split(" (")[0] for t in TABLE2_TESTS]
+    return ("Table 2: ambiguity correlation", headers, rows)
+
+
+def table3(corpus: Corpus, network: SemanticNetwork) -> Table:
+    """Dataset characteristics (paper Table 3)."""
+    stats = dataset_stats(corpus, network)
+    rows = []
+    for spec in DATASETS:
+        s = stats[spec.name]
+        rows.append([
+            f"G{spec.group}", spec.name, str(spec.n_docs), str(s.n_nodes),
+            f"{s.avg_polysemy:.2f}/{s.max_polysemy}",
+            f"{s.avg_depth:.2f}/{s.max_depth}",
+            f"{s.avg_fan_out:.2f}/{s.max_fan_out}",
+            f"{s.avg_density:.2f}/{s.max_density}",
+        ])
+    return ("Table 3: dataset characteristics",
+            ["grp", "dataset", "docs", "nodes", "polysemy", "depth",
+             "fan-out", "density"], rows)
+
+
+def figure8(corpus: Corpus, network: SemanticNetwork,
+            tree_cache: dict | None = None,
+            radii: Iterable[int] = (1, 2, 3)) -> Table:
+    """Configuration sweep (paper Figure 8)."""
+    tree_cache = tree_cache if tree_cache is not None else {}
+    rows = []
+    for process in ("concept", "context", "combined"):
+        for radius in radii:
+            system = make_system_factory(
+                f"xsdf-{process}-d{radius}", network
+            )()
+            cells = [
+                evaluate_quality(system, corpus.by_group(g), network,
+                                 tree_cache).prf.f_value
+                for g in (1, 2, 3, 4)
+            ]
+            rows.append([process, f"d={radius}"]
+                        + [f"{value:.3f}" for value in cells])
+    return ("Figure 8: f-value by configuration",
+            ["process", "radius", "G1", "G2", "G3", "G4"], rows)
+
+
+def figure9(corpus: Corpus, network: SemanticNetwork,
+            tree_cache: dict | None = None) -> Table:
+    """Comparative study (paper Figure 9)."""
+    tree_cache = tree_cache if tree_cache is not None else {}
+    optimal = {1: "xsdf-concept-d1", 2: "xsdf-concept-d2",
+               3: "xsdf-concept-d2", 4: "xsdf-concept-d3"}
+    rows = []
+    for group in (1, 2, 3, 4):
+        docs = corpus.by_group(group)
+        for name, factory in (("XSDF", optimal[group]), ("RPD", "rpd"),
+                              ("VSD", "vsd")):
+            prf = evaluate_quality(
+                make_system_factory(factory, network)(), docs, network,
+                tree_cache,
+            ).prf
+            rows.append([f"Group {group}", name, f"{prf.precision:.3f}",
+                         f"{prf.recall:.3f}", f"{prf.f_value:.3f}"])
+    return ("Figure 9: XSDF vs RPD vs VSD",
+            ["group", "system", "P", "R", "F"], rows)
+
+
+def render_markdown(table: Table) -> str:
+    """One table as GitHub-flavored markdown."""
+    title, headers, rows = table
+    lines = [f"### {title}", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def full_report(
+    corpus: Corpus | None = None,
+    network: SemanticNetwork | None = None,
+) -> str:
+    """Regenerate every table/figure; returns one markdown document."""
+    from ..semnet import default_lexicon
+
+    network = network or default_lexicon()
+    corpus = corpus or generate_test_corpus()
+    tree_cache: dict = {}
+    # Warm the cache via a cheap pass so later experiments share trees.
+    XSDF(network, XSDFConfig(sphere_radius=1))
+    parts = ["# XSDF reproduction report", ""]
+    for table in (
+        table1(corpus, network),
+        table2(corpus, network, tree_cache),
+        table3(corpus, network),
+        figure8(corpus, network, tree_cache),
+        figure9(corpus, network, tree_cache),
+    ):
+        parts.append(render_markdown(table))
+    return "\n".join(parts)

@@ -1,0 +1,196 @@
+"""The experiment harness (paper Section 4).
+
+Glues corpora, gold annotations, systems (XSDF + baselines), and metrics
+into the runs behind every table and figure:
+
+* :func:`select_eval_nodes` — the "12-to-13 randomly pre-selected nodes
+  per document" protocol;
+* :func:`evaluate_quality` — precision/recall/f-value of one system over
+  one document set (Figures 8 and 9);
+* :func:`ambiguity_correlation` — Pearson correlation of panel ratings
+  vs. ``Amb_Deg`` under a weight configuration (Table 2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..core.ambiguity import ambiguity_degree
+from ..core.config import AmbiguityWeights
+from ..core.results import DisambiguationResult
+from ..datasets.corpus import GeneratedDocument
+from ..datasets.stats import document_tree
+from ..semnet.network import SemanticNetwork
+from ..xmltree.dom import XMLNode, XMLTree
+from .annotator import panel_ratings
+from .metrics import PRF, pearson_correlation, precision_recall
+
+#: Nodes rated/annotated per document in the paper's protocol.
+NODES_PER_DOC = (12, 13)
+
+
+class Disambiguator(Protocol):
+    """Anything that can disambiguate a target list (XSDF or baseline)."""
+
+    def disambiguate_tree(
+        self, tree: XMLTree, targets: list[XMLNode] | None = None
+    ) -> DisambiguationResult: ...
+
+
+def _doc_rng(document: GeneratedDocument, salt: str) -> random.Random:
+    key = f"{salt}:{document.dataset}:{document.doc_id}".encode()
+    digest = hashlib.sha256(key).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def select_eval_nodes(
+    tree: XMLTree, document: GeneratedDocument, salt: str = "eval"
+) -> list[XMLNode]:
+    """Randomly pre-select 12-13 gold-annotated nodes of one document.
+
+    Selection is deterministic per document (seeded from its identity)
+    and only considers nodes whose label carries a gold sense and has at
+    least one sense in the network — the same constraint the paper's
+    manual annotation imposes.
+    """
+    eligible = [node for node in tree if node.label in document.gold]
+    rng = _doc_rng(document, salt)
+    k = min(len(eligible), rng.choice(NODES_PER_DOC))
+    return sorted(rng.sample(eligible, k), key=lambda n: n.index)
+
+
+@dataclass(frozen=True)
+class QualityResult:
+    """Outcome of one system over one document set."""
+
+    prf: PRF
+    n_gold: int
+    n_predicted: int
+    n_correct: int
+
+
+def evaluate_quality(
+    system: Disambiguator,
+    documents: list[GeneratedDocument],
+    network: SemanticNetwork,
+    tree_cache: dict[str, XMLTree] | None = None,
+) -> QualityResult:
+    """Precision/recall/f-value of ``system`` over ``documents``.
+
+    A prediction is correct when the assigned primary concept equals the
+    document's gold concept for that label.  ``tree_cache`` (keyed by
+    document name) avoids re-parsing when several systems share a run.
+    """
+    n_gold = n_predicted = n_correct = 0
+    for document in documents:
+        tree = _get_tree(document, network, tree_cache)
+        targets = select_eval_nodes(tree, document)
+        n_gold += len(targets)
+        result = system.disambiguate_tree(tree, targets=targets)
+        for assignment in result.assignments:
+            n_predicted += 1
+            expected = document.gold[assignment.label]
+            if assignment.concept_id == expected:
+                n_correct += 1
+    return QualityResult(
+        prf=precision_recall(n_correct, n_predicted, n_gold),
+        n_gold=n_gold,
+        n_predicted=n_predicted,
+        n_correct=n_correct,
+    )
+
+
+def _get_tree(
+    document: GeneratedDocument,
+    network: SemanticNetwork,
+    cache: dict[str, XMLTree] | None,
+) -> XMLTree:
+    if cache is None:
+        return document_tree(document, network)
+    tree = cache.get(document.name)
+    if tree is None:
+        tree = document_tree(document, network)
+        cache[document.name] = tree
+    return tree
+
+
+def ambiguity_correlation(
+    document: GeneratedDocument,
+    network: SemanticNetwork,
+    weights: AmbiguityWeights,
+    n_annotators: int = 5,
+    tree_cache: dict[str, XMLTree] | None = None,
+) -> float:
+    """Pearson correlation of panel ratings vs ``Amb_Deg`` (Table 2).
+
+    Rates the document's pre-selected nodes with the simulated annotator
+    panel and correlates with the system's ambiguity degrees under the
+    given weight configuration.
+    """
+    tree = _get_tree(document, network, tree_cache)
+    nodes = select_eval_nodes(tree, document, salt="rating")
+    if len(nodes) < 2:
+        return 0.0
+    human = panel_ratings(network, tree, nodes, document.gold, n_annotators)
+    system = [
+        ambiguity_degree(node, tree, network, weights) for node in nodes
+    ]
+    return pearson_correlation(human, system)
+
+
+#: The four weight configurations of the paper's Table 2.
+TABLE2_TESTS: dict[str, AmbiguityWeights] = {
+    "Test #1 (all factors)": AmbiguityWeights(1.0, 1.0, 1.0),
+    "Test #2 (polysemy)": AmbiguityWeights(1.0, 0.0, 0.0),
+    "Test #3 (depth)": AmbiguityWeights(0.2, 1.0, 0.0),
+    "Test #4 (density)": AmbiguityWeights(0.2, 0.0, 1.0),
+}
+
+
+def make_system_factory(
+    name: str, network: SemanticNetwork
+) -> Callable[[], Disambiguator]:
+    """Named system constructors for comparison benchmarks.
+
+    Recognized names: ``xsdf-concept``, ``xsdf-context``,
+    ``xsdf-combined`` (optionally suffixed ``-d<radius>``), ``rpd``,
+    ``vsd``, ``parent``, ``subtree``, ``first-sense``, ``random``,
+    ``bow``.
+    """
+    from ..baselines import (
+        BagOfWordsDisambiguator,
+        FirstSenseBaseline,
+        ParentContextDisambiguator,
+        RandomSenseBaseline,
+        RootPathDisambiguator,
+        SubtreeContextDisambiguator,
+        VersatileStructuralDisambiguator,
+    )
+    from ..core.config import DisambiguationApproach, XSDFConfig
+    from ..core.framework import XSDF
+
+    if name.startswith("xsdf"):
+        parts = name.split("-")
+        approach = {
+            "concept": DisambiguationApproach.CONCEPT_BASED,
+            "context": DisambiguationApproach.CONTEXT_BASED,
+            "combined": DisambiguationApproach.COMBINED,
+        }[parts[1]]
+        radius = int(parts[2][1:]) if len(parts) > 2 else 2
+        config = XSDFConfig(sphere_radius=radius, approach=approach)
+        return lambda: XSDF(network, config)
+    factories: dict[str, Callable[[], Disambiguator]] = {
+        "rpd": lambda: RootPathDisambiguator(network),
+        "vsd": lambda: VersatileStructuralDisambiguator(network),
+        "parent": lambda: ParentContextDisambiguator(network),
+        "subtree": lambda: SubtreeContextDisambiguator(network),
+        "first-sense": lambda: FirstSenseBaseline(network),
+        "random": lambda: RandomSenseBaseline(network),
+        "bow": lambda: BagOfWordsDisambiguator(network),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown system {name!r}")
+    return factories[name]

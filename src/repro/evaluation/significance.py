@@ -1,0 +1,117 @@
+"""Paired bootstrap significance testing for system comparisons.
+
+Figure 9's bar heights mean little without knowing whether the gap
+between two systems exceeds sampling noise.  This module implements the
+standard paired bootstrap test over per-node correctness outcomes: both
+systems are run on the *same* evaluation nodes, the per-node (ours,
+theirs) correctness pairs are resampled with replacement, and the
+reported p-value is the fraction of resamples in which the baseline is
+at least as accurate as the challenger.
+
+Deterministic: the resampling RNG is seeded explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datasets.corpus import GeneratedDocument
+from ..datasets.stats import document_tree
+from ..semnet.network import SemanticNetwork
+from .harness import Disambiguator, select_eval_nodes
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of one paired bootstrap comparison."""
+
+    accuracy_a: float
+    accuracy_b: float
+    delta: float          # accuracy_a - accuracy_b
+    p_value: float        # P(resampled delta <= 0)
+    n_pairs: int
+    n_resamples: int
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when system A beats B at the given level."""
+        return self.delta > 0 and self.p_value < alpha
+
+
+def paired_outcomes(
+    system_a: Disambiguator,
+    system_b: Disambiguator,
+    documents: list[GeneratedDocument],
+    network: SemanticNetwork,
+    tree_cache: dict | None = None,
+) -> list[tuple[bool, bool]]:
+    """(a_correct, b_correct) per shared evaluation node."""
+    tree_cache = tree_cache if tree_cache is not None else {}
+    pairs: list[tuple[bool, bool]] = []
+    for document in documents:
+        tree = tree_cache.get(document.name)
+        if tree is None:
+            tree = document_tree(document, network)
+            tree_cache[document.name] = tree
+        targets = select_eval_nodes(tree, document)
+        result_a = system_a.disambiguate_tree(tree, targets=targets)
+        result_b = system_b.disambiguate_tree(tree, targets=targets)
+        by_index_b = {x.node_index: x for x in result_b.assignments}
+        for assignment_a in result_a.assignments:
+            assignment_b = by_index_b.get(assignment_a.node_index)
+            if assignment_b is None:
+                continue
+            expected = document.gold[assignment_a.label]
+            pairs.append(
+                (
+                    assignment_a.concept_id == expected,
+                    assignment_b.concept_id == expected,
+                )
+            )
+    return pairs
+
+
+def paired_bootstrap(
+    pairs: list[tuple[bool, bool]],
+    n_resamples: int = 2000,
+    seed: int = 17,
+) -> SignificanceResult:
+    """Bootstrap the accuracy difference over paired outcomes."""
+    if not pairs:
+        raise ValueError("no paired outcomes to test")
+    n = len(pairs)
+    accuracy_a = sum(a for a, _ in pairs) / n
+    accuracy_b = sum(b for _, b in pairs) / n
+    rng = random.Random(seed)
+    at_or_below_zero = 0
+    for _ in range(n_resamples):
+        delta = 0
+        for _ in range(n):
+            a, b = pairs[rng.randrange(n)]
+            delta += int(a) - int(b)
+        if delta <= 0:
+            at_or_below_zero += 1
+    return SignificanceResult(
+        accuracy_a=accuracy_a,
+        accuracy_b=accuracy_b,
+        delta=accuracy_a - accuracy_b,
+        p_value=at_or_below_zero / n_resamples,
+        n_pairs=n,
+        n_resamples=n_resamples,
+    )
+
+
+def compare_systems(
+    system_a: Disambiguator,
+    system_b: Disambiguator,
+    documents: list[GeneratedDocument],
+    network: SemanticNetwork,
+    n_resamples: int = 2000,
+    seed: int = 17,
+    tree_cache: dict | None = None,
+) -> SignificanceResult:
+    """End-to-end: run both systems and bootstrap the difference."""
+    pairs = paired_outcomes(
+        system_a, system_b, documents, network, tree_cache
+    )
+    return paired_bootstrap(pairs, n_resamples=n_resamples, seed=seed)

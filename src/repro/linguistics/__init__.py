@@ -1,0 +1,23 @@
+"""Linguistic pre-processing: tokenization, stop words, Porter stemming.
+
+Implements paper Section 3.2, including compound tag-name handling.
+"""
+
+from .pipeline import LexiconLookup, LinguisticPipeline, default_pipeline
+from .stemmer import PorterStemmer, stem
+from .stopwords import STOP_WORDS, is_stop_word, remove_stop_words
+from .tokenizer import split_camel_case, split_tag_name, split_text_value
+
+__all__ = [
+    "LexiconLookup",
+    "LinguisticPipeline",
+    "PorterStemmer",
+    "STOP_WORDS",
+    "default_pipeline",
+    "is_stop_word",
+    "remove_stop_words",
+    "split_camel_case",
+    "split_tag_name",
+    "split_text_value",
+    "stem",
+]

@@ -1,0 +1,231 @@
+"""A from-scratch implementation of the Porter stemming algorithm.
+
+Follows M. Porter, "An algorithm for suffix stripping", Program 14(3),
+1980 — the classic five-step rule cascade.  The stemmer is used by the
+linguistic pre-processing pipeline (paper Section 3.2) to reduce XML tag
+names and text value tokens to stems before semantic network lookup.
+
+The implementation is deliberately close to the published rule tables so
+each step can be unit-tested against the well-known reference pairs
+(``caresses -> caress``, ``ponies -> poni``, ``relational -> relate`` ...).
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    """Porter's consonant definition: ``y`` is a consonant only after a vowel."""
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The Porter measure m: number of VC sequences in the stem."""
+    m = 0
+    i = 0
+    n = len(stem)
+    # Skip the initial consonant run.
+    while i < n and _is_consonant(stem, i):
+        i += 1
+    while i < n:
+        # Vowel run.
+        while i < n and not _is_consonant(stem, i):
+            i += 1
+        if i >= n:
+            break
+        # Consonant run -> one VC pair.
+        while i < n and _is_consonant(stem, i):
+            i += 1
+        m += 1
+    return m
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """True for a consonant-vowel-consonant ending, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+def _replace_suffix(word: str, suffix: str, replacement: str) -> str:
+    return word[: len(word) - len(suffix)] + replacement
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; call :meth:`stem` on lowercase words."""
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (expects lowercase ASCII)."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- step 1: plurals and -ed / -ing ---------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return _replace_suffix(word, "sses", "ss")
+        if word.endswith("ies"):
+            return _replace_suffix(word, "ies", "i")
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if _measure(stem) > 0:
+                return word[:-1]
+            return word
+        flagged = None
+        if word.endswith("ed") and _contains_vowel(word[:-2]):
+            flagged = word[:-2]
+        elif word.endswith("ing") and _contains_vowel(word[:-3]):
+            flagged = word[:-3]
+        if flagged is None:
+            return word
+        word = flagged
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and word[-1] not in "lsz":
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and _contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    # -- step 2: double suffixes ------------------------------------------
+
+    _STEP2_RULES = [
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ]
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_RULES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if _measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    # -- step 3 --------------------------------------------------------------
+
+    _STEP3_RULES = [
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ]
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_RULES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if _measure(stem) > 0:
+                    return stem + replacement
+                return word
+        return word
+
+    # -- step 4: single suffixes on long stems --------------------------------
+
+    _STEP4_SUFFIXES = [
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ]
+
+    def _step4(self, word: str) -> str:
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and _measure(stem) > 1:
+                return stem
+            # fall through to plain suffix list (no other ion-rule applies)
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if _measure(stem) > 1:
+                    return stem
+                return word
+        return word
+
+    # -- step 5: tidy-up ---------------------------------------------------------
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = _measure(stem)
+            if m > 1 or (m == 1 and not _ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if _measure(word) > 1 and word.endswith("ll"):
+            return word[:-1]
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Module-level convenience: stem a lowercase word."""
+    return _DEFAULT.stem(word)

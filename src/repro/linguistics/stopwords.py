@@ -1,0 +1,42 @@
+"""English stop-word list used by the linguistic pre-processing pipeline.
+
+A compact, conventional list (articles, pronouns, auxiliaries,
+prepositions, conjunctions) in the spirit of the classic SMART/van
+Rijsbergen lists.  Kept as a frozen set for O(1) membership tests.
+"""
+
+from __future__ import annotations
+
+STOP_WORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren't as at
+    be because been before being below between both but by
+    can cannot can't could couldn't
+    did didn't do does doesn't doing don't down during
+    each few for from further
+    had hadn't has hasn't have haven't having he he'd he'll he's her here
+    here's hers herself him himself his how how's
+    i i'd i'll i'm i've if in into is isn't it it's its itself
+    let's me more most mustn't my myself
+    no nor not of off on once only or other ought our ours ourselves out
+    over own
+    same shan't she she'd she'll she's should shouldn't so some such
+    than that that's the their theirs them themselves then there there's
+    these they they'd they'll they're they've this those through to too
+    under until up upon
+    very was wasn't we we'd we'll we're we've were weren't what what's
+    when when's where where's which while who who's whom why why's with
+    won't would wouldn't
+    you you'd you'll you're you've your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stop_word(token: str) -> bool:
+    """True when ``token`` (any case) is an English stop word."""
+    return token.lower() in STOP_WORDS
+
+
+def remove_stop_words(tokens: list[str]) -> list[str]:
+    """Filter stop words out of a token list, preserving order."""
+    return [token for token in tokens if token.lower() not in STOP_WORDS]

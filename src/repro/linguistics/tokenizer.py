@@ -1,0 +1,87 @@
+"""Tokenization of XML tag names and text values (paper Section 3.2).
+
+The paper distinguishes three inputs:
+
+1. tag names made of an individual word (``director``);
+2. *compound* tag names made of two terms joined by a delimiter
+   (``directed_by``) or by case alternation (``FirstName``);
+3. element/attribute text values: ordinary word sequences.
+
+:func:`split_tag_name` handles 1-2, :func:`split_text_value` handles 3.
+Both return lowercase word tokens; stop-word removal and stemming are
+applied later by the pipeline so the raw split stays reusable.
+"""
+
+from __future__ import annotations
+
+_DELIMITERS = set("_-.:")
+
+
+def split_camel_case(word: str) -> list[str]:
+    """Split ``FirstName``/``directedBy``/``IDNumber`` at case boundaries.
+
+    An uppercase run followed by a lowercase letter starts a new word at
+    the run's last character (``XMLFile -> XML, File``).
+    """
+    if not word:
+        return []
+    pieces: list[str] = []
+    current = word[0]
+    for prev, ch in zip(word, word[1:]):
+        boundary = (ch.isupper() and prev.islower()) or (
+            ch.islower() and prev.isupper() and len(current) > 1
+        )
+        if boundary:
+            if ch.islower() and prev.isupper() and len(current) > 1:
+                # ``XMLFile``: the final upper-case char belongs to the new word.
+                pieces.append(current[:-1])
+                current = current[-1] + ch
+            else:
+                pieces.append(current)
+                current = ch
+        else:
+            current += ch
+    pieces.append(current)
+    return [p for p in pieces if p]
+
+
+def split_tag_name(name: str) -> list[str]:
+    """Decompose an XML tag/attribute name into lowercase word tokens."""
+    # First split on explicit delimiters, then on camelCase boundaries.
+    chunks: list[str] = []
+    current = ""
+    for ch in name:
+        if ch in _DELIMITERS:
+            if current:
+                chunks.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        chunks.append(current)
+    tokens: list[str] = []
+    for chunk in chunks:
+        tokens.extend(split_camel_case(chunk))
+    return [token.lower() for token in tokens if token]
+
+
+def split_text_value(text: str) -> list[str]:
+    """Decompose element/attribute text into lowercase word tokens.
+
+    Splits on any non-alphanumeric character except intra-word
+    apostrophes and hyphens are treated as separators too (``wheelchair-
+    bound`` becomes two tokens, matching the bag-of-tokens treatment of
+    values in the paper's tree model).
+    """
+    tokens: list[str] = []
+    current = ""
+    for ch in text:
+        if ch.isalnum():
+            current += ch
+        else:
+            if current:
+                tokens.append(current)
+            current = ""
+    if current:
+        tokens.append(current)
+    return [token.lower() for token in tokens]

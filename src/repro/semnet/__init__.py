@@ -1,0 +1,56 @@
+"""Semantic network substrate (paper Definition 2).
+
+A from-scratch WordNet-style semantic network engine plus a curated
+mini-WordNet lexicon, a synthetic network generator, and corpus /
+information-content machinery for the weighted network ``SN-bar``.
+"""
+
+from .builders import NetworkBuilder
+from .concepts import Concept, Edge, Relation
+from .corpus import (
+    count_concept_frequencies,
+    generate_corpus,
+    weight_network,
+    zipf_weights,
+)
+from .generator import GeneratorConfig, generate_network
+from .ic import InformationContent
+from .io import (
+    NetworkFormatError,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from .lexicon import build_lexicon, default_lexicon
+from .network import SemanticNetwork, UnknownConceptError
+from .validate import Issue, ValidationReport, validate_network
+from .wordnet_format import WordNetFormatError, load_wordnet_nouns
+
+__all__ = [
+    "Concept",
+    "Edge",
+    "GeneratorConfig",
+    "InformationContent",
+    "NetworkFormatError",
+    "NetworkBuilder",
+    "Relation",
+    "SemanticNetwork",
+    "UnknownConceptError",
+    "Issue",
+    "ValidationReport",
+    "build_lexicon",
+    "count_concept_frequencies",
+    "default_lexicon",
+    "generate_corpus",
+    "generate_network",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+    "WordNetFormatError",
+    "load_wordnet_nouns",
+    "validate_network",
+    "weight_network",
+    "zipf_weights",
+]

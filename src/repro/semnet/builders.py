@@ -1,0 +1,99 @@
+"""Fluent construction API for semantic networks.
+
+The curated lexicon modules declare hundreds of synsets; this builder
+keeps those declarations compact and readable::
+
+    b = NetworkBuilder("mini-wordnet")
+    b.synset("entity.n.01", ["entity"], "that which is perceived to exist")
+    b.synset(
+        "person.n.01", ["person", "individual", "someone"],
+        "a human being", hypernym="entity.n.01", freq=812,
+    )
+    network = b.build()
+
+Relations may reference synsets declared *later*; they are resolved when
+:meth:`NetworkBuilder.build` runs, so declaration order never matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .concepts import Concept, Relation
+from .network import SemanticNetwork
+
+
+@dataclass
+class _PendingRelation:
+    source: str
+    relation: Relation
+    target: str
+
+
+@dataclass
+class NetworkBuilder:
+    """Accumulates synset declarations, then materializes the network."""
+
+    name: str = "semnet"
+    _concepts: list[Concept] = field(default_factory=list)
+    _relations: list[_PendingRelation] = field(default_factory=list)
+    _seen_ids: set[str] = field(default_factory=set)
+
+    def synset(
+        self,
+        concept_id: str,
+        words: list[str] | tuple[str, ...],
+        gloss: str,
+        hypernym: str | list[str] | None = None,
+        part_of: str | list[str] | None = None,
+        member_of: str | list[str] | None = None,
+        similar_to: str | list[str] | None = None,
+        pos: str = "n",
+        freq: float = 0.0,
+    ) -> str:
+        """Declare one synset and its outgoing relations; returns the id."""
+        if concept_id in self._seen_ids:
+            raise ValueError(f"synset {concept_id!r} declared twice")
+        self._seen_ids.add(concept_id)
+        self._concepts.append(
+            Concept(id=concept_id, words=tuple(words), gloss=gloss, pos=pos,
+                    frequency=freq)
+        )
+        for target in _as_list(hypernym):
+            self._relations.append(
+                _PendingRelation(concept_id, Relation.HYPERNYM, target)
+            )
+        for target in _as_list(part_of):
+            self._relations.append(
+                _PendingRelation(concept_id, Relation.PART_HOLONYM, target)
+            )
+        for target in _as_list(member_of):
+            self._relations.append(
+                _PendingRelation(concept_id, Relation.MEMBER_HOLONYM, target)
+            )
+        for target in _as_list(similar_to):
+            self._relations.append(
+                _PendingRelation(concept_id, Relation.SIMILAR, target)
+            )
+        return concept_id
+
+    def relation(self, source: str, relation: Relation, target: str) -> None:
+        """Declare an arbitrary typed relation between two synsets."""
+        self._relations.append(_PendingRelation(source, relation, target))
+
+    def build(self) -> SemanticNetwork:
+        """Materialize the network, resolving all forward references."""
+        network = SemanticNetwork(self.name)
+        for concept in self._concepts:
+            network.add_concept(concept)
+        for pending in self._relations:
+            network.add_relation(pending.source, pending.relation, pending.target)
+        return network
+
+
+def _as_list(value: str | list[str] | None) -> list[str]:
+    if value is None:
+        return []
+    if isinstance(value, str):
+        return [value]
+    return list(value)

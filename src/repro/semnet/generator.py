@@ -1,0 +1,132 @@
+"""Deterministic synthetic semantic network generator.
+
+Scale benchmarks and property-based tests need semantic networks far
+larger than the curated lexicon, with controllable shape.  This
+generator builds random — but seed-deterministic — taxonomies:
+
+* a single root, ``branching``-ary IS-A tree of ``n_concepts`` synsets;
+* a vocabulary where each word covers a controllable number of concepts
+  (the *polysemy* knob: words are reused across concepts to create
+  ambiguous entries);
+* glosses synthesized from the labels of taxonomic neighbors, so
+  gloss-overlap (Lesk) measures have realistic signal;
+* optional part-of links sprinkled across subtrees.
+
+Everything is driven by ``random.Random(seed)``: the same parameters
+always produce the identical network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .concepts import Relation
+from .network import SemanticNetwork
+from .concepts import Concept
+
+_SYLLABLES = [
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+    "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+    "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+    "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+    "ta", "te", "ti", "to", "tu", "za", "ze", "zi", "zo", "zu",
+]
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape parameters for a synthetic semantic network."""
+
+    n_concepts: int = 500
+    branching: int = 4            # average IS-A fan-out
+    mean_polysemy: float = 2.0    # average senses per word
+    max_polysemy: int = 12        # polysemy ceiling
+    synonyms_per_concept: int = 2
+    part_of_fraction: float = 0.1  # fraction of concepts given a part-of link
+    gloss_length: int = 8          # words per synthesized gloss
+    seed: int = 7
+
+
+def _make_word(rng: random.Random, used: set[str]) -> str:
+    """Generate a fresh pronounceable pseudo-word."""
+    while True:
+        word = "".join(rng.choice(_SYLLABLES) for _ in range(rng.randint(2, 4)))
+        if word not in used:
+            used.add(word)
+            return word
+
+
+def generate_network(config: GeneratorConfig | None = None) -> SemanticNetwork:
+    """Build a synthetic semantic network from ``config``."""
+    cfg = config or GeneratorConfig()
+    if cfg.n_concepts < 1:
+        raise ValueError("n_concepts must be >= 1")
+    rng = random.Random(cfg.seed)
+    network = SemanticNetwork(f"synthetic-{cfg.seed}")
+
+    used_words: set[str] = set()
+    # Word pool sized so that average polysemy lands near mean_polysemy:
+    # total sense slots ~= n_concepts * (1 + synonyms) spread over the pool.
+    sense_slots = cfg.n_concepts * (1 + cfg.synonyms_per_concept)
+    pool_size = max(1, int(sense_slots / max(cfg.mean_polysemy, 0.1)))
+    pool = [_make_word(rng, used_words) for _ in range(pool_size)]
+    usage: dict[str, int] = {word: 0 for word in pool}
+
+    def draw_word() -> str:
+        # Rejection-sample a word under the polysemy ceiling.
+        for _ in range(32):
+            word = rng.choice(pool)
+            if usage[word] < cfg.max_polysemy:
+                usage[word] += 1
+                return word
+        word = _make_word(rng, used_words)
+        pool.append(word)
+        usage[word] = 1
+        return word
+
+    parents: list[str] = []
+    concept_ids: list[str] = []
+    for index in range(cfg.n_concepts):
+        words = [draw_word() for _ in range(1 + cfg.synonyms_per_concept)]
+        # Dedup while preserving order (a word may be drawn twice).
+        words = list(dict.fromkeys(words))
+        concept_id = f"syn{index:05d}.{words[0]}"
+        concept = Concept(
+            id=concept_id, words=tuple(words), gloss="", frequency=0.0
+        )
+        network.add_concept(concept)
+        concept_ids.append(concept_id)
+        if parents:
+            parent = rng.choice(parents)
+            network.add_relation(concept_id, Relation.HYPERNYM, parent)
+        # A node stays eligible as a parent until it has ~branching children.
+        parents.append(concept_id)
+        if len(parents) > max(2, cfg.n_concepts // cfg.branching):
+            parents.pop(rng.randrange(len(parents) - 1))
+
+    # Part-of links between random concept pairs in distinct subtrees.
+    n_parts = int(cfg.n_concepts * cfg.part_of_fraction)
+    for _ in range(n_parts):
+        part, whole = rng.sample(concept_ids, 2)
+        network.add_relation(part, Relation.PART_HOLONYM, whole)
+
+    _synthesize_glosses(network, rng, cfg.gloss_length)
+    return network
+
+
+def _synthesize_glosses(
+    network: SemanticNetwork, rng: random.Random, gloss_length: int
+) -> None:
+    """Write glosses drawn from each concept's taxonomic neighborhood.
+
+    Sharing vocabulary with neighbors gives Lesk-style measures real
+    overlap structure instead of noise.
+    """
+    for concept in network:
+        neighborhood = network.sphere(concept.id, 2)
+        vocabulary: list[str] = []
+        for cid in neighborhood:
+            vocabulary.extend(network.concept(cid).words)
+        words = [rng.choice(vocabulary) for _ in range(gloss_length)]
+        concept.gloss = "a kind of " + " ".join(words)

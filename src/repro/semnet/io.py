@@ -1,0 +1,150 @@
+"""Semantic network persistence (JSON) and interchange.
+
+The paper stresses that "any other knowledge base can be used" in place
+of WordNet (ODP for web pages, FOAF for social networks, ...).  For
+that to be practical, users need a way to ship their own networks; this
+module defines a stable JSON document format plus load/save helpers.
+
+Format (version 1)::
+
+    {
+      "format": "repro-semnet",
+      "version": 1,
+      "name": "my-network",
+      "concepts": [
+        {"id": "star.n.02", "words": ["star", "lead"],
+         "gloss": "an actor ...", "pos": "n", "frequency": 30.0},
+        ...
+      ],
+      "relations": [
+        {"source": "star.n.02", "relation": "hypernym",
+         "target": "actor.n.01"},
+        ...
+      ]
+    }
+
+Only the forward direction of each relation pair is stored (the network
+adds inverses automatically); the saver canonicalizes so save→load→save
+is byte-stable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .concepts import Concept, Relation
+from .network import SemanticNetwork
+
+FORMAT_NAME = "repro-semnet"
+FORMAT_VERSION = 1
+
+#: The direction stored on disk for each inverse pair.
+_CANONICAL_RELATIONS = frozenset(
+    {
+        Relation.HYPERNYM,
+        Relation.PART_HOLONYM,
+        Relation.MEMBER_HOLONYM,
+        Relation.ATTRIBUTE,
+        Relation.SIMILAR,
+        Relation.DERIVATION,
+    }
+)
+
+
+class NetworkFormatError(ValueError):
+    """Raised when a network document is malformed."""
+
+
+def network_to_dict(network: SemanticNetwork) -> dict:
+    """Serialize a network to the JSON-ready document structure."""
+    concepts = [
+        {
+            "id": concept.id,
+            "words": list(concept.words),
+            "gloss": concept.gloss,
+            "pos": concept.pos,
+            # Always a float: builder declarations may use ints, and
+            # 4 vs 4.0 would break byte-stable canonical output.
+            "frequency": float(concept.frequency),
+        }
+        for concept in network
+    ]
+    relations = []
+    seen: set[tuple[str, str, str]] = set()
+    for edge in network.edges():
+        relation = edge.relation
+        source, target = edge.source, edge.target
+        if relation not in _CANONICAL_RELATIONS:
+            relation = relation.inverse
+            source, target = target, source
+        # Symmetric relations appear in both directions; canonicalize
+        # by id order so save -> load -> save is byte-stable.
+        if relation.inverse is relation and target < source:
+            source, target = target, source
+        key = (source, relation.value, target)
+        if key in seen:
+            continue
+        seen.add(key)
+        relations.append(
+            {"source": source, "relation": relation.value, "target": target}
+        )
+    relations.sort(key=lambda r: (r["source"], r["relation"], r["target"]))
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": network.name,
+        "concepts": concepts,
+        "relations": relations,
+    }
+
+
+def network_from_dict(document: dict) -> SemanticNetwork:
+    """Deserialize a network document; validates structure."""
+    if document.get("format") != FORMAT_NAME:
+        raise NetworkFormatError(
+            f"not a {FORMAT_NAME} document (format={document.get('format')!r})"
+        )
+    if document.get("version") != FORMAT_VERSION:
+        raise NetworkFormatError(
+            f"unsupported version {document.get('version')!r}"
+        )
+    network = SemanticNetwork(document.get("name", "semnet"))
+    relation_values = {relation.value: relation for relation in Relation}
+    for entry in document.get("concepts", []):
+        try:
+            concept = Concept(
+                id=entry["id"],
+                words=tuple(entry["words"]),
+                gloss=entry.get("gloss", ""),
+                pos=entry.get("pos", "n"),
+                frequency=float(entry.get("frequency", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise NetworkFormatError(f"bad concept entry {entry!r}: {exc}")
+        network.add_concept(concept)
+    for entry in document.get("relations", []):
+        try:
+            relation = relation_values[entry["relation"]]
+            network.add_relation(entry["source"], relation, entry["target"])
+        except KeyError as exc:
+            raise NetworkFormatError(f"bad relation entry {entry!r}: {exc}")
+    return network
+
+
+def save_network(network: SemanticNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as formatted JSON."""
+    document = network_to_dict(network)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=False)
+        handle.write("\n")
+
+
+def load_network(path: str | Path) -> SemanticNetwork:
+    """Read a network from a JSON file written by :func:`save_network`."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise NetworkFormatError(f"invalid JSON in {path}: {exc}")
+    return network_from_dict(document)

@@ -1,0 +1,59 @@
+"""The curated mini-WordNet lexicon.
+
+A hand-written semantic network covering the vocabulary of the paper's
+ten test corpora (movies, theater, publications, commerce, people, food,
+plants, music) on top of a WordNet-like upper ontology, with realistic
+homonym structure (e.g. 5 senses of *star*, 7 of *line*, 33 of *head*)
+and hand-assigned Brown-like concept frequencies.
+
+Use :func:`build_lexicon` for a fresh network or :func:`default_lexicon`
+for a process-wide shared instance (cheap repeated access in tests and
+benchmarks; treat it as read-only).
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..network import SemanticNetwork
+from . import (
+    base,
+    commerce,
+    computing,
+    food,
+    general,
+    movies,
+    music,
+    people,
+    plants,
+    polysemy,
+    publications,
+    theater,
+)
+
+#: Population order: the upper ontology first, then the domain modules
+#: (they may reference each other's ids — the builder resolves forward
+#: references at build time, so order only affects sense ranking).
+_MODULES = (base, movies, theater, publications, commerce, people, food,
+            plants, music, general, computing, polysemy)
+
+
+def build_lexicon() -> SemanticNetwork:
+    """Construct a fresh curated lexicon network."""
+    builder = NetworkBuilder("mini-wordnet")
+    for module in _MODULES:
+        module.populate(builder)
+    return builder.build()
+
+
+_cached: SemanticNetwork | None = None
+
+
+def default_lexicon() -> SemanticNetwork:
+    """A shared, lazily-built lexicon instance (do not mutate)."""
+    global _cached
+    if _cached is None:
+        _cached = build_lexicon()
+    return _cached
+
+
+__all__ = ["build_lexicon", "default_lexicon"]

@@ -1,0 +1,409 @@
+"""Upper ontology of the curated mini-WordNet.
+
+Declares the abstract backbone every domain module hangs from: entity,
+object, living thing, person, artifact, group, act, state, attribute,
+communication, and their frequent intermediate classes.  Frequencies are
+hand-assigned Brown-corpus-like counts (larger near the top, tapering
+toward the leaves) so node-based similarity behaves like the paper's
+weighted WordNet (cf. the paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add the upper-ontology synsets to builder ``b``."""
+    b.synset("entity.n.01", ["entity"],
+             "that which is perceived or known or inferred to have its own "
+             "distinct existence", freq=32)
+    b.synset("physical_entity.n.01", ["physical entity"],
+             "an entity that has physical existence",
+             hypernym="entity.n.01", freq=20)
+    b.synset("abstraction.n.01", ["abstraction", "abstract entity"],
+             "a general concept formed by extracting common features from "
+             "specific examples", hypernym="entity.n.01", freq=18)
+
+    # -- physical branch ---------------------------------------------------
+    b.synset("object.n.01", ["object", "physical object"],
+             "a tangible and visible entity",
+             hypernym="physical_entity.n.01", freq=154)
+    b.synset("whole.n.01", ["whole", "unit"],
+             "an assemblage of parts that is regarded as a single entity",
+             hypernym="object.n.01", freq=46)
+    b.synset("living_thing.n.01", ["living thing", "animate thing"],
+             "a living or once living entity",
+             hypernym="whole.n.01", freq=28)
+    b.synset("organism.n.01", ["organism", "being"],
+             "a living thing that has the ability to act or function "
+             "independently", hypernym="living_thing.n.01", freq=70)
+    b.synset("person.n.01", ["person", "individual", "someone", "soul"],
+             "a human being",
+             hypernym="organism.n.01", freq=812)
+    b.synset("animal.n.01", ["animal", "creature", "beast"],
+             "a living organism characterized by voluntary movement",
+             hypernym="organism.n.01", freq=92)
+    b.synset("plant.n.02", ["plant", "flora", "plant life"],
+             "a living organism lacking the power of locomotion",
+             hypernym="organism.n.01", freq=66)
+
+    b.synset("natural_object.n.01", ["natural object"],
+             "an object occurring naturally; not made by man",
+             hypernym="whole.n.01", freq=16)
+    b.synset("celestial_body.n.01", ["celestial body", "heavenly body"],
+             "a natural object visible in the sky",
+             hypernym="natural_object.n.01", freq=12)
+    b.synset("body_part.n.01", ["body part"],
+             "any part of an organism such as an organ or extremity",
+             hypernym="physical_entity.n.01", freq=24)
+
+    b.synset("artifact.n.01", ["artifact", "artefact"],
+             "a man-made object taken as a whole",
+             hypernym="whole.n.01", freq=60)
+    b.synset("instrumentality.n.01", ["instrumentality", "instrumentation"],
+             "an artifact that is instrumental in accomplishing some end",
+             hypernym="artifact.n.01", freq=30)
+    b.synset("device.n.01", ["device"],
+             "an instrumentality invented for a particular purpose",
+             hypernym="instrumentality.n.01", freq=52)
+    b.synset("equipment.n.01", ["equipment"],
+             "an instrumentality needed for an undertaking or to perform a "
+             "service", hypernym="instrumentality.n.01", freq=36)
+    b.synset("electronic_equipment.n.01", ["electronic equipment"],
+             "equipment that involves the controlled conduction of "
+             "electrons", hypernym="equipment.n.01", freq=14)
+    b.synset("appliance.n.01", ["appliance", "home appliance"],
+             "durable goods for home or office use",
+             hypernym="equipment.n.01", freq=12)
+    b.synset("weapon.n.01", ["weapon", "arm", "weapon system"],
+             "any instrument used in fighting or hunting",
+             hypernym="device.n.01", freq=28)
+    b.synset("container.n.01", ["container"],
+             "any object that can be used to hold things",
+             hypernym="instrumentality.n.01", freq=34)
+    b.synset("structure.n.01", ["structure", "construction"],
+             "a thing constructed; a complex entity made of many parts",
+             hypernym="artifact.n.01", freq=58)
+    b.synset("building.n.01", ["building", "edifice"],
+             "a structure that has a roof and walls and stands permanently "
+             "in one place", hypernym="structure.n.01", freq=78)
+    b.synset("covering.n.01", ["covering"],
+             "an artifact that covers something else",
+             hypernym="artifact.n.01", freq=14)
+    b.synset("creation.n.01", ["creation"],
+             "an artifact brought into existence by someone",
+             hypernym="artifact.n.01", freq=22)
+    b.synset("product.n.02", ["product", "production"],
+             "an artifact that has been created by someone or some process",
+             hypernym="creation.n.01", freq=50)
+    b.synset("work.n.02", ["work", "piece of work"],
+             "a product produced or accomplished through the effort or "
+             "activity of a person", hypernym="product.n.02", freq=86)
+
+    b.synset("location.n.01", ["location"],
+             "a point or extent in space",
+             hypernym="physical_entity.n.01", freq=40)
+    b.synset("region.n.01", ["region", "part"],
+             "the extended spatial location of something",
+             hypernym="location.n.01", freq=64)
+    b.synset("area.n.01", ["area", "country"],
+             "a particular geographical region of indefinite boundary",
+             hypernym="region.n.01", freq=90)
+    b.synset("district.n.01", ["district", "territory"],
+             "a region marked off for administrative or other purposes",
+             hypernym="region.n.01", freq=36)
+    b.synset("city.n.01", ["city", "metropolis", "urban center"],
+             "a large and densely populated urban area",
+             hypernym="district.n.01", freq=118)
+    b.synset("state.n.01", ["state", "province"],
+             "the territory occupied by one of the constituent "
+             "administrative districts of a nation",
+             hypernym="district.n.01", freq=122)
+    b.synset("country.n.02", ["country", "nation", "land"],
+             "the territory occupied by a nation",
+             hypernym="district.n.01", freq=140)
+
+    # -- abstraction branch --------------------------------------------------
+    b.synset("group.n.01", ["group", "grouping"],
+             "any number of entities considered as a unit",
+             hypernym="abstraction.n.01", freq=172)
+    b.synset("social_group.n.01", ["social group"],
+             "people sharing some social relation",
+             hypernym="group.n.01", freq=26)
+    b.synset("organization.n.01", ["organization", "organisation"],
+             "a group of people who work together",
+             hypernym="social_group.n.01", freq=98)
+    b.synset("institution.n.01", ["institution", "establishment"],
+             "an organization founded and united for a specific purpose",
+             hypernym="organization.n.01", freq=44)
+    b.synset("company.n.01", ["company", "firm", "business"],
+             "an institution created to conduct business",
+             hypernym="institution.n.01", freq=174)
+    b.synset("unit.n.03", ["unit", "social unit"],
+             "an organization regarded as part of a larger social group",
+             hypernym="organization.n.01", freq=30)
+    b.synset("team.n.01", ["team", "squad"],
+             "a cooperative unit of people, especially in sports",
+             hypernym="unit.n.03", freq=72)
+    b.synset("family.n.01", ["family", "household"],
+             "a social unit living together",
+             hypernym="unit.n.03", freq=142)
+    b.synset("collection.n.01", ["collection", "aggregation", "assemblage"],
+             "several things grouped together or considered as a whole",
+             hypernym="group.n.01", freq=38)
+
+    b.synset("psychological_feature.n.01", ["psychological feature"],
+             "a feature of the mental life of a living organism",
+             hypernym="abstraction.n.01", freq=12)
+    b.synset("cognition.n.01", ["cognition", "knowledge"],
+             "the psychological result of perception and learning and "
+             "reasoning", hypernym="psychological_feature.n.01", freq=44)
+    b.synset("content.n.05", ["content", "mental object", "idea"],
+             "the sum or range of what has been perceived or learned",
+             hypernym="cognition.n.01", freq=34)
+    b.synset("concept.n.01", ["concept", "conception", "construct"],
+             "an abstract or general idea inferred from specific instances",
+             hypernym="content.n.05", freq=28)
+    b.synset("category.n.02", ["category"],
+             "a general concept that marks divisions or coordinations in a "
+             "conceptual scheme", hypernym="concept.n.01", freq=22)
+    b.synset("kind.n.01", ["kind", "sort", "form", "variety"],
+             "a category of things distinguished by some common quality",
+             hypernym="category.n.02", freq=96)
+    b.synset("genre.n.01", ["genre", "category", "class"],
+             "a kind of literary, artistic, or musical work marked by a "
+             "distinctive style or content", hypernym="kind.n.01", freq=18)
+
+    b.synset("event.n.01", ["event"],
+             "something that happens at a given place and time",
+             hypernym="psychological_feature.n.01", freq=64)
+    b.synset("act.n.02", ["act", "deed", "human action"],
+             "something that people do or cause to happen",
+             hypernym="event.n.01", freq=76)
+    b.synset("activity.n.01", ["activity"],
+             "any specific behavior or pursuit",
+             hypernym="act.n.02", freq=82)
+    b.synset("action.n.01", ["action"],
+             "something done, usually as opposed to something said",
+             hypernym="act.n.02", freq=88)
+    b.synset("work.n.01", ["work", "labor", "labour", "toil"],
+             "activity directed toward making or doing something",
+             hypernym="activity.n.01", freq=160)
+    b.synset("occupation.n.01", ["occupation", "business", "job", "line of work",
+                                 "line"],
+             "the principal activity in your life that you do to earn money",
+             hypernym="activity.n.01", freq=58)
+    b.synset("game.n.01", ["game"],
+             "an amusement or pastime with rules of play",
+             hypernym="activity.n.01", freq=94)
+    b.synset("performance.n.01", ["performance", "public presentation"],
+             "a dramatic or musical entertainment presented before an "
+             "audience", hypernym="act.n.02", freq=40)
+
+    b.synset("state.n.02", ["state"],
+             "the way something is with respect to its main attributes",
+             hypernym="abstraction.n.01", freq=60)
+    b.synset("condition.n.01", ["condition", "status"],
+             "a state at a particular time",
+             hypernym="state.n.02", freq=68)
+    b.synset("relationship.n.01", ["relationship", "relation"],
+             "a state of connectedness between people or things",
+             hypernym="state.n.02", freq=42)
+    b.synset("position.n.06", ["position", "status", "standing"],
+             "the relative standing or rank of a person in a society",
+             hypernym="state.n.02", freq=18)
+
+    b.synset("attribute.n.01", ["attribute", "property", "dimension"],
+             "an abstraction belonging to or characteristic of an entity",
+             hypernym="abstraction.n.01", freq=26)
+    b.synset("quality.n.01", ["quality"],
+             "an essential and distinguishing attribute of something",
+             hypernym="attribute.n.01", freq=54)
+    b.synset("shape.n.01", ["shape", "form", "figure"],
+             "the spatial arrangement of something as distinct from its "
+             "substance", hypernym="attribute.n.01", freq=48)
+    b.synset("time_period.n.01", ["time period", "period", "period of time"],
+             "an amount of time",
+             hypernym="abstraction.n.01", freq=52)
+    b.synset("age.n.01", ["age"],
+             "how long something has existed",
+             hypernym="attribute.n.01", freq=104)
+    b.synset("year.n.01", ["year", "twelvemonth"],
+             "a period of time containing 365 or 366 days",
+             hypernym="time_period.n.01", freq=310)
+    b.synset("season.n.01", ["season"],
+             "a period of the year marked by special events or activities",
+             hypernym="time_period.n.01", freq=38)
+    b.synset("date.n.01", ["date", "day of the month"],
+             "the specified day of the month",
+             hypernym="time_period.n.01", freq=60)
+
+    b.synset("measure.n.01", ["measure", "quantity", "amount"],
+             "how much there is or how many there are of something",
+             hypernym="abstraction.n.01", freq=44)
+    b.synset("definite_quantity.n.01", ["definite quantity"],
+             "a specific measure of amount",
+             hypernym="measure.n.01", freq=10)
+    b.synset("number.n.02", ["number", "figure"],
+             "the property possessed by a sum or total or indefinite "
+             "quantity of units", hypernym="definite_quantity.n.01", freq=120)
+    b.synset("monetary_value.n.01", ["monetary value", "price", "cost"],
+             "the amount of money needed to purchase something",
+             hypernym="measure.n.01", freq=108)
+    b.synset("rate.n.02", ["rate", "charge"],
+             "an amount of money charged per unit",
+             hypernym="monetary_value.n.01", freq=32)
+    b.synset("size.n.01", ["size"],
+             "the physical magnitude of something",
+             hypernym="measure.n.01", freq=50)
+
+    b.synset("relation.n.01", ["relation"],
+             "an abstraction belonging to or characteristic of two entities "
+             "together", hypernym="abstraction.n.01", freq=20)
+    b.synset("part.n.01", ["part", "portion", "component"],
+             "something determined in relation to something that includes it",
+             hypernym="relation.n.01", freq=130)
+
+    # -- communication sub-branch (dense for document corpora) ----------------
+    b.synset("communication.n.02", ["communication"],
+             "something that is communicated by or to or between people",
+             hypernym="abstraction.n.01", freq=36)
+    b.synset("message.n.02", ["message", "content", "subject matter"],
+             "what a communication that is about something is about",
+             hypernym="communication.n.02", freq=30)
+    b.synset("statement.n.01", ["statement"],
+             "a message that is stated or declared",
+             hypernym="message.n.02", freq=42)
+    b.synset("description.n.01", ["description", "verbal description"],
+             "a statement that represents something in words",
+             hypernym="statement.n.01", freq=38)
+    b.synset("summary.n.01", ["summary", "abstract", "synopsis"],
+             "a brief statement that presents the main points",
+             hypernym="statement.n.01", freq=24)
+    b.synset("written_communication.n.01", ["written communication", "writing"],
+             "communication by means of written symbols",
+             hypernym="communication.n.02", freq=22)
+    b.synset("writing.n.02", ["writing", "written material", "piece of writing"],
+             "the work of a writer; anything expressed in letters of the "
+             "alphabet", hypernym="written_communication.n.01", freq=50)
+    b.synset("document.n.01", ["document", "written document", "papers"],
+             "writing that provides information",
+             hypernym="writing.n.02", freq=56)
+    b.synset("legal_document.n.01", ["legal document", "legal instrument",
+                                     "official document"],
+             "a document that states some contractual relationship or "
+             "grants some right", hypernym="document.n.01", freq=10)
+    b.synset("commercial_document.n.01", ["commercial document",
+                                          "commercial instrument"],
+             "a document of or relating to commerce",
+             hypernym="document.n.01", freq=8)
+    b.synset("electronic_document.n.01", ["electronic document"],
+             "a document that is stored and displayed by a computer",
+             hypernym="document.n.01", freq=6)
+    b.synset("text.n.01", ["text", "textual matter"],
+             "the words of something written",
+             hypernym="writing.n.02", freq=48)
+    b.synset("matter.n.06", ["matter"],
+             "written works (especially in books or magazines)",
+             hypernym="writing.n.02", freq=12)
+    b.synset("section.n.01", ["section", "subdivision"],
+             "a self-contained part of a larger composition",
+             hypernym="writing.n.02", freq=40)
+    b.synset("name.n.01", ["name"],
+             "a language unit by which a person or thing is known",
+             hypernym="communication.n.02", freq=240)
+    b.synset("title.n.02", ["title"],
+             "the name of a work of art or literary composition",
+             hypernym="name.n.01", freq=74)
+    b.synset("title.n.01", ["title", "statute title", "rubric"],
+             "a heading that names a statute or legislative bill",
+             hypernym="name.n.01", freq=14)
+    b.synset("title.n.03", ["title", "claim"],
+             "an established or recognized right to something",
+             hypernym="relation.n.01", freq=10)
+    b.synset("title.n.04", ["title", "deed of conveyance"],
+             "a legal document signed and sealed and delivered to effect a "
+             "transfer of property", hypernym="legal_document.n.01", freq=8)
+    b.synset("word.n.01", ["word"],
+             "a unit of language that native speakers can identify",
+             hypernym="communication.n.02", freq=150)
+    b.synset("language.n.01", ["language", "linguistic communication"],
+             "a systematic means of communicating by the use of sounds or "
+             "conventional symbols", hypernym="communication.n.02", freq=72)
+    b.synset("sign.n.02", ["sign", "mark"],
+             "a perceptible indication of something not immediately apparent",
+             hypernym="communication.n.02", freq=34)
+    b.synset("indication.n.01", ["indication", "indicant"],
+             "something that serves to indicate or suggest",
+             hypernym="communication.n.02", freq=16)
+    b.synset("direction.n.01", ["direction", "instruction"],
+             "a message describing how something is to be done",
+             hypernym="message.n.02", freq=28)
+    b.synset("address.n.02", ["address"],
+             "the place where a person or organization can be found or "
+             "communicated with", hypernym="location.n.01", freq=66)
+    b.synset("address.n.01", ["address", "speech"],
+             "the act of delivering a formal spoken communication to an "
+             "audience", hypernym="act.n.02", freq=30)
+
+    # -- food / substance stub (expanded by the food module) -------------------
+    b.synset("substance.n.01", ["substance", "matter"],
+             "the tangible stuff of which an object consists",
+             hypernym="physical_entity.n.01", freq=40)
+    b.synset("food.n.01", ["food", "nutrient"],
+             "any substance that can be metabolized by an animal to give "
+             "energy and build tissue", hypernym="substance.n.01", freq=96)
+
+    # -- roles frequently used in the corpora -----------------------------------
+    b.synset("worker.n.01", ["worker"],
+             "a person who works at a specific occupation",
+             hypernym="person.n.01", freq=84)
+    b.synset("employee.n.01", ["employee"],
+             "a worker who is hired to perform a job",
+             hypernym="worker.n.01", freq=62)
+    b.synset("professional.n.01", ["professional", "professional person"],
+             "a person engaged in one of the learned professions",
+             hypernym="worker.n.01", freq=36)
+    b.synset("creator.n.02", ["creator"],
+             "a person who grows or makes or invents things",
+             hypernym="person.n.01", freq=18)
+    b.synset("maker.n.01", ["maker", "shaper"],
+             "a person who makes things",
+             hypernym="creator.n.02", freq=12)
+    b.synset("artist.n.01", ["artist", "creative person"],
+             "a person whose creative work shows sensitivity and imagination",
+             hypernym="creator.n.02", freq=46)
+    b.synset("communicator.n.01", ["communicator"],
+             "a person who communicates with others",
+             hypernym="person.n.01", freq=10)
+    b.synset("writer.n.01", ["writer"],
+             "a person who writes books or stories or articles as a "
+             "profession", hypernym="communicator.n.01", freq=68)
+    b.synset("leader.n.01", ["leader"],
+             "a person who rules or guides or inspires others",
+             hypernym="person.n.01", freq=74)
+    b.synset("expert.n.01", ["expert"],
+             "a person with special knowledge who performs skillfully",
+             hypernym="person.n.01", freq=32)
+    b.synset("entertainer.n.01", ["entertainer"],
+             "a person who tries to please or amuse",
+             hypernym="person.n.01", freq=20)
+    b.synset("contestant.n.01", ["contestant"],
+             "a person who participates in competitions",
+             hypernym="person.n.01", freq=14)
+    b.synset("player.n.01", ["player", "participant"],
+             "a person who participates in or is skilled at some game",
+             hypernym="contestant.n.01", freq=88)
+    b.synset("member.n.01", ["member", "fellow member"],
+             "one of the persons who compose a social group",
+             hypernym="person.n.01", freq=112)
+    b.synset("adult.n.01", ["adult", "grownup"],
+             "a fully developed person",
+             hypernym="person.n.01", freq=58)
+    b.synset("man.n.01", ["man", "adult male"],
+             "an adult male person",
+             hypernym="adult.n.01", freq=372)
+    b.synset("woman.n.01", ["woman", "adult female"],
+             "an adult female person",
+             hypernym="adult.n.01", freq=224)

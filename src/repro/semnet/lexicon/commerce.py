@@ -1,0 +1,131 @@
+"""Commerce / retail synsets (Amazon product corpus, pricing vocabulary).
+
+Products, offers, brands, reviews, sellers, shipping, stock — plus the
+polysemous commercial words (*stock*, *order*, *offer*, *brand*,
+*item*, *list*, *charge*) the Group 2 documents lean on.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add commerce-domain synsets to builder ``b``."""
+    b.synset("commodity.n.01", ["commodity", "goods", "trade good"],
+             "articles of commerce",
+             hypernym="artifact.n.01", freq=22)
+    b.synset("merchandise.n.01", ["merchandise", "ware", "product"],
+             "commodities offered for sale",
+             hypernym="commodity.n.01", freq=30)
+    b.synset("item.n.01", ["item", "point"],
+             "a distinct part that can be specified separately in a group "
+             "of things that could be enumerated on a list",
+             hypernym="part.n.01", freq=38)
+    b.synset("item.n.02", ["item", "piece"],
+             "a whole individual unit, especially when included in a list "
+             "of goods or collection", hypernym="whole.n.01", freq=26)
+    b.synset("item.n.03", ["item", "news item"],
+             "a short piece of news printed in a newspaper or magazine",
+             hypernym="article.n.01", freq=8)
+    b.synset("list.n.01", ["list", "listing"],
+             "a database containing an ordered array of items such as names "
+             "or products", hypernym="document.n.01", freq=44)
+    b.synset("list.n.02", ["list", "tilt", "inclination", "lean"],
+             "the property possessed by a line or surface that departs from "
+             "the vertical", hypernym="attribute.n.01", freq=6)
+    b.synset("catalog.n.01", ["catalog", "catalogue"],
+             "a complete list of things, usually arranged systematically "
+             "and often with descriptions", hypernym="list.n.01", freq=16)
+    b.synset("brand.n.01", ["brand", "brand name", "trade name", "marque"],
+             "a name given to a product or service by its maker",
+             hypernym="name.n.01", freq=20)
+    b.synset("brand.n.02", ["brand", "make"],
+             "a recognizable kind of product",
+             hypernym="kind.n.01", freq=14)
+    b.synset("brand.n.03", ["brand", "firebrand"],
+             "a piece of wood that has been burned or is burning",
+             hypernym="object.n.01", freq=4)
+    b.synset("stock.n.01", ["stock", "inventory"],
+             "the merchandise that a shop has on hand",
+             hypernym="merchandise.n.01", freq=26)
+    b.synset("stock.n.02", ["stock", "share", "capital stock"],
+             "the capital raised by a corporation through the issue of "
+             "shares entitling holders to partial ownership",
+             hypernym="monetary_value.n.01", freq=34)
+    b.synset("stock.n.03", ["stock", "broth"],
+             "liquid in which meat and vegetables are simmered, used as a "
+             "basis for soup", hypernym="food.n.01", freq=10)
+    b.synset("stock.n.04", ["stock", "breed", "strain"],
+             "a special variety of domesticated animals within a species",
+             hypernym="kind.n.01", freq=12)
+    b.synset("offer.n.01", ["offer", "offering"],
+             "a proposal of a price at which a seller is willing to sell",
+             hypernym="statement.n.01", freq=18)
+    b.synset("offer.n.02", ["offer", "bid", "tender"],
+             "something offered, as a special price or discounted rate",
+             hypernym="monetary_value.n.01", freq=10)
+    b.synset("order.n.01", ["order", "purchase order"],
+             "a commercial document used to request that someone supply "
+             "something in return for payment",
+             hypernym="commercial_document.n.01",
+             freq=28)
+    b.synset("order.n.02", ["order", "ordering"],
+             "the arrangement of elements in a specified sequence",
+             hypernym="attribute.n.01", freq=40)
+    b.synset("order.n.03", ["order", "decree", "edict"],
+             "a legally binding command or decision",
+             hypernym="statement.n.01", freq=24)
+    b.synset("sale.n.01", ["sale"],
+             "the general activity of selling goods or services in exchange "
+             "for money", hypernym="activity.n.01", freq=36)
+    b.synset("discount.n.01", ["discount", "price reduction", "deduction"],
+             "the act of reducing the selling price of merchandise",
+             hypernym="monetary_value.n.01", freq=12)
+    b.synset("shipping.n.01", ["shipping", "transportation", "transport"],
+             "the commercial enterprise of moving goods and materials to a "
+             "customer", hypernym="activity.n.01", freq=14)
+    b.synset("delivery.n.01", ["delivery", "bringing"],
+             "the act of delivering or distributing something such as goods "
+             "or mail", hypernym="act.n.02", freq=16)
+    b.synset("seller.n.01", ["seller", "marketer", "vender", "vendor"],
+             "someone who promotes or exchanges goods or services for "
+             "money", hypernym="worker.n.01", freq=18)
+    b.synset("customer.n.01", ["customer", "client", "buyer", "shopper"],
+             "someone who pays for goods or services",
+             hypernym="person.n.01", freq=34)
+    b.synset("store.n.01", ["store", "shop", "market"],
+             "a mercantile establishment for the retail sale of goods or "
+             "services", hypernym="institution.n.01", freq=46)
+    b.synset("warranty.n.01", ["warranty", "guarantee", "warrantee"],
+             "a written assurance that a product or service will be "
+             "provided or will meet certain specifications",
+             hypernym="legal_document.n.01", freq=8)
+    b.synset("availability.n.01", ["availability", "handiness"],
+             "the quality of being at hand when needed, as merchandise in "
+             "stock", hypernym="quality.n.01", freq=10)
+    b.synset("weight.n.01", ["weight"],
+             "the vertical force exerted by a mass as a result of gravity",
+             hypernym="measure.n.01", freq=52)
+    b.synset("model.n.01", ["model", "simulation"],
+             "a hypothetical description of a complex entity or process",
+             hypernym="concept.n.01", freq=30)
+    b.synset("model.n.02", ["model", "poser", "fashion model"],
+             "a person who poses for a photographer or painter",
+             hypernym="worker.n.01", freq=12)
+    b.synset("model.n.03", ["model", "example"],
+             "a type of product, as a particular design of a manufactured "
+             "item", hypernym="kind.n.01", freq=18)
+    b.synset("feature.n.01", ["feature", "characteristic"],
+             "a prominent attribute or aspect of something such as a "
+             "product", hypernym="attribute.n.01", freq=32)
+    b.synset("condition.n.02", ["condition", "shape"],
+             "the state of (good) health or repair of an object offered for "
+             "sale", hypernym="condition.n.01", freq=14,
+             similar_to="state.n.02")
+
+    # Reviews and ratings reuse the movie-module synsets (review.n.01,
+    # rating.n.01); the product hierarchy anchors to merchandise.
+    b.relation("stock.n.01", Relation.PART_HOLONYM, "store.n.01")
+    b.relation("item.n.02", Relation.MEMBER_HOLONYM, "catalog.n.01")

@@ -1,0 +1,123 @@
+"""Computing / database synsets (SIGMOD Record article topics).
+
+The proceedings corpus embeds article titles and abstracts about
+database systems; this vocabulary gives those value tokens senses —
+with the field's classic homonyms (*query*, *index*, *view*, *stream*,
+*transaction*, *graph*, *cache*, *schema*) colliding against everyday
+readings.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add computing-domain synsets to builder ``b``."""
+    b.synset("computer.n.01", ["computer", "computing machine",
+                               "data processor"],
+             "a machine for performing calculations automatically",
+             hypernym="electronic_equipment.n.01", freq=70)
+    b.synset("software.n.01", ["software", "software system", "program"],
+             "written programs and procedures that can be stored and run "
+             "by a computer", hypernym="creation.n.01", freq=46)
+    b.synset("database.n.01", ["database"],
+             "an organized collection of data stored in a computer",
+             hypernym="collection.n.01", freq=28)
+    b.synset("data.n.01", ["data", "information"],
+             "a collection of facts from which conclusions may be drawn, "
+             "stored and queried in a database", hypernym="collection.n.01",
+             freq=88)
+    b.synset("query.n.01", ["query", "database query"],
+             "a request for data or information from a database",
+             hypernym="statement.n.01", freq=18)
+    b.synset("query.n.02", ["query", "inquiry", "enquiry", "question"],
+             "an instance of questioning someone",
+             hypernym="communication.n.02", freq=34)
+    b.synset("index.n.01", ["index", "database index"],
+             "a data structure that speeds the retrieval of records from a "
+             "database", hypernym="list.n.01", freq=16)
+    b.synset("index.n.02", ["index"],
+             "an alphabetical listing of names and topics with the page "
+             "numbers where they appear in a book",
+             hypernym="list.n.01", freq=22)
+    b.synset("index.n.03", ["index", "index number", "indicant"],
+             "a number or ratio derived from a series of observations",
+             hypernym="number.n.02", freq=14)
+    b.synset("view.n.02", ["view", "database view"],
+             "a virtual table derived by a query over a database",
+             hypernym="database.n.01", freq=8)
+    b.synset("view.n.01", ["view", "sight", "survey"],
+             "the act of looking or seeing or observing",
+             hypernym="act.n.02", freq=40)
+    b.synset("view.n.03", ["view", "opinion", "sentiment"],
+             "a personal belief or judgment",
+             hypernym="content.n.05", freq=36)
+    b.synset("stream.n.02", ["stream", "data stream"],
+             "an unbounded sequence of data records processed as they "
+             "arrive", hypernym="collection.n.01", freq=10)
+    b.synset("stream.n.01", ["stream", "brook", "creek"],
+             "a natural body of running water flowing on the earth",
+             hypernym="natural_object.n.01", freq=38)
+    b.synset("transaction.n.01", ["transaction", "dealing"],
+             "the act of transacting business within or between groups",
+             hypernym="act.n.02", freq=30)
+    b.synset("transaction.n.02", ["transaction", "database transaction"],
+             "a unit of work executed atomically against a database",
+             hypernym="act.n.02", freq=8)
+    b.synset("recovery.n.01", ["recovery", "retrieval"],
+             "the act of regaining or saving something lost, as a database "
+             "restoring a consistent state", hypernym="act.n.02", freq=16)
+    b.synset("recovery.n.02", ["recovery", "convalescence"],
+             "a gradual return to health after illness",
+             hypernym="condition.n.01", freq=18)
+    b.synset("graph.n.01", ["graph", "graphical record", "chart"],
+             "a visual representation of the relations between quantities",
+             hypernym="picture.n.02", freq=20)
+    b.synset("graph.n.02", ["graph"],
+             "a data structure of nodes connected by edges, as stored by a "
+             "graph database", hypernym="concept.n.01", freq=10)
+    b.synset("cache.n.01", ["cache", "memory cache"],
+             "computer memory that keeps frequently used data close to the "
+             "processor", hypernym="electronic_equipment.n.01", freq=10)
+    b.synset("cache.n.02", ["cache", "hoard", "stash"],
+             "a secret store of valuables or money",
+             hypernym="collection.n.01", freq=8)
+    b.synset("schema.n.01", ["schema", "database schema"],
+             "the structure of a database described in a formal language",
+             hypernym="model.n.01", freq=8)
+    b.synset("schema.n.02", ["schema", "scheme", "outline"],
+             "a schematic or preliminary plan",
+             hypernym="concept.n.01", freq=16)
+    b.synset("integration.n.01", ["integration", "data integration"],
+             "the act of combining data from heterogeneous sources into "
+             "one view", hypernym="act.n.02", freq=10)
+    b.synset("optimization.n.01", ["optimization", "optimisation"],
+             "the act of rendering a plan or query as effective as "
+             "possible", hypernym="act.n.02", freq=12)
+    b.synset("workload.n.01", ["workload", "work load"],
+             "the amount of work assigned to a system or person",
+             hypernym="measure.n.01", freq=10)
+    b.synset("maintenance.n.01", ["maintenance", "upkeep"],
+             "activity involved in keeping something, such as a view or an "
+             "index, in proper operating condition",
+             hypernym="activity.n.01", freq=18)
+    b.synset("forecasting.n.01", ["forecasting", "prediction", "foretelling"],
+             "a statement made about the future, as of a workload",
+             hypernym="statement.n.01", freq=12)
+    b.synset("structure.n.02", ["structure", "data structure"],
+             "an organization of data in a computer program, such as an "
+             "index or a graph", hypernym="concept.n.01", freq=12)
+    b.synset("record.n.04", ["record", "database record", "row", "tuple"],
+             "a collection of related fields treated as a unit by a "
+             "database", hypernym="part.n.01", freq=10)
+
+    b.relation("index.n.01", Relation.PART_HOLONYM, "database.n.01")
+    b.relation("record.n.04", Relation.PART_HOLONYM, "database.n.01")
+    b.relation("query.n.01", Relation.DERIVATION, "database.n.01")
+    b.relation("view.n.02", Relation.DERIVATION, "query.n.01")
+    b.relation("transaction.n.02", Relation.DERIVATION, "database.n.01")
+    b.relation("schema.n.01", Relation.DERIVATION, "database.n.01")
+    b.relation("cache.n.01", Relation.PART_HOLONYM, "computer.n.01")
+    b.relation("software.n.01", Relation.DERIVATION, "computer.n.01")

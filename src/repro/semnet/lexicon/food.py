@@ -1,0 +1,93 @@
+"""Food / menu synsets (W3Schools ``food_menu.dtd``, Group 4 corpus).
+
+Breakfast-menu vocabulary: dishes, courses, calories, servings — with the
+polysemous *dish*, *course*, *menu*, *serving*, *toast* entries.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add food-domain synsets to builder ``b``."""
+    b.synset("dish.n.02", ["dish"],
+             "a particular item of prepared food",
+             hypernym="food.n.01", freq=44)
+    b.synset("dish.n.01", ["dish", "dishful"],
+             "a piece of dishware normally used as a container for holding "
+             "or serving food", hypernym="container.n.01", freq=20)
+    b.synset("dish.n.03", ["dish", "dish aerial", "saucer"],
+             "directional antenna consisting of a parabolic reflector",
+             hypernym="electronic_equipment.n.01", freq=6)
+    b.synset("menu.n.01", ["menu", "bill of fare", "card", "carte"],
+             "a list of dishes available at a restaurant",
+             hypernym="list.n.01", freq=18)
+    b.synset("menu.n.02", ["menu", "computer menu"],
+             "a list of options available to a computer user, displayed on "
+             "screen", hypernym="list.n.01", freq=10)
+    b.synset("course.n.02", ["course"],
+             "part of a meal served at one time",
+             hypernym="food.n.01", freq=14)
+    b.synset("course.n.01", ["course", "course of study", "class"],
+             "education imparted in a series of lessons or meetings",
+             hypernym="activity.n.01", freq=40)
+    b.synset("course.n.03", ["course", "trend", "path"],
+             "general line of orientation or movement",
+             hypernym="attribute.n.01", freq=24)
+    b.synset("breakfast.n.01", ["breakfast"],
+             "the first meal of the day, usually in the morning",
+             hypernym="food.n.01", freq=30)
+    b.synset("meal.n.01", ["meal", "repast"],
+             "the food served and eaten at one time",
+             hypernym="food.n.01", freq=44)
+    b.synset("serving.n.01", ["serving", "portion", "helping"],
+             "an individual quantity of food or drink taken as part of a "
+             "meal", hypernym="measure.n.01", freq=12)
+    b.synset("calorie.n.01", ["calorie", "kilocalorie", "calories"],
+             "a unit of heat used to express the energy value of foods",
+             hypernym="definite_quantity.n.01", freq=16)
+    b.synset("waffle.n.01", ["waffle", "waffles"],
+             "pancake batter baked in a waffle iron, served for breakfast",
+             hypernym="dish.n.02", freq=6)
+    b.synset("toast.n.01", ["toast"],
+             "slices of bread that have been browned by dry heat",
+             hypernym="dish.n.02", freq=22)
+    b.synset("toast.n.02", ["toast", "pledge"],
+             "a drink in honor of or to the health of a person or event",
+             hypernym="act.n.02", freq=8)
+    b.synset("pancake.n.01", ["pancake", "flapjack", "hotcake"],
+             "a flat cake of thin batter fried on both sides on a griddle "
+             "and eaten for breakfast", hypernym="dish.n.02", freq=8)
+    b.synset("egg.n.01", ["egg", "eggs"],
+             "animal reproductive body used as food, especially fried or "
+             "boiled for breakfast", hypernym="food.n.01", freq=34)
+    b.synset("bread.n.01", ["bread", "breadstuff", "staff of life"],
+             "food made from dough of flour and usually raised with yeast",
+             hypernym="food.n.01", freq=38)
+    b.synset("syrup.n.01", ["syrup", "sirup", "maple syrup"],
+             "a thick sweet sticky liquid poured over pancakes or waffles",
+             hypernym="food.n.01", freq=6)
+    b.synset("berry.n.01", ["berry", "strawberry", "blueberry"],
+             "any of numerous small and pulpy edible fruits used as a "
+             "topping for breakfast dishes", hypernym="food.n.01", freq=12)
+    b.synset("cream.n.01", ["cream", "whipped cream"],
+             "the part of milk containing the butterfat, often whipped as a "
+             "topping", hypernym="food.n.01", freq=16)
+    b.synset("coffee.n.01", ["coffee", "java"],
+             "a beverage consisting of an infusion of ground coffee beans, "
+             "drunk at breakfast", hypernym="food.n.01", freq=42)
+    b.synset("juice.n.01", ["juice"],
+             "the liquid part that can be extracted from fruit, served as a "
+             "breakfast drink", hypernym="food.n.01", freq=18)
+    b.synset("restaurant.n.01", ["restaurant", "eating house", "eatery"],
+             "a building where people go to eat meals from a menu",
+             hypernym="building.n.01", freq=26)
+    b.synset("chef.n.01", ["chef", "cook"],
+             "a professional cook who prepares dishes in a restaurant",
+             hypernym="professional.n.01", freq=14)
+
+    b.relation("dish.n.02", Relation.MEMBER_HOLONYM, "menu.n.01")
+    b.relation("course.n.02", Relation.PART_HOLONYM, "meal.n.01")
+    b.relation("breakfast.n.01", Relation.HYPERNYM, "meal.n.01")

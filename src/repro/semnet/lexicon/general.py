@@ -1,0 +1,305 @@
+"""General vocabulary: polysemous everyday words used in document values.
+
+The test corpora embed free text (Shakespeare verse lines, movie plots,
+product reviews).  For those value tokens to participate in — and
+benefit from — disambiguation the way the paper's structure-and-content
+model intends, the lexicon must know them, with realistic homonymy.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add general-vocabulary synsets to builder ``b``."""
+    # -- royalty / epic vocabulary (Shakespeare lines) -----------------------
+    b.synset("king.n.01", ["king", "male monarch"],
+             "a male sovereign ruler of a kingdom",
+             hypernym="leader.n.01", freq=96)
+    b.synset("king.n.02", ["king"],
+             "a checker that has been moved to the opponent's first row",
+             hypernym="object.n.01", freq=6)
+    b.synset("king.n.03", ["king", "magnate", "baron"],
+             "a very wealthy or powerful businessman",
+             hypernym="leader.n.01", freq=10)
+    b.synset("queen.n.01", ["queen", "female monarch"],
+             "a female sovereign ruler of a kingdom",
+             hypernym="leader.n.01", freq=44)
+    b.synset("queen.n.02", ["queen"],
+             "the most powerful chess piece",
+             hypernym="object.n.01", freq=8)
+    b.synset("crown.n.01", ["crown", "diadem"],
+             "an ornamental jeweled headdress signifying sovereignty",
+             hypernym="covering.n.01", freq=18)
+    b.synset("crown.n.02", ["crown", "pennant"],
+             "the award given to the champion",
+             hypernym="sign.n.02", freq=8)
+    b.synset("crown.n.03", ["crown", "treetop"],
+             "the upper branches and leaves of a tree or other plant",
+             hypernym="part.n.01", freq=10)
+    b.synset("kingdom.n.01", ["kingdom", "realm"],
+             "a country with a king or queen as head of state",
+             hypernym="country.n.02", freq=26)
+    b.synset("kingdom.n.02", ["kingdom"],
+             "the highest taxonomic group into which organisms are "
+             "grouped, as the plant kingdom", hypernym="category.n.02",
+             freq=8)
+    b.synset("throne.n.01", ["throne"],
+             "the chair of state of a king or queen",
+             hypernym="artifact.n.01", freq=14)
+    b.synset("sword.n.01", ["sword", "blade", "steel"],
+             "a cutting or thrusting weapon that has a long metal blade",
+             hypernym="weapon.n.01", freq=22)
+    b.synset("banner.n.01", ["banner", "standard"],
+             "any distinctive flag carried into battle",
+             hypernym="sign.n.02", freq=10)
+    b.synset("banner.n.02", ["banner", "streamer"],
+             "a newspaper headline that runs across the full page",
+             hypernym="section.n.01", freq=4)
+    b.synset("council.n.01", ["council"],
+             "a body serving in an administrative or advisory capacity",
+             hypernym="organization.n.01", freq=36)
+    b.synset("feast.n.01", ["feast", "banquet", "spread"],
+             "a ceremonial meal with elaborate food",
+             hypernym="meal.n.01", freq=12)
+    b.synset("ghost.n.01", ["ghost", "shade", "specter", "wraith"],
+             "the visible disembodied spirit of a dead person",
+             hypernym="person.n.01", freq=16)
+    b.synset("ghost.n.02", ["ghost", "ghostwriter"],
+             "a writer who gives their work to another person for "
+             "publication under that person's name",
+             hypernym="writer.n.01", freq=4)
+    b.synset("grave.n.01", ["grave", "tomb"],
+             "a place for the burial of a corpse",
+             hypernym="location.n.01", freq=24)
+    b.synset("storm.n.01", ["storm", "violent storm", "tempest"],
+             "a violent weather condition with winds and rain or snow",
+             hypernym="event.n.01", freq=34)
+    b.synset("storm.n.02", ["storm", "tempest"],
+             "a violent commotion or disturbance among people",
+             hypernym="event.n.01", freq=10)
+    b.synset("night.n.01", ["night", "nighttime", "dark"],
+             "the time after sunset and before sunrise",
+             hypernym="time_period.n.01", freq=118)
+    b.synset("night.n.02", ["night"],
+             "a period of ignorance or gloom or despair",
+             hypernym="condition.n.01", freq=6)
+    b.synset("love.n.01", ["love"],
+             "a strong positive emotion of regard and affection",
+             hypernym="state.n.02", freq=96)
+    b.synset("love.n.02", ["love", "beloved", "dearest", "honey"],
+             "a beloved person",
+             hypernym="person.n.01", freq=20)
+    b.synset("love.n.03", ["love"],
+             "a score of zero in tennis or squash",
+             hypernym="number.n.02", freq=4)
+    b.synset("heart.n.01", ["heart", "pump", "ticker"],
+             "the hollow muscular organ that pumps the blood through the "
+             "body", hypernym="body_part.n.01", freq=62)
+    b.synset("heart.n.02", ["heart", "bosom"],
+             "the locus of feelings and intuitions",
+             hypernym="cognition.n.01", freq=38)
+    b.synset("heart.n.03", ["heart", "center", "middle", "eye"],
+             "an area that is approximately central within some larger "
+             "region", hypernym="location.n.01", freq=22)
+    b.synset("blood.n.01", ["blood"],
+             "the fluid that is pumped through the body by the heart",
+             hypernym="substance.n.01", freq=52)
+    b.synset("blood.n.02", ["blood", "descent", "lineage", "stock"],
+             "the descendants of one common ancestor",
+             hypernym="family.n.01", freq=14)
+    b.synset("honor.n.01", ["honor", "honour", "laurels"],
+             "a tangible symbol signifying approval or distinction",
+             hypernym="sign.n.02", freq=18)
+    b.synset("honor.n.02", ["honor", "honour", "pureness"],
+             "the quality of being honorable and having a good name",
+             hypernym="quality.n.01", freq=24)
+    b.synset("fortune.n.01", ["fortune", "luck", "destiny", "fate"],
+             "an unknown and unpredictable phenomenon that causes events "
+             "to follow a certain course", hypernym="psychological_feature.n.01",
+             freq=28)
+    b.synset("fortune.n.02", ["fortune", "wealth"],
+             "an amount of money or material possessions of considerable "
+             "value", hypernym="monetary_value.n.01", freq=18)
+    b.synset("daughter.n.01", ["daughter", "girl"],
+             "a female human offspring",
+             hypernym="person.n.01", freq=54)
+    b.synset("messenger.n.01", ["messenger", "courier", "herald"],
+             "a person who carries a message",
+             hypernym="worker.n.01", freq=12)
+    b.synset("fool.n.01", ["fool", "jester", "motley fool"],
+             "a professional clown employed to entertain a king or "
+             "nobleman in the middle ages", hypernym="entertainer.n.01",
+             freq=10)
+    b.synset("fool.n.02", ["fool", "sap", "muggins"],
+             "a person who lacks good judgment",
+             hypernym="person.n.01", freq=16)
+    b.synset("nurse.n.01", ["nurse"],
+             "one skilled in caring for young children or the sick",
+             hypernym="professional.n.01", freq=32)
+    b.synset("duke.n.01", ["duke"],
+             "a nobleman of the highest rank",
+             hypernym="leader.n.01", freq=14)
+    b.synset("lord.n.01", ["lord", "noble", "nobleman"],
+             "a titled peer of the realm",
+             hypernym="leader.n.01", freq=30)
+    b.synset("lady.n.01", ["lady", "gentlewoman"],
+             "a woman of refinement or high social standing",
+             hypernym="woman.n.01", freq=42)
+    b.synset("knight.n.01", ["knight"],
+             "an armored warrior of noble birth in the middle ages",
+             hypernym="person.n.01", freq=18)
+    b.synset("knight.n.02", ["knight", "horse"],
+             "a chess piece shaped like a horse's head",
+             hypernym="object.n.01", freq=6)
+
+    # -- narrative / urban vocabulary (plots, reviews) ---------------------------
+    b.synset("window.n.01", ["window"],
+             "a framed opening in a wall to admit light or air",
+             hypernym="structure.n.01", freq=80)
+    b.synset("window.n.02", ["window"],
+             "a rectangular on-screen area where a computer program "
+             "displays its output", hypernym="device.n.01", freq=12)
+    b.synset("window.n.03", ["window", "rear window"],
+             "the transparent opening at the back of a vehicle",
+             hypernym="part.n.01", freq=6)
+    b.synset("neighbor.n.01", ["neighbor", "neighbour"],
+             "a person who lives or is located near another",
+             hypernym="person.n.01", freq=36)
+    b.synset("photographer.n.01", ["photographer", "lensman"],
+             "someone who takes photographs professionally",
+             hypernym="professional.n.01", freq=14)
+    b.synset("detective.n.01", ["detective", "investigator", "tec"],
+             "a police officer or private agent who investigates crimes",
+             hypernym="professional.n.01", freq=20)
+    b.synset("reporter.n.01", ["reporter", "newsman", "correspondent"],
+             "a person who gathers news and writes newspaper stories",
+             hypernym="communicator.n.01", freq=22)
+    b.synset("harbor.n.01", ["harbor", "harbour", "haven", "seaport"],
+             "a sheltered port where ships can take on or discharge cargo",
+             hypernym="location.n.01", freq=18)
+    b.synset("fog.n.01", ["fog", "fogginess", "mist"],
+             "droplets of water vapor suspended in the air near the ground",
+             hypernym="substance.n.01", freq=14)
+    b.synset("lighthouse.n.01", ["lighthouse", "beacon", "pharos"],
+             "a tower with a light that gives warning of shoals to passing "
+             "ships", hypernym="building.n.01", freq=8)
+    b.synset("room.n.01", ["room"],
+             "an area within a building enclosed by walls and floor and "
+             "ceiling", hypernym="location.n.01", freq=100)
+    b.synset("room.n.02", ["room", "way", "elbow room"],
+             "opportunity or scope for doing something",
+             hypernym="state.n.02", freq=12)
+    b.synset("wheelchair.n.01", ["wheelchair"],
+             "a movable chair mounted on large wheels for invalids",
+             hypernym="device.n.01", freq=6)
+    b.synset("spy.n.01", ["spy", "undercover agent"],
+             "a secret agent hired to obtain information about an enemy",
+             hypernym="person.n.01", freq=14)
+    b.synset("camera.n.01", ["camera", "photographic camera"],
+             "equipment for taking photographs",
+             hypernym="electronic_equipment.n.01", freq=24)
+    b.synset("monitor.n.01", ["monitor", "display", "screen"],
+             "a device that displays signals on a screen",
+             hypernym="electronic_equipment.n.01", freq=16)
+    b.synset("monitor.n.02", ["monitor", "proctor"],
+             "someone who supervises an examination or keeps order",
+             hypernym="person.n.01", freq=8)
+    b.synset("keyboard.n.01", ["keyboard"],
+             "a device consisting of a set of keys for typing or playing "
+             "music", hypernym="electronic_equipment.n.01", freq=14)
+    b.synset("notebook.n.01", ["notebook"],
+             "a book with blank pages for recording notes or memoranda",
+             hypernym="book.n.01", freq=12)
+    b.synset("notebook.n.02", ["notebook", "notebook computer", "laptop"],
+             "a small compact portable computer",
+             hypernym="electronic_equipment.n.01", freq=10)
+    b.synset("lamp.n.01", ["lamp"],
+             "a piece of furniture holding one or more electric light "
+             "bulbs", hypernym="appliance.n.01", freq=28)
+    b.synset("kettle.n.01", ["kettle", "boiler"],
+             "a metal pot for stewing or boiling, usually with a lid",
+             hypernym="container.n.01", freq=10)
+    b.synset("kettle.n.02", ["kettle", "kettledrum", "tympanum"],
+             "a large hemispherical brass or copper percussion instrument",
+             hypernym="instrument.n.01", freq=4)
+    b.synset("backpack.n.01", ["backpack", "knapsack", "rucksack"],
+             "a bag carried by a strap on your back or shoulder",
+             hypernym="container.n.01", freq=8)
+    b.synset("blender.n.01", ["blender", "liquidizer"],
+             "an electric kitchen appliance for mixing or chopping food",
+             hypernym="appliance.n.01", freq=6)
+    b.synset("teapot.n.01", ["teapot"],
+             "a pot for brewing and serving tea",
+             hypernym="container.n.01", freq=6)
+    b.synset("scarf.n.01", ["scarf"],
+             "a garment worn around the head or neck for warmth or "
+             "decoration", hypernym="covering.n.01", freq=10)
+    b.synset("wallet.n.01", ["wallet", "billfold", "pocketbook"],
+             "a pocket-size case for holding papers and paper money",
+             hypernym="container.n.01", freq=8)
+    b.synset("ferry.n.01", ["ferry", "ferryboat"],
+             "a boat that transports people or vehicles across a body of "
+             "water on a regular schedule", hypernym="instrumentality.n.01",
+             freq=10)
+    b.synset("lantern.n.01", ["lantern"],
+             "a portable light with a transparent protective case",
+             hypernym="device.n.01", freq=8)
+    b.synset("echo.n.01", ["echo", "reverberation", "sound reflection"],
+             "the repetition of a sound from reflection of the sound waves",
+             hypernym="event.n.01", freq=12)
+    b.synset("balcony.n.01", ["balcony"],
+             "a platform projecting from the wall of a building",
+             hypernym="structure.n.01", freq=10)
+    b.synset("letter.n.01", ["letter", "missive"],
+             "a written message addressed to a person or organization",
+             hypernym="document.n.01", freq=54)
+    b.synset("letter.n.02", ["letter", "letter of the alphabet"],
+             "a written symbol representing a speech sound",
+             hypernym="sign.n.02", freq=30)
+    b.synset("coast.n.01", ["coast", "seashore", "seacoast"],
+             "the shore of a sea or ocean",
+             hypernym="region.n.01", freq=30)
+    b.synset("sky.n.01", ["sky"],
+             "the atmosphere and outer space as viewed from the earth",
+             hypernym="natural_object.n.01", freq=46)
+    b.synset("corner.n.01", ["corner", "nook"],
+             "an interior angle formed by two meeting walls or regions",
+             hypernym="location.n.01", freq=28)
+    b.synset("train.n.01", ["train", "railroad train"],
+             "public transport provided by a line of railway cars coupled "
+             "together", hypernym="instrumentality.n.01", freq=40)
+    b.synset("train.n.02", ["train", "string"],
+             "a sequentially ordered set of things or events",
+             hypernym="collection.n.01", freq=12)
+    b.synset("reel.n.01", ["reel"],
+             "a winder around which film or tape or wire is wound",
+             hypernym="device.n.01", freq=6)
+    b.synset("reel.n.02", ["reel"],
+             "a lively dance of scottish highlanders",
+             hypernym="activity.n.01", freq=4)
+    b.synset("shadow.n.01", ["shadow", "shadows"],
+             "a dark area where direct light is blocked by an object",
+             hypernym="attribute.n.01", freq=26)
+    b.synset("glass.n.01", ["glass"],
+             "a brittle transparent solid used for windows and bottles",
+             hypernym="substance.n.01", freq=44)
+    b.synset("glass.n.02", ["glass", "drinking glass"],
+             "a container for holding liquids while drinking",
+             hypernym="container.n.01", freq=22)
+    b.synset("main_street.n.01", ["main street", "high street"],
+             "the principal street of a town",
+             hypernym="street.n.01", freq=8)
+    b.synset("bacon.n.01", ["bacon"],
+             "cured meat from the back and sides of a hog, fried for "
+             "breakfast", hypernym="food.n.01", freq=12)
+    b.synset("sausage.n.01", ["sausage"],
+             "highly seasoned minced meat stuffed in casings, often served "
+             "at breakfast", hypernym="food.n.01", freq=10)
+    b.synset("player.n.02", ["player", "instrumentalist", "musician"],
+             "someone who plays a musical instrument",
+             hypernym="performer.n.01", freq=22)
+    b.synset("player.n.03", ["player", "record player", "phonograph"],
+             "machine in which rotating records cause a stylus to vibrate",
+             hypernym="electronic_equipment.n.01", freq=8)

@@ -1,0 +1,216 @@
+"""Movie-domain synsets (IMDB ``movies.dtd``, the paper's Figure 1 example).
+
+Contains the paper's running vocabulary — *picture*, *cast*, *star*,
+*director*, *plot* — with full homonym structure (e.g. *star* the
+celestial body vs. the performer; *cast* the troupe vs. the throw vs. the
+surgical dressing), plus the celebrity proper nouns used in Figure 1
+(*Kelly* as Grace/Gene/Emmett Kelly, *Stewart* as James Stewart vs. the
+royal house).
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add movie-domain synsets to builder ``b``."""
+    # -- works and showings ----------------------------------------------------
+    b.synset("show.n.03", ["show"],
+             "a social event involving a public performance or entertainment",
+             hypernym="event.n.01", freq=46)
+    b.synset("movie.n.01", ["movie", "film", "picture", "motion picture",
+                            "moving picture", "pic", "flick"],
+             "a form of entertainment that enacts a story by sound and a "
+             "sequence of images", hypernym="show.n.03", freq=84)
+    b.synset("picture.n.02", ["picture", "image", "icon"],
+             "a visual representation of an object or scene or person "
+             "produced on a surface", hypernym="artifact.n.01", freq=62)
+    b.synset("picture.n.03", ["picture", "mental picture", "impression"],
+             "a clear and telling mental image",
+             hypernym="content.n.05", freq=18)
+    b.synset("picture.n.04", ["picture", "scene"],
+             "a situation treated as an observable object",
+             hypernym="state.n.02", freq=10)
+    b.synset("film.n.02", ["film", "photographic film"],
+             "photographic material consisting of a base of celluloid "
+             "covered with a photographic emulsion",
+             hypernym="artifact.n.01", freq=20)
+    b.synset("film.n.03", ["film", "thin film"],
+             "a thin coating or layer on a surface",
+             hypernym="covering.n.01", freq=8)
+
+    b.synset("documentary.n.01", ["documentary", "docudrama"],
+             "a film or TV program presenting the facts about a person or "
+             "event", hypernym="movie.n.01", freq=8)
+    b.synset("feature.n.03", ["feature", "feature film"],
+             "the principal (full-length) film in a program at a movie "
+             "theater", hypernym="movie.n.01", freq=10)
+
+    # -- genres -------------------------------------------------------------------
+    b.synset("mystery.n.01", ["mystery", "mystery story", "whodunit"],
+             "a story about a crime presented as a novel or play or movie",
+             hypernym="genre.n.01", freq=34)
+    b.synset("mystery.n.02", ["mystery", "enigma", "secret"],
+             "something that baffles understanding and cannot be explained",
+             hypernym="concept.n.01", freq=22)
+    b.synset("thriller.n.01", ["thriller", "suspense film"],
+             "a show or film or book designed to hold the interest through "
+             "suspense", hypernym="genre.n.01", freq=12)
+    b.synset("comedy.n.01", ["comedy"],
+             "a comic incident or series of incidents in a film or play",
+             hypernym="genre.n.01", freq=26)
+    b.synset("drama.n.01", ["drama"],
+             "a work intended for performance by actors on a stage or "
+             "screen", hypernym="genre.n.01", freq=34)
+    b.synset("romance.n.01", ["romance", "love story"],
+             "a story or film dealing with a love affair",
+             hypernym="genre.n.01", freq=14)
+    b.synset("western.n.01", ["western", "horse opera"],
+             "a film about life in the western United States during the "
+             "period of exploration and settlement",
+             hypernym="genre.n.01", freq=8)
+    b.synset("horror.n.02", ["horror", "horror film"],
+             "a film designed to frighten and shock the audience",
+             hypernym="genre.n.01", freq=10)
+    b.synset("horror.n.01", ["horror", "dread"],
+             "intense and profound fear",
+             hypernym="state.n.02", freq=18)
+
+    # -- people of film -------------------------------------------------------------
+    b.synset("performer.n.01", ["performer", "performing artist"],
+             "an entertainer who performs a dramatic or musical work for an "
+             "audience", hypernym="entertainer.n.01", freq=24)
+    b.synset("actor.n.01", ["actor", "histrion", "thespian", "player"],
+             "a theatrical performer; a person who acts in a dramatic or "
+             "comic production", hypernym="performer.n.01", freq=52)
+    b.synset("actress.n.01", ["actress"],
+             "a female actor who plays women's roles in films or plays",
+             hypernym="actor.n.01", freq=28)
+    b.synset("star.n.01", ["star"],
+             "a celestial body of hot gases that radiates energy",
+             hypernym="celestial_body.n.01", freq=58)
+    b.synset("star.n.02", ["star", "principal", "lead"],
+             "an actor who plays a principal role in a film or play",
+             hypernym="actor.n.01", freq=30)
+    b.synset("star.n.03", ["star", "ace", "champion", "hotshot"],
+             "someone who is dazzlingly skilled in any field",
+             hypernym="expert.n.01", freq=12)
+    b.synset("star.n.04", ["star", "star topology"],
+             "a plane figure with five or more points radiating from a "
+             "center", hypernym="shape.n.01", freq=10)
+    b.synset("star.n.05", ["star", "asterisk"],
+             "a star-shaped character * used in printing",
+             hypernym="sign.n.02", freq=6)
+    b.synset("director.n.01", ["director", "film director", "filmmaker"],
+             "the person who directs the making of a film and supervises "
+             "the actors", hypernym="leader.n.01", freq=26)
+    b.synset("director.n.02", ["director", "manager", "managing director"],
+             "someone who controls resources and expenditures of a business",
+             hypernym="leader.n.01", freq=38)
+    b.synset("director.n.03", ["director", "conductor", "music director"],
+             "the person who leads a musical group or orchestra",
+             hypernym="leader.n.01", freq=12)
+    b.synset("producer.n.01", ["producer", "film producer"],
+             "someone who finds financing for and supervises the making of "
+             "a film or show", hypernym="maker.n.01", freq=16)
+    b.synset("screenwriter.n.01", ["screenwriter", "scriptwriter"],
+             "a writer of screenplays for films",
+             hypernym="writer.n.01", freq=6)
+
+    # -- cast and production -----------------------------------------------------------
+    b.synset("cast.n.01", ["cast", "cast of characters", "dramatis personae"],
+             "the actors in a play or film considered as a group; the stars "
+             "and supporting players of a production",
+             hypernym="social_group.n.01", freq=18)
+    b.synset("cast.n.02", ["cast", "casting"],
+             "the act of throwing something, especially a fishing line or "
+             "dice", hypernym="act.n.02", freq=10)
+    b.synset("cast.n.03", ["cast", "plaster cast", "plaster bandage"],
+             "a bandage impregnated with plaster of paris, applied to "
+             "immobilize a broken bone", hypernym="covering.n.01", freq=6)
+    b.synset("cast.n.04", ["cast", "mold", "mould", "stamp"],
+             "the distinctive form in which a thing is made or shaped",
+             hypernym="shape.n.01", freq=8)
+    b.synset("crew.n.01", ["crew", "film crew"],
+             "the technical group that works together making a film",
+             hypernym="social_group.n.01", freq=14)
+    b.synset("character.n.04", ["character", "role", "part", "persona"],
+             "an actor's portrayal of someone in a play or film",
+             hypernym="part.n.01", freq=30)
+    b.synset("plot.n.02", ["plot", "storyline", "story line"],
+             "the story that is told in a novel or play or movie",
+             hypernym="content.n.05", freq=20)
+    b.synset("plot.n.01", ["plot", "secret plan", "game"],
+             "a secret scheme to do something, especially something "
+             "underhand or illegal", hypernym="content.n.05", freq=16)
+    b.synset("plot.n.03", ["plot", "plot of ground", "patch"],
+             "a small area of ground covered by specific vegetation",
+             hypernym="region.n.01", freq=12)
+    b.synset("scene.n.02", ["scene", "shot"],
+             "a consecutive series of pictures that constitutes a unit of "
+             "action in a film", hypernym="part.n.01", freq=18)
+    b.synset("screenplay.n.01", ["screenplay", "script"],
+             "a written version of a play or film used by the actors",
+             hypernym="writing.n.02", freq=8)
+    b.synset("rating.n.01", ["rating", "evaluation", "valuation"],
+             "an appraisal of the value or quality of something",
+             hypernym="statement.n.01", freq=24)
+    b.synset("runtime.n.01", ["runtime", "running time", "duration"],
+             "the length of time a film or performance lasts",
+             hypernym="time_period.n.01", freq=8)
+    b.synset("review.n.01", ["review", "critique", "critical review"],
+             "an essay or article that gives a critical evaluation of a "
+             "work", hypernym="writing.n.02", freq=28)
+    b.synset("studio.n.01", ["studio", "film studio"],
+             "a company that produces movies; workplace with facilities for "
+             "filming", hypernym="company.n.01", freq=10)
+    b.synset("theater.n.01", ["theater", "theatre", "house", "cinema"],
+             "a building where films or theatrical performances can be "
+             "presented", hypernym="building.n.01", freq=32)
+
+    # -- the Figure 1 celebrities -----------------------------------------------------
+    b.synset("kelly.n.01", ["kelly", "grace kelly", "grace patricia kelly"],
+             "united states film actress who retired when she married the "
+             "prince of monaco", hypernym="actress.n.01", freq=4)
+    b.synset("kelly.n.02", ["kelly", "gene kelly", "eugene curran kelly"],
+             "united states dancer who performed in many musical films",
+             hypernym="performer.n.01", freq=4)
+    b.synset("kelly.n.03", ["kelly", "emmett kelly"],
+             "united states circus clown famous for his sad hobo "
+             "performance", hypernym="entertainer.n.01", freq=2)
+    b.synset("stewart.n.01", ["stewart", "james stewart", "jimmy stewart"],
+             "united states film actor who portrayed incorruptible but "
+             "modest heroes", hypernym="actor.n.01", freq=4)
+    b.synset("stewart.n.02", ["stewart", "stuart"],
+             "the royal family that ruled scotland and england",
+             hypernym="family.n.01", freq=6)
+    b.synset("hitchcock.n.01", ["hitchcock", "alfred hitchcock",
+                                "sir alfred hitchcock"],
+             "english film director noted for his films of suspense and "
+             "mystery", hypernym="director.n.01", freq=4)
+    b.synset("grant.n.02", ["grant", "cary grant"],
+             "united states film actor known for witty charming roles",
+             hypernym="actor.n.01", freq=4)
+    b.synset("grant.n.01", ["grant", "subsidization", "award"],
+             "any monetary aid given for a particular purpose",
+             hypernym="monetary_value.n.01", freq=22)
+    b.synset("novak.n.01", ["novak", "kim novak"],
+             "united states film actress of the golden age of hollywood",
+             hypernym="actress.n.01", freq=2)
+
+    # Derivational links: directors direct movies, stars star in them.
+    b.relation("director.n.01", Relation.DERIVATION, "movie.n.01")
+    b.relation("star.n.02", Relation.DERIVATION, "movie.n.01")
+    b.relation("actor.n.01", Relation.DERIVATION, "character.n.04")
+    b.relation("producer.n.01", Relation.DERIVATION, "movie.n.01")
+    b.relation("rating.n.01", Relation.DERIVATION, "review.n.01")
+
+    # member-of: stars/actors belong to casts; scenes are parts of movies.
+    b.relation("actor.n.01", Relation.MEMBER_HOLONYM, "cast.n.01")
+    b.relation("scene.n.02", Relation.PART_HOLONYM, "movie.n.01")
+    b.relation("plot.n.02", Relation.PART_HOLONYM, "movie.n.01")
+    b.relation("cast.n.01", Relation.PART_HOLONYM, "movie.n.01")
+    b.relation("character.n.04", Relation.PART_HOLONYM, "plot.n.02")
+    b.relation("screenplay.n.01", Relation.PART_HOLONYM, "movie.n.01")

@@ -1,0 +1,100 @@
+"""Music synsets (W3Schools ``cd_catalog.dtd``).
+
+CD-catalog vocabulary: artists, albums, tracks, companies, countries —
+with the strongly polysemous *track*, *record*, *album*, *band*,
+*company*, *artist* entries.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add music-domain synsets to builder ``b``."""
+    b.synset("music.n.01", ["music"],
+             "an artistic form of auditory communication incorporating "
+             "instrumental or vocal tones", hypernym="communication.n.02",
+             freq=66)
+    b.synset("song.n.01", ["song", "vocal"],
+             "a short musical composition with words",
+             hypernym="music.n.01", freq=38)
+    b.synset("cd.n.01", ["cd", "compact disc", "compact disk"],
+             "a digital recording of music on an optical disk",
+             hypernym="electronic_equipment.n.01", freq=16)
+    b.synset("cd.n.02", ["cd", "certificate of deposit"],
+             "a debt instrument issued by a bank, usually paying interest",
+             hypernym="commercial_document.n.01", freq=6)
+    b.synset("album.n.01", ["album", "record album"],
+             "one or more recordings issued together as a collection of "
+             "songs", hypernym="work.n.02", freq=22)
+    b.synset("album.n.02", ["album", "photo album"],
+             "a book of blank pages with pockets or envelopes, for "
+             "organizing photographs or stamps", hypernym="book.n.01",
+             freq=8)
+    b.synset("track.n.01", ["track", "cut"],
+             "one of the separate songs or pieces of music on a recording",
+             hypernym="song.n.01", freq=14)
+    b.synset("track.n.02", ["track", "path", "course"],
+             "a line or route along which something travels or moves",
+             hypernym="location.n.01", freq=30)
+    b.synset("track.n.03", ["track", "running track", "racetrack"],
+             "a course over which races are run",
+             hypernym="structure.n.01", freq=12)
+    b.synset("track.n.04", ["track", "caterpillar track"],
+             "an endless metal belt on which tracked vehicles move over the "
+             "ground", hypernym="device.n.01", freq=4)
+    b.synset("artist.n.02", ["artist", "recording artist", "musician"],
+             "a musician or singer who records music commercially",
+             hypernym="artist.n.01", freq=20)
+    b.synset("singer.n.01", ["singer", "vocalist", "vocalizer"],
+             "a person who sings",
+             hypernym="artist.n.02", freq=24)
+    b.synset("band.n.01", ["band", "musical group", "musical ensemble"],
+             "a group of musicians playing popular music for dancing",
+             hypernym="social_group.n.01", freq=30)
+    b.synset("band.n.02", ["band", "stripe", "strip"],
+             "a narrow flat piece of material covering or encircling "
+             "something", hypernym="part.n.01", freq=16)
+    b.synset("band.n.03", ["band", "frequency band", "waveband"],
+             "a range of frequencies between two limits",
+             hypernym="measure.n.01", freq=8)
+    b.synset("label.n.01", ["label", "record label", "recording label"],
+             "a company that produces and distributes recorded music",
+             hypernym="company.n.01", freq=10)
+    b.synset("label.n.02", ["label", "tag", "mark"],
+             "a brief description attached to an object to identify it",
+             hypernym="sign.n.02", freq=18)
+    b.synset("concert.n.01", ["concert"],
+             "a performance of music by players or singers before an "
+             "audience", hypernym="performance.n.01", freq=22)
+    b.synset("tour.n.01", ["tour", "circuit"],
+             "a series of concert performances in different cities by a "
+             "musician or band", hypernym="activity.n.01", freq=14)
+    b.synset("studio.n.02", ["studio", "recording studio"],
+             "a workplace equipped for recording music",
+             hypernym="building.n.01", freq=8)
+    b.synset("lyric.n.01", ["lyric", "words", "language"],
+             "the text of a popular song or musical-comedy number",
+             hypernym="text.n.01", freq=10)
+    b.synset("melody.n.01", ["melody", "tune", "air", "strain"],
+             "a succession of musical notes forming a distinctive sequence",
+             hypernym="music.n.01", freq=18)
+    b.synset("instrument.n.01", ["instrument", "musical instrument"],
+             "any of various devices designed to make music",
+             hypernym="device.n.01", freq=26)
+    b.synset("guitar.n.01", ["guitar"],
+             "a stringed musical instrument usually having six strings, "
+             "played by strumming", hypernym="instrument.n.01", freq=12)
+
+    # Derivational links: recording artists record albums and cds.
+    b.relation("artist.n.02", Relation.DERIVATION, "album.n.01")
+    b.relation("artist.n.02", Relation.DERIVATION, "cd.n.01")
+    b.relation("singer.n.01", Relation.DERIVATION, "song.n.01")
+
+    b.relation("track.n.01", Relation.PART_HOLONYM, "album.n.01")
+    b.relation("song.n.01", Relation.PART_HOLONYM, "album.n.01")
+    b.relation("lyric.n.01", Relation.PART_HOLONYM, "song.n.01")
+    b.relation("artist.n.02", Relation.MEMBER_HOLONYM, "band.n.01")
+    b.relation("album.n.01", Relation.PART_HOLONYM, "cd.n.01")

@@ -1,0 +1,157 @@
+"""Personnel / contact synsets (Niagara ``personnel.dtd``, ``club.dtd``).
+
+People records: names, emails, addresses, departments, salaries, offices,
+managers, members, coaches — with the polysemy traps the paper calls out
+explicitly (*state* under *address* has 8 senses in WordNet; we model the
+same collision between the administrative district and the condition
+senses, plus more).
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add people/contact-domain synsets to builder ``b``."""
+    b.synset("first_name.n.01", ["first name", "given name", "forename"],
+             "the name that precedes the surname",
+             hypernym="name.n.01", freq=16)
+    b.synset("last_name.n.01", ["last name", "surname", "family name",
+                                "cognomen"],
+             "the name used to identify the members of a family",
+             hypernym="name.n.01", freq=14)
+    b.synset("middle_name.n.01", ["middle name"],
+             "a name between your first name and your surname",
+             hypernym="name.n.01", freq=4)
+    b.synset("email.n.01", ["email", "e-mail", "electronic mail"],
+             "a system of world-wide electronic communication via computer "
+             "networks", hypernym="communication.n.02", freq=24)
+    b.synset("url.n.01", ["url", "uniform resource locator", "web address"],
+             "the address of a web page on the world wide web",
+             hypernym="address.n.02", freq=12)
+    b.synset("link.n.01", ["link", "hyperlink"],
+             "a connection that enables moving from one web page to "
+             "another", hypernym="relation.n.01", freq=14)
+    b.synset("link.n.02", ["link", "data link"],
+             "an interconnecting circuit between two or more locations for "
+             "the purpose of transmitting signals",
+             hypernym="electronic_equipment.n.01", freq=8)
+    b.synset("link.n.03", ["link", "chain link"],
+             "one of the rings of a chain",
+             hypernym="part.n.01", freq=10)
+    b.synset("phone.n.01", ["phone", "telephone", "telephone set"],
+             "electronic equipment that converts sound into electrical "
+             "signals for transmission",
+             hypernym="electronic_equipment.n.01", freq=42)
+    b.synset("street.n.01", ["street"],
+             "a thoroughfare, usually paved, in a city or town",
+             hypernym="location.n.01", freq=88)
+    b.synset("zip_code.n.01", ["zip code", "zip", "postcode", "postal code"],
+             "a code of letters and digits added to a postal address to aid "
+             "the sorting of mail", hypernym="sign.n.02", freq=6)
+
+    b.synset("state.n.03", ["state", "nation", "body politic", "commonwealth"],
+             "a politically organized body of people under a single "
+             "government", hypernym="organization.n.01", freq=56)
+    b.synset("state.n.04", ["state", "state of matter"],
+             "the three traditional states of matter are solids and liquids "
+             "and gases", hypernym="attribute.n.01", freq=12)
+    b.synset("state.n.05", ["state", "department of state", "state department"],
+             "the federal department that sets and maintains foreign "
+             "policies", hypernym="institution.n.01", freq=10)
+    b.synset("state.n.06", ["state", "emotional state", "spirit"],
+             "the condition of a person's emotions",
+             hypernym="condition.n.01", freq=18)
+
+    b.synset("department.n.01", ["department", "section"],
+             "a specialized division of a large organization",
+             hypernym="unit.n.03", freq=48)
+    b.synset("salary.n.01", ["salary", "wage", "pay", "earnings",
+                             "remuneration"],
+             "something that remunerates; fixed compensation paid regularly "
+             "for work", hypernym="monetary_value.n.01", freq=38)
+    b.synset("office.n.01", ["office", "business office"],
+             "a place of business where professional or clerical duties are "
+             "performed", hypernym="location.n.01", freq=54)
+    b.synset("office.n.02", ["office", "position", "berth", "post", "place"],
+             "a job in an organization",
+             hypernym="occupation.n.01", freq=30)
+    b.synset("manager.n.01", ["manager", "supervisor"],
+             "someone who controls resources and expenditures within an "
+             "organization", hypernym="leader.n.01", freq=36)
+    b.synset("manager.n.02", ["manager", "coach", "handler"],
+             "someone in charge of training an athlete or a sports team",
+             hypernym="leader.n.01", freq=20)
+    b.synset("staff.n.01", ["staff"],
+             "personnel who assist their superior in carrying out an "
+             "assigned task", hypernym="social_group.n.01", freq=28)
+    b.synset("personnel.n.01", ["personnel", "force"],
+             "the group of people who work for an organization, considered "
+             "as a body", hypernym="social_group.n.01", freq=18)
+    b.synset("coach.n.01", ["coach", "trainer"],
+             "a person who gives private instruction in sports or acting "
+             "or singing", hypernym="expert.n.01", freq=16)
+    b.synset("coach.n.02", ["coach", "four-in-hand", "coach-and-four"],
+             "a carriage pulled by four horses with one driver",
+             hypernym="instrumentality.n.01", freq=6)
+    b.synset("coach.n.03", ["coach", "passenger car", "carriage"],
+             "a railway car conveying passengers",
+             hypernym="instrumentality.n.01", freq=8)
+    b.synset("club.n.01", ["club", "social club", "society", "guild", "lodge"],
+             "a formal association of people with similar interests",
+             hypernym="organization.n.01", freq=32)
+    b.synset("club.n.02", ["club", "golf club", "golf-club"],
+             "golf equipment used by a golfer to hit a golf ball",
+             hypernym="device.n.01", freq=10)
+    b.synset("club.n.03", ["club", "cudgel", "truncheon"],
+             "a stout stick that is larger at one end, used as a weapon",
+             hypernym="weapon.n.01", freq=8)
+    b.synset("club.n.04", ["club", "nightclub", "nightspot"],
+             "a spot that is open late at night and that provides "
+             "entertainment", hypernym="building.n.01", freq=12)
+    b.synset("position.n.01", ["position", "place", "spot"],
+             "the particular portion of space occupied by something",
+             hypernym="location.n.01", freq=44)
+    b.synset("position.n.02", ["position", "post", "situation", "office"],
+             "a job in an organization or on a team",
+             hypernym="occupation.n.01", freq=70)
+    b.synset("position.n.03", ["position", "stance", "posture"],
+             "the arrangement of the body and its limbs",
+             hypernym="attribute.n.01", freq=22)
+    b.synset("captain.n.01", ["captain", "skipper"],
+             "the leader of a group of people, especially a sports team",
+             hypernym="leader.n.01", freq=18)
+    b.synset("president.n.01", ["president", "chairman", "chairwoman"],
+             "the officer who presides at the meetings of an organization",
+             hypernym="leader.n.01", freq=40)
+    b.synset("secretary.n.01", ["secretary", "secretarial assistant"],
+             "an assistant who handles correspondence and clerical work for "
+             "an organization", hypernym="employee.n.01", freq=22)
+    b.synset("treasurer.n.01", ["treasurer", "financial officer"],
+             "an officer charged with receiving and disbursing funds of an "
+             "organization", hypernym="employee.n.01", freq=8)
+    b.synset("gender.n.01", ["gender", "sex"],
+             "the properties that distinguish organisms on the basis of "
+             "their reproductive roles", hypernym="attribute.n.01", freq=26)
+    b.synset("hobby.n.01", ["hobby", "avocation", "pastime"],
+             "an auxiliary activity pursued for pleasure",
+             hypernym="activity.n.01", freq=14)
+
+    # Derivational links: coaches train teams, members join clubs.
+    b.relation("coach.n.01", Relation.DERIVATION, "team.n.01")
+    b.relation("position.n.02", Relation.DERIVATION, "member.n.01")
+    b.relation("state.n.01", Relation.DERIVATION, "address.n.02")
+    b.relation("city.n.01", Relation.DERIVATION, "address.n.02")
+    b.relation("street.n.01", Relation.DERIVATION, "address.n.02")
+    b.relation("zip_code.n.01", Relation.DERIVATION, "address.n.02")
+
+    # Membership / containment structure.
+    b.relation("member.n.01", Relation.MEMBER_HOLONYM, "club.n.01")
+    b.relation("employee.n.01", Relation.MEMBER_HOLONYM, "personnel.n.01")
+    b.relation("department.n.01", Relation.PART_HOLONYM, "organization.n.01")
+    b.relation("office.n.01", Relation.PART_HOLONYM, "building.n.01")
+    b.relation("street.n.01", Relation.PART_HOLONYM, "city.n.01")
+    b.relation("state.n.01", Relation.PART_HOLONYM, "country.n.02")
+    b.relation("city.n.01", Relation.PART_HOLONYM, "state.n.01")

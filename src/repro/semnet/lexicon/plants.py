@@ -1,0 +1,116 @@
+"""Botany synsets (W3Schools ``plant_catalog.dtd``).
+
+Plant-catalog vocabulary: common and botanical names, zones, light
+requirements, availability — with the famous *plant* homonymy (flora vs.
+industrial plant) and the *light*, *zone*, *common* collisions.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add plant-domain synsets to builder ``b``."""
+    b.synset("plant.n.01", ["plant", "works", "industrial plant"],
+             "buildings for carrying on industrial labor",
+             hypernym="building.n.01", freq=40)
+    b.synset("plant.n.03", ["plant"],
+             "an actor situated in the audience whose acting is rehearsed "
+             "but seems spontaneous", hypernym="actor.n.01", freq=2)
+    b.synset("flower.n.01", ["flower", "bloom", "blossom"],
+             "a plant cultivated for its blooms or blossoms",
+             hypernym="plant.n.02", freq=32)
+    b.synset("herb.n.01", ["herb", "herbaceous plant"],
+             "a plant lacking a permanent woody stem, many used for "
+             "flavorings or medicine", hypernym="plant.n.02", freq=12)
+    b.synset("shrub.n.01", ["shrub", "bush"],
+             "a low woody perennial plant, usually having several major "
+             "stems", hypernym="plant.n.02", freq=10)
+    b.synset("tree.n.01", ["tree"],
+             "a tall perennial woody plant having a main trunk and "
+             "branches", hypernym="plant.n.02", freq=80)
+    b.synset("tree.n.02", ["tree", "tree diagram"],
+             "a figure that branches from a single root, as a data "
+             "structure", hypernym="shape.n.01", freq=14)
+    b.synset("botanical_name.n.01", ["botanical name", "botanical",
+                                     "scientific name"],
+             "the gardener's term for the latin scientific name of a plant",
+             hypernym="name.n.01", freq=4)
+    b.synset("common_name.n.01", ["common name", "common", "vernacular name"],
+             "the ordinary everyday name of a plant, as opposed to its "
+             "botanical name", hypernym="name.n.01", freq=6)
+    b.synset("common.n.01", ["common", "commons", "green", "park"],
+             "a piece of open land for recreational use in an urban area",
+             hypernym="location.n.01", freq=16)
+    b.synset("zone.n.01", ["zone", "hardiness zone", "climate zone"],
+             "a geographical area characterized by a climate in which "
+             "particular plants grow", hypernym="region.n.01", freq=14)
+    b.synset("zone.n.02", ["zone", "geographical zone"],
+             "any of the regions of the surface of the earth loosely "
+             "divided according to latitude", hypernym="region.n.01",
+             freq=10)
+    b.synset("light.n.01", ["light", "visible light", "visible radiation"],
+             "electromagnetic radiation that can produce a visual "
+             "sensation, needed by plants to grow", hypernym="substance.n.01",
+             freq=90)
+    b.synset("light.n.02", ["light", "light source"],
+             "any device serving as a source of illumination",
+             hypernym="appliance.n.01", freq=28)
+    b.synset("light.n.03", ["light", "illumination"],
+             "a condition of spiritual or mental enlightenment",
+             hypernym="condition.n.01", freq=12)
+    b.synset("shade.n.01", ["shade", "shadiness", "shadowiness"],
+             "relative darkness caused by light rays being intercepted, a "
+             "growing condition for some plants", hypernym="condition.n.01",
+             freq=18)
+    b.synset("shade.n.02", ["shade", "tint", "tone"],
+             "a quality of a given color that differs slightly from another "
+             "color", hypernym="quality.n.01", freq=12)
+    b.synset("sun.n.01", ["sun", "full sun", "sunlight", "sunshine"],
+             "the rays of the sun reaching a plant in the garden",
+             hypernym="light.n.01", freq=64)
+    b.synset("soil.n.01", ["soil", "dirt", "ground", "earth"],
+             "the part of the earth's surface consisting of humus and "
+             "disintegrated rock in which plants grow",
+             hypernym="substance.n.01", freq=48)
+    b.synset("garden.n.01", ["garden"],
+             "a plot of ground where plants are cultivated",
+             hypernym="plot.n.03", freq=36)
+    b.synset("root.n.01", ["root"],
+             "the usually underground organ that anchors and supports a "
+             "plant and absorbs minerals", hypernym="part.n.01", freq=30)
+    b.synset("root.n.02", ["root", "root word", "radical", "stem", "base"],
+             "the form of a word after all affixes are removed",
+             hypernym="word.n.01", freq=10)
+    b.synset("leaf.n.01", ["leaf", "leafage", "foliage"],
+             "the main organ of photosynthesis in higher plants",
+             hypernym="part.n.01", freq=28)
+    b.synset("leaf.n.02", ["leaf", "folio"],
+             "a sheet of any written or printed material, as in a book",
+             hypernym="part.n.01", freq=8)
+    b.synset("bulb.n.01", ["bulb"],
+             "a modified bud consisting of a thickened globular underground "
+             "stem from which a plant grows", hypernym="part.n.01", freq=6)
+    b.synset("seed.n.01", ["seed"],
+             "a small hard fruit from which a new plant grows",
+             hypernym="part.n.01", freq=24)
+    b.synset("nursery.n.01", ["nursery", "greenhouse"],
+             "a place where young plants are grown for sale or "
+             "transplanting", hypernym="institution.n.01", freq=8)
+    b.synset("rose.n.01", ["rose", "rosebush"],
+             "any of many shrubs of the genus rosa bearing showy flowers",
+             hypernym="shrub.n.01", freq=20)
+    b.synset("lily.n.01", ["lily", "columbine", "anemone", "bluebell",
+                           "marigold", "primrose", "violet", "daisy"],
+             "any of various ornamental flowering garden plants",
+             hypernym="flower.n.01", freq=10)
+    b.synset("fern.n.01", ["fern", "hosta", "ivy"],
+             "any of numerous flowerless shade-loving foliage plants",
+             hypernym="plant.n.02", freq=8)
+
+    b.relation("root.n.01", Relation.PART_HOLONYM, "plant.n.02")
+    b.relation("leaf.n.01", Relation.PART_HOLONYM, "plant.n.02")
+    b.relation("seed.n.01", Relation.PART_HOLONYM, "plant.n.02")
+    b.relation("flower.n.01", Relation.MEMBER_HOLONYM, "garden.n.01")

@@ -1,0 +1,105 @@
+"""The maximum-polysemy entry: 33 senses of *head*.
+
+The paper normalizes the polysemy factor by ``Max(senses(SN))``, noting
+that in WordNet 2.1 the maximum is 33, reached by the word *head*.  This
+module reproduces that extreme so ``Amb_Polysemy`` is normalized exactly
+as in the paper.  Senses are modeled on WordNet's actual inventory for
+*head* (body part, leader, mind, foam on beer, ship's toilet, ...).
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+
+_HEAD_SENSES: list[tuple[str, str]] = [
+    # (hypernym, gloss) -- one entry per sense; ids are head.n.01..33.
+    ("body_part.n.01",
+     "the upper part of the human body that contains the brain, eyes, "
+     "ears, nose, and mouth"),
+    ("leader.n.01",
+     "a person who is in charge; the leader of an organization"),
+    ("cognition.n.01",
+     "that which is responsible for one's thoughts and feelings; the mind"),
+    ("person.n.01",
+     "a person considered as a unit counted in a population"),
+    ("part.n.01",
+     "the front or forward part of something, as the head of a line"),
+    ("part.n.01",
+     "the top or uppermost part of something, as the head of a page"),
+    ("part.n.01",
+     "the rounded or pointed end of a tool or device, as a hammer head"),
+    ("substance.n.01",
+     "the foam or froth that accumulates at the top when you pour a "
+     "beverage such as beer"),
+    ("location.n.01",
+     "the source of a river; the part farthest from the mouth"),
+    ("leader.n.01",
+     "the educator who has executive authority for a school"),
+    ("time_period.n.01",
+     "a point in time at which something is about to happen; a crisis "
+     "coming to a head"),
+    ("attribute.n.01",
+     "the striking or working part of an implement considered as a "
+     "quality of its design"),
+    ("device.n.01",
+     "the part of a tape recorder or disk drive that reads or writes "
+     "data on the medium"),
+    ("part.n.01",
+     "a projection out from one end, as the head of a nail or pin"),
+    ("content.n.05",
+     "the subject matter at issue; the topic under discussion"),
+    ("section.n.01",
+     "a line of text serving to indicate what the passage below it is "
+     "about; a heading"),
+    ("body_part.n.01",
+     "the tip of an abscess where pus accumulates"),
+    ("measure.n.01",
+     "a single domestic animal counted as one unit of livestock"),
+    ("device.n.01",
+     "a membrane stretched across the open end of a drum"),
+    ("part.n.01",
+     "the compact mass of leaves or flowers at the top of a plant stem, "
+     "as a head of cabbage"),
+    ("structure.n.01",
+     "a toilet on a boat or ship"),
+    ("attribute.n.01",
+     "the pressure exerted by a fluid, as a head of steam"),
+    ("leader.n.01",
+     "the head of a department or government agency"),
+    ("natural_object.n.01",
+     "a rocky promontory projecting into a body of water; a headland"),
+    ("device.n.01",
+     "the source of illumination in a projector or the cutting part of a "
+     "machine tool"),
+    ("word.n.01",
+     "the word in a grammatical constituent that determines its syntactic "
+     "category"),
+    ("part.n.01",
+     "the striking surface of the club used to hit a golf ball"),
+    ("music.n.01",
+     "the theme statement that opens and closes a jazz performance"),
+    ("shape.n.01",
+     "an obverse side of a coin that bears the representation of a "
+     "person's head"),
+    ("state.n.02",
+     "the position of maximum advantage; being at the head of the field"),
+    ("person.n.01",
+     "a user of illicit drugs, as in pothead"),
+    ("device.n.01",
+     "the fitting on the end of a pipe from which water is sprayed"),
+    ("act.n.02",
+     "a forward movement of the ball struck with the head in soccer"),
+]
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add the 33 *head* senses to builder ``b``."""
+    for rank, (hypernym, gloss) in enumerate(_HEAD_SENSES, start=1):
+        words = ["head"] if rank > 1 else ["head", "caput"]
+        b.synset(
+            f"head.n.{rank:02d}",
+            words,
+            gloss,
+            hypernym=hypernym,
+            freq=max(2, 120 - 12 * rank),
+        )

@@ -1,0 +1,148 @@
+"""Publication / bibliography synsets (SIGMOD Record, Niagara ``bib.dtd``).
+
+Vocabulary for proceedings pages and bibliographic records: volume,
+number, article, author, editor, publisher, page, journal, book — several
+of which are sharply polysemous (*volume*, *number*, *page*, *record*,
+*paper*, *issue*).
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add publication-domain synsets to builder ``b``."""
+    b.synset("publication.n.01", ["publication"],
+             "a copy of a printed work offered for distribution",
+             hypernym="work.n.02", freq=28)
+    b.synset("book.n.01", ["book", "volume"],
+             "a written work or composition that has been published, "
+             "printed on pages bound together", hypernym="publication.n.01",
+             freq=118)
+    b.synset("book.n.02", ["book", "ledger", "account book"],
+             "a record in which commercial accounts are recorded",
+             hypernym="commercial_document.n.01", freq=12)
+    b.synset("journal.n.01", ["journal"],
+             "a periodical dedicated to a particular subject or scholarly "
+             "discipline", hypernym="publication.n.01", freq=30)
+    b.synset("journal.n.02", ["journal", "diary"],
+             "a daily written record of experiences and observations",
+             hypernym="writing.n.02", freq=16)
+    b.synset("magazine.n.01", ["magazine", "mag"],
+             "a periodic publication containing pictures and stories",
+             hypernym="publication.n.01", freq=34)
+    b.synset("proceedings.n.01", ["proceedings", "proceeding", "minutes"],
+             "a written account of papers presented at a conference",
+             hypernym="publication.n.01", freq=10)
+    b.synset("article.n.01", ["article"],
+             "nonfictional prose forming an independent part of a "
+             "publication such as a journal", hypernym="writing.n.02",
+             freq=42)
+    b.synset("article.n.02", ["article", "clause"],
+             "a separate section of a legal document such as a statute or "
+             "contract", hypernym="section.n.01", freq=14)
+    b.synset("paper.n.02", ["paper", "research paper", "scholarly paper"],
+             "a scholarly article reporting research results, presented at "
+             "a conference or published in a journal",
+             hypernym="article.n.01", freq=24)
+    b.synset("paper.n.01", ["paper"],
+             "a material made of cellulose pulp, used for writing or "
+             "printing", hypernym="substance.n.01", freq=56)
+    b.synset("paper.n.03", ["paper", "newspaper"],
+             "a daily or weekly publication on folded sheets containing "
+             "news", hypernym="publication.n.01", freq=40)
+    b.synset("volume.n.01", ["volume"],
+             "one of a sequence of issues of a periodical published over a "
+             "year", hypernym="publication.n.01", freq=18)
+    b.synset("volume.n.02", ["volume", "loudness", "intensity"],
+             "the magnitude of sound",
+             hypernym="attribute.n.01", freq=14)
+    b.synset("volume.n.03", ["volume"],
+             "the amount of three-dimensional space occupied by an object",
+             hypernym="size.n.01", freq=20)
+    b.synset("issue.n.01", ["issue", "number"],
+             "one of a series published periodically; a single copy of a "
+             "periodical", hypernym="publication.n.01", freq=16)
+    b.synset("issue.n.02", ["issue", "topic", "matter", "subject"],
+             "some situation or event that is thought about or discussed",
+             hypernym="content.n.05", freq=48)
+    b.synset("page.n.01", ["page"],
+             "one side of one leaf of a book or magazine or newspaper",
+             hypernym="part.n.01", freq=64)
+    b.synset("page.n.02", ["page", "pageboy"],
+             "a boy who is employed to run errands or attend a ceremony",
+             hypernym="worker.n.01", freq=6)
+    b.synset("page.n.03", ["page", "web page", "webpage"],
+             "a document connected to the world wide web and viewable in a "
+             "browser", hypernym="electronic_document.n.01", freq=26)
+    b.synset("record.n.01", ["record", "written record", "written account"],
+             "a document serving as an official account of facts or "
+             "events", hypernym="document.n.01", freq=36)
+    b.synset("record.n.02", ["record", "phonograph record", "disk", "platter"],
+             "a sound recording consisting of a disc with a continuous "
+             "groove", hypernym="electronic_equipment.n.01", freq=18)
+    b.synset("record.n.03", ["record", "track record"],
+             "the sum of recognized accomplishments; the best performance "
+             "ever attested", hypernym="attribute.n.01", freq=22)
+    b.synset("abstract.n.01", ["abstract", "outline", "precis"],
+             "a sketchy summary of the main points of an argument or "
+             "scientific paper", hypernym="summary.n.01", freq=10)
+    b.synset("bibliography.n.01", ["bibliography", "bib"],
+             "a list of writings with time and place of publication, "
+             "referenced by a scholarly work", hypernym="document.n.01",
+             freq=6)
+    b.synset("reference.n.01", ["reference", "citation", "quotation"],
+             "a short note acknowledging a source of information or a "
+             "quoted passage", hypernym="statement.n.01", freq=20)
+    b.synset("edition.n.01", ["edition"],
+             "the form in which a text (especially a printed book) is "
+             "published", hypernym="attribute.n.01", freq=12)
+    b.synset("chapter.n.01", ["chapter"],
+             "a subdivision of a written work, usually numbered and titled",
+             hypernym="section.n.01", freq=30)
+    b.synset("conference.n.01", ["conference"],
+             "a prearranged meeting for consultation or exchange of "
+             "information or discussion", hypernym="event.n.01", freq=32)
+    b.synset("editor.n.01", ["editor", "editor in chief"],
+             "a person responsible for the editorial aspects of a "
+             "publication", hypernym="professional.n.01", freq=18)
+    b.synset("editor.n.02", ["editor", "text editor", "editor program"],
+             "a computer program that allows the creation and revision of "
+             "text documents", hypernym="electronic_equipment.n.01", freq=8)
+    b.synset("publisher.n.01", ["publisher", "publishing house",
+                                "publishing firm"],
+             "a firm in the publishing business",
+             hypernym="company.n.01", freq=16)
+    b.synset("publisher.n.02", ["publisher", "newspaper publisher"],
+             "the proprietor of a newspaper",
+             hypernym="professional.n.01", freq=8)
+    b.synset("author.n.01", ["author"],
+             "the writer of a book or article or other written work",
+             hypernym="writer.n.01", freq=54)
+    b.synset("initial.n.01", ["initial", "first letter"],
+             "the first letter of a word, especially of a person's name",
+             hypernym="sign.n.02", freq=8)
+    b.synset("affiliation.n.01", ["affiliation", "association"],
+             "a social or business relationship with an organization",
+             hypernym="relationship.n.01", freq=10)
+
+    # Derivational links: authors write books and articles, publishers
+    # publish them, editors edit them.
+    b.relation("author.n.01", Relation.DERIVATION, "book.n.01")
+    b.relation("author.n.01", Relation.DERIVATION, "article.n.01")
+    b.relation("editor.n.01", Relation.DERIVATION, "publication.n.01")
+    b.relation("publisher.n.01", Relation.DERIVATION, "book.n.01")
+    b.relation("publisher.n.01", Relation.DERIVATION, "publication.n.01")
+    b.relation("title.n.02", Relation.DERIVATION, "book.n.01")
+    b.relation("title.n.02", Relation.DERIVATION, "movie.n.01")
+
+    # Structure of publications.
+    b.relation("page.n.01", Relation.PART_HOLONYM, "book.n.01")
+    b.relation("chapter.n.01", Relation.PART_HOLONYM, "book.n.01")
+    b.relation("article.n.01", Relation.PART_HOLONYM, "journal.n.01")
+    b.relation("paper.n.02", Relation.PART_HOLONYM, "proceedings.n.01")
+    b.relation("abstract.n.01", Relation.PART_HOLONYM, "paper.n.02")
+    b.relation("volume.n.01", Relation.PART_HOLONYM, "journal.n.01")
+    b.relation("issue.n.01", Relation.PART_HOLONYM, "volume.n.01")

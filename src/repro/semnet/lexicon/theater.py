@@ -1,0 +1,156 @@
+"""Theater / drama synsets (Shakespeare corpus, ``shakespeare.dtd``).
+
+The Shakespeare collection is the paper's Group 1 corpus: highly
+ambiguous tag vocabulary (*play*, *act*, *scene*, *line*, *speech*,
+*stage*) inside a rich structure.  Each of those words gets several
+competing senses here so the ambiguity-degree measure has real polysemy
+to detect.
+"""
+
+from __future__ import annotations
+
+from ..builders import NetworkBuilder
+from ..concepts import Relation
+
+
+def populate(b: NetworkBuilder) -> None:
+    """Add theater-domain synsets to builder ``b``."""
+    b.synset("play.n.01", ["play", "drama", "dramatic play"],
+             "a dramatic work intended for performance by actors on a "
+             "stage", hypernym="work.n.02", freq=48)
+    b.synset("play.n.02", ["play", "child's play"],
+             "activity by children that is guided more by imagination than "
+             "by fixed rules", hypernym="activity.n.01", freq=36)
+    b.synset("play.n.03", ["play", "maneuver", "manoeuvre"],
+             "a deliberate coordinated movement requiring skill, made in a "
+             "game", hypernym="action.n.01", freq=22)
+    b.synset("play.n.04", ["play", "gambling", "gaming"],
+             "the act of playing for stakes in the hope of winning",
+             hypernym="activity.n.01", freq=10)
+    b.synset("play.n.05", ["play", "free rein", "swing"],
+             "the removal of constraints; scope for motion",
+             hypernym="state.n.02", freq=8)
+
+    b.synset("act.n.01", ["act"],
+             "a subdivision of a play or opera or ballet",
+             hypernym="section.n.01", freq=30)
+    b.synset("act.n.03", ["act", "routine", "number", "turn", "bit"],
+             "a short theatrical performance that is part of a longer "
+             "program", hypernym="performance.n.01", freq=14)
+    b.synset("act.n.04", ["act", "enactment"],
+             "a legal document codifying the result of deliberations of a "
+             "legislature", hypernym="legal_document.n.01", freq=26)
+
+    b.synset("scene.n.01", ["scene"],
+             "a subdivision of an act of a play, in which the action is "
+             "continuous", hypernym="section.n.01", freq=24)
+    b.synset("scene.n.03", ["scene", "view", "vista", "panorama"],
+             "the visual percept of a region",
+             hypernym="content.n.05", freq=20)
+    b.synset("scene.n.04", ["scene", "setting"],
+             "the place where some action occurs",
+             hypernym="location.n.01", freq=18)
+    b.synset("scene.n.05", ["scene", "fit", "tantrum"],
+             "a display of bad temper",
+             hypernym="act.n.02", freq=6)
+
+    b.synset("line.n.01", ["line"],
+             "a spoken or written sentence of text, especially in a script "
+             "or play or poem", hypernym="text.n.01", freq=32)
+    b.synset("line.n.02", ["line"],
+             "a mark that is long relative to its width, traced on a "
+             "surface", hypernym="shape.n.01", freq=44)
+    b.synset("line.n.03", ["line", "queue", "waiting line"],
+             "a formation of people or things one behind another",
+             hypernym="collection.n.01", freq=26)
+    b.synset("line.n.04", ["line", "railway line", "rail line"],
+             "the road consisting of railroad track and roadbed",
+             hypernym="structure.n.01", freq=16)
+    b.synset("line.n.05", ["line", "telephone line", "phone line"],
+             "a telephone connection",
+             hypernym="electronic_equipment.n.01", freq=12)
+    b.synset("line.n.06", ["line", "product line", "line of products"],
+             "a particular kind of product or merchandise offered by a "
+             "business", hypernym="merchandise.n.01", freq=14)
+    b.synset("line.n.07", ["line", "lineage", "descent", "bloodline"],
+             "the descendants of one individual",
+             hypernym="family.n.01", freq=10)
+
+    b.synset("speech.n.01", ["speech", "address", "oration"],
+             "the act of delivering a formal spoken communication to an "
+             "audience", hypernym="address.n.01", freq=34)
+    b.synset("speech.n.02", ["speech", "actor's line", "words"],
+             "the lines spoken by an actor or character in a play",
+             hypernym="text.n.01", freq=16)
+    b.synset("speech.n.03", ["speech", "manner of speaking", "delivery"],
+             "your characteristic style or manner of expressing yourself "
+             "orally", hypernym="attribute.n.01", freq=12)
+
+    b.synset("speaker.n.01", ["speaker", "talker", "utterer", "verbalizer"],
+             "someone who expresses in spoken language; the person "
+             "delivering a speech or line", hypernym="communicator.n.01",
+             freq=18)
+    b.synset("speaker.n.02", ["speaker", "loudspeaker", "speaker unit"],
+             "electro-acoustic transducer that converts electrical signals "
+             "into sounds", hypernym="electronic_equipment.n.01", freq=14)
+    b.synset("speaker.n.03", ["speaker", "presiding officer"],
+             "the presiding officer of a deliberative assembly",
+             hypernym="leader.n.01", freq=10)
+
+    b.synset("stage.n.03", ["stage"],
+             "a large platform on which actors can be seen by the audience "
+             "of a theater", hypernym="structure.n.01", freq=22)
+    b.synset("stage.n.01", ["stage", "phase"],
+             "any distinct period in development or in a sequence of "
+             "events", hypernym="time_period.n.01", freq=40)
+    b.synset("stage.n.02", ["stage", "stagecoach"],
+             "a large coach-and-four formerly used to carry passengers and "
+             "mail", hypernym="instrumentality.n.01", freq=6)
+    b.synset("stage_direction.n.01", ["stage direction", "stagedir"],
+             "an instruction written as part of the script of a play "
+             "telling actors how to move on stage",
+             hypernym="direction.n.01", freq=6)
+
+    b.synset("prologue.n.01", ["prologue", "prolog", "induction"],
+             "an introductory section of a play or literary work",
+             hypernym="section.n.01", freq=8)
+    b.synset("epilogue.n.01", ["epilogue", "epilog"],
+             "a short section added at the end of a play or literary work",
+             hypernym="section.n.01", freq=6)
+    b.synset("persona.n.01", ["persona", "dramatis persona", "character"],
+             "a personage appearing in a play or other dramatic work",
+             hypernym="character.n.04", freq=8)
+    b.synset("playwright.n.01", ["playwright", "dramatist"],
+             "someone who writes plays",
+             hypernym="writer.n.01", freq=10)
+    b.synset("tragedy.n.01", ["tragedy"],
+             "drama in which the protagonist is overcome by a combination "
+             "of events", hypernym="genre.n.01", freq=14)
+    b.synset("tragedy.n.02", ["tragedy", "calamity", "catastrophe", "disaster"],
+             "an event resulting in great loss and misfortune",
+             hypernym="event.n.01", freq=20)
+    b.synset("audience.n.01", ["audience"],
+             "a gathering of spectators or listeners at a public "
+             "performance", hypernym="social_group.n.01", freq=24)
+    b.synset("front_matter.n.01", ["front matter", "fm", "prelims"],
+             "written matter such as title pages preceding the main text of "
+             "a book or play edition", hypernym="matter.n.06", freq=4)
+
+    # Derivationally related forms (as in WordNet): the speaker delivers
+    # the speech; the stage direction belongs to the stage; the
+    # playwright writes the play.
+    b.relation("speaker.n.01", Relation.DERIVATION, "speech.n.02")
+    b.relation("speaker.n.01", Relation.DERIVATION, "speech.n.01")
+    b.relation("stage_direction.n.01", Relation.DERIVATION, "stage.n.03")
+    b.relation("playwright.n.01", Relation.DERIVATION, "play.n.01")
+    b.relation("line.n.01", Relation.DERIVATION, "speaker.n.01")
+
+    # Structural part-of backbone of a play edition.
+    b.relation("act.n.01", Relation.PART_HOLONYM, "play.n.01")
+    b.relation("scene.n.01", Relation.PART_HOLONYM, "act.n.01")
+    b.relation("speech.n.02", Relation.PART_HOLONYM, "scene.n.01")
+    b.relation("line.n.01", Relation.PART_HOLONYM, "speech.n.02")
+    b.relation("prologue.n.01", Relation.PART_HOLONYM, "play.n.01")
+    b.relation("epilogue.n.01", Relation.PART_HOLONYM, "play.n.01")
+    b.relation("persona.n.01", Relation.PART_HOLONYM, "play.n.01")
+    b.relation("stage.n.03", Relation.PART_HOLONYM, "theater.n.01")

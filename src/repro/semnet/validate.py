@@ -1,0 +1,130 @@
+"""Semantic network validation.
+
+User-supplied networks (via :mod:`repro.semnet.io`) can violate the
+invariants the disambiguation machinery relies on; this module checks
+them and reports every problem at once:
+
+* IS-A cycles (would hang cumulative-frequency and closure walks);
+* multiple taxonomy roots / concepts detached from any root (break
+  Wu-Palmer depth comparisons across the detached parts);
+* empty glosses (starve the gloss-based measure);
+* duplicate words within one concept;
+* zero total frequency (starves information content).
+
+Problems are reported as warnings or errors; only errors make a network
+unusable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .network import SemanticNetwork
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+
+@dataclass
+class ValidationReport:
+    """All findings for one network."""
+
+    issues: list[Issue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not any(issue.is_error for issue in self.issues)
+
+    def errors(self) -> list[Issue]:
+        return [issue for issue in self.issues if issue.is_error]
+
+    def warnings(self) -> list[Issue]:
+        return [issue for issue in self.issues if not issue.is_error]
+
+    def _add(self, severity: str, code: str, message: str) -> None:
+        self.issues.append(Issue(severity, code, message))
+
+
+def validate_network(network: SemanticNetwork) -> ValidationReport:
+    """Run all checks; returns a report (never raises)."""
+    report = ValidationReport()
+    if len(network) == 0:
+        report._add("error", "empty", "network has no concepts")
+        return report
+    _check_isa_cycles(network, report)
+    _check_roots(network, report)
+    _check_concepts(network, report)
+    _check_frequencies(network, report)
+    return report
+
+
+def _check_isa_cycles(network: SemanticNetwork, report: ValidationReport) -> None:
+    """Depth-first cycle detection over HYPERNYM edges."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[str, int] = {c.id: WHITE for c in network}
+    for start in color:
+        if color[start] != WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(start, 0)]
+        while stack:
+            node, child_index = stack[-1]
+            if child_index == 0:
+                color[node] = GRAY
+            parents = network.hypernyms(node)
+            if child_index < len(parents):
+                stack[-1] = (node, child_index + 1)
+                parent = parents[child_index]
+                if color[parent] == GRAY:
+                    report._add(
+                        "error", "isa-cycle",
+                        f"IS-A cycle through {parent!r} and {node!r}",
+                    )
+                elif color[parent] == WHITE:
+                    stack.append((parent, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+
+
+def _check_roots(network: SemanticNetwork, report: ValidationReport) -> None:
+    roots = network.roots()
+    if len(roots) > 1:
+        report._add(
+            "warning", "multiple-roots",
+            f"{len(roots)} taxonomy roots: {sorted(roots)[:5]}...; "
+            "edge-based similarity is 0 across detached parts",
+        )
+
+
+def _check_concepts(network: SemanticNetwork, report: ValidationReport) -> None:
+    for concept in network:
+        if not concept.gloss.strip():
+            report._add(
+                "warning", "empty-gloss",
+                f"{concept.id} has no gloss (gloss measure starved)",
+            )
+        if len(set(concept.words)) != len(concept.words):
+            report._add(
+                "error", "duplicate-words",
+                f"{concept.id} lists a word twice: {concept.words}",
+            )
+
+
+def _check_frequencies(network: SemanticNetwork, report: ValidationReport) -> None:
+    if network.total_frequency <= 0:
+        report._add(
+            "warning", "no-frequencies",
+            "all concept frequencies are zero; information content will "
+            "rely entirely on smoothing (consider corpus.weight_network)",
+        )

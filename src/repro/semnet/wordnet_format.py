@@ -1,0 +1,169 @@
+"""Loader for the standard WordNet database ("wndb") file format.
+
+The reproduction ships a curated mini-WordNet because the real database
+cannot be redistributed here — but users who *have* a WordNet
+installation (e.g. ``/usr/share/wordnet`` or NLTK's ``wordnet`` corpus
+directory) can load it directly and run XSDF over the real thing::
+
+    from repro.semnet.wordnet_format import load_wordnet_nouns
+    network = load_wordnet_nouns("/usr/share/wordnet")
+
+Parses the noun database per ``wndb(5WN)``:
+
+* ``data.noun`` — one synset per line::
+
+      offset lex_filenum ss_type w_cnt word lex_id [word lex_id ...]
+      p_cnt [ptr_symbol offset pos source_target ...] | gloss
+
+* ``index.noun`` — one lemma per line, listing its synset offsets in
+  sense-rank order (most frequent first); applied via
+  :meth:`SemanticNetwork.set_sense_order`.
+
+Pointer symbols map onto this package's :class:`Relation` enum; symbols
+without a counterpart (antonyms, domain links, ...) are skipped.
+Concept ids are ``<first-lemma>.n.<offset>`` — stable across loads of
+the same database version.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .concepts import Concept, Relation
+from .network import SemanticNetwork
+
+#: wndb pointer symbol -> our relation (noun pointers we can represent).
+POINTER_SYMBOLS: dict[str, Relation] = {
+    "@": Relation.HYPERNYM,
+    "@i": Relation.HYPERNYM,    # instance hypernym
+    "~": Relation.HYPONYM,
+    "~i": Relation.HYPONYM,     # instance hyponym
+    "#p": Relation.PART_HOLONYM,
+    "%p": Relation.PART_MERONYM,
+    "#m": Relation.MEMBER_HOLONYM,
+    "%m": Relation.MEMBER_MERONYM,
+    "=": Relation.ATTRIBUTE,
+    "+": Relation.DERIVATION,
+    "&": Relation.SIMILAR,
+}
+
+
+class WordNetFormatError(ValueError):
+    """Raised when a wndb line cannot be parsed."""
+
+
+def _clean_lemma(raw: str) -> str:
+    """wndb lemma -> plain word: underscores to spaces, drop syntactic
+    markers like ``(p)``, lowercase."""
+    word = raw.replace("_", " ").lower()
+    if word.endswith(")") and "(" in word:
+        word = word[: word.rindex("(")]
+    return word.strip()
+
+
+def parse_data_line(line: str) -> tuple[str, list[str], str, list[tuple[Relation, str]]]:
+    """Parse one ``data.noun`` line.
+
+    Returns ``(offset, words, gloss, [(relation, target_offset), ...])``.
+    """
+    body, _, gloss = line.partition("|")
+    fields = body.split()
+    if len(fields) < 4:
+        raise WordNetFormatError(f"short data line: {line[:60]!r}")
+    offset = fields[0]
+    try:
+        w_cnt = int(fields[3], 16)
+    except ValueError:
+        raise WordNetFormatError(f"bad word count in: {line[:60]!r}")
+    cursor = 4
+    words = []
+    for _ in range(w_cnt):
+        words.append(_clean_lemma(fields[cursor]))
+        cursor += 2  # skip lex_id
+    try:
+        p_cnt = int(fields[cursor])
+    except (IndexError, ValueError):
+        raise WordNetFormatError(f"bad pointer count in: {line[:60]!r}")
+    cursor += 1
+    pointers: list[tuple[Relation, str]] = []
+    for _ in range(p_cnt):
+        try:
+            symbol, target, pos, _source_target = fields[cursor : cursor + 4]
+        except ValueError:
+            raise WordNetFormatError(f"truncated pointer in: {line[:60]!r}")
+        cursor += 4
+        if pos != "n":
+            continue  # cross-POS pointers need the other databases
+        relation = POINTER_SYMBOLS.get(symbol)
+        if relation is not None:
+            pointers.append((relation, target))
+    return offset, words, gloss.strip(), pointers
+
+
+def parse_index_line(line: str) -> tuple[str, list[str]]:
+    """Parse one ``index.noun`` line into ``(lemma, ordered offsets)``."""
+    fields = line.split()
+    if len(fields) < 6:
+        raise WordNetFormatError(f"short index line: {line[:60]!r}")
+    lemma = _clean_lemma(fields[0])
+    synset_cnt = int(fields[2])
+    p_cnt = int(fields[3])
+    offsets = fields[4 + p_cnt + 2 :]
+    if len(offsets) != synset_cnt:
+        raise WordNetFormatError(
+            f"index offsets mismatch for {lemma!r}: {line[:60]!r}"
+        )
+    return lemma, offsets
+
+
+def load_wordnet_nouns(
+    directory: str | Path,
+    name: str = "wordnet-nouns",
+) -> SemanticNetwork:
+    """Load ``data.noun`` + ``index.noun`` from a WordNet ``dict`` dir.
+
+    Relations whose target offset is missing from the data file are
+    skipped (rather than failing), since partial extracts are common.
+    """
+    directory = Path(directory)
+    data_path = directory / "data.noun"
+    index_path = directory / "index.noun"
+    network = SemanticNetwork(name)
+
+    id_by_offset: dict[str, str] = {}
+    pending: list[tuple[str, Relation, str]] = []
+    with open(data_path, encoding="utf-8") as handle:
+        for line in handle:
+            if line.startswith("  ") or not line.strip():
+                continue  # license header / blanks
+            offset, words, gloss, pointers = parse_data_line(line)
+            concept_id = f"{words[0].replace(' ', '_')}.n.{offset}"
+            id_by_offset[offset] = concept_id
+            network.add_concept(
+                Concept(id=concept_id, words=tuple(dict.fromkeys(words)),
+                        gloss=gloss)
+            )
+            pending.extend(
+                (concept_id, relation, target) for relation, target in pointers
+            )
+    for source_id, relation, target_offset in pending:
+        target_id = id_by_offset.get(target_offset)
+        if target_id is not None:
+            network.add_relation(source_id, relation, target_id)
+
+    if index_path.exists():
+        with open(index_path, encoding="utf-8") as handle:
+            for line in handle:
+                if line.startswith("  ") or not line.strip():
+                    continue
+                lemma, offsets = parse_index_line(line)
+                ordered = [
+                    id_by_offset[offset]
+                    for offset in offsets
+                    if offset in id_by_offset
+                ]
+                if ordered and network.has_word(lemma):
+                    current = {c.id for c in network.senses(lemma)}
+                    if set(ordered) == current:
+                        network.set_sense_order(lemma, ordered)
+    return network

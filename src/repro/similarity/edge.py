@@ -1,0 +1,81 @@
+"""Edge-based semantic similarity measures.
+
+These estimate similarity from the shortest IS-A path between concepts:
+
+* :class:`WuPalmerSimilarity` — the measure the paper plugs in as
+  ``Sim_Edge`` (Wu & Palmer, ACL 1994): path positions relative to the
+  lowest common subsumer, ``2*d(lcs) / (d(a) + d(b))`` with depths
+  counted from the taxonomy root.
+* :class:`PathSimilarity` — the classic ``1 / (1 + path_length)``.
+* :class:`LeacockChodorowSimilarity` — ``-log(len / 2D)`` normalized to
+  [0, 1] by the network's maximum value.
+
+All measures return values in [0, 1] and 0.0 when the concepts share no
+IS-A ancestor (disconnected taxonomies).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..semnet.network import SemanticNetwork
+
+
+class WuPalmerSimilarity:
+    """Wu-Palmer conceptual similarity over a semantic network."""
+
+    def __init__(self, network: SemanticNetwork):
+        self._network = network
+
+    def __call__(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        network = self._network
+        lcs = network.lowest_common_subsumer(a, b)
+        if lcs is None:
+            return 0.0
+        depth_lcs = network.depth(lcs)
+        # Depths of a and b measured through the LCS, as Wu-Palmer defines.
+        depth_a = depth_lcs + network.hypernym_closure(a)[lcs]
+        depth_b = depth_lcs + network.hypernym_closure(b)[lcs]
+        if depth_a + depth_b == 0:
+            return 1.0
+        return 2.0 * depth_lcs / (depth_a + depth_b)
+
+
+class PathSimilarity:
+    """Inverse shortest-IS-A-path similarity: ``1 / (1 + distance)``."""
+
+    def __init__(self, network: SemanticNetwork):
+        self._network = network
+
+    def __call__(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        distance = self._network.taxonomic_distance(a, b)
+        if distance is None:
+            return 0.0
+        return 1.0 / (1.0 + distance)
+
+
+class LeacockChodorowSimilarity:
+    """Leacock-Chodorow similarity, normalized into [0, 1].
+
+    Raw LC is ``-log((dist + 1) / (2 * D))`` with ``D`` the taxonomy
+    depth; dividing by the maximum attainable value ``-log(1 / (2D))``
+    yields a unit-interval measure comparable with the others.
+    """
+
+    def __init__(self, network: SemanticNetwork):
+        self._network = network
+        depth = max(1, network.max_taxonomy_depth)
+        self._scale = math.log(2.0 * depth)
+
+    def __call__(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        distance = self._network.taxonomic_distance(a, b)
+        if distance is None:
+            return 0.0
+        raw = -math.log((distance + 1.0) / math.exp(self._scale))
+        return max(0.0, min(1.0, raw / self._scale))

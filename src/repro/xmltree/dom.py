@@ -1,0 +1,330 @@
+"""Rooted ordered labeled tree model for XML documents (paper Definition 1).
+
+An XML document is modeled as a rooted ordered labeled tree where:
+
+* element and attribute nodes carry their tag/attribute name as label;
+* attribute nodes appear as children of their containing element, sorted
+  by attribute name and placed *before* all sub-elements;
+* element/attribute text values are decomposed into tokens, each mapped
+  to a leaf node labeled with the token and ordered by appearance.
+
+Every node exposes the quantities used throughout the paper: its preorder
+index ``T[i]``, label ``T[i].l``, depth ``T[i].d`` (in edges), fan-out
+``T[i].f`` (number of children) and *density* (number of children with
+distinct labels, written ``x.f-bar`` in the paper).
+
+Trees are immutable after construction; :class:`XMLTree` caches global
+statistics (max depth, max fan-out, max density) that the ambiguity
+measures normalize against.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Iterator, Sequence
+
+from .errors import TreeError
+
+
+class NodeKind(enum.Enum):
+    """What an XML tree node stands for in the source document."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+    VALUE_TOKEN = "value_token"
+
+
+class XMLNode:
+    """One node of a rooted ordered labeled tree.
+
+    Attributes
+    ----------
+    label:
+        The node label (tag name, attribute name, or text token), as
+        produced by linguistic pre-processing.
+    kind:
+        Whether this node came from an element, attribute, or text token.
+    tokens:
+        The individual word tokens of a compound label (e.g. ``first`` and
+        ``name`` for the tag ``FirstName``).  For simple labels this is a
+        one-element tuple equal to ``(label,)``.
+    raw:
+        The original, unprocessed string from the document (useful for
+        serialization and for error messages).
+    """
+
+    __slots__ = (
+        "label",
+        "kind",
+        "tokens",
+        "raw",
+        "parent",
+        "children",
+        "index",
+        "depth",
+        "_tree",
+    )
+
+    def __init__(
+        self,
+        label: str,
+        kind: NodeKind = NodeKind.ELEMENT,
+        tokens: Sequence[str] | None = None,
+        raw: str | None = None,
+    ):
+        self.label = label
+        self.kind = kind
+        self.tokens: tuple[str, ...] = tuple(tokens) if tokens else (label,)
+        self.raw = raw if raw is not None else label
+        self.parent: XMLNode | None = None
+        self.children: list[XMLNode] = []
+        self.index: int = -1       # preorder index, assigned by XMLTree
+        self.depth: int = 0        # edges from root, assigned by XMLTree
+        self._tree: "XMLTree | None" = None
+
+    # -- structure ------------------------------------------------------
+
+    def add_child(self, child: "XMLNode") -> "XMLNode":
+        """Append ``child`` and return it (supports fluent building)."""
+        if self._tree is not None:
+            raise TreeError("cannot modify a node already frozen into a tree")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    @property
+    def fan_out(self) -> int:
+        """Out-degree: the number of children (``T[i].f``)."""
+        return len(self.children)
+
+    @property
+    def density(self) -> int:
+        """Number of children having *distinct* labels (``x.f-bar``).
+
+        Paper Assumption 3: distinct children labels hint at the node's
+        meaning, so density (not raw fan-out) drives the ambiguity measure.
+        """
+        return len({child.label for child in self.children})
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_compound(self) -> bool:
+        """True when the label was split into more than one token."""
+        return len(self.tokens) > 1
+
+    # -- traversal -------------------------------------------------------
+
+    def preorder(self) -> Iterator["XMLNode"]:
+        """Yield this node and all descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def ancestors(self) -> Iterator["XMLNode"]:
+        """Yield ancestors from parent up to (and including) the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root_path(self) -> list["XMLNode"]:
+        """Nodes from the tree root down to this node (inclusive)."""
+        path = [self, *self.ancestors()]
+        path.reverse()
+        return path
+
+    def subtree_size(self) -> int:
+        """Number of nodes in the subtree rooted here (including self)."""
+        return sum(1 for _ in self.preorder())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLNode({self.label!r}, {self.kind.value}, i={self.index})"
+
+
+class XMLTree:
+    """A frozen rooted ordered labeled tree with cached statistics.
+
+    Construction assigns preorder indices and depths; afterwards the node
+    structure must not be mutated.  ``tree[i]`` returns the i-th node in
+    preorder (the paper's ``T[i]`` notation).
+    """
+
+    def __init__(self, root: XMLNode):
+        self.root = root
+        self._nodes: list[XMLNode] = []
+        self._freeze()
+        self.max_depth = max(node.depth for node in self._nodes)
+        self.max_fan_out = max(node.fan_out for node in self._nodes)
+        self.max_density = max(node.density for node in self._nodes)
+
+    def _freeze(self) -> None:
+        index = 0
+        stack: list[tuple[XMLNode, int]] = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            node.index = index
+            node.depth = depth
+            node._tree = self
+            self._nodes.append(node)
+            index += 1
+            for child in reversed(node.children):
+                stack.append((child, depth + 1))
+
+    # -- node access -------------------------------------------------------
+
+    def __getitem__(self, index: int) -> XMLNode:
+        try:
+            return self._nodes[index]
+        except IndexError:
+            raise TreeError(f"no node with preorder index {index}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[XMLNode]:
+        return iter(self._nodes)
+
+    @property
+    def nodes(self) -> list[XMLNode]:
+        """All nodes in preorder (a copy-safe read-only view by convention)."""
+        return self._nodes
+
+    def find_all(self, label: str) -> list[XMLNode]:
+        """All nodes carrying ``label`` (preorder order)."""
+        return [node for node in self._nodes if node.label == label]
+
+    def find(self, label: str) -> XMLNode:
+        """First node carrying ``label``; raises if absent."""
+        for node in self._nodes:
+            if node.label == label:
+                return node
+        raise TreeError(f"no node labeled {label!r}")
+
+    # -- distances ----------------------------------------------------------
+
+    def distance(self, a: XMLNode, b: XMLNode) -> int:
+        """Number of edges on the unique path between ``a`` and ``b``.
+
+        Computed via the lowest common ancestor:
+        ``dist(a, b) = depth(a) + depth(b) - 2 * depth(lca(a, b))``.
+        """
+        if a._tree is not self or b._tree is not self:
+            raise TreeError("both nodes must belong to this tree")
+        x, y = a, b
+        while x.depth > y.depth:
+            x = x.parent  # type: ignore[assignment]
+        while y.depth > x.depth:
+            y = y.parent  # type: ignore[assignment]
+        while x is not y:
+            x = x.parent  # type: ignore[assignment]
+            y = y.parent  # type: ignore[assignment]
+        lca_depth = x.depth
+        return a.depth + b.depth - 2 * lca_depth
+
+    def nodes_at_distance(self, center: XMLNode, d: int) -> list[XMLNode]:
+        """All nodes exactly ``d`` edges away from ``center`` (an XML ring).
+
+        Implemented as a breadth-first expansion over the undirected tree;
+        results are returned in preorder order for determinism.
+        """
+        ring = [node for node in self._nodes if self.distance(center, node) == d]
+        return ring
+
+
+# -- tokenizer plumbing -----------------------------------------------------
+
+#: A label processor takes a raw tag/attribute name and returns the list of
+#: word tokens it decomposes into (after stop-word removal / stemming).
+LabelProcessor = Callable[[str], list[str]]
+
+#: A value processor takes raw text content and returns word tokens.
+ValueProcessor = Callable[[str], list[str]]
+
+
+def _default_label_processor(raw: str) -> list[str]:
+    """Fallback label processing: lowercase, split on ``_`` and camelCase."""
+    pieces: list[str] = []
+    for chunk in raw.replace("-", "_").split("_"):
+        word = ""
+        for ch in chunk:
+            if ch.isupper() and word and not word[-1].isupper():
+                pieces.append(word)
+                word = ch
+            else:
+                word += ch
+        if word:
+            pieces.append(word)
+    return [piece.lower() for piece in pieces if piece]
+
+
+def _default_value_processor(raw: str) -> list[str]:
+    """Fallback value processing: lowercase whitespace tokenization."""
+    return [tok.lower() for tok in raw.split() if any(c.isalnum() for c in tok)]
+
+
+def build_tree(
+    element,
+    include_values: bool = True,
+    label_processor: LabelProcessor | None = None,
+    value_processor: ValueProcessor | None = None,
+) -> XMLTree:
+    """Build a rooted ordered labeled tree from a parsed XML element.
+
+    Parameters
+    ----------
+    element:
+        The root :class:`repro.xmltree.parser.Element` of a parsed document.
+    include_values:
+        When True (*structure-and-content*, the paper's default) text values
+        are tokenized into leaf nodes; when False (*structure-only*) values
+        are dropped.
+    label_processor / value_processor:
+        Linguistic pre-processing hooks; :mod:`repro.linguistics.pipeline`
+        provides the paper-faithful versions, the defaults are simple
+        lowercase splitters so the DOM works standalone.
+    """
+    lp = label_processor or _default_label_processor
+    vp = value_processor or _default_value_processor
+    root = _convert_element(element, include_values, lp, vp)
+    return XMLTree(root)
+
+
+def _convert_element(element, include_values, lp, vp) -> XMLNode:
+    tokens = lp(element.name) or [element.name.lower()]
+    node = XMLNode(
+        label=" ".join(tokens),
+        kind=NodeKind.ELEMENT,
+        tokens=tokens,
+        raw=element.name,
+    )
+    # Attributes first, sorted by name (paper Section 3.1).
+    for attr_name in sorted(element.attributes):
+        attr_tokens = lp(attr_name) or [attr_name.lower()]
+        attr_node = XMLNode(
+            label=" ".join(attr_tokens),
+            kind=NodeKind.ATTRIBUTE,
+            tokens=attr_tokens,
+            raw=attr_name,
+        )
+        node.add_child(attr_node)
+        if include_values:
+            _attach_value_tokens(attr_node, element.attributes[attr_name], vp)
+    for child in element.children:
+        # Parser children are Element or Text objects.
+        if hasattr(child, "name"):
+            node.add_child(_convert_element(child, include_values, lp, vp))
+        elif include_values:
+            _attach_value_tokens(node, child.content, vp)
+    return node
+
+
+def _attach_value_tokens(parent: XMLNode, text: str, vp) -> None:
+    for token in vp(text):
+        parent.add_child(
+            XMLNode(label=token, kind=NodeKind.VALUE_TOKEN, tokens=[token], raw=token)
+        )

@@ -1,0 +1,127 @@
+"""Serialization of XML documents and semantic XML trees.
+
+Two serializers live here:
+
+* :func:`serialize_document` — writes a parsed :class:`Document` /
+  :class:`Element` back to XML text (round-trip companion of the parser).
+* :func:`serialize_semantic_tree` — writes the *output* of the XSDF
+  pipeline: the original tree with ``concept`` annotations attached to
+  every disambiguated node, as described in the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .escape import escape_attribute, escape_text
+from .parser import Document, Element, Text
+
+_INDENT = "  "
+
+
+def serialize_element(element: Element, indent: int = 0, pretty: bool = True) -> str:
+    """Serialize one element subtree to XML text."""
+    out = StringIO()
+    _write_element(out, element, indent, pretty)
+    return out.getvalue()
+
+
+def serialize_document(document: Document, pretty: bool = True) -> str:
+    """Serialize a whole document, including an XML declaration."""
+    out = StringIO()
+    out.write('<?xml version="1.0"?>')
+    if pretty:
+        out.write("\n")
+    _write_element(out, document.root, 0, pretty)
+    return out.getvalue()
+
+
+def _write_element(out: StringIO, element: Element, indent: int, pretty: bool) -> None:
+    pad = _INDENT * indent if pretty else ""
+    out.write(f"{pad}<{element.name}")
+    for name, value in element.attributes.items():
+        out.write(f' {name}="{escape_attribute(value)}"')
+    if not element.children:
+        out.write("/>")
+        if pretty:
+            out.write("\n")
+        return
+    only_text = all(isinstance(child, Text) for child in element.children)
+    out.write(">")
+    if only_text:
+        for child in element.children:
+            out.write(escape_text(child.content))  # type: ignore[union-attr]
+        out.write(f"</{element.name}>")
+        if pretty:
+            out.write("\n")
+        return
+    if pretty:
+        out.write("\n")
+    for child in element.children:
+        if isinstance(child, Element):
+            _write_element(out, child, indent + 1, pretty)
+        else:
+            child_pad = _INDENT * (indent + 1) if pretty else ""
+            out.write(f"{child_pad}{escape_text(child.content)}")
+            if pretty:
+                out.write("\n")
+    out.write(f"{pad}</{element.name}>")
+    if pretty:
+        out.write("\n")
+
+
+def serialize_semantic_tree(tree, assignments, network, pretty: bool = True) -> str:
+    """Serialize an XML tree with semantic concept annotations.
+
+    Parameters
+    ----------
+    tree:
+        The :class:`repro.xmltree.dom.XMLTree` that was disambiguated.
+    assignments:
+        Mapping from node preorder index to the assigned concept id (the
+        output of the XSDF pipeline); nodes without an entry are emitted
+        untouched.
+    network:
+        The reference semantic network, used to embed the concept label
+        and gloss alongside the identifier.
+
+    Output nodes carry ``concept``, and ``gloss`` attributes, e.g.::
+
+        <star concept="lead#n#2" gloss="an actor who plays a principal role">
+    """
+    from .dom import NodeKind  # local import to avoid a cycle at module load
+
+    out = StringIO()
+    out.write('<?xml version="1.0"?>')
+    if pretty:
+        out.write("\n")
+
+    def write(node, indent: int) -> None:
+        pad = _INDENT * indent if pretty else ""
+        tag = node.raw if node.kind is NodeKind.ELEMENT else node.label.replace(" ", "_")
+        if node.kind is NodeKind.VALUE_TOKEN:
+            tag = "token"
+        out.write(f"{pad}<{tag}")
+        if node.kind is NodeKind.VALUE_TOKEN:
+            out.write(f' value="{escape_attribute(node.label)}"')
+        concept_id = assignments.get(node.index)
+        if concept_id is not None:
+            concept = network.concept(concept_id)
+            out.write(f' concept="{escape_attribute(concept_id)}"')
+            out.write(f' gloss="{escape_attribute(concept.gloss)}"')
+        if not node.children:
+            out.write("/>")
+            if pretty:
+                out.write("\n")
+            return
+        out.write(">")
+        if pretty:
+            out.write("\n")
+        for child in node.children:
+            write(child, indent + 1)
+        out.write(f"{pad}</{tag}>")
+        if pretty:
+            out.write("\n")
+
+    write(tree.root, 0)
+    return out.getvalue()

@@ -1,0 +1,178 @@
+"""A small XPath-like query engine over rooted labeled trees.
+
+Supports the navigational core of XPath 1.0 over
+:class:`~repro.xmltree.dom.XMLTree` nodes — enough for selecting
+disambiguation targets and for the semantic-search application:
+
+* ``/a/b``        — child steps from the root
+* ``//b``         — descendant-or-self step
+* ``*``           — any label
+* ``a[2]``        — positional predicate (1-based, per XPath)
+* ``a[b]``        — existence predicate (has a child labeled ``b``)
+* ``a[b=value]``  — child-value predicate (``b``'s child token equals
+  ``value`` after pre-processing)
+
+Paths are matched against the *pre-processed* node labels the rest of
+the framework uses (lowercase, compounds joined with spaces).
+
+Example::
+
+    from repro.xmltree.xpath import select
+    stars = select(tree, "//cast/star")
+    second_act = select(tree, "/play/act[2]")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dom import XMLNode, XMLTree
+from .errors import XMLError
+
+
+class XPathSyntaxError(XMLError):
+    """Raised for malformed path expressions."""
+
+
+@dataclass(frozen=True)
+class _Step:
+    label: str                 # label to match, or "*"
+    descendant: bool           # preceded by "//"
+    position: int | None       # [N]
+    child_label: str | None    # [b] or [b=v]
+    child_value: str | None    # [b=v]
+
+
+def _parse_predicate(body: str) -> tuple[int | None, str | None, str | None]:
+    body = body.strip()
+    if not body:
+        raise XPathSyntaxError("empty predicate")
+    if body.isdigit():
+        position = int(body)
+        if position < 1:
+            raise XPathSyntaxError("positions are 1-based")
+        return position, None, None
+    if "=" in body:
+        child, value = body.split("=", 1)
+        child = child.strip()
+        value = value.strip().strip("'\"")
+        if not child:
+            raise XPathSyntaxError(f"malformed predicate [{body}]")
+        return None, child, value
+    return None, body, None
+
+
+def parse_path(path: str) -> list[_Step]:
+    """Compile a path expression into steps."""
+    if not path or not path.startswith("/"):
+        raise XPathSyntaxError("paths must start with '/' or '//'")
+    steps: list[_Step] = []
+    i = 0
+    n = len(path)
+    while i < n:
+        if path[i] != "/":
+            raise XPathSyntaxError(f"expected '/' at offset {i} in {path!r}")
+        descendant = False
+        i += 1
+        if i < n and path[i] == "/":
+            descendant = True
+            i += 1
+        start = i
+        while i < n and path[i] not in "/[":
+            i += 1
+        label = path[start:i].strip()
+        if not label:
+            raise XPathSyntaxError(f"missing step label in {path!r}")
+        position = child_label = child_value = None
+        if i < n and path[i] == "[":
+            end = path.find("]", i)
+            if end == -1:
+                raise XPathSyntaxError(f"unterminated predicate in {path!r}")
+            position, child_label, child_value = _parse_predicate(
+                path[i + 1 : end]
+            )
+            i = end + 1
+        steps.append(
+            _Step(label, descendant, position, child_label, child_value)
+        )
+    return steps
+
+
+def _label_matches(node: XMLNode, label: str) -> bool:
+    return label == "*" or node.label == label
+
+
+def _node_value(node: XMLNode) -> str:
+    """Concatenated child-token labels (the node's processed value)."""
+    from .dom import NodeKind
+
+    return " ".join(
+        child.label for child in node.children
+        if child.kind is NodeKind.VALUE_TOKEN
+    )
+
+
+def _predicate_holds(node: XMLNode, step: _Step) -> bool:
+    if step.child_label is None:
+        return True
+    for child in node.children:
+        if child.label != step.child_label:
+            continue
+        if step.child_value is None:
+            return True
+        if _node_value(child) == step.child_value:
+            return True
+    return False
+
+
+def _apply_step(candidates: list[XMLNode], step: _Step) -> list[XMLNode]:
+    matched: list[XMLNode] = []
+    seen: set[int] = set()
+    for node in candidates:
+        if step.descendant:
+            pool = list(node.preorder())
+        else:
+            pool = node.children
+        siblings_taken = 0
+        for candidate in pool:
+            if not _label_matches(candidate, step.label):
+                continue
+            if not _predicate_holds(candidate, step):
+                continue
+            siblings_taken += 1
+            if step.position is not None and siblings_taken != step.position:
+                continue
+            if candidate.index not in seen:
+                seen.add(candidate.index)
+                matched.append(candidate)
+    matched.sort(key=lambda n: n.index)
+    return matched
+
+
+def select(tree: XMLTree, path: str) -> list[XMLNode]:
+    """All nodes matching ``path``, in document order."""
+    steps = parse_path(path)
+    # The first step starts from a virtual node whose only child is the
+    # root (so "/root-label" works as in XPath).
+    first, *rest = steps
+    if first.descendant:
+        pool = list(tree.root.preorder())
+    else:
+        pool = [tree.root]
+    current = [
+        node for node in pool
+        if _label_matches(node, first.label) and _predicate_holds(node, first)
+    ]
+    if first.position is not None:
+        current = current[first.position - 1 : first.position]
+    for step in rest:
+        current = _apply_step(current, step)
+        if not current:
+            break
+    return current
+
+
+def select_one(tree: XMLTree, path: str) -> XMLNode | None:
+    """First match of ``path`` (document order), or None."""
+    matches = select(tree, path)
+    return matches[0] if matches else None

@@ -1,0 +1,145 @@
+"""Tests for the downstream application modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import (
+    SemanticIndex,
+    SemanticMatcher,
+    cluster_documents,
+    cluster_profiles,
+    concept_profile,
+    label_profile,
+)
+from repro.core.config import XSDFConfig
+from repro.core.framework import XSDF
+
+DOC_MOVIES_A = """<films><picture title="Rear Window">
+    <director>Hitchcock</director><genre>mystery</genre>
+    <cast><star>Kelly</star><star>Stewart</star></cast>
+    </picture></films>"""
+
+DOC_MOVIES_B = """<movies><movie year="1958"><name>Vertigo</name>
+    <directed_by>Alfred Hitchcock</directed_by>
+    <actors><actor><FirstName>Kim</FirstName>
+    <LastName>Novak</LastName></actor></actors></movie></movies>"""
+
+DOC_PRODUCTS = """<products><product><title>Retro camera pack</title>
+    <brand>Kelly Media</brand><line>camera line</line>
+    <stock>9</stock><order>PO-7</order><price>49.99</price>
+    <head>great value</head><state>new</state></product></products>"""
+
+
+@pytest.fixture(scope="module")
+def xsdf(lexicon):
+    return XSDF(lexicon, XSDFConfig(
+        sphere_radius=2, strip_target_dimension=True,
+    ))
+
+
+class TestMatching:
+    def test_cross_vocabulary_correspondences(self, xsdf):
+        matcher = SemanticMatcher(xsdf)
+        correspondences = matcher.match(DOC_MOVIES_A, DOC_MOVIES_B)
+        pairs = {(c.label_a, c.label_b) for c in correspondences}
+        # Both "film" (root) and "picture" resolve to movie.n.01; the
+        # greedy one-to-one assignment pairs exactly one of them with
+        # the other vocabulary's "movie".
+        assert pairs & {("picture", "movie"), ("film", "movie")}
+        assert ("star", "actor") in pairs
+
+    def test_exact_matches_flagged(self, xsdf):
+        matcher = SemanticMatcher(xsdf)
+        correspondences = matcher.match(DOC_MOVIES_A, DOC_MOVIES_B)
+        exact = [c for c in correspondences if c.exact]
+        assert exact and all(c.score == 1.0 for c in exact)
+
+    def test_one_to_one_assignment(self, xsdf):
+        matcher = SemanticMatcher(xsdf)
+        correspondences = matcher.match(DOC_MOVIES_A, DOC_MOVIES_B)
+        lefts = [c.label_a for c in correspondences]
+        rights = [c.label_b for c in correspondences]
+        assert len(lefts) == len(set(lefts))
+        assert len(rights) == len(set(rights))
+
+    def test_min_score_filters(self, xsdf):
+        strict = SemanticMatcher(xsdf, min_score=0.999)
+        loose = SemanticMatcher(xsdf, min_score=0.3)
+        assert len(strict.match(DOC_MOVIES_A, DOC_PRODUCTS)) <= \
+            len(loose.match(DOC_MOVIES_A, DOC_PRODUCTS))
+
+
+class TestClustering:
+    def test_profiles_nonempty(self, xsdf):
+        tree = xsdf.build_tree(DOC_MOVIES_A)
+        assert concept_profile(xsdf, tree)
+        assert label_profile(tree)
+
+    def test_semantic_clustering_groups_movie_docs(self, xsdf):
+        clustering = cluster_documents(
+            xsdf, [DOC_MOVIES_A, DOC_MOVIES_B, DOC_PRODUCTS], threshold=0.3
+        )
+        assert clustering.cluster_of(0) == clustering.cluster_of(1)
+        assert clustering.cluster_of(0) != clustering.cluster_of(2)
+
+    def test_threshold_one_keeps_singletons(self, xsdf):
+        clustering = cluster_documents(
+            xsdf, [DOC_MOVIES_A, DOC_MOVIES_B], threshold=1.01
+        )
+        assert len(clustering) == 2
+
+    def test_cluster_profiles_deterministic(self):
+        profiles = [
+            {"a": 1.0, "b": 1.0},
+            {"a": 1.0, "b": 0.9},
+            {"z": 1.0},
+        ]
+        a = cluster_profiles(profiles, threshold=0.5)
+        b = cluster_profiles(profiles, threshold=0.5)
+        assert a.clusters == b.clusters == [[0, 1], [2]]
+
+    def test_cluster_of_unknown_raises(self):
+        clustering = cluster_profiles([{"a": 1.0}])
+        with pytest.raises(KeyError):
+            clustering.cluster_of(99)
+
+
+class TestSemanticIndex:
+    @pytest.fixture()
+    def index(self, xsdf, lexicon):
+        index = SemanticIndex(lexicon)
+        index.add("movies-a", xsdf, DOC_MOVIES_A)
+        index.add("movies-b", xsdf, DOC_MOVIES_B)
+        index.add("products", xsdf, DOC_PRODUCTS)
+        return index
+
+    def test_indexing_counts(self, index):
+        assert len(index) > 10
+        assert index.documents == {"movies-a", "movies-b", "products"}
+
+    def test_duplicate_document_rejected(self, index, xsdf):
+        with pytest.raises(ValueError):
+            index.add("movies-a", xsdf, DOC_MOVIES_A)
+
+    def test_cross_vocabulary_search(self, index):
+        documents = index.search_documents("movie")
+        assert "movies-a" in documents and "movies-b" in documents
+        assert "products" not in documents
+
+    def test_expansion_reaches_hyponyms(self, index, lexicon):
+        # "actress" expands to its hyponyms (Grace Kelly, Kim Novak).
+        expanded = index.expand_query("actress", depth=1)
+        assert "kelly.n.01" in expanded
+        hits = index.search("actress")
+        assert {h.document for h in hits} == {"movies-a", "movies-b"}
+
+    def test_depth_zero_no_expansion(self, index):
+        no_expansion = index.expand_query("performer", depth=0)
+        expanded = index.expand_query("performer", depth=2)
+        assert no_expansion < expanded
+
+    def test_hits_sorted_by_score(self, index):
+        hits = index.search("merchandise")
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,177 @@
+"""Unit tests for the comparative baselines."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import (
+    BagOfWordsDisambiguator,
+    FirstSenseBaseline,
+    ParentContextDisambiguator,
+    RandomSenseBaseline,
+    RootPathDisambiguator,
+    SubtreeContextDisambiguator,
+    VersatileStructuralDisambiguator,
+)
+from repro.core.framework import XSDF
+from repro.core.config import XSDFConfig
+from repro.xmltree.parser import parse
+
+ALL_BASELINES = [
+    FirstSenseBaseline,
+    RandomSenseBaseline,
+    RootPathDisambiguator,
+    VersatileStructuralDisambiguator,
+    ParentContextDisambiguator,
+    SubtreeContextDisambiguator,
+    BagOfWordsDisambiguator,
+]
+
+
+@pytest.fixture()
+def tree(lexicon, figure1_xml):
+    return XSDF(lexicon, XSDFConfig()).build_tree(figure1_xml)
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_disambiguates_figure1(self, baseline_cls, lexicon, tree):
+        baseline = baseline_cls(lexicon)
+        result = baseline.disambiguate_tree(tree)
+        assert result.assignments
+        for assignment in result.assignments:
+            # Every chosen concept must be a real sense of the label or
+            # of one of its tokens.
+            candidates = {c.id for c in lexicon.senses(assignment.label)}
+            for token in assignment.label.split():
+                candidates |= {c.id for c in lexicon.senses(token)}
+            assert assignment.concept_id in candidates
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_explicit_targets_respected(self, baseline_cls, lexicon, tree):
+        baseline = baseline_cls(lexicon)
+        star = tree.find("star")
+        result = baseline.disambiguate_tree(tree, targets=[star])
+        assert result.n_targets == 1
+        assert result.assignments[0].label == "star"
+
+    @pytest.mark.parametrize("baseline_cls", ALL_BASELINES)
+    def test_unknown_node_returns_none(self, baseline_cls, lexicon):
+        baseline = baseline_cls(lexicon)
+        tree = XSDF(lexicon, XSDFConfig()).build_tree(
+            "<zzzz><qqqq/></zzzz>"
+        )
+        assert baseline.disambiguate_node(tree, tree.root) is None
+
+
+class TestTrivialBaselines:
+    def test_first_sense_picks_rank_one(self, lexicon, tree):
+        baseline = FirstSenseBaseline(lexicon)
+        star = tree.find("star")
+        assignment = baseline.disambiguate_node(tree, star)
+        assert assignment.concept_id == lexicon.senses("star")[0].id
+
+    def test_random_is_seed_deterministic(self, lexicon, tree):
+        a = RandomSenseBaseline(lexicon, seed=7).disambiguate_tree(tree)
+        b = RandomSenseBaseline(lexicon, seed=7).disambiguate_tree(tree)
+        assert [x.chosen for x in a.assignments] == \
+            [y.chosen for y in b.assignments]
+
+    def test_random_seeds_differ(self, lexicon, tree):
+        a = RandomSenseBaseline(lexicon, seed=1).disambiguate_tree(tree)
+        b = RandomSenseBaseline(lexicon, seed=2).disambiguate_tree(tree)
+        assert [x.chosen for x in a.assignments] != \
+            [y.chosen for y in b.assignments]
+
+
+class TestVSD:
+    def test_gaussian_decay_monotone(self, lexicon):
+        vsd = VersatileStructuralDisambiguator(lexicon, sigma=1.5)
+        weights = [vsd.decay(d) for d in range(5)]
+        assert weights[0] == 1.0
+        assert weights == sorted(weights, reverse=True)
+
+    def test_cutoff_bounds_context(self, lexicon, tree):
+        wide = VersatileStructuralDisambiguator(
+            lexicon, sigma=2.0, weight_cutoff=0.1
+        )
+        narrow = VersatileStructuralDisambiguator(
+            lexicon, sigma=0.8, weight_cutoff=0.5
+        )
+        star = tree.find("star")
+        assert len(wide._context(tree, star)) > len(narrow._context(tree, star))
+
+    def test_invalid_parameters(self, lexicon):
+        with pytest.raises(ValueError):
+            VersatileStructuralDisambiguator(lexicon, sigma=0)
+        with pytest.raises(ValueError):
+            VersatileStructuralDisambiguator(lexicon, weight_cutoff=1.5)
+
+    def test_crossable_radius_matches_cutoff(self, lexicon):
+        vsd = VersatileStructuralDisambiguator(
+            lexicon, sigma=1.5, weight_cutoff=0.1
+        )
+        max_distance = int(
+            math.floor(math.sqrt(-2 * 1.5**2 * math.log(0.1)))
+        )
+        assert vsd.decay(max_distance) >= 0.1
+        assert vsd.decay(max_distance + 1) < 0.1
+
+
+class TestRPD:
+    def test_context_is_root_path_plus_chain(self, lexicon, tree):
+        rpd = RootPathDisambiguator(lexicon)
+        cast = tree.find("cast")
+        context_labels = [n.label for n in rpd._path_context(cast)]
+        assert "film" in context_labels        # ancestor (stemmed "films")
+        assert "picture" in context_labels     # ancestor
+        assert "star" in context_labels        # first-child continuation
+        assert "plot" not in context_labels    # sibling subtree excluded
+
+    def test_root_node_context_is_descending_chain(self, lexicon, tree):
+        rpd = RootPathDisambiguator(lexicon)
+        context = rpd._path_context(tree.root)
+        assert context  # the chain below the root
+        assert all(n is not tree.root for n in context)
+
+
+class TestParentAndSubtree:
+    def test_parent_context_content(self, lexicon, tree):
+        parent = ParentContextDisambiguator(lexicon)
+        star = tree.find("star")
+        labels = {n.label for n in parent._context(star)}
+        assert "cast" in labels              # parent
+        assert "star" in labels              # sibling
+        assert "films" not in labels         # grandparent excluded
+
+    def test_subtree_vector_counts_descendants(self, lexicon, tree):
+        subtree = SubtreeContextDisambiguator(lexicon)
+        cast = tree.find("cast")
+        vector = subtree._label_vector(cast)
+        assert vector["star"] == 2.0
+        assert vector["cast"] == 1.0
+        assert "films" not in vector
+
+
+class TestBagOfWords:
+    def test_document_context_cached_per_tree(self, lexicon, tree):
+        bow = BagOfWordsDisambiguator(lexicon)
+        star = tree.find("star")
+        bow.disambiguate_node(tree, star)
+        cache_id = bow._doc_cache[0]
+        bow.disambiguate_node(tree, tree.find("cast"))
+        assert bow._doc_cache[0] == cache_id
+
+    def test_same_label_gets_same_sense_anywhere(self, lexicon):
+        # Whole-document context is position-independent by design.
+        bow = BagOfWordsDisambiguator(lexicon)
+        tree = XSDF(lexicon, XSDFConfig()).build_tree(
+            "<films><cast><star>x</star></cast><star>y</star></films>"
+        )
+        stars = tree.find_all("star")
+        picks = {
+            bow.disambiguate_node(tree, node).concept_id for node in stars
+        }
+        assert len(picks) == 1

@@ -1,0 +1,59 @@
+"""Shared test fixtures.
+
+``lexicon`` is session-scoped (building the curated network is the
+expensive part of most tests); ``figure6_tree`` reconstructs the paper's
+Figure 6 example tree exactly, preorder indices and all, so the sphere /
+context-vector tests can check the published numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet import default_lexicon
+from repro.xmltree.dom import NodeKind, XMLNode, XMLTree
+
+FIGURE1_XML = """<?xml version="1.0"?>
+<films>
+  <picture title="Rear Window">
+    <director>Hitchcock</director>
+    <year>1954</year>
+    <genre>mystery</genre>
+    <cast>
+      <star>Stewart</star>
+      <star>Kelly</star>
+    </cast>
+    <plot>A wheelchair bound photographer spies on his neighbors</plot>
+  </picture>
+</films>
+"""
+
+
+@pytest.fixture(scope="session")
+def lexicon():
+    """The curated mini-WordNet (shared, treat as read-only)."""
+    return default_lexicon()
+
+
+@pytest.fixture()
+def figure6_tree() -> XMLTree:
+    """The paper's Figure 6 tree.
+
+    Preorder: films(0) picture(1) cast(2) star(3) stewart(4) star(5)
+    kelly(6) plot(7) — ``cast`` is ``T[2]``, the worked example's target.
+    """
+    films = XMLNode("films")
+    picture = films.add_child(XMLNode("picture"))
+    cast = picture.add_child(XMLNode("cast"))
+    star1 = cast.add_child(XMLNode("star"))
+    star1.add_child(XMLNode("stewart", kind=NodeKind.VALUE_TOKEN))
+    star2 = cast.add_child(XMLNode("star"))
+    star2.add_child(XMLNode("kelly", kind=NodeKind.VALUE_TOKEN))
+    picture.add_child(XMLNode("plot"))
+    return XMLTree(films)
+
+
+@pytest.fixture()
+def figure1_xml() -> str:
+    """The paper's Figure 1 (Doc 1) XML text."""
+    return FIGURE1_XML

@@ -1,0 +1,170 @@
+"""Unit tests for the ambiguity degree measure (paper Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ambiguity import (
+    amb_density,
+    amb_depth,
+    amb_polysemy,
+    ambiguity_degree,
+    rank_nodes,
+    select_targets,
+    struct_degree,
+    tree_ambiguity_degree,
+    tree_struct_degree,
+)
+from repro.core.config import AmbiguityWeights
+from repro.semnet.builders import NetworkBuilder
+from repro.xmltree.dom import XMLNode, XMLTree
+
+
+@pytest.fixture()
+def network():
+    b = NetworkBuilder()
+    b.synset("mono.1", ["mono"], "only sense")
+    for i in range(1, 5):
+        b.synset(f"quad.{i}", ["quad"], f"sense {i}")
+    for i in range(1, 8):
+        b.synset(f"max.{i}", ["maxi"], f"sense {i}")
+    return b.build()
+
+
+@pytest.fixture()
+def tree():
+    """root(quad) -> a(quad){x,y}, b(mono){z,z}, c(unknownword)."""
+    root = XMLNode("quad")
+    a = root.add_child(XMLNode("quad"))
+    a.add_child(XMLNode("x"))
+    a.add_child(XMLNode("y"))
+    b = root.add_child(XMLNode("mono"))
+    b.add_child(XMLNode("z"))
+    b.add_child(XMLNode("z"))
+    root.add_child(XMLNode("unknownword"))
+    return XMLTree(root)
+
+
+class TestPolysemyFactor:
+    def test_proposition1_normalization(self, network):
+        # maxi has 7 senses = network maximum.
+        assert amb_polysemy("maxi", network) == 1.0
+        assert amb_polysemy("quad", network) == pytest.approx(3 / 6)
+
+    def test_monosemous_is_zero(self, network):
+        assert amb_polysemy("mono", network) == 0.0
+
+    def test_unknown_is_zero(self, network):
+        assert amb_polysemy("nothing", network) == 0.0
+
+    def test_assumption1_monotone(self, network):
+        # More senses -> more ambiguous.
+        assert amb_polysemy("maxi", network) > amb_polysemy("quad", network) \
+            > amb_polysemy("mono", network)
+
+
+class TestDepthFactor:
+    def test_root_is_most_ambiguous(self, tree):
+        assert amb_depth(tree[0], tree) == 1.0
+
+    def test_deepest_is_least(self, tree):
+        deepest = max(tree, key=lambda n: n.depth)
+        assert amb_depth(deepest, tree) == 0.0
+
+    def test_assumption2_monotone(self, tree):
+        values = [amb_depth(n, tree) for n in tree]
+        depths = [n.depth for n in tree]
+        for v1, d1 in zip(values, depths):
+            for v2, d2 in zip(values, depths):
+                if d1 < d2:
+                    assert v1 > v2
+
+
+class TestDensityFactor:
+    def test_distinct_children_reduce_ambiguity(self, tree):
+        a = tree[1]       # two distinct child labels
+        b = tree.find("mono")  # two identical child labels
+        assert amb_density(a, tree) < amb_density(b, tree)
+
+    def test_leaf_has_maximal_density_factor(self, tree):
+        leaf = tree.find("x")
+        assert amb_density(leaf, tree) == 1.0
+
+
+class TestAmbiguityDegree:
+    def test_definition3_bounds(self, tree, network):
+        for node in tree:
+            degree = ambiguity_degree(node, tree, network)
+            assert 0.0 <= degree <= 1.0
+
+    def test_assumption4_monosemous_minimal(self, tree, network):
+        mono = tree.find("mono")
+        assert ambiguity_degree(mono, tree, network) == 0.0
+
+    def test_polysemy_weight_zero_kills_selection(self, tree, network):
+        weights = AmbiguityWeights(polysemy=0.0)
+        assert all(
+            ambiguity_degree(n, tree, network, weights) == 0.0 for n in tree
+        )
+
+    def test_root_more_ambiguous_than_midlevel_same_label(self, tree, network):
+        # Both labeled "quad": the root is shallower.  The mid node has
+        # *distinct* children which further reduce its ambiguity.
+        root_degree = ambiguity_degree(tree[0], tree, network)
+        mid_degree = ambiguity_degree(tree[1], tree, network)
+        assert root_degree > mid_degree
+
+    def test_compound_label_averages_tokens(self, network):
+        root = XMLNode("quad")
+        compound = root.add_child(
+            XMLNode("quad mono", tokens=("quad", "mono"))
+        )
+        tree = XMLTree(root)
+        single = ambiguity_degree(root, tree, network)
+        averaged = ambiguity_degree(compound, tree, network)
+        assert averaged < single  # mono contributes 0
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            AmbiguityWeights(polysemy=1.5)
+
+
+class TestSelection:
+    def test_threshold_zero_selects_all_known(self, tree, network):
+        targets = select_targets(tree, network, threshold=0.0)
+        labels = {n.label for n in targets}
+        assert labels == {"quad", "mono"}  # unknown labels never selected
+
+    def test_high_threshold_selects_none(self, tree, network):
+        assert select_targets(tree, network, threshold=0.99) == []
+
+    def test_selection_monotone_in_threshold(self, tree, network):
+        low = select_targets(tree, network, threshold=0.0)
+        high = select_targets(tree, network, threshold=0.05)
+        assert set(n.index for n in high) <= set(n.index for n in low)
+
+    def test_rank_nodes_sorted(self, tree, network):
+        reports = rank_nodes(tree, network)
+        degrees = [r.degree for r in reports]
+        assert degrees == sorted(degrees, reverse=True)
+        assert len(reports) == len(tree)
+
+
+class TestStructDegree:
+    def test_bounds(self, tree):
+        for node in tree:
+            assert 0.0 <= struct_degree(node, tree) <= 1.0
+
+    def test_weights_normalized(self, tree):
+        node = tree[1]
+        assert struct_degree(node, tree, 1, 1, 1) == pytest.approx(
+            struct_degree(node, tree, 2, 2, 2)
+        )
+
+    def test_invalid_weights(self, tree):
+        with pytest.raises(ValueError):
+            struct_degree(tree[0], tree, 0, 0, 0)
+
+    def test_tree_aggregates(self, tree, network):
+        assert 0.0 <= tree_ambiguity_degree(tree, network) <= 1.0
+        assert 0.0 <= tree_struct_degree(tree) <= 1.0

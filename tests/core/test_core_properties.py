@@ -1,0 +1,131 @@
+"""Property-based tests for core invariants (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ambiguity import ambiguity_degree, select_targets
+from repro.core.context_vector import context_vector, struct_proximity
+from repro.core.sphere import build_sphere
+from repro.semnet.builders import NetworkBuilder
+from repro.xmltree.dom import XMLNode, XMLTree
+
+_labels = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+)
+
+
+@st.composite
+def trees(draw):
+    labels = draw(st.lists(_labels, min_size=2, max_size=30))
+    root = XMLNode(labels[0])
+    nodes = [root]
+    for label in labels[1:]:
+        parent = draw(st.sampled_from(nodes))
+        nodes.append(parent.add_child(XMLNode(label)))
+    return XMLTree(root)
+
+
+@pytest.fixture(scope="module")
+def toy_network():
+    b = NetworkBuilder()
+    b.synset("root", ["thing"], "anything at all", freq=1)
+    b.synset("alpha.1", ["alpha"], "first sense of alpha",
+             hypernym="root", freq=5)
+    b.synset("alpha.2", ["alpha"], "second sense of alpha",
+             hypernym="root", freq=3)
+    b.synset("beta.1", ["beta"], "only sense of beta",
+             hypernym="root", freq=4)
+    b.synset("gamma.1", ["gamma"], "one of two gammas",
+             hypernym="alpha.1", freq=2)
+    b.synset("gamma.2", ["gamma"], "the other gamma",
+             hypernym="beta.1", freq=2)
+    return b.build()
+
+
+# -- sphere invariants ------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(trees(), st.integers(0, 4), st.data())
+def test_sphere_membership_matches_tree_distance(tree, radius, data):
+    center = data.draw(st.sampled_from(tree.nodes))
+    sphere = build_sphere(tree, center, radius)
+    member_indices = {m.node.index for m in sphere}
+    for node in tree:
+        inside = tree.distance(center, node) <= radius
+        assert (node.index in member_indices) == inside
+    for member in sphere:
+        assert member.distance == tree.distance(center, member.node)
+
+
+@settings(max_examples=50, deadline=None)
+@given(trees(), st.integers(0, 3), st.data())
+def test_spheres_grow_monotonically(tree, radius, data):
+    center = data.draw(st.sampled_from(tree.nodes))
+    smaller = {m.node.index for m in build_sphere(tree, center, radius)}
+    larger = {m.node.index for m in build_sphere(tree, center, radius + 1)}
+    assert smaller <= larger
+
+
+# -- context vector invariants ----------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(trees(), st.integers(1, 3), st.data())
+def test_context_vector_weights_bounded(tree, radius, data):
+    center = data.draw(st.sampled_from(tree.nodes))
+    vector = context_vector(build_sphere(tree, center, radius))
+    assert vector  # the center's own label is always a dimension
+    for weight in vector.values():
+        assert 0.0 < weight <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(trees(), st.integers(1, 3), st.data())
+def test_center_label_weight_dominates_equal_counts(tree, radius, data):
+    """Dimension weights respect Assumption 5 (proximity).
+
+    If a label occurs exactly once (only at the center), its weight must
+    be at least the weight of any other label that also occurs once.
+    """
+    center = data.draw(st.sampled_from(tree.nodes))
+    sphere = build_sphere(tree, center, radius)
+    counts: dict[str, int] = {}
+    for member in sphere:
+        counts[member.node.label] = counts.get(member.node.label, 0) + 1
+    vector = context_vector(sphere)
+    if counts[center.label] == 1:
+        for label, count in counts.items():
+            if count == 1:
+                assert vector[center.label] >= vector[label] - 1e-12
+
+
+@given(st.integers(0, 10), st.integers(1, 10))
+def test_struct_proximity_bounds(distance, radius):
+    if distance > radius:
+        return
+    value = struct_proximity(distance, radius)
+    assert 1.0 / (radius + 1.0) - 1e-12 <= value <= 1.0
+
+
+# -- ambiguity invariants -----------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees())
+def test_ambiguity_degree_bounded(toy_network, tree):
+    for node in tree:
+        degree = ambiguity_degree(node, tree, toy_network)
+        assert 0.0 <= degree <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree=trees(), t1=st.floats(0.0, 1.0), t2=st.floats(0.0, 1.0))
+def test_target_selection_monotone(toy_network, tree, t1, t2):
+    low, high = sorted((t1, t2))
+    selected_low = {n.index for n in select_targets(tree, toy_network, low)}
+    selected_high = {n.index for n in select_targets(tree, toy_network, high)}
+    assert selected_high <= selected_low

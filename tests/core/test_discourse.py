@@ -1,0 +1,121 @@
+"""Unit tests for the one-sense-per-discourse extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.discourse import (
+    disagreement_rate,
+    discourse_votes,
+    enforce_one_sense_per_discourse,
+)
+from repro.core.results import DisambiguationResult, SenseAssignment
+
+
+def assignment(index, label, chosen, scores):
+    return SenseAssignment(
+        node_index=index,
+        label=label,
+        chosen=chosen,
+        score=scores[chosen],
+        concept_score=0.0,
+        context_score=0.0,
+        ambiguity=0.0,
+        scores=scores,
+    )
+
+
+@pytest.fixture()
+def split_result():
+    """'line' occurs three times: twice verse, once (noisily) queue."""
+    return DisambiguationResult(
+        assignments=[
+            assignment(1, "line", ("verse",), {("verse",): 0.8, ("queue",): 0.2}),
+            assignment(2, "line", ("verse",), {("verse",): 0.7, ("queue",): 0.3}),
+            assignment(3, "line", ("queue",), {("verse",): 0.4, ("queue",): 0.5}),
+            assignment(4, "act", ("act.play",), {("act.play",): 0.9}),
+        ],
+        n_nodes=10,
+        n_targets=4,
+        radius=2,
+    )
+
+
+class TestVotesAndRates:
+    def test_votes_accumulate_score_mass(self, split_result):
+        votes = discourse_votes(split_result)
+        assert votes["line"][("verse",)] == pytest.approx(0.8 + 0.7 + 0.4)
+        assert votes["line"][("queue",)] == pytest.approx(0.2 + 0.3 + 0.5)
+
+    def test_disagreement_rate(self, split_result):
+        # 'line' is the only multi-occurrence label and it disagrees.
+        assert disagreement_rate(split_result) == 1.0
+
+    def test_disagreement_zero_when_consistent(self, split_result):
+        fixed = enforce_one_sense_per_discourse(split_result)
+        assert disagreement_rate(fixed) == 0.0
+
+
+class TestEnforcement:
+    def test_minority_occurrence_flipped(self, split_result):
+        fixed = enforce_one_sense_per_discourse(split_result)
+        line_senses = {
+            a.chosen for a in fixed.assignments if a.label == "line"
+        }
+        assert line_senses == {("verse",)}
+
+    def test_flipped_node_gets_its_own_score(self, split_result):
+        fixed = enforce_one_sense_per_discourse(split_result)
+        flipped = fixed.assignment_for(3)
+        assert flipped.chosen == ("verse",)
+        assert flipped.score == pytest.approx(0.4)
+
+    def test_agreeing_assignments_reused(self, split_result):
+        fixed = enforce_one_sense_per_discourse(split_result)
+        assert fixed.assignment_for(1) is split_result.assignments[0]
+        assert fixed.assignment_for(4) is split_result.assignments[3]
+
+    def test_input_not_mutated(self, split_result):
+        enforce_one_sense_per_discourse(split_result)
+        assert split_result.assignment_for(3).chosen == ("queue",)
+
+    def test_counts_preserved(self, split_result):
+        fixed = enforce_one_sense_per_discourse(split_result)
+        assert fixed.n_nodes == split_result.n_nodes
+        assert fixed.n_targets == split_result.n_targets
+        assert len(fixed.assignments) == len(split_result.assignments)
+
+    def test_winner_missing_from_scores_untouched(self):
+        # A compound node that never considered the document winner.
+        result = DisambiguationResult(
+            assignments=[
+                assignment(1, "x", ("a",), {("a",): 0.9}),
+                assignment(2, "x", ("b",), {("b",): 0.1}),
+            ],
+            n_nodes=3, n_targets=2, radius=1,
+        )
+        fixed = enforce_one_sense_per_discourse(result)
+        assert fixed.assignment_for(2).chosen == ("b",)
+
+
+class TestEndToEnd:
+    def test_discourse_never_lowers_shakespeare_quality(self, lexicon):
+        from repro.datasets import generate_test_corpus
+        from repro.datasets.stats import document_tree
+        from repro.evaluation import select_eval_nodes
+        from repro.core import XSDF, XSDFConfig
+
+        corpus = generate_test_corpus()
+        xsdf = XSDF(lexicon, XSDFConfig(sphere_radius=1))
+        correct_before = correct_after = total = 0
+        for doc in corpus.by_group(1)[:3]:
+            tree = document_tree(doc, lexicon)
+            targets = select_eval_nodes(tree, doc)
+            result = xsdf.disambiguate_tree(tree, targets=targets)
+            fixed = enforce_one_sense_per_discourse(result)
+            for before, after in zip(result.assignments, fixed.assignments):
+                total += 1
+                correct_before += before.concept_id == doc.gold[before.label]
+                correct_after += after.concept_id == doc.gold[after.label]
+        assert total > 0
+        assert correct_after >= correct_before

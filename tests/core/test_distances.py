@@ -1,0 +1,129 @@
+"""Unit tests for the distance-policy extension (paper future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distances import (
+    DensityWeightedDistance,
+    DirectionWeightedDistance,
+    DistancePolicy,
+    UniformDistance,
+    resolve_policy,
+)
+from repro.core.sphere import build_sphere
+from repro.xmltree.dom import XMLNode, XMLTree
+
+
+@pytest.fixture()
+def tree():
+    """root -> hub(8 children) and root -> chain -> chain2 -> leaf."""
+    root = XMLNode("root")
+    hub = root.add_child(XMLNode("hub"))
+    for i in range(8):
+        hub.add_child(XMLNode(f"h{i}"))
+    chain = root.add_child(XMLNode("chain"))
+    chain2 = chain.add_child(XMLNode("chain2"))
+    chain2.add_child(XMLNode("leaf"))
+    return XMLTree(root)
+
+
+class TestPolicyResolution:
+    def test_none_is_uniform(self):
+        assert isinstance(resolve_policy(None), UniformDistance)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_policy("direction"), DirectionWeightedDistance)
+        assert isinstance(resolve_policy("density"), DensityWeightedDistance)
+
+    def test_instance_passthrough(self):
+        policy = DirectionWeightedDistance(2.0, 1.0)
+        assert resolve_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_policy("teleport")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DirectionWeightedDistance(0, 1)
+        with pytest.raises(ValueError):
+            DensityWeightedDistance(penalty=-1)
+        with pytest.raises(ValueError):
+            DensityWeightedDistance(max_fan_out=0)
+
+
+class TestUniformEquivalence:
+    def test_uniform_policy_matches_bfs(self, tree):
+        center = tree.find("chain")
+        plain = build_sphere(tree, center, 2)
+        priced = build_sphere(tree, center, 2, policy=UniformDistance())
+        assert [(m.node.index, m.distance) for m in plain] == \
+            [(m.node.index, float(m.distance)) for m in priced]
+
+
+class TestDirectionWeighted:
+    def test_descending_bias_prefers_subtree(self, tree):
+        # Ascending costs 2, descending 1: radius 2 from "chain" reaches
+        # its grandchild but not its parent's other subtree.
+        policy = DirectionWeightedDistance(ascending_cost=2.0,
+                                           descending_cost=1.0)
+        sphere = build_sphere(tree, tree.find("chain"), 2, policy=policy)
+        labels = {m.node.label for m in sphere}
+        assert "leaf" in labels         # two descending hops = cost 2
+        assert "root" in labels         # one ascending hop = cost 2
+        assert "hub" not in labels      # up (2) + down (1) = 3 > 2
+
+    def test_ascending_bias_prefers_ancestors(self, tree):
+        policy = DirectionWeightedDistance(ascending_cost=0.5,
+                                           descending_cost=2.0)
+        sphere = build_sphere(tree, tree.find("leaf"), 1, policy=policy)
+        labels = {m.node.label for m in sphere}
+        assert {"chain2", "chain"} <= labels   # 0.5 + 0.5 up
+        assert "root" not in labels            # 1.5 > 1
+
+
+class TestDensityWeighted:
+    def test_hub_children_cost_more(self, tree):
+        policy = DensityWeightedDistance(penalty=8.0, max_fan_out=8)
+        # From the root with radius 1.9: the chain child costs
+        # 1 + 8*(2-1)/8 = 2 > 1.9... root has fan_out 2 -> cost 1+1 = 2.
+        # Use the hub as center: its children cost 1 + 8*(8-1)/8 = 8.
+        sphere = build_sphere(tree, tree.find("hub"), 2, policy=policy)
+        labels = {m.node.label for m in sphere}
+        assert "h0" not in labels   # hub crossing priced at 8
+        assert "root" in labels     # root fan-out 2 -> cost 2
+
+    def test_zero_penalty_is_uniform(self, tree):
+        policy = DensityWeightedDistance(penalty=0.0)
+        center = tree.find("chain")
+        priced = build_sphere(tree, center, 2, policy=policy)
+        plain = build_sphere(tree, center, 2)
+        assert {m.node.index for m in priced} == {m.node.index for m in plain}
+
+
+class TestFrameworkIntegration:
+    def test_policy_through_config(self, lexicon, figure1_xml):
+        from repro.core.config import XSDFConfig
+        from repro.core.framework import XSDF
+
+        default = XSDF(lexicon, XSDFConfig(sphere_radius=2))
+        directed = XSDF(lexicon, XSDFConfig(
+            sphere_radius=2,
+            distance_policy=DirectionWeightedDistance(2.0, 1.0),
+        ))
+        base = default.disambiguate_document(figure1_xml)
+        biased = directed.disambiguate_document(figure1_xml)
+        assert len(base.assignments) == len(biased.assignments)
+
+    def test_policy_by_name_through_config(self, lexicon, figure1_xml):
+        from repro.core.config import XSDFConfig
+        from repro.core.framework import XSDF
+
+        system = XSDF(lexicon, XSDFConfig(distance_policy="density"))
+        result = system.disambiguate_document(figure1_xml)
+        assert result.assignments
+
+    def test_policy_is_abstract(self):
+        with pytest.raises(TypeError):
+            DistancePolicy()  # type: ignore[abstract]

@@ -1,0 +1,147 @@
+"""Integration tests for the XSDF orchestrator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    AmbiguityWeights,
+    DisambiguationApproach,
+    XSDFConfig,
+)
+from repro.core.framework import XSDF
+from repro.xmltree.parser import parse
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        XSDFConfig()
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            XSDFConfig(ambiguity_threshold=1.5)
+
+    def test_bad_radius(self):
+        with pytest.raises(ValueError):
+            XSDFConfig(sphere_radius=0)
+
+    def test_negative_approach_weights(self):
+        with pytest.raises(ValueError):
+            XSDFConfig(concept_weight=-1)
+
+    def test_zero_combined_weights(self):
+        with pytest.raises(ValueError):
+            XSDFConfig(
+                approach=DisambiguationApproach.COMBINED,
+                concept_weight=0, context_weight=0,
+            )
+
+    def test_unknown_vector_measure(self):
+        with pytest.raises(ValueError):
+            XSDFConfig(vector_measure="euclid")
+
+    def test_weights_normalized(self):
+        config = XSDFConfig(concept_weight=3, context_weight=1)
+        assert config.normalized_approach_weights == (0.75, 0.25)
+
+
+class TestEndToEnd:
+    def test_figure1_document(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig(sphere_radius=2))
+        result = xsdf.disambiguate_document(figure1_xml)
+        assert result.n_targets > 10
+        picks = {a.label: a.concept_id for a in result.assignments}
+        # The framework's headline calls from the paper's narrative.
+        assert picks["picture"] == "movie.n.01"
+        assert picks["director"] == "director.n.01"
+        assert picks["genre"] == "genre.n.01"
+        assert picks["plot"] == "plot.n.02"
+
+    def test_hybrid_resolves_kelly_to_grace(self, lexicon, figure1_xml):
+        # The paper's introduction: in this context a human reads
+        # "Kelly" as Grace Kelly.  The extension-enabled hybrid agrees.
+        xsdf = XSDF(lexicon, XSDFConfig(
+            sphere_radius=2, strip_target_dimension=True,
+        ))
+        result = xsdf.disambiguate_document(figure1_xml)
+        picks = {a.label: a.concept_id for a in result.assignments}
+        assert picks["kelly"] == "kelly.n.01"
+        assert picks["star"] == "star.n.02"
+        assert picks["cast"] == "cast.n.01"
+
+    def test_all_approaches_run(self, lexicon, figure1_xml):
+        for approach in DisambiguationApproach:
+            xsdf = XSDF(lexicon, XSDFConfig(approach=approach))
+            result = xsdf.disambiguate_document(figure1_xml)
+            assert result.assignments
+
+    def test_scores_populated_per_approach(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig(
+            approach=DisambiguationApproach.CONCEPT_BASED
+        ))
+        result = xsdf.disambiguate_document(figure1_xml)
+        assignment = result.assignments[0]
+        assert assignment.score == assignment.concept_score
+        assert assignment.context_score == 0.0
+
+    def test_threshold_reduces_targets(self, lexicon, figure1_xml):
+        base = XSDF(lexicon, XSDFConfig(ambiguity_threshold=0.0))
+        strict = XSDF(lexicon, XSDFConfig(ambiguity_threshold=0.05))
+        all_targets = base.disambiguate_document(figure1_xml).n_targets
+        few_targets = strict.disambiguate_document(figure1_xml).n_targets
+        assert few_targets < all_targets
+
+    def test_explicit_targets_override_selection(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        tree = xsdf.build_tree(figure1_xml)
+        star = tree.find("star")
+        result = xsdf.disambiguate_tree(tree, targets=[star])
+        assert result.n_targets == 1
+        assert result.assignments[0].label == "star"
+
+    def test_structure_only_mode(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig(include_values=False))
+        tree = xsdf.build_tree(figure1_xml)
+        assert all(node.label != "kelly" for node in tree)
+
+    def test_compound_tags_resolved(self, lexicon):
+        xml = ("<movies><movie><FirstName>Grace</FirstName>"
+               "<LastName>Kelly</LastName></movie></movies>")
+        xsdf = XSDF(lexicon, XSDFConfig())
+        result = xsdf.disambiguate_document(xml)
+        picks = {a.label: a.concept_id for a in result.assignments}
+        assert picks["first name"] == "first_name.n.01"
+        assert picks["last name"] == "last_name.n.01"
+
+
+class TestResultTypes:
+    def test_concept_map_and_lookup(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        result = xsdf.disambiguate_document(figure1_xml)
+        mapping = result.concept_map()
+        first = result.assignments[0]
+        assert mapping[first.node_index] == first.concept_id
+        assert result.assignment_for(first.node_index) is first
+        assert result.assignment_for(99999) is None
+
+    def test_coverage(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        result = xsdf.disambiguate_document(figure1_xml)
+        assert 0.0 < result.coverage <= 1.0
+
+    def test_margin(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        result = xsdf.disambiguate_document(figure1_xml)
+        ambiguous = [a for a in result.assignments if len(a.scores) > 1]
+        assert ambiguous
+        assert all(a.margin >= 0 for a in ambiguous)
+
+
+class TestSemanticOutput:
+    def test_semantic_xml_well_formed_and_annotated(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        output = xsdf.to_semantic_xml(figure1_xml)
+        reparsed = parse(output)
+        assert reparsed.root.name == "films"
+        assert 'concept="' in output
+        assert 'gloss="' in output

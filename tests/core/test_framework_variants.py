@@ -1,0 +1,109 @@
+"""Framework configuration variants, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    XSDF,
+    DisambiguationApproach,
+    XSDFConfig,
+    enforce_one_sense_per_discourse,
+)
+from repro.similarity import SimilarityWeights
+
+
+class TestVectorMeasureVariants:
+    @pytest.mark.parametrize("measure", ["cosine", "jaccard", "pearson"])
+    def test_context_based_runs_with_each_measure(
+        self, lexicon, figure1_xml, measure
+    ):
+        xsdf = XSDF(lexicon, XSDFConfig(
+            approach=DisambiguationApproach.CONTEXT_BASED,
+            vector_measure=measure,
+        ))
+        result = xsdf.disambiguate_document(figure1_xml)
+        assert result.assignments
+        assert all(0.0 <= a.score <= 1.0 for a in result.assignments)
+
+    def test_measures_can_disagree(self, lexicon, figure1_xml):
+        picks = {}
+        for measure in ("cosine", "jaccard"):
+            xsdf = XSDF(lexicon, XSDFConfig(
+                approach=DisambiguationApproach.CONTEXT_BASED,
+                vector_measure=measure,
+            ))
+            result = xsdf.disambiguate_document(figure1_xml)
+            picks[measure] = [a.score for a in result.assignments]
+        # Identical choices are possible, identical scores are not.
+        assert picks["cosine"] != picks["jaccard"]
+
+
+class TestSimilarityWeightVariants:
+    @pytest.mark.parametrize(
+        "weights",
+        [SimilarityWeights(1, 0, 0), SimilarityWeights(0, 1, 0),
+         SimilarityWeights(0, 0, 1)],
+    )
+    def test_single_measure_configs_run(self, lexicon, figure1_xml, weights):
+        xsdf = XSDF(lexicon, XSDFConfig(
+            approach=DisambiguationApproach.CONCEPT_BASED,
+            similarity_weights=weights,
+        ))
+        assert xsdf.disambiguate_document(figure1_xml).assignments
+
+    def test_node_weight_zero_skips_ic_computation(self, lexicon):
+        # No node-based weight: the framework must not need frequencies.
+        config = XSDFConfig(similarity_weights=SimilarityWeights(1, 0, 1))
+        xsdf = XSDF(lexicon, config)
+        assert xsdf.disambiguate_document("<films><cast/></films>")
+
+
+class TestApproachWeighting:
+    def test_extreme_weights_recover_pure_approaches(self, lexicon, figure1_xml):
+        concept_only = XSDF(lexicon, XSDFConfig(
+            approach=DisambiguationApproach.COMBINED,
+            concept_weight=1.0, context_weight=0.0,
+        ))
+        pure_concept = XSDF(lexicon, XSDFConfig(
+            approach=DisambiguationApproach.CONCEPT_BASED,
+        ))
+        a = concept_only.disambiguate_document(figure1_xml)
+        b = pure_concept.disambiguate_document(figure1_xml)
+        assert [x.chosen for x in a.assignments] == \
+            [y.chosen for y in b.assignments]
+
+    def test_combined_scores_are_weighted_sum(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig(
+            approach=DisambiguationApproach.COMBINED,
+            concept_weight=0.25, context_weight=0.75,
+        ))
+        result = xsdf.disambiguate_document(figure1_xml)
+        for assignment in result.assignments:
+            expected = (0.25 * assignment.concept_score
+                        + 0.75 * assignment.context_score)
+            assert assignment.score == pytest.approx(expected)
+
+
+class TestExtensionStacking:
+    def test_all_extensions_together(self, lexicon, figure1_xml):
+        """strip + distance policy + discourse post-processing compose."""
+        from repro.core.distances import DensityWeightedDistance
+
+        xsdf = XSDF(lexicon, XSDFConfig(
+            sphere_radius=2,
+            strip_target_dimension=True,
+            distance_policy=DensityWeightedDistance(penalty=0.5),
+        ))
+        result = xsdf.disambiguate_document(figure1_xml)
+        fixed = enforce_one_sense_per_discourse(result)
+        picks = {a.label: a.concept_id for a in fixed.assignments}
+        assert picks["kelly"] == "kelly.n.01"
+        assert picks["star"] == "star.n.02"
+
+    def test_threshold_with_targets_and_discourse(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig(ambiguity_threshold=0.03))
+        result = xsdf.disambiguate_document(figure1_xml)
+        fixed = enforce_one_sense_per_discourse(result)
+        assert len(fixed.assignments) == len(result.assignments)
+        assert fixed.n_targets == result.n_targets

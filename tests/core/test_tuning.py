@@ -1,0 +1,75 @@
+"""Unit tests for the parameter-tuning extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DisambiguationApproach
+from repro.core.tuning import ParameterGrid, TuningResult, tune
+from repro.datasets import generate_test_corpus
+
+
+@pytest.fixture(scope="module")
+def dev_docs():
+    corpus = generate_test_corpus()
+    return corpus.by_dataset("imdb_movies")[:2]
+
+
+class TestParameterGrid:
+    def test_size(self):
+        grid = ParameterGrid(sphere_radius=(1, 2), approach=("concept",))
+        assert len(grid) == 2
+        assert len(list(grid.configurations())) == 2
+
+    def test_configurations_deterministic(self):
+        grid = ParameterGrid(sphere_radius=(1, 2), approach=("concept", "combined"))
+        first = [c.sphere_radius for c in grid.configurations()]
+        second = [c.sphere_radius for c in grid.configurations()]
+        assert first == second
+
+    def test_approach_mapping(self):
+        grid = ParameterGrid(sphere_radius=(1,), approach=("context",))
+        config = next(grid.configurations())
+        assert config.approach is DisambiguationApproach.CONTEXT_BASED
+
+    def test_extension_axis(self):
+        grid = ParameterGrid(
+            sphere_radius=(1,), approach=("combined",),
+            strip_target_dimension=(False, True),
+        )
+        flags = [c.strip_target_dimension for c in grid.configurations()]
+        assert flags == [False, True]
+
+
+class TestTune:
+    def test_trials_sorted_best_first(self, lexicon, dev_docs):
+        grid = ParameterGrid(sphere_radius=(1, 2), approach=("concept",))
+        result = tune(lexicon, dev_docs, grid)
+        values = [t.f_value for t in result.trials]
+        assert values == sorted(values, reverse=True)
+        assert result.best.f_value == values[0]
+
+    def test_best_at_least_matches_every_trial(self, lexicon, dev_docs):
+        grid = ParameterGrid(
+            sphere_radius=(1, 2), approach=("concept", "combined")
+        )
+        result = tune(lexicon, dev_docs, grid)
+        assert len(result.trials) == len(grid)
+        assert all(result.best.f_value >= t.f_value for t in result.trials)
+
+    def test_top_k(self, lexicon, dev_docs):
+        grid = ParameterGrid(sphere_radius=(1, 2), approach=("concept",))
+        result = tune(lexicon, dev_docs, grid)
+        assert len(result.top(1)) == 1
+        assert result.top(1)[0] is result.best
+
+    def test_empty_result_best_raises(self):
+        with pytest.raises(ValueError):
+            TuningResult().best
+
+    def test_deterministic(self, lexicon, dev_docs):
+        grid = ParameterGrid(sphere_radius=(1, 2), approach=("concept",))
+        a = tune(lexicon, dev_docs, grid)
+        b = tune(lexicon, dev_docs, grid)
+        assert [t.f_value for t in a.trials] == [t.f_value for t in b.trials]
+        assert a.best.config == b.best.config

@@ -1,0 +1,66 @@
+"""Tests for corpus export / import."""
+
+from __future__ import annotations
+
+import json
+
+from repro.datasets import generate_test_corpus
+from repro.datasets.export import export_corpus, load_exported_document
+from repro.xmltree.parser import parse
+
+
+class TestExport:
+    def test_layout(self, tmp_path):
+        manifest = export_corpus(tmp_path)
+        assert (tmp_path / "MANIFEST.json").exists()
+        assert len(manifest["datasets"]) == 10
+        shakespeare = tmp_path / "shakespeare"
+        assert (shakespeare / "shakespeare.dtd").exists()
+        assert (shakespeare / "gold.json").exists()
+        assert (shakespeare / "shakespeare-00.xml").exists()
+
+    def test_documents_match_generator(self, tmp_path):
+        export_corpus(tmp_path)
+        corpus = generate_test_corpus()
+        doc = corpus.by_dataset("cd_catalog")[0]
+        on_disk = (tmp_path / "cd_catalog" / f"{doc.name}.xml").read_text()
+        assert on_disk == doc.xml
+
+    def test_manifest_counts(self, tmp_path):
+        manifest = export_corpus(tmp_path)
+        total = sum(len(d["documents"]) for d in manifest["datasets"])
+        assert total == 60
+
+    def test_gold_json_readable(self, tmp_path):
+        export_corpus(tmp_path)
+        gold = json.loads((tmp_path / "imdb_movies" / "gold.json").read_text())
+        assert gold["movie"] == "movie.n.01"
+
+    def test_export_is_idempotent(self, tmp_path):
+        first = export_corpus(tmp_path)
+        second = export_corpus(tmp_path)
+        assert first == second
+
+    def test_load_exported_document(self, tmp_path):
+        export_corpus(tmp_path)
+        xml_text, gold = load_exported_document(
+            tmp_path / "food_menu" / "food_menu-00.xml"
+        )
+        parse(xml_text)
+        assert gold["menu"] == "menu.n.01"
+
+
+class TestResultExport:
+    def test_result_to_dict_round_trips_json(self, lexicon, figure1_xml):
+        from repro.core import XSDF, XSDFConfig
+
+        xsdf = XSDF(lexicon, XSDFConfig(sphere_radius=1))
+        result = xsdf.disambiguate_document(figure1_xml)
+        document = result.to_dict()
+        text = json.dumps(document)
+        restored = json.loads(text)
+        assert restored["n_targets"] == result.n_targets
+        first = restored["assignments"][0]
+        assert first["label"] == result.assignments[0].label
+        assert first["chosen"] == list(result.assignments[0].chosen)
+        assert first["scores"]  # per-candidate breakdown preserved

@@ -1,0 +1,136 @@
+"""Per-generator shape tests: each corpus looks like its grammar says."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dataset
+from repro.xmltree.parser import parse
+
+
+def docs(name, n=3):
+    return [parse(d.xml) for d in dataset(name).documents()[:n]]
+
+
+class TestShakespeare:
+    def test_play_structure(self):
+        for document in docs("shakespeare"):
+            play = document.root
+            assert play.name == "play"
+            assert play.find("title") is not None
+            assert play.find("personae") is not None
+            acts = play.find_all("act")
+            assert 3 <= len(acts) <= 4
+            for act in acts:
+                assert act.find_all("scene")
+
+    def test_speeches_have_speakers_and_lines(self):
+        for document in docs("shakespeare", 2):
+            for scene in document.root.iter():
+                if scene.name != "speech":
+                    continue
+                assert scene.find("speaker") is not None
+                assert scene.find_all("line")
+
+    def test_speakers_come_from_personae(self):
+        for document in docs("shakespeare", 2):
+            personae = {
+                p.text() for p in document.root.find("personae").find_all("persona")
+            }
+            speakers = {
+                e.text() for e in document.root.iter() if e.name == "speaker"
+            }
+            assert speakers <= personae
+
+
+class TestAmazon:
+    def test_flat_records(self):
+        for document in docs("amazon_product"):
+            for product in document.root.find_all("product"):
+                names = [c.name for c in product.child_elements()]
+                assert names == ["title", "brand", "line", "stock",
+                                 "order", "price", "head", "state"]
+
+    def test_values_plausible(self):
+        for document in docs("amazon_product", 2):
+            for product in document.root.find_all("product"):
+                assert float(product.find("price").text()) > 0
+                assert product.find("state").text() in (
+                    "new", "used", "refurbished", "open box",
+                )
+
+
+class TestSigmod:
+    def test_pages_monotone(self):
+        for document in docs("sigmod_record"):
+            last_end = 0
+            for article in document.root.find_all("article"):
+                first, last = article.find("page").text().split("-")
+                assert int(first) > last_end
+                last_end = int(last)
+
+    def test_authors_structured(self):
+        for document in docs("sigmod_record", 2):
+            for article in document.root.find_all("article"):
+                authors = article.find("authors").find_all("author")
+                assert 1 <= len(authors) <= 3
+                for author in authors:
+                    assert author.find("first") is not None
+                    assert author.find("last") is not None
+
+
+class TestImdb:
+    def test_movie_attributes_and_compounds(self):
+        for document in docs("imdb_movies"):
+            for movie in document.root.find_all("movie"):
+                assert 1950 <= int(movie.attributes["year"]) <= 1965
+                actors = movie.find("actors").find_all("actor")
+                for actor in actors:
+                    assert actor.find("FirstName") is not None
+                    assert actor.find("LastName") is not None
+
+    def test_cast_surnames_from_known_pool(self):
+        gold = dataset("imdb_movies").gold
+        # The cast pool mixes gold-annotated celebrity surnames with two
+        # deliberately unknown ones (no lexicon entry, hence no gold).
+        fillers = {"miller", "walker"}
+        for document in docs("imdb_movies", 2):
+            for element in document.root.iter():
+                if element.name == "LastName":
+                    surname = element.text().lower()
+                    assert surname in gold or surname in fillers
+
+
+class TestFlatCatalogs:
+    @pytest.mark.parametrize(
+        "name,record,fields",
+        [
+            ("cd_catalog", "cd",
+             ["title", "artist", "country", "company", "price", "year"]),
+            ("food_menu", "food",
+             ["name", "price", "description", "calories"]),
+            ("plant_catalog", "plant",
+             ["common", "botanical", "zone", "light", "price",
+              "availability"]),
+        ],
+    )
+    def test_record_fields(self, name, record, fields):
+        for document in docs(name):
+            records = document.root.find_all(record)
+            assert records
+            for entry in records:
+                assert [c.name for c in entry.child_elements()] == fields
+
+
+class TestPersonnelAndClub:
+    def test_personnel_addresses(self):
+        for document in docs("niagara_personnel"):
+            for person in document.root.find_all("person"):
+                address = person.find("address")
+                assert address.find("state") is not None
+                assert len(address.find("zip").text()) == 5
+
+    def test_club_member_ages(self):
+        for document in docs("niagara_club"):
+            for member in document.root.find_all("member"):
+                assert 18 <= int(member.find("age").text()) <= 59

@@ -1,0 +1,153 @@
+"""Tests for the simulated annotators and the experiment harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_test_corpus
+from repro.datasets.stats import document_tree
+from repro.evaluation.annotator import (
+    MAX_RATING,
+    SimulatedAnnotator,
+    panel_ratings,
+)
+from repro.evaluation.harness import (
+    TABLE2_TESTS,
+    ambiguity_correlation,
+    evaluate_quality,
+    make_system_factory,
+    select_eval_nodes,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_test_corpus()
+
+
+@pytest.fixture(scope="module")
+def shakespeare_doc(corpus):
+    return corpus.by_group(1)[0]
+
+
+@pytest.fixture(scope="module")
+def personnel_doc(corpus):
+    return corpus.by_dataset("niagara_personnel")[0]
+
+
+class TestAnnotator:
+    def test_ratings_in_range(self, lexicon, corpus, shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        annotator = SimulatedAnnotator(lexicon, seed=0)
+        for node in list(tree)[:40]:
+            rating = annotator.rate(node, tree, shakespeare_doc.gold)
+            assert 0 <= rating <= MAX_RATING
+
+    def test_monosemous_rated_zero_modulo_noise(self, lexicon, corpus,
+                                                personnel_doc):
+        tree = document_tree(personnel_doc, lexicon)
+        annotator = SimulatedAnnotator(lexicon, seed=0, noise_rate=0.0)
+        email = tree.find("email")
+        assert annotator.rate(email, tree, personnel_doc.gold) == 0
+
+    def test_state_under_address_rated_obvious(self, lexicon, corpus,
+                                               personnel_doc):
+        # The paper's flagship example: 'state' has many lexicon senses
+        # but its everyday administrative reading fits the address
+        # context, so the human rating stays minimal.
+        tree = document_tree(personnel_doc, lexicon)
+        annotator = SimulatedAnnotator(lexicon, seed=0, noise_rate=0.0)
+        state = tree.find("state")
+        assert lexicon.polysemy("state") >= 6
+        assert annotator.rate(state, tree, personnel_doc.gold) <= 1
+
+    def test_theater_vocabulary_rated_ambiguous(self, lexicon,
+                                                shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        annotator = SimulatedAnnotator(lexicon, seed=0, noise_rate=0.0)
+        speech = tree.find("speech")
+        assert annotator.rate(speech, tree, shakespeare_doc.gold) >= 1
+
+    def test_rater_determinism(self, lexicon, shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        nodes = list(tree)[:10]
+        first = panel_ratings(lexicon, tree, nodes, shakespeare_doc.gold)
+        second = panel_ratings(lexicon, tree, nodes, shakespeare_doc.gold)
+        assert first == second
+
+    def test_raters_disagree_sometimes(self, lexicon, shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        a = SimulatedAnnotator(lexicon, seed=0)
+        b = SimulatedAnnotator(lexicon, seed=1)
+        nodes = list(tree)[:60]
+        ratings_a = [a.rate(n, tree, shakespeare_doc.gold) for n in nodes]
+        ratings_b = [b.rate(n, tree, shakespeare_doc.gold) for n in nodes]
+        assert ratings_a != ratings_b
+
+
+class TestNodeSelection:
+    def test_count_matches_paper_protocol(self, lexicon, corpus):
+        for doc in corpus.by_group(1):
+            tree = document_tree(doc, lexicon)
+            nodes = select_eval_nodes(tree, doc)
+            assert 12 <= len(nodes) <= 13
+
+    def test_selection_deterministic(self, lexicon, shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        first = [n.index for n in select_eval_nodes(tree, shakespeare_doc)]
+        second = [n.index for n in select_eval_nodes(tree, shakespeare_doc)]
+        assert first == second
+
+    def test_only_gold_labels_selected(self, lexicon, shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        for node in select_eval_nodes(tree, shakespeare_doc):
+            assert node.label in shakespeare_doc.gold
+
+    def test_salt_changes_selection(self, lexicon, shakespeare_doc):
+        tree = document_tree(shakespeare_doc, lexicon)
+        a = [n.index for n in select_eval_nodes(tree, shakespeare_doc, "x")]
+        b = [n.index for n in select_eval_nodes(tree, shakespeare_doc, "y")]
+        assert a != b
+
+
+class TestQualityEvaluation:
+    def test_counts_consistent(self, lexicon, corpus):
+        system = make_system_factory("first-sense", lexicon)()
+        docs = corpus.by_dataset("cd_catalog")
+        result = evaluate_quality(system, docs, lexicon)
+        assert result.n_correct <= result.n_predicted <= result.n_gold
+        assert result.prf.precision == pytest.approx(
+            result.n_correct / result.n_predicted
+        )
+
+    def test_tree_cache_used(self, lexicon, corpus):
+        cache = {}
+        system = make_system_factory("first-sense", lexicon)()
+        docs = corpus.by_dataset("food_menu")
+        evaluate_quality(system, docs, lexicon, cache)
+        assert len(cache) == len(docs)
+
+    def test_xsdf_factory_variants(self, lexicon):
+        for name in ("xsdf-concept-d1", "xsdf-context-d3", "xsdf-combined"):
+            system = make_system_factory(name, lexicon)()
+            assert hasattr(system, "disambiguate_tree")
+
+    def test_unknown_factory_rejected(self, lexicon):
+        with pytest.raises(KeyError):
+            make_system_factory("nonsense", lexicon)
+
+
+class TestCorrelationExperiment:
+    def test_correlation_in_range(self, lexicon, shakespeare_doc):
+        for weights in TABLE2_TESTS.values():
+            value = ambiguity_correlation(shakespeare_doc, lexicon, weights)
+            assert -1.0 <= value <= 1.0
+
+    def test_group1_correlates_positively(self, lexicon, shakespeare_doc):
+        weights = TABLE2_TESTS["Test #1 (all factors)"]
+        assert ambiguity_correlation(shakespeare_doc, lexicon, weights) > 0.3
+
+    def test_four_configurations_defined(self):
+        assert len(TABLE2_TESTS) == 4
+        polysemy_only = TABLE2_TESTS["Test #2 (polysemy)"]
+        assert polysemy_only.depth == 0.0 and polysemy_only.density == 0.0

@@ -1,0 +1,62 @@
+"""Tests for the programmatic experiment-report module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_test_corpus
+from repro.evaluation.experiments import (
+    render_markdown,
+    table1,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_test_corpus()
+
+
+class TestTables:
+    def test_table1_rows(self, corpus, lexicon):
+        title, headers, rows = table1(corpus, lexicon)
+        assert "Table 1" in title
+        assert len(rows) == 4
+        assert rows[0][0] == "Group 1"
+        # Ambiguity column parses back to floats in [0, 1].
+        for row in rows:
+            assert 0.0 <= float(row[2]) <= 1.0
+
+    def test_table2_rows(self, corpus, lexicon):
+        _title, headers, rows = table2(corpus, lexicon)
+        assert len(rows) == 10  # one per dataset
+        assert len(headers) == 5  # dataset + four tests
+        for row in rows:
+            for cell in row[1:]:
+                assert -1.0 <= float(cell) <= 1.0
+
+    def test_table3_rows(self, corpus, lexicon):
+        _title, _headers, rows = table3(corpus, lexicon)
+        assert len(rows) == 10
+        docs_total = sum(int(row[2]) for row in rows)
+        assert docs_total == 60
+
+    def test_tables_deterministic(self, corpus, lexicon):
+        assert table1(corpus, lexicon) == table1(corpus, lexicon)
+
+
+class TestRendering:
+    def test_markdown_shape(self):
+        text = render_markdown(
+            ("My table", ["a", "b"], [["1", "2"], ["3", "4"]])
+        )
+        lines = text.splitlines()
+        assert lines[0] == "### My table"
+        assert lines[2] == "| a | b |"
+        assert lines[3] == "|---|---|"
+        assert "| 1 | 2 |" in lines
+
+    def test_markdown_handles_non_string_cells(self):
+        text = render_markdown(("T", ["x"], [[42]]))
+        assert "| 42 |" in text

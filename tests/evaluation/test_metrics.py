@@ -1,0 +1,95 @@
+"""Unit tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.evaluation.metrics import (
+    PRF,
+    average_prf,
+    pearson_correlation,
+    precision_recall,
+)
+
+
+class TestPRF:
+    def test_perfect_scores(self):
+        prf = precision_recall(10, 10, 10)
+        assert prf.precision == prf.recall == prf.f_value == 1.0
+
+    def test_partial(self):
+        prf = precision_recall(6, 8, 12)
+        assert prf.precision == pytest.approx(0.75)
+        assert prf.recall == pytest.approx(0.5)
+        assert prf.f_value == pytest.approx(0.6)
+
+    def test_zero_predictions(self):
+        prf = precision_recall(0, 0, 10)
+        assert prf.precision == prf.recall == prf.f_value == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall(5, 3, 10)
+
+    def test_average(self):
+        avg = average_prf([PRF(1.0, 0.5), PRF(0.5, 1.0)])
+        assert avg.precision == pytest.approx(0.75)
+        assert avg.recall == pytest.approx(0.75)
+
+    def test_average_empty(self):
+        assert average_prf([]).f_value == 0.0
+
+    @given(
+        st.integers(0, 100), st.integers(0, 100), st.integers(0, 100)
+    )
+    def test_f_between_p_and_r(self, correct, extra_predicted, extra_gold):
+        predicted = correct + extra_predicted
+        gold = correct + extra_gold
+        prf = precision_recall(correct, predicted, gold)
+        low, high = sorted((prf.precision, prf.recall))
+        assert low - 1e-12 <= prf.f_value <= high + 1e-12
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1)
+
+    def test_no_variance_is_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_short_series_zero(self):
+        assert pearson_correlation([1], [2]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1])
+
+    @given(
+        st.lists(
+            st.integers(-1000, 1000).map(lambda n: n / 10.0),
+            min_size=2, max_size=20,
+        )
+    )
+    def test_self_correlation(self, xs):
+        # Integer-grid values keep the variance away from the subnormal
+        # range where the squared deviations underflow to zero.
+        if len(set(xs)) > 1:
+            assert pearson_correlation(xs, xs) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=3,
+                 max_size=15),
+        st.lists(st.floats(min_value=-50, max_value=50), min_size=3,
+                 max_size=15),
+    )
+    def test_bounded_and_symmetric(self, xs, ys):
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        r = pearson_correlation(xs, ys)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert pearson_correlation(ys, xs) == pytest.approx(r)

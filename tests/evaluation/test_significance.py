@@ -1,0 +1,85 @@
+"""Tests for paired bootstrap significance testing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_test_corpus
+from repro.evaluation import make_system_factory
+from repro.evaluation.significance import (
+    SignificanceResult,
+    compare_systems,
+    paired_bootstrap,
+    paired_outcomes,
+)
+
+
+class TestBootstrapMechanics:
+    def test_clear_winner_is_significant(self):
+        pairs = [(True, False)] * 40 + [(True, True)] * 40
+        result = paired_bootstrap(pairs, n_resamples=500)
+        assert result.accuracy_a == 1.0
+        assert result.accuracy_b == 0.5
+        assert result.p_value < 0.01
+        assert result.significant()
+
+    def test_identical_systems_not_significant(self):
+        pairs = [(True, True)] * 30 + [(False, False)] * 30
+        result = paired_bootstrap(pairs, n_resamples=500)
+        assert result.delta == 0.0
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_noise_level_difference_not_significant(self):
+        # One extra win out of 60 is indistinguishable from noise.
+        pairs = [(True, False)] + [(True, True)] * 29 + [(False, False)] * 30
+        result = paired_bootstrap(pairs, n_resamples=500)
+        assert not result.significant()
+
+    def test_deterministic(self):
+        pairs = [(True, False)] * 5 + [(False, True)] * 3 + [(True, True)] * 10
+        a = paired_bootstrap(pairs, seed=3)
+        b = paired_bootstrap(pairs, seed=3)
+        assert a == b
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap([])
+
+    def test_result_fields(self):
+        result = paired_bootstrap([(True, False)] * 10, n_resamples=100)
+        assert isinstance(result, SignificanceResult)
+        assert result.n_pairs == 10
+        assert result.n_resamples == 100
+
+
+class TestSystemComparison:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_test_corpus()
+
+    def test_xsdf_beats_random_significantly_on_group1(self, corpus, lexicon):
+        xsdf = make_system_factory("xsdf-concept-d1", lexicon)()
+        randomly = make_system_factory("random", lexicon)()
+        result = compare_systems(
+            xsdf, randomly, corpus.by_group(1), lexicon, n_resamples=400,
+        )
+        assert result.delta > 0.2
+        assert result.significant()
+
+    def test_pairs_align_on_same_nodes(self, corpus, lexicon):
+        a = make_system_factory("first-sense", lexicon)()
+        b = make_system_factory("random", lexicon)()
+        docs = corpus.by_dataset("cd_catalog")[:2]
+        pairs = paired_outcomes(a, b, docs, lexicon)
+        # 12-13 nodes per document, every one paired.
+        assert 24 <= len(pairs) <= 26
+
+    def test_system_compared_to_itself(self, corpus, lexicon):
+        system = make_system_factory("first-sense", lexicon)()
+        result = compare_systems(
+            system, system, corpus.by_dataset("food_menu")[:2], lexicon,
+            n_resamples=100,
+        )
+        assert result.delta == 0.0
+        assert not result.significant()

@@ -1,0 +1,94 @@
+"""Unit tests for the linguistic pre-processing pipeline (Section 3.2)."""
+
+from __future__ import annotations
+
+from repro.linguistics.pipeline import LinguisticPipeline, default_pipeline
+from repro.linguistics.stopwords import STOP_WORDS, is_stop_word, remove_stop_words
+
+
+class TestStopWords:
+    def test_common_words_flagged(self):
+        for word in ("the", "of", "and", "by", "is"):
+            assert is_stop_word(word)
+
+    def test_case_insensitive(self):
+        assert is_stop_word("The")
+
+    def test_content_words_kept(self):
+        for word in ("movie", "cast", "director"):
+            assert not is_stop_word(word)
+
+    def test_remove_preserves_order(self):
+        assert remove_stop_words(["the", "cast", "of", "the", "movie"]) == [
+            "cast", "movie",
+        ]
+
+    def test_frozen(self):
+        assert isinstance(STOP_WORDS, frozenset)
+
+
+class TestLabelProcessing:
+    def test_simple_known_word_untouched(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        assert pipeline.process_label("director") == ["director"]
+
+    def test_compound_matching_single_concept(self, lexicon):
+        # "first name" is one synset in the lexicon -> one token.
+        pipeline = default_pipeline(lexicon)
+        assert pipeline.process_label("FirstName") == ["first name"]
+
+    def test_compound_without_single_match_kept_together(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        tokens = pipeline.process_label("Directed_By")
+        # "by" is a stop word; "directed" survives alone.
+        assert tokens == ["directed"]
+
+    def test_true_compound_two_tokens(self, lexicon):
+        # No "stage door" concept: both tokens processed separately but
+        # returned together for a single node label.
+        pipeline = default_pipeline(lexicon)
+        assert pipeline.process_label("stage_door") == ["stage", "door"]
+
+    def test_unknown_word_stemmed_to_known(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        # "movies" is not a lexicon word but its stem "movi"... is not
+        # either; "films" stems to "film" which IS known.
+        assert pipeline.process_label("films") == ["film"]
+
+    def test_unknown_unstemmable_word_kept(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        assert pipeline.process_label("zzzz") == ["zzzz"]
+
+    def test_stemming_can_be_disabled(self, lexicon):
+        pipeline = LinguisticPipeline(known=lexicon.has_word, stem_unknown=False)
+        assert pipeline.process_label("films") == ["films"]
+
+    def test_without_network_everything_unknown(self):
+        pipeline = LinguisticPipeline()
+        # No lexicon: stems are only used when they hit the lexicon, so
+        # the original lowercase word is kept.
+        assert pipeline.process_label("Movies") == ["movies"]
+
+
+class TestValueProcessing:
+    def test_stop_words_removed(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        tokens = pipeline.process_value(
+            "A wheelchair bound photographer spies on his neighbors"
+        )
+        assert "a" not in tokens and "on" not in tokens and "his" not in tokens
+        assert "wheelchair" in tokens and "photographer" in tokens
+
+    def test_values_normalized_to_lexicon_forms(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        tokens = pipeline.process_value("neighbors")
+        assert tokens == ["neighbor"]
+
+    def test_empty_value(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        assert pipeline.process_value("") == []
+
+    def test_adapters_are_bound_methods(self, lexicon):
+        pipeline = default_pipeline(lexicon)
+        assert pipeline.label_processor()("director") == ["director"]
+        assert pipeline.value_processor()("Kelly") == ["kelly"]

@@ -1,0 +1,63 @@
+"""Property-based tests for the linguistic layer."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linguistics.pipeline import LinguisticPipeline
+from repro.linguistics.stemmer import stem
+from repro.linguistics.stopwords import STOP_WORDS, remove_stop_words
+from repro.linguistics.tokenizer import split_tag_name, split_text_value
+
+_words = st.from_regex(r"[a-z]{1,10}", fullmatch=True)
+
+
+@given(_words)
+def test_stemming_is_idempotent_up_to_two_passes(word):
+    """Porter is not strictly idempotent, but stabilizes quickly; two
+    applications must agree with three (a well-known practical bound
+    that catches rule-cascade regressions)."""
+    twice = stem(stem(word))
+    assert stem(twice) == twice
+
+
+@given(st.lists(_words, max_size=12))
+def test_stop_word_removal_is_idempotent_and_ordered(tokens):
+    removed = remove_stop_words(tokens)
+    assert remove_stop_words(removed) == removed
+    # Order preserved: removed is a subsequence of tokens.
+    iterator = iter(tokens)
+    assert all(any(token == item for item in iterator) for token in removed)
+    assert not set(removed) & STOP_WORDS
+
+
+@given(st.lists(_words, min_size=1, max_size=4))
+def test_tag_splitting_recovers_underscore_joins(parts):
+    assert split_tag_name("_".join(parts)) == parts
+
+
+@given(st.lists(_words, min_size=1, max_size=6))
+def test_value_splitting_recovers_space_joins(parts):
+    assert split_text_value(" ".join(parts)) == parts
+
+
+@given(_words)
+def test_pipeline_label_output_is_normalized(word):
+    pipeline = LinguisticPipeline()
+    for token in pipeline.process_label(word):
+        assert token == token.lower()
+        assert token.strip() == token
+
+
+@given(st.text(max_size=40))
+def test_pipeline_value_processing_never_raises(text):
+    pipeline = LinguisticPipeline()
+    tokens = pipeline.process_value(text)
+    assert all(isinstance(token, str) and token for token in tokens)
+
+
+@given(_words)
+def test_pipeline_deterministic(word):
+    pipeline = LinguisticPipeline()
+    assert pipeline.process_label(word) == pipeline.process_label(word)

@@ -1,0 +1,142 @@
+"""Unit tests for the Porter stemmer against the classic reference pairs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.linguistics.stemmer import PorterStemmer, _measure, stem
+
+#: Reference pairs from Porter's 1980 paper, grouped by rule step.
+REFERENCE_PAIRS = [
+    # step 1a
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    # step 1b
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    # step 1c
+    ("happy", "happi"),
+    ("sky", "sky"),
+    # step 2
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    # step 3
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    # step 4
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    # step 5
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE_PAIRS)
+def test_reference_pairs(word, expected):
+    assert stem(word) == expected
+
+
+class TestMeasure:
+    @pytest.mark.parametrize(
+        "word,m",
+        [
+            ("tr", 0), ("ee", 0), ("tree", 0), ("y", 0), ("by", 0),
+            ("trouble", 1), ("oats", 1), ("trees", 1), ("ivy", 1),
+            ("troubles", 2), ("private", 2), ("oaten", 2), ("orrery", 2),
+        ],
+    )
+    def test_porter_measure_examples(self, word, m):
+        assert _measure(word) == m
+
+
+class TestEdgeCases:
+    def test_short_words_untouched(self):
+        assert stem("a") == "a"
+        assert stem("is") == "is"
+
+    def test_stemmer_instance_equivalent_to_module_function(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("relational") == stem("relational")
+
+    def test_domain_vocabulary(self):
+        # Words the pipeline relies on for lexicon lookup.
+        assert stem("movies") == "movi"
+        assert stem("films") == "film"
+        assert stem("actors") == "actor"
+        assert stem("proceedings") == "proceed"
+        assert stem("personae") == "persona"
+
+
+@given(st.from_regex(r"[a-z]{1,12}", fullmatch=True))
+def test_stem_never_longer_than_word(word):
+    assert len(stem(word)) <= len(word)
+
+
+@given(st.from_regex(r"[a-z]{3,12}", fullmatch=True))
+def test_stem_is_lowercase_alpha(word):
+    result = stem(word)
+    assert result.isalpha() and result == result.lower()

@@ -1,0 +1,75 @@
+"""Unit tests for tag-name and text-value tokenization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.linguistics.tokenizer import (
+    split_camel_case,
+    split_tag_name,
+    split_text_value,
+)
+
+
+class TestCamelCase:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("FirstName", ["First", "Name"]),
+            ("firstName", ["first", "Name"]),
+            ("first", ["first"]),
+            ("FIRST", ["FIRST"]),
+            ("XMLFile", ["XML", "File"]),
+            ("", []),
+            ("aB", ["a", "B"]),
+        ],
+    )
+    def test_split(self, word, expected):
+        assert split_camel_case(word) == expected
+
+
+class TestTagNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("director", ["director"]),
+            ("Directed_By", ["directed", "by"]),
+            ("FirstName", ["first", "name"]),
+            ("first-name", ["first", "name"]),
+            ("ns:tag", ["ns", "tag"]),
+            ("movie.title", ["movie", "title"]),
+            ("YEAR", ["year"]),
+            ("__weird__", ["weird"]),
+        ],
+    )
+    def test_split(self, name, expected):
+        assert split_tag_name(name) == expected
+
+    def test_all_lowercase_output(self):
+        assert all(
+            token == token.lower() for token in split_tag_name("MixedCASEName")
+        )
+
+
+class TestTextValues:
+    def test_simple_sentence(self):
+        assert split_text_value("A wheelchair bound photographer") == [
+            "a", "wheelchair", "bound", "photographer",
+        ]
+
+    def test_punctuation_separates(self):
+        assert split_text_value("well-known; famous, popular!") == [
+            "well", "known", "famous", "popular",
+        ]
+
+    def test_numbers_kept(self):
+        assert split_text_value("released in 1954") == [
+            "released", "in", "1954",
+        ]
+
+    def test_empty_and_whitespace(self):
+        assert split_text_value("") == []
+        assert split_text_value("   \n\t ") == []
+
+    def test_unicode_safe(self):
+        assert split_text_value("café crème") == ["café", "crème"]

@@ -1,0 +1,74 @@
+"""Unit tests for the network builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.concepts import Relation
+
+
+class TestDeclarations:
+    def test_forward_references_resolved(self):
+        b = NetworkBuilder()
+        # Child declared before its hypernym.
+        b.synset("child", ["child"], "g", hypernym="parent")
+        b.synset("parent", ["parent"], "g")
+        network = b.build()
+        assert network.hypernyms("child") == ["parent"]
+
+    def test_duplicate_synset_rejected_at_declaration(self):
+        b = NetworkBuilder()
+        b.synset("x", ["x"], "g")
+        with pytest.raises(ValueError, match="declared twice"):
+            b.synset("x", ["x"], "g")
+
+    def test_unresolved_reference_fails_at_build(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g", hypernym="ghost")
+        with pytest.raises(KeyError):
+            b.build()
+
+    def test_multiple_hypernyms(self):
+        b = NetworkBuilder()
+        b.synset("root1", ["r1"], "g")
+        b.synset("root2", ["r2"], "g")
+        b.synset("both", ["both"], "g", hypernym=["root1", "root2"])
+        network = b.build()
+        assert set(network.hypernyms("both")) == {"root1", "root2"}
+
+    def test_all_relation_kinds(self):
+        b = NetworkBuilder()
+        b.synset("whole", ["whole"], "g")
+        b.synset("group", ["group"], "g")
+        b.synset("peer", ["peer"], "g")
+        b.synset(
+            "x", ["x"], "g",
+            part_of="whole", member_of="group", similar_to="peer",
+        )
+        network = b.build()
+        assert network.neighbors("x", [Relation.PART_HOLONYM]) == ["whole"]
+        assert network.neighbors("x", [Relation.MEMBER_HOLONYM]) == ["group"]
+        assert network.neighbors("x", [Relation.SIMILAR]) == ["peer"]
+
+    def test_explicit_relation_call(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g")
+        b.synset("b", ["b"], "g")
+        b.relation("a", Relation.DERIVATION, "b")
+        network = b.build()
+        assert network.neighbors("a", [Relation.DERIVATION]) == ["b"]
+
+    def test_synset_returns_id(self):
+        b = NetworkBuilder()
+        assert b.synset("a", ["a"], "g") == "a"
+
+    def test_pos_and_frequency_carried(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g", pos="v", freq=7)
+        concept = b.build().concept("a")
+        assert concept.pos == "v"
+        assert concept.frequency == 7
+
+    def test_builder_named_network(self):
+        assert NetworkBuilder("custom").build().name == "custom"

@@ -1,0 +1,64 @@
+"""Unit tests for concepts and relation types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.concepts import Concept, Edge, Relation
+
+
+class TestRelations:
+    def test_taxonomic_inverses(self):
+        assert Relation.HYPERNYM.inverse is Relation.HYPONYM
+        assert Relation.HYPONYM.inverse is Relation.HYPERNYM
+
+    def test_part_inverses(self):
+        assert Relation.PART_MERONYM.inverse is Relation.PART_HOLONYM
+        assert Relation.MEMBER_HOLONYM.inverse is Relation.MEMBER_MERONYM
+
+    def test_symmetric_relations(self):
+        for relation in (Relation.SIMILAR, Relation.ATTRIBUTE,
+                         Relation.DERIVATION):
+            assert relation.inverse is relation
+
+    def test_inverse_is_involution(self):
+        for relation in Relation:
+            assert relation.inverse.inverse is relation
+
+    def test_taxonomic_flag(self):
+        assert Relation.HYPERNYM.is_taxonomic
+        assert Relation.HYPONYM.is_taxonomic
+        assert not Relation.PART_MERONYM.is_taxonomic
+
+
+class TestConcept:
+    def test_label_is_first_word(self):
+        concept = Concept("star.n.02", ("star", "lead"), "a principal actor")
+        assert concept.label == "star"
+        assert concept.synonyms == ("star", "lead")
+
+    def test_words_lowercased(self):
+        concept = Concept("x", ("Star", "LEAD"), "gloss")
+        assert concept.words == ("star", "lead")
+
+    def test_empty_words_rejected(self):
+        with pytest.raises(ValueError):
+            Concept("x", (), "gloss")
+
+    def test_gloss_tokens_stemmed_and_filtered(self):
+        concept = Concept(
+            "x", ("line",), "the lines spoken by an actor in plays"
+        )
+        tokens = concept.gloss_tokens()
+        assert "line" in tokens          # "lines" stemmed
+        assert "the" not in tokens       # stop word removed
+        assert "plai" in tokens          # "plays" -> Porter stem
+
+    def test_hashable_by_id(self):
+        a = Concept("same", ("w",), "g1")
+        b = Concept("same", ("v",), "g2")
+        assert hash(a) == hash(b)
+
+    def test_edge_inverse(self):
+        edge = Edge("a", "b", Relation.HYPERNYM)
+        assert edge.inverse == Edge("b", "a", Relation.HYPONYM)

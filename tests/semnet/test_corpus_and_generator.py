@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic corpus and the network generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.corpus import (
+    count_concept_frequencies,
+    generate_corpus,
+    weight_network,
+    zipf_weights,
+)
+from repro.semnet.generator import GeneratorConfig, generate_network
+
+
+@pytest.fixture()
+def tiny():
+    b = NetworkBuilder()
+    b.synset("a1", ["alpha"], "first sense of alpha")
+    b.synset("a2", ["alpha"], "second sense of alpha")
+    b.synset("b1", ["beta"], "only sense of beta")
+    return b.build()
+
+
+class TestZipf:
+    def test_weights_decreasing(self):
+        weights = zipf_weights(10)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_first_rank_is_one(self):
+        assert zipf_weights(5)[0] == 1.0
+
+
+class TestCorpusGeneration:
+    def test_deterministic(self, tiny):
+        assert generate_corpus(tiny, 500, seed=3) == \
+            generate_corpus(tiny, 500, seed=3)
+
+    def test_different_seeds_differ(self, tiny):
+        assert generate_corpus(tiny, 500, seed=3) != \
+            generate_corpus(tiny, 500, seed=4)
+
+    def test_vocabulary_is_network_words(self, tiny):
+        tokens = generate_corpus(tiny, 200, seed=1)
+        assert set(tokens) <= set(tiny.words())
+
+    def test_empty_network_rejected(self):
+        from repro.semnet.network import SemanticNetwork
+        with pytest.raises(ValueError):
+            generate_corpus(SemanticNetwork(), 10)
+
+
+class TestFrequencyCounting:
+    def test_first_sense_gets_largest_share(self, tiny):
+        counts = count_concept_frequencies(tiny, ["alpha"] * 100)
+        assert counts["a1"] > counts["a2"]
+        assert counts["a1"] + counts["a2"] == pytest.approx(100.0)
+
+    def test_monosemous_word_gets_everything(self, tiny):
+        counts = count_concept_frequencies(tiny, ["beta"] * 10)
+        assert counts["b1"] == pytest.approx(10.0)
+
+    def test_unknown_tokens_ignored(self, tiny):
+        counts = count_concept_frequencies(tiny, ["gamma", "delta"])
+        assert not counts
+
+    def test_weight_network_sets_frequencies(self, tiny):
+        weight_network(tiny, n_tokens=1000, seed=9)
+        assert tiny.total_frequency == pytest.approx(1000.0)
+
+
+class TestSyntheticGenerator:
+    def test_deterministic(self):
+        cfg = GeneratorConfig(n_concepts=120, seed=5)
+        a = generate_network(cfg)
+        b = generate_network(cfg)
+        assert [c.id for c in a] == [c.id for c in b]
+        assert a.stats() == b.stats()
+
+    def test_requested_size(self):
+        network = generate_network(GeneratorConfig(n_concepts=200, seed=1))
+        assert len(network) == 200
+
+    def test_single_root_taxonomy(self):
+        network = generate_network(GeneratorConfig(n_concepts=150, seed=2))
+        assert len(network.roots()) == 1
+
+    def test_polysemy_ceiling_respected(self):
+        cfg = GeneratorConfig(n_concepts=300, max_polysemy=5, seed=3)
+        network = generate_network(cfg)
+        assert network.max_polysemy <= 5
+
+    def test_mean_polysemy_controllable(self):
+        low = generate_network(
+            GeneratorConfig(n_concepts=300, mean_polysemy=1.1, seed=4)
+        )
+        high = generate_network(
+            GeneratorConfig(n_concepts=300, mean_polysemy=4.0, seed=4)
+        )
+        def mean_polysemy(net):
+            words = net.words()
+            return sum(net.polysemy(w) for w in words) / len(words)
+        assert mean_polysemy(high) > mean_polysemy(low)
+
+    def test_glosses_synthesized(self):
+        network = generate_network(GeneratorConfig(n_concepts=50, seed=6))
+        assert all(c.gloss for c in network)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_network(GeneratorConfig(n_concepts=0))

@@ -1,0 +1,90 @@
+"""Unit tests for information content over the weighted network."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.ic import InformationContent
+
+
+@pytest.fixture()
+def chain_network():
+    """entity -> animal -> dog, plus entity -> rock."""
+    b = NetworkBuilder()
+    b.synset("entity", ["entity"], "anything", freq=2)
+    b.synset("animal", ["animal"], "a living creature",
+             hypernym="entity", freq=20)
+    b.synset("dog", ["dog"], "a domestic canine",
+             hypernym="animal", freq=50)
+    b.synset("rock", ["rock"], "a hard mineral object",
+             hypernym="entity", freq=8)
+    return b.build()
+
+
+class TestInformationContent:
+    def test_ic_decreases_toward_root(self, chain_network):
+        ic = InformationContent(chain_network)
+        assert ic.ic("entity") < ic.ic("animal") < ic.ic("dog")
+
+    def test_root_probability_is_one(self, chain_network):
+        ic = InformationContent(chain_network)
+        # Root cumulative count == total mass -> IC == 0.
+        assert ic.ic("entity") == pytest.approx(0.0, abs=1e-9)
+
+    def test_ic_finite_with_smoothing(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g", freq=100)
+        b.synset("b", ["b"], "g", hypernym="a", freq=0.0)
+        network = b.build()
+        ic = InformationContent(network)
+        assert math.isfinite(ic.ic("b"))
+
+    def test_max_ic_is_max_finite(self, chain_network):
+        ic = InformationContent(chain_network)
+        assert ic.max_ic == max(
+            ic.ic(c.id) for c in chain_network
+        )
+
+    def test_no_mass_rejected(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g")
+        network = b.build()
+        with pytest.raises(ValueError):
+            InformationContent(network, smoothing=0.0)
+
+
+class TestDerivedSimilarities:
+    def test_resnik_is_lcs_ic(self, chain_network):
+        ic = InformationContent(chain_network)
+        assert ic.resnik("dog", "rock") == pytest.approx(ic.ic("entity"))
+        assert ic.resnik("dog", "animal") == pytest.approx(ic.ic("animal"))
+
+    def test_resnik_zero_without_common_ancestor(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g", freq=5)
+        b.synset("b", ["b"], "g", freq=5)
+        ic = InformationContent(b.build())
+        assert ic.resnik("a", "b") == 0.0
+
+    def test_lin_identity(self, chain_network):
+        ic = InformationContent(chain_network)
+        assert ic.lin("dog", "dog") == 1.0
+
+    def test_lin_bounds(self, chain_network):
+        ic = InformationContent(chain_network)
+        for a in ("entity", "animal", "dog", "rock"):
+            for b in ("entity", "animal", "dog", "rock"):
+                assert 0.0 <= ic.lin(a, b) <= 1.0
+
+    def test_lin_orders_by_relatedness(self, chain_network):
+        ic = InformationContent(chain_network)
+        assert ic.lin("dog", "animal") > ic.lin("dog", "rock")
+
+    def test_jiang_conrath_distance(self, chain_network):
+        ic = InformationContent(chain_network)
+        assert ic.jiang_conrath_distance("dog", "dog") == pytest.approx(0.0)
+        assert ic.jiang_conrath_distance("dog", "rock") > \
+            ic.jiang_conrath_distance("dog", "animal")

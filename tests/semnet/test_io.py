@@ -1,0 +1,112 @@
+"""Unit tests for semantic network persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.semnet import build_lexicon
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.concepts import Relation
+from repro.semnet.io import (
+    FORMAT_NAME,
+    NetworkFormatError,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.fixture()
+def small():
+    b = NetworkBuilder("small")
+    b.synset("a", ["alpha", "first"], "the first letter", freq=4)
+    b.synset("b", ["beta"], "the second letter", hypernym="a", freq=2)
+    b.synset("c", ["gamma"], "the third letter", part_of="a",
+             similar_to="b")
+    return b.build()
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip_preserves_everything(self, small):
+        restored = network_from_dict(network_to_dict(small))
+        assert restored.name == small.name
+        assert [c.id for c in restored] == [c.id for c in small]
+        for concept in small:
+            copy = restored.concept(concept.id)
+            assert copy.words == concept.words
+            assert copy.gloss == concept.gloss
+            assert copy.frequency == concept.frequency
+        assert restored.hypernyms("b") == ["a"]
+        assert "a" in restored.neighbors("c", [Relation.PART_HOLONYM])
+        assert "b" in restored.neighbors("c", [Relation.SIMILAR])
+
+    def test_file_roundtrip(self, small, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(small, path)
+        restored = load_network(path)
+        assert network_to_dict(restored) == network_to_dict(small)
+
+    def test_save_is_canonical(self, small, tmp_path):
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        save_network(small, path_a)
+        save_network(load_network(path_a), path_b)
+        assert path_a.read_text() == path_b.read_text()
+
+    def test_full_lexicon_roundtrip(self, tmp_path):
+        lexicon = build_lexicon()
+        path = tmp_path / "lexicon.json"
+        save_network(lexicon, path)
+        restored = load_network(path)
+        assert restored.stats() == lexicon.stats()
+        assert restored.polysemy("head") == 33
+        # Taxonomy intact: depths agree on a sample.
+        for concept_id in ("actor.n.01", "star.n.02", "plant.n.02"):
+            assert restored.depth(concept_id) == lexicon.depth(concept_id)
+
+    def test_symmetric_relations_stored_once(self, small):
+        document = network_to_dict(small)
+        similar = [
+            r for r in document["relations"] if r["relation"] == "similar"
+        ]
+        assert len(similar) == 1
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(NetworkFormatError, match="not a"):
+            network_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(NetworkFormatError, match="version"):
+            network_from_dict({"format": FORMAT_NAME, "version": 99})
+
+    def test_bad_concept_rejected(self):
+        with pytest.raises(NetworkFormatError, match="bad concept"):
+            network_from_dict({
+                "format": FORMAT_NAME, "version": 1,
+                "concepts": [{"id": "x"}], "relations": [],
+            })
+
+    def test_bad_relation_rejected(self, small):
+        document = network_to_dict(small)
+        document["relations"].append(
+            {"source": "a", "relation": "teleports-to", "target": "b"}
+        )
+        with pytest.raises(NetworkFormatError, match="bad relation"):
+            network_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(NetworkFormatError, match="invalid JSON"):
+            load_network(path)
+
+    def test_saved_file_is_valid_json(self, small, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(small, path)
+        document = json.loads(path.read_text())
+        assert document["format"] == FORMAT_NAME

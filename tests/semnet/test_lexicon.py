@@ -1,0 +1,88 @@
+"""Integrity tests for the curated mini-WordNet lexicon."""
+
+from __future__ import annotations
+
+from repro.datasets import DATASETS
+from repro.semnet import build_lexicon
+from repro.semnet.lexicon import default_lexicon
+
+
+class TestStructure:
+    def test_single_taxonomy_root(self, lexicon):
+        assert lexicon.roots() == ["entity.n.01"]
+
+    def test_substantial_coverage(self, lexicon):
+        stats = lexicon.stats()
+        assert stats["concepts"] > 450
+        assert stats["words"] > 800
+        assert stats["directed_edges"] > 1000
+
+    def test_max_polysemy_is_33_head(self, lexicon):
+        # The paper cites WordNet 2.1's maximum: 33 senses for "head".
+        assert lexicon.max_polysemy == 33
+        assert lexicon.polysemy("head") == 33
+
+    def test_every_concept_reaches_the_root(self, lexicon):
+        for concept in lexicon:
+            closure = lexicon.hypernym_closure(concept.id)
+            assert "entity.n.01" in closure, concept.id
+
+    def test_every_concept_has_a_gloss(self, lexicon):
+        for concept in lexicon:
+            assert concept.gloss.strip(), concept.id
+
+    def test_frequencies_present_for_weighting(self, lexicon):
+        weighted = sum(1 for c in lexicon if c.frequency > 0)
+        assert weighted / len(lexicon) > 0.95
+
+
+class TestPaperVocabulary:
+    def test_figure1_words_present(self, lexicon):
+        for word in ("picture", "film", "movie", "cast", "star", "director",
+                     "plot", "genre", "kelly", "stewart", "hitchcock"):
+            assert lexicon.has_word(word), word
+
+    def test_kelly_has_three_person_senses(self, lexicon):
+        # Grace Kelly, Gene Kelly, Emmett Kelly (paper's introduction).
+        assert lexicon.polysemy("kelly") == 3
+
+    def test_star_homonymy(self, lexicon):
+        senses = {c.id for c in lexicon.senses("star")}
+        assert {"star.n.01", "star.n.02"} <= senses
+        assert lexicon.polysemy("star") >= 4
+
+    def test_state_is_heavily_polysemous(self, lexicon):
+        # The paper's Table 2 example: 'state' under 'address'.
+        assert lexicon.polysemy("state") >= 6
+
+    def test_compound_expressions_present(self, lexicon):
+        for expression in ("first name", "last name", "stage direction"):
+            assert lexicon.has_word(expression), expression
+
+
+class TestGoldAnnotationsResolvable:
+    def test_every_gold_concept_exists(self, lexicon):
+        for spec in DATASETS:
+            for label, concept_id in spec.gold.items():
+                assert concept_id in lexicon, (spec.name, label, concept_id)
+
+    def test_gold_concept_indeed_covers_label(self, lexicon):
+        # Each gold sense must be reachable from its label's senses (or
+        # from one of the compound tokens' senses).
+        for spec in DATASETS:
+            for label, concept_id in spec.gold.items():
+                candidates = {c.id for c in lexicon.senses(label)}
+                for token in label.split():
+                    candidates |= {c.id for c in lexicon.senses(token)}
+                assert concept_id in candidates, (spec.name, label)
+
+
+class TestConstruction:
+    def test_build_is_deterministic(self):
+        a = build_lexicon()
+        b = build_lexicon()
+        assert [c.id for c in a] == [c.id for c in b]
+        assert a.stats() == b.stats()
+
+    def test_default_lexicon_cached(self):
+        assert default_lexicon() is default_lexicon()

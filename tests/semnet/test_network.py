@@ -1,0 +1,192 @@
+"""Unit tests for the semantic network engine (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.concepts import Concept, Relation
+from repro.semnet.network import SemanticNetwork, UnknownConceptError
+
+
+@pytest.fixture()
+def toy() -> SemanticNetwork:
+    """A small hand-built taxonomy:
+
+        entity
+        ├── person ── actor ── star(performer)
+        └── object ── body ──  star(celestial)
+    plus a part-of link: face part-of person.
+    """
+    b = NetworkBuilder("toy")
+    b.synset("entity", ["entity"], "something that exists", freq=1)
+    b.synset("person", ["person"], "a human being",
+             hypernym="entity", freq=10)
+    b.synset("actor", ["actor", "player"], "a theatrical performer",
+             hypernym="person", freq=5)
+    b.synset("star.p", ["star", "lead"], "a principal actor",
+             hypernym="actor", freq=3)
+    b.synset("object", ["object"], "a physical thing",
+             hypernym="entity", freq=8)
+    b.synset("body", ["body", "celestial body"], "an object in the sky",
+             hypernym="object", freq=4)
+    b.synset("star.c", ["star"], "a ball of burning gas",
+             hypernym="body", freq=6)
+    b.synset("face", ["face"], "the front of the head",
+             part_of="person", freq=2)
+    return b.build()
+
+
+class TestLookups:
+    def test_len_and_contains(self, toy):
+        assert len(toy) == 8
+        assert "actor" in toy
+        assert "nothing" not in toy
+
+    def test_concept_access(self, toy):
+        assert toy.concept("actor").label == "actor"
+
+    def test_unknown_concept_raises(self, toy):
+        with pytest.raises(UnknownConceptError):
+            toy.concept("missing")
+
+    def test_senses_in_registration_order(self, toy):
+        assert [c.id for c in toy.senses("star")] == ["star.p", "star.c"]
+
+    def test_has_word_case_insensitive(self, toy):
+        assert toy.has_word("Star")
+        assert toy.has_word("celestial body")
+        assert not toy.has_word("galaxy")
+
+    def test_polysemy(self, toy):
+        assert toy.polysemy("star") == 2
+        assert toy.polysemy("actor") == 1
+        assert toy.polysemy("unknown") == 0
+
+    def test_max_polysemy(self, toy):
+        assert toy.max_polysemy == 2
+
+    def test_words(self, toy):
+        assert "celestial body" in toy.words()
+
+
+class TestRelations:
+    def test_inverse_added_automatically(self, toy):
+        assert "actor" in toy.hyponyms("person")
+        assert "person" in toy.hypernyms("actor")
+
+    def test_part_relations(self, toy):
+        related = dict((r, t) for r, t in toy.related("face"))
+        assert related[Relation.PART_HOLONYM] == "person"
+        assert "face" in toy.neighbors("person", [Relation.PART_MERONYM])
+
+    def test_neighbors_filterable(self, toy):
+        only_taxonomic = toy.neighbors("person", [Relation.HYPONYM])
+        assert set(only_taxonomic) == {"actor"}
+
+    def test_edges_enumerable(self, toy):
+        edges = toy.edges()
+        assert any(
+            e.source == "actor" and e.relation is Relation.HYPERNYM
+            for e in edges
+        )
+
+    def test_duplicate_relation_ignored(self, toy):
+        before = len(toy.edges())
+        toy.add_relation("actor", Relation.HYPERNYM, "person")
+        assert len(toy.edges()) == before
+
+    def test_relation_to_unknown_raises(self, toy):
+        with pytest.raises(UnknownConceptError):
+            toy.add_relation("actor", Relation.HYPERNYM, "ghost")
+
+    def test_duplicate_concept_rejected(self, toy):
+        with pytest.raises(ValueError):
+            toy.add_concept(Concept("actor", ("actor",), "again"))
+
+
+class TestSpheres:
+    def test_sphere_includes_center_at_zero(self, toy):
+        sphere = toy.sphere("actor", 1)
+        assert sphere["actor"] == 0
+
+    def test_sphere_radius_one(self, toy):
+        sphere = toy.sphere("actor", 1)
+        assert set(sphere) == {"actor", "person", "star.p"}
+
+    def test_sphere_crosses_all_relation_types(self, toy):
+        sphere = toy.sphere("face", 2)
+        assert "actor" in sphere  # face -part-of-> person -> actor
+
+    def test_ring_exact_distance(self, toy):
+        ring = toy.ring("actor", 2)
+        assert set(ring) == {"entity", "face"}
+
+    def test_sphere_distances_are_minimal(self, toy):
+        sphere = toy.sphere("star.p", 4)
+        assert sphere["person"] == 2
+        assert sphere["entity"] == 3
+
+    def test_sphere_relation_filter(self, toy):
+        sphere = toy.sphere("person", 1, relations=[Relation.HYPERNYM])
+        assert set(sphere) == {"person", "entity"}
+
+
+class TestTaxonomy:
+    def test_roots_are_hypernym_free(self, toy):
+        # face only has a part-of link, so it is an IS-A root too.
+        assert set(toy.roots()) == {"entity", "face"}
+
+    def test_depths(self, toy):
+        assert toy.depth("entity") == 0
+        assert toy.depth("star.p") == 3
+        assert toy.depth("star.c") == 3
+
+    def test_max_taxonomy_depth(self, toy):
+        assert toy.max_taxonomy_depth == 3
+
+    def test_hypernym_closure(self, toy):
+        closure = toy.hypernym_closure("star.p")
+        assert closure == {"star.p": 0, "actor": 1, "person": 2, "entity": 3}
+
+    def test_lcs_same_branch(self, toy):
+        assert toy.lowest_common_subsumer("star.p", "actor") == "actor"
+
+    def test_lcs_across_branches(self, toy):
+        assert toy.lowest_common_subsumer("star.p", "star.c") == "entity"
+
+    def test_lcs_of_identical(self, toy):
+        assert toy.lowest_common_subsumer("actor", "actor") == "actor"
+
+    def test_taxonomic_distance(self, toy):
+        assert toy.taxonomic_distance("star.p", "star.c") == 6
+        assert toy.taxonomic_distance("actor", "person") == 1
+
+    def test_part_relations_do_not_affect_taxonomy(self, toy):
+        # face has no hypernym: it is its own root for IS-A purposes.
+        assert toy.depth("face") == 0
+        assert toy.lowest_common_subsumer("face", "actor") is None
+        assert toy.taxonomic_distance("face", "actor") is None
+
+
+class TestFrequencies:
+    def test_cumulative_includes_descendants(self, toy):
+        # person(10) + actor(5) + star.p(3) = 18
+        assert toy.cumulative_frequency("person") == 18
+
+    def test_leaf_cumulative_is_own(self, toy):
+        assert toy.cumulative_frequency("star.c") == 6
+
+    def test_total_frequency(self, toy):
+        assert toy.total_frequency == 1 + 10 + 5 + 3 + 8 + 4 + 6 + 2
+
+    def test_set_frequency_invalidates_cache(self, toy):
+        toy.cumulative_frequency("person")
+        toy.set_frequency("star.p", 100)
+        assert toy.cumulative_frequency("person") == 10 + 5 + 100
+
+    def test_stats_summary(self, toy):
+        stats = toy.stats()
+        assert stats["concepts"] == 8
+        assert stats["roots"] == 2  # entity + face (no hypernym)
+        assert stats["max_polysemy"] == 2

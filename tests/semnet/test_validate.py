@@ -1,0 +1,84 @@
+"""Unit tests for semantic network validation."""
+
+from __future__ import annotations
+
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.concepts import Concept, Relation
+from repro.semnet.network import SemanticNetwork
+from repro.semnet.validate import validate_network
+
+
+def build(populate):
+    b = NetworkBuilder()
+    populate(b)
+    return b.build()
+
+
+class TestHealthyNetworks:
+    def test_clean_network_passes(self):
+        network = build(lambda b: (
+            b.synset("a", ["alpha"], "the first", freq=3),
+            b.synset("b", ["beta"], "the second", hypernym="a", freq=2),
+        ))
+        report = validate_network(network)
+        assert report.ok
+        assert not report.issues
+
+    def test_curated_lexicon_is_valid(self, lexicon):
+        report = validate_network(lexicon)
+        assert report.ok, report.errors()
+        # A single root and frequencies everywhere: no warnings either.
+        assert not report.warnings(), report.warnings()
+
+
+class TestErrors:
+    def test_empty_network(self):
+        report = validate_network(SemanticNetwork())
+        assert not report.ok
+        assert report.errors()[0].code == "empty"
+
+    def test_isa_cycle_detected(self):
+        network = build(lambda b: (
+            b.synset("a", ["alpha"], "g", freq=1),
+            b.synset("b", ["beta"], "g", hypernym="a", freq=1),
+        ))
+        # Introduce a cycle a -> b -> a.
+        network.add_relation("a", Relation.HYPERNYM, "b")
+        report = validate_network(network)
+        assert not report.ok
+        assert any(issue.code == "isa-cycle" for issue in report.errors())
+
+    def test_duplicate_words_detected(self):
+        network = SemanticNetwork()
+        concept = Concept("x", ("same", "other"), "g", frequency=1)
+        # Concepts are plain dataclasses: a caller can corrupt the word
+        # tuple after construction, which validation must catch.
+        concept.words = ("same", "same")
+        network.add_concept(concept)
+        report = validate_network(network)
+        assert any(issue.code == "duplicate-words" for issue in report.errors())
+
+
+class TestWarnings:
+    def test_multiple_roots_warned(self):
+        network = build(lambda b: (
+            b.synset("a", ["alpha"], "g", freq=1),
+            b.synset("b", ["beta"], "g", freq=1),
+        ))
+        report = validate_network(network)
+        assert report.ok
+        assert any(i.code == "multiple-roots" for i in report.warnings())
+
+    def test_empty_gloss_warned(self):
+        network = build(lambda b: (
+            b.synset("a", ["alpha"], "", freq=1),
+        ))
+        report = validate_network(network)
+        assert any(i.code == "empty-gloss" for i in report.warnings())
+
+    def test_zero_frequency_warned(self):
+        network = build(lambda b: (
+            b.synset("a", ["alpha"], "g"),
+        ))
+        report = validate_network(network)
+        assert any(i.code == "no-frequencies" for i in report.warnings())

@@ -1,0 +1,160 @@
+"""Tests for the wndb (real WordNet database) loader, using a
+hand-written miniature extract in the authentic file format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.concepts import Relation
+from repro.semnet.wordnet_format import (
+    WordNetFormatError,
+    load_wordnet_nouns,
+    parse_data_line,
+    parse_index_line,
+)
+
+#: Miniature data.noun: entity > person > {actor, star(performer)};
+#: entity > celestial body > star(sun); star derivationally related to
+#: movie-like synset omitted for brevity.  Offsets are 8-digit strings.
+DATA_NOUN = """\
+  1 This miniature extract follows the wndb(5WN) layout; header lines
+  2 begin with two spaces exactly like the real license preamble.
+00001000 03 n 01 entity 0 001 ~ 00002000 n 0000 | that which exists
+00002000 03 n 01 person 0 002 @ 00001000 n 0000 ~ 00003000 n 0000 | a human being
+00003000 03 n 02 actor 0 player 0 002 @ 00002000 n 0000 + 00004000 n 0000 | a theatrical performer
+00004000 03 n 02 star 0 principal 0 001 @ 00003000 n 0000 | an actor who plays a principal role
+00005000 03 n 02 star 0 sun 1 001 %p 00001000 n 0000 | a hot glowing celestial body
+"""
+
+#: Miniature index.noun: 'star' lists the celestial sense FIRST (rank 1)
+#: even though data.noun declares the performer sense first.
+INDEX_NOUN = """\
+  1 header line
+actor n 1 0 1 0 00003000
+star n 2 0 2 0 00005000 00004000
+person n 1 0 1 0 00002000
+"""
+
+
+@pytest.fixture()
+def wordnet_dir(tmp_path):
+    (tmp_path / "data.noun").write_text(DATA_NOUN, encoding="utf-8")
+    (tmp_path / "index.noun").write_text(INDEX_NOUN, encoding="utf-8")
+    return tmp_path
+
+
+class TestLineParsers:
+    def test_data_line_words_and_gloss(self):
+        offset, words, gloss, pointers = parse_data_line(
+            "00003000 03 n 02 actor 0 player 0 002 @ 00002000 n 0000 "
+            "+ 00004000 n 0000 | a theatrical performer"
+        )
+        assert offset == "00003000"
+        assert words == ["actor", "player"]
+        assert gloss == "a theatrical performer"
+        assert (Relation.HYPERNYM, "00002000") in pointers
+        assert (Relation.DERIVATION, "00004000") in pointers
+
+    def test_multiword_lemma_cleaned(self):
+        _o, words, _g, _p = parse_data_line(
+            "00009000 03 n 01 celestial_body 0 000 | a body in the sky"
+        )
+        assert words == ["celestial body"]
+
+    def test_syntactic_marker_stripped(self):
+        _o, words, _g, _p = parse_data_line(
+            "00009100 03 n 01 blues(p) 0 000 | a feeling of sadness"
+        )
+        assert words == ["blues"]
+
+    def test_cross_pos_pointer_skipped(self):
+        _o, _w, _g, pointers = parse_data_line(
+            "00009200 03 n 01 runner 0 001 + 00000123 v 0000 | one who runs"
+        )
+        assert pointers == []
+
+    def test_unknown_symbol_skipped(self):
+        _o, _w, _g, pointers = parse_data_line(
+            "00009300 03 n 01 thing 0 001 ;c 00000001 n 0000 | a thing"
+        )
+        assert pointers == []
+
+    @pytest.mark.parametrize(
+        "line",
+        ["too short", "00001 03 n zz entity 0 000 | x",
+         "00001 03 n 01 entity 0 bad | x"],
+    )
+    def test_malformed_data_lines(self, line):
+        with pytest.raises(WordNetFormatError):
+            parse_data_line(line)
+
+    def test_index_line(self):
+        lemma, offsets = parse_index_line("star n 2 0 2 0 00005000 00004000")
+        assert lemma == "star"
+        assert offsets == ["00005000", "00004000"]
+
+    def test_index_line_with_pointers(self):
+        lemma, offsets = parse_index_line("dog n 1 2 @ ~ 1 1 00001234")
+        assert lemma == "dog"
+        assert offsets == ["00001234"]
+
+    def test_index_count_mismatch(self):
+        with pytest.raises(WordNetFormatError):
+            parse_index_line("star n 3 0 3 0 00005000 00004000")
+
+
+class TestLoading:
+    def test_concepts_loaded(self, wordnet_dir):
+        network = load_wordnet_nouns(wordnet_dir)
+        assert len(network) == 5
+        assert network.has_word("star")
+        assert network.has_word("celestial body") is False  # not in extract
+        assert network.polysemy("star") == 2
+
+    def test_taxonomy_from_pointers(self, wordnet_dir):
+        network = load_wordnet_nouns(wordnet_dir)
+        assert network.hypernyms("star.n.00004000") == ["actor.n.00003000"]
+        assert network.depth("star.n.00004000") == 3
+
+    def test_inverse_pointers_merge(self, wordnet_dir):
+        # person declares ~ to actor AND actor declares @ to person:
+        # the network must not duplicate the edge.
+        network = load_wordnet_nouns(wordnet_dir)
+        assert network.hyponyms("person.n.00002000").count("actor.n.00003000") == 1
+
+    def test_part_relation(self, wordnet_dir):
+        network = load_wordnet_nouns(wordnet_dir)
+        assert network.neighbors(
+            "star.n.00005000", [Relation.PART_MERONYM]
+        ) == ["entity.n.00001000"]
+
+    def test_sense_order_from_index(self, wordnet_dir):
+        network = load_wordnet_nouns(wordnet_dir)
+        senses = [c.id for c in network.senses("star")]
+        # index.noun ranks the celestial sense first.
+        assert senses == ["star.n.00005000", "star.n.00004000"]
+
+    def test_loaded_network_disambiguates(self, wordnet_dir):
+        from repro.core import XSDF, XSDFConfig
+
+        network = load_wordnet_nouns(wordnet_dir)
+        # Radius 2: the sibling <actor> is two edges away via <cast>,
+        # whose label the mini extract deliberately does not know.
+        xsdf = XSDF(network, XSDFConfig(
+            sphere_radius=2, strip_target_dimension=True,
+        ))
+        result = xsdf.disambiguate_document(
+            "<cast><actor>x</actor><star>y</star></cast>"
+        )
+        picks = {a.label: a.concept_id for a in result.assignments}
+        # 'star' next to an actor resolves to the performer sense.
+        assert picks["star"] == "star.n.00004000"
+
+
+class TestSenseOrderAPI:
+    def test_set_sense_order_validates(self, wordnet_dir):
+        network = load_wordnet_nouns(wordnet_dir)
+        with pytest.raises(ValueError):
+            network.set_sense_order("star", ["star.n.00004000"])
+        with pytest.raises(KeyError):
+            network.set_sense_order("nosuch", [])

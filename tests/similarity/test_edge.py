@@ -1,0 +1,85 @@
+"""Unit tests for edge-based similarity measures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.builders import NetworkBuilder
+from repro.similarity.edge import (
+    LeacockChodorowSimilarity,
+    PathSimilarity,
+    WuPalmerSimilarity,
+)
+
+
+@pytest.fixture()
+def taxonomy():
+    """entity -> {person -> {actor -> star, director}, object -> rock}."""
+    b = NetworkBuilder()
+    b.synset("entity", ["entity"], "g")
+    b.synset("person", ["person"], "g", hypernym="entity")
+    b.synset("actor", ["actor"], "g", hypernym="person")
+    b.synset("star", ["star"], "g", hypernym="actor")
+    b.synset("director", ["director"], "g", hypernym="person")
+    b.synset("object", ["object"], "g", hypernym="entity")
+    b.synset("rock", ["rock"], "g", hypernym="object")
+    return b.build()
+
+
+class TestWuPalmer:
+    def test_identity(self, taxonomy):
+        assert WuPalmerSimilarity(taxonomy)("actor", "actor") == 1.0
+
+    def test_formula_on_known_pair(self, taxonomy):
+        # LCS(star, director) = person (depth 1); depths through LCS:
+        # star = 3, director = 2 -> 2*1 / (3+2) = 0.4.
+        wup = WuPalmerSimilarity(taxonomy)
+        assert wup("star", "director") == pytest.approx(0.4)
+
+    def test_parent_child_high(self, taxonomy):
+        wup = WuPalmerSimilarity(taxonomy)
+        assert wup("actor", "star") > wup("actor", "rock")
+
+    def test_symmetry(self, taxonomy):
+        wup = WuPalmerSimilarity(taxonomy)
+        assert wup("star", "rock") == wup("rock", "star")
+
+    def test_root_lcs_gives_zero(self, taxonomy):
+        # LCS = entity at depth 0 -> similarity 0.
+        assert WuPalmerSimilarity(taxonomy)("star", "rock") == 0.0
+
+    def test_bounds(self, taxonomy):
+        wup = WuPalmerSimilarity(taxonomy)
+        ids = [c.id for c in taxonomy]
+        assert all(0.0 <= wup(a, b) <= 1.0 for a in ids for b in ids)
+
+
+class TestPathSimilarity:
+    def test_identity(self, taxonomy):
+        assert PathSimilarity(taxonomy)("star", "star") == 1.0
+
+    def test_inverse_distance(self, taxonomy):
+        path = PathSimilarity(taxonomy)
+        assert path("actor", "person") == pytest.approx(1 / 2)
+        assert path("star", "director") == pytest.approx(1 / 4)
+
+    def test_disconnected_zero(self):
+        b = NetworkBuilder()
+        b.synset("a", ["a"], "g")
+        b.synset("b", ["b"], "g")
+        assert PathSimilarity(b.build())("a", "b") == 0.0
+
+
+class TestLeacockChodorow:
+    def test_identity(self, taxonomy):
+        assert LeacockChodorowSimilarity(taxonomy)("star", "star") == 1.0
+
+    def test_monotone_in_distance(self, taxonomy):
+        lc = LeacockChodorowSimilarity(taxonomy)
+        assert lc("actor", "person") > lc("actor", "director") > \
+            lc("star", "rock")
+
+    def test_bounds(self, taxonomy):
+        lc = LeacockChodorowSimilarity(taxonomy)
+        ids = [c.id for c in taxonomy]
+        assert all(0.0 <= lc(a, b) <= 1.0 for a in ids for b in ids)

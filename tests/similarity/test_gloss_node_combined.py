@@ -1,0 +1,146 @@
+"""Unit tests for gloss-based, node-based, and combined similarity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.semnet.builders import NetworkBuilder
+from repro.semnet.ic import InformationContent
+from repro.similarity.combined import CombinedSimilarity, SimilarityWeights
+from repro.similarity.gloss import ExtendedLeskSimilarity, _ngram_overlap_score
+from repro.similarity.node import (
+    JiangConrathSimilarity,
+    LinSimilarity,
+    ResnikSimilarity,
+)
+
+
+@pytest.fixture()
+def network():
+    b = NetworkBuilder()
+    b.synset("entity", ["entity"], "something that exists", freq=1)
+    b.synset("person", ["person"], "a human being", hypernym="entity",
+             freq=30)
+    b.synset("actor", ["actor"], "a performer who acts in films",
+             hypernym="person", freq=10)
+    b.synset("star", ["star", "lead"],
+             "an actor who plays the principal role in films",
+             hypernym="actor", freq=5)
+    b.synset("rock", ["rock"], "a hard stone from the ground",
+             hypernym="entity", freq=20)
+    return b.build()
+
+
+class TestNgramOverlap:
+    def test_empty_inputs(self):
+        assert _ngram_overlap_score([], ["a"]) == 0.0
+
+    def test_single_shared_word(self):
+        assert _ngram_overlap_score(["a", "x"], ["y", "a"]) == 1.0
+
+    def test_phrase_counts_quadratically(self):
+        score = _ngram_overlap_score(["a", "b", "c"], ["a", "b", "c"])
+        assert score == 9.0  # one 3-gram = 3^2
+
+    def test_two_separate_matches(self):
+        score = _ngram_overlap_score(
+            ["a", "b", "x", "c"], ["a", "b", "y", "c"]
+        )
+        assert score == 4.0 + 1.0  # "a b" (2^2) + "c" (1)
+
+    def test_no_overlap(self):
+        assert _ngram_overlap_score(["a"], ["b"]) == 0.0
+
+
+class TestExtendedLesk:
+    def test_identity(self, network):
+        assert ExtendedLeskSimilarity(network)("star", "star") == 1.0
+
+    def test_related_glosses_overlap(self, network):
+        lesk = ExtendedLeskSimilarity(network)
+        assert lesk("star", "actor") > lesk("star", "rock")
+
+    def test_bounds(self, network):
+        lesk = ExtendedLeskSimilarity(network)
+        ids = [c.id for c in network]
+        assert all(0.0 <= lesk(a, b) <= 1.0 for a in ids for b in ids)
+
+    def test_expansion_adds_signal(self, network):
+        expanded = ExtendedLeskSimilarity(network, expand=True)
+        plain = ExtendedLeskSimilarity(network, expand=False)
+        # star's hypernym gloss mentions "films", overlapping actor's.
+        assert expanded("star", "person") >= plain("star", "person")
+
+
+class TestNodeMeasures:
+    def test_lin_bounds_and_order(self, network):
+        lin = LinSimilarity(network)
+        assert lin("star", "actor") > lin("star", "rock")
+        assert 0.0 <= lin("star", "rock") <= 1.0
+
+    def test_resnik_normalized(self, network):
+        resnik = ResnikSimilarity(network)
+        assert 0.0 <= resnik("star", "actor") <= 1.0
+        assert resnik("star", "star") > 0.0
+
+    def test_jcn_identity_and_order(self, network):
+        jcn = JiangConrathSimilarity(network)
+        assert jcn("star", "star") == 1.0
+        assert jcn("star", "actor") > jcn("star", "rock")
+
+    def test_shared_ic_instance(self, network):
+        ic = InformationContent(network)
+        lin = LinSimilarity(network, ic=ic)
+        assert lin("star", "actor") == pytest.approx(ic.lin("star", "actor"))
+
+
+class TestSimilarityWeights:
+    def test_normalization(self):
+        weights = SimilarityWeights(2, 1, 1)
+        assert weights.edge == pytest.approx(0.5)
+        assert weights.edge + weights.node + weights.gloss == pytest.approx(1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityWeights(-1, 1, 1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            SimilarityWeights(0, 0, 0)
+
+
+class TestCombinedSimilarity:
+    def test_identity(self, network):
+        assert CombinedSimilarity(network)("star", "star") == 1.0
+
+    def test_bounds(self, network):
+        sim = CombinedSimilarity(network)
+        ids = [c.id for c in network]
+        assert all(0.0 <= sim(a, b) <= 1.0 for a in ids for b in ids)
+
+    def test_symmetric_via_cache(self, network):
+        sim = CombinedSimilarity(network)
+        forward = sim("star", "rock")
+        assert sim("rock", "star") == forward
+        assert sim.cache_size() == 1
+
+    def test_single_component_weights(self, network):
+        from repro.similarity.edge import WuPalmerSimilarity
+
+        edge_only = CombinedSimilarity(
+            network, weights=SimilarityWeights(1, 0, 0)
+        )
+        wup = WuPalmerSimilarity(network)
+        assert edge_only("star", "actor") == pytest.approx(
+            wup("star", "actor")
+        )
+
+    def test_combination_between_components(self, network):
+        sim = CombinedSimilarity(network)
+        components = []
+        from repro.similarity.edge import WuPalmerSimilarity
+        from repro.similarity.gloss import ExtendedLeskSimilarity
+        components.append(WuPalmerSimilarity(network)("star", "actor"))
+        components.append(LinSimilarity(network)("star", "actor"))
+        components.append(ExtendedLeskSimilarity(network)("star", "actor"))
+        assert min(components) <= sim("star", "actor") <= max(components)

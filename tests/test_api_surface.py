@@ -1,0 +1,143 @@
+"""Coverage for the remaining public API surface and edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    XSDF,
+    AmbiguityWeights,
+    DisambiguationApproach,
+    SimilarityWeights,
+    XSDFConfig,
+    __version__,
+)
+from repro.core.results import DisambiguationResult, SenseAssignment
+
+
+class TestTopLevelPackage:
+    def test_version(self):
+        assert __version__ == "1.0.0"
+
+    def test_reexports_are_usable(self, lexicon):
+        config = XSDFConfig(
+            ambiguity_weights=AmbiguityWeights(1, 1, 1),
+            similarity_weights=SimilarityWeights(1, 1, 1),
+            approach=DisambiguationApproach.CONCEPT_BASED,
+        )
+        assert XSDF(lexicon, config).network is lexicon
+
+
+class TestResultEdgeCases:
+    def test_empty_result(self):
+        result = DisambiguationResult(
+            assignments=[], n_nodes=5, n_targets=0, radius=2
+        )
+        assert result.coverage == 0.0
+        assert result.concept_map() == {}
+        assert result.assignment_for(0) is None
+        assert result.to_dict()["assignments"] == []
+
+    def test_margin_with_single_candidate(self):
+        assignment = SenseAssignment(
+            node_index=0, label="x", chosen=("only",), score=0.7,
+            concept_score=0.7, context_score=0.0, ambiguity=0.1,
+            scores={("only",): 0.7},
+        )
+        assert assignment.margin == 0.7  # no runner-up: margin = score
+
+    def test_concept_id_is_first_element(self):
+        assignment = SenseAssignment(
+            node_index=0, label="x", chosen=("a", "b"), score=0.5,
+            concept_score=0.5, context_score=0.0, ambiguity=0.0,
+            scores={("a", "b"): 0.5},
+        )
+        assert assignment.concept_id == "a"
+
+
+class TestSemanticXMLVariants:
+    def test_semantic_output_compact_mode(self, lexicon):
+        from repro.xmltree import build_tree, parse, serialize_semantic_tree
+
+        tree = build_tree(parse("<films><picture/></films>").root)
+        output = serialize_semantic_tree(
+            tree, {tree.find("picture").index: "movie.n.01"}, lexicon,
+            pretty=False,
+        )
+        assert "\n" not in output.strip().splitlines()[-1]
+        parse(output)
+
+    def test_attribute_nodes_serialized_with_underscores(self, lexicon):
+        from repro.xmltree import build_tree, parse, serialize_semantic_tree
+
+        tree = build_tree(parse('<m FirstName="Grace"/>').root)
+        attr = next(n for n in tree if n.label == "first name")
+        output = serialize_semantic_tree(
+            tree, {attr.index: "first_name.n.01"}, lexicon
+        )
+        assert "<first_name" in output
+
+
+class TestHarnessInternals:
+    def test_evaluate_quality_without_cache(self, lexicon):
+        from repro.datasets import generate_test_corpus
+        from repro.evaluation import evaluate_quality, make_system_factory
+
+        corpus = generate_test_corpus()
+        system = make_system_factory("first-sense", lexicon)()
+        docs = corpus.by_dataset("niagara_club")[:1]
+        result = evaluate_quality(system, docs, lexicon, tree_cache=None)
+        assert result.n_gold > 0
+
+    def test_xsdf_factory_default_radius(self, lexicon):
+        from repro.evaluation import make_system_factory
+
+        system = make_system_factory("xsdf-combined", lexicon)()
+        assert system.config.sphere_radius == 2
+
+
+class TestNetworkMisc:
+    def test_repr_helpers(self, lexicon):
+        assert "mini-wordnet" in repr(lexicon)
+
+    def test_senses_of_unknown_word_empty(self, lexicon):
+        assert lexicon.senses("qqqqqq") == []
+
+    def test_ring_zero_is_center(self, lexicon):
+        assert lexicon.ring("actor.n.01", 0) == ["actor.n.01"]
+
+    def test_io_of_synthetic_network(self, tmp_path):
+        from repro.semnet import (
+            GeneratorConfig,
+            generate_network,
+            load_network,
+            save_network,
+        )
+
+        network = generate_network(GeneratorConfig(n_concepts=60, seed=3))
+        path = tmp_path / "synthetic.json"
+        save_network(network, path)
+        restored = load_network(path)
+        assert restored.stats() == network.stats()
+
+
+class TestXPathIntegration:
+    def test_select_on_pipeline_built_tree(self, lexicon, figure1_xml):
+        from repro.xmltree import select, select_one
+
+        tree = XSDF(lexicon, XSDFConfig()).build_tree(figure1_xml)
+        stars = select(tree, "//cast/star")
+        assert len(stars) == 2
+        assert select_one(tree, "/film/picture/plot") is not None
+
+    def test_select_targets_via_xpath(self, lexicon, figure1_xml):
+        """XPath + explicit targets: disambiguate only the cast subtree."""
+        from repro.xmltree import select
+
+        xsdf = XSDF(lexicon, XSDFConfig(sphere_radius=2))
+        tree = xsdf.build_tree(figure1_xml)
+        targets = select(tree, "//cast//*") + select(tree, "//cast")
+        result = xsdf.disambiguate_tree(tree, targets=targets)
+        labels = {a.label for a in result.assignments}
+        assert "star" in labels and "kelly" in labels
+        assert "genre" not in labels

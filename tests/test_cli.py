@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def xml_file(tmp_path, figure1_xml):
+    path = tmp_path / "doc.xml"
+    path.write_text(figure1_xml, encoding="utf-8")
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestDisambiguate:
+    def test_report(self, xml_file):
+        code, output = run(["disambiguate", xml_file])
+        assert code == 0
+        assert "targets" in output
+        assert "movie.n.01" in output
+
+    def test_xml_output(self, xml_file):
+        code, output = run(["disambiguate", xml_file, "--xml"])
+        assert code == 0
+        assert output.startswith('<?xml version="1.0"?>')
+        assert 'concept="' in output
+
+    def test_flags(self, xml_file):
+        code, output = run([
+            "disambiguate", xml_file,
+            "--radius", "1",
+            "--approach", "concept",
+            "--threshold", "0.02",
+            "--weights", "1,0,1",
+            "--strip-target-dimension",
+        ])
+        assert code == 0
+        assert "d=1" in output
+
+    def test_structure_only(self, xml_file):
+        code, output = run(["disambiguate", xml_file, "--structure-only"])
+        assert code == 0
+        assert "kelly" not in output
+
+    def test_bad_weights(self, xml_file):
+        with pytest.raises(SystemExit):
+            run(["disambiguate", xml_file, "--weights", "nope"])
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            run(["disambiguate", "/nonexistent/file.xml"])
+
+
+class TestAudit:
+    def test_ranking(self, xml_file):
+        code, output = run(["audit", xml_file, "--top", "4"])
+        assert code == 0
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len(lines) == 1 + 4  # header + top rows
+        assert "Amb_Deg" in lines[0]
+
+
+class TestLexicon:
+    def test_stats(self):
+        code, output = run(["lexicon"])
+        assert code == 0
+        assert "concepts" in output
+        assert "max_polysemy" in output
+
+    def test_word_lookup(self):
+        code, output = run(["lexicon", "--word", "star"])
+        assert code == 0
+        assert "star.n.01" in output and "star.n.02" in output
+
+    def test_unknown_word(self):
+        code, output = run(["lexicon", "--word", "zzzznothing"])
+        assert code == 1
+        assert "not in the lexicon" in output
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("disambiguate", "audit", "lexicon"):
+            args = parser.parse_args(
+                [command] + (["f.xml"] if command != "lexicon" else [])
+            )
+            assert args.command == command
+
+
+class TestMatch:
+    def test_match_two_documents(self, tmp_path, figure1_xml):
+        a = tmp_path / "a.xml"
+        a.write_text(figure1_xml, encoding="utf-8")
+        b = tmp_path / "b.xml"
+        b.write_text(
+            "<movies><movie><name>Vertigo</name>"
+            "<actors><actor>Novak</actor></actors></movie></movies>",
+            encoding="utf-8",
+        )
+        code, output = run(["match", str(a), str(b)])
+        assert code == 0
+        assert "movie" in output
+
+    def test_no_matches_exit_code(self, tmp_path):
+        a = tmp_path / "a.xml"
+        a.write_text("<zzz/>", encoding="utf-8")
+        b = tmp_path / "b.xml"
+        b.write_text("<qqq/>", encoding="utf-8")
+        code, output = run(["match", str(a), str(b)])
+        assert code == 1
+        assert "no correspondences" in output
+
+
+class TestValidate:
+    def test_valid_network(self, tmp_path, lexicon):
+        from repro.semnet.io import save_network
+
+        path = tmp_path / "net.json"
+        save_network(lexicon, path)
+        code, output = run(["validate", str(path)])
+        assert code == 0
+        assert "ok:" in output
+
+    def test_unreadable_network(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{}", encoding="utf-8")
+        code, output = run(["validate", str(path)])
+        assert code == 2
+        assert "unreadable" in output
+
+    def test_invalid_network(self, tmp_path):
+        import json
+
+        from repro.semnet.io import FORMAT_NAME
+
+        document = {
+            "format": FORMAT_NAME, "version": 1, "name": "bad",
+            "concepts": [
+                {"id": "a", "words": ["x"], "gloss": "g"},
+                {"id": "b", "words": ["y"], "gloss": "g"},
+            ],
+            "relations": [
+                {"source": "a", "relation": "hypernym", "target": "b"},
+                {"source": "b", "relation": "hypernym", "target": "a"},
+            ],
+        }
+        path = tmp_path / "cyclic.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        code, output = run(["validate", str(path)])
+        assert code == 1
+        assert "isa-cycle" in output

@@ -1,0 +1,159 @@
+"""Unit tests for the rooted ordered labeled tree (paper Definition 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.dom import NodeKind, XMLNode, XMLTree, build_tree
+from repro.xmltree.errors import TreeError
+from repro.xmltree.parser import parse
+
+
+def make_tree(xml: str, **kwargs) -> XMLTree:
+    return build_tree(parse(xml).root, **kwargs)
+
+
+class TestPreorderIndexing:
+    def test_indices_follow_document_order(self, figure6_tree):
+        labels = [figure6_tree[i].label for i in range(len(figure6_tree))]
+        assert labels == [
+            "films", "picture", "cast", "star", "stewart", "star", "kelly",
+            "plot",
+        ]
+
+    def test_depths(self, figure6_tree):
+        assert figure6_tree[0].depth == 0
+        assert figure6_tree[1].depth == 1
+        assert figure6_tree[2].depth == 2
+        assert figure6_tree[4].depth == 4  # stewart token
+
+    def test_bad_index_raises(self, figure6_tree):
+        with pytest.raises(TreeError):
+            figure6_tree[99]
+
+    def test_iteration_matches_indexing(self, figure6_tree):
+        assert [n.index for n in figure6_tree] == list(range(len(figure6_tree)))
+
+
+class TestStructuralQuantities:
+    def test_fan_out(self, figure6_tree):
+        cast = figure6_tree[2]
+        assert cast.fan_out == 2
+
+    def test_density_counts_distinct_labels(self, figure6_tree):
+        # cast has two children, both labeled "star": density 1, fan-out 2.
+        cast = figure6_tree[2]
+        assert cast.density == 1
+        picture = figure6_tree[1]
+        assert picture.density == 2  # cast + plot
+
+    def test_tree_maxima(self, figure6_tree):
+        assert figure6_tree.max_depth == 4
+        assert figure6_tree.max_fan_out == 2
+        assert figure6_tree.max_density == 2
+
+    def test_leaf_properties(self, figure6_tree):
+        kelly = figure6_tree.find("kelly")
+        assert kelly.is_leaf
+        assert kelly.fan_out == 0
+        assert kelly.density == 0
+
+
+class TestAttributeAndValueModeling:
+    def test_attributes_sorted_and_before_elements(self):
+        tree = make_tree('<m z="1" a="2"><b/></m>')
+        labels = [child.label for child in tree.root.children]
+        # Attributes sorted by name, then sub-elements.
+        assert labels == ["a", "z", "b"]
+        assert tree.root.children[0].kind is NodeKind.ATTRIBUTE
+
+    def test_value_tokens_become_leaves(self):
+        tree = make_tree("<a>Rear Window</a>")
+        tokens = [n for n in tree if n.kind is NodeKind.VALUE_TOKEN]
+        assert [t.label for t in tokens] == ["rear", "window"]
+        assert all(t.parent is tree.root for t in tokens)
+
+    def test_structure_only_mode_drops_values(self):
+        tree = make_tree("<a x='v'>text here</a>", include_values=False)
+        assert all(n.kind is not NodeKind.VALUE_TOKEN for n in tree)
+        # The attribute node itself remains (structure).
+        assert any(n.kind is NodeKind.ATTRIBUTE for n in tree)
+
+    def test_attribute_value_tokens_attach_to_attribute(self):
+        tree = make_tree('<m title="Rear Window"/>')
+        title = tree.find("title")
+        assert [c.label for c in title.children] == ["rear", "window"]
+
+    def test_default_label_processor_splits_compounds(self):
+        tree = make_tree("<FirstName/>")
+        assert tree.root.label == "first name"
+        assert tree.root.tokens == ("first", "name")
+        assert tree.root.is_compound
+
+
+class TestTraversals:
+    def test_root_path(self, figure6_tree):
+        kelly = figure6_tree.find("kelly")
+        assert [n.label for n in kelly.root_path()] == [
+            "films", "picture", "cast", "star", "kelly",
+        ]
+
+    def test_ancestors(self, figure6_tree):
+        kelly = figure6_tree.find("kelly")
+        assert [n.label for n in kelly.ancestors()] == [
+            "star", "cast", "picture", "films",
+        ]
+
+    def test_preorder_subtree(self, figure6_tree):
+        cast = figure6_tree[2]
+        assert [n.label for n in cast.preorder()] == [
+            "cast", "star", "stewart", "star", "kelly",
+        ]
+
+    def test_subtree_size(self, figure6_tree):
+        assert figure6_tree[2].subtree_size() == 5
+        assert figure6_tree.root.subtree_size() == len(figure6_tree)
+
+    def test_find_all(self, figure6_tree):
+        assert len(figure6_tree.find_all("star")) == 2
+
+    def test_find_missing_raises(self, figure6_tree):
+        with pytest.raises(TreeError):
+            figure6_tree.find("nothing")
+
+
+class TestDistances:
+    def test_figure6_distance_example(self, figure6_tree):
+        # Paper: Dist(T[2], T[6]) = 2 (cast -> star -> kelly).
+        cast, kelly = figure6_tree[2], figure6_tree[6]
+        assert figure6_tree.distance(cast, kelly) == 2
+
+    def test_distance_to_self_is_zero(self, figure6_tree):
+        node = figure6_tree[3]
+        assert figure6_tree.distance(node, node) == 0
+
+    def test_distance_is_symmetric(self, figure6_tree):
+        a, b = figure6_tree[0], figure6_tree[6]
+        assert figure6_tree.distance(a, b) == figure6_tree.distance(b, a)
+
+    def test_distance_across_branches(self, figure6_tree):
+        stewart = figure6_tree[4]
+        kelly = figure6_tree[6]
+        # stewart -> star -> cast -> star -> kelly
+        assert figure6_tree.distance(stewart, kelly) == 4
+
+    def test_nodes_at_distance_matches_figure6_ring(self, figure6_tree):
+        cast = figure6_tree[2]
+        ring1 = figure6_tree.nodes_at_distance(cast, 1)
+        assert sorted(n.label for n in ring1) == ["picture", "star", "star"]
+
+    def test_foreign_node_rejected(self, figure6_tree):
+        other = XMLTree(XMLNode("x"))
+        with pytest.raises(TreeError):
+            figure6_tree.distance(figure6_tree[0], other.root)
+
+
+class TestImmutability:
+    def test_frozen_nodes_reject_children(self, figure6_tree):
+        with pytest.raises(TreeError):
+            figure6_tree.root.add_child(XMLNode("new"))

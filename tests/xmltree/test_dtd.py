@@ -1,0 +1,165 @@
+"""Unit tests for the DTD-lite parser and validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.dtd import parse_dtd
+from repro.xmltree.errors import DTDError, ValidationError
+from repro.xmltree.parser import parse
+
+MOVIES_DTD = """
+<!ELEMENT movies (movie+)>
+<!ELEMENT movie (name, genre?, actor*)>
+<!ATTLIST movie year CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT genre (#PCDATA)>
+<!ELEMENT actor (#PCDATA)>
+"""
+
+
+class TestDeclarationParsing:
+    def test_element_declarations_collected(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        assert set(dtd.elements) == {"movies", "movie", "name", "genre", "actor"}
+
+    def test_attlist_collected(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        decl = dtd.attributes["movie"][0]
+        assert (decl.name, decl.attr_type, decl.default) == (
+            "year", "CDATA", "#REQUIRED",
+        )
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert dtd.elements["a"].model == "EMPTY"
+        assert dtd.elements["b"].model == "ANY"
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | strong)*>")
+        assert dtd.elements["p"].model == "MIXED"
+        assert dtd.elements["p"].mixed_names == {"em", "strong"}
+
+    def test_malformed_declaration_raises(self):
+        with pytest.raises(DTDError):
+            parse_dtd("<!ELEMENT broken")
+
+    def test_unsupported_declaration_raises(self):
+        with pytest.raises(DTDError, match="unsupported"):
+            parse_dtd("<!NOTATION gif SYSTEM 'image/gif'>")
+
+    def test_mixing_separators_rejected(self):
+        with pytest.raises(DTDError, match="mix"):
+            parse_dtd("<!ELEMENT a (b, c | d)>")
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse(
+            '<movies><movie year="1954"><name>RW</name>'
+            "<genre>mystery</genre><actor>Kelly</actor></movie></movies>"
+        ).root
+        dtd.validate(root)  # must not raise
+
+    def test_optional_elements_may_be_absent(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse(
+            '<movies><movie year="1954"><name>RW</name></movie></movies>'
+        ).root
+        dtd.validate(root)
+
+    def test_missing_required_child(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse('<movies><movie year="1954"/></movies>').root
+        with pytest.raises(ValidationError, match="content model"):
+            dtd.validate(root)
+
+    def test_wrong_child_order(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse(
+            '<movies><movie year="x"><genre>g</genre><name>n</name>'
+            "</movie></movies>"
+        ).root
+        with pytest.raises(ValidationError):
+            dtd.validate(root)
+
+    def test_missing_required_attribute(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse("<movies><movie><name>n</name></movie></movies>").root
+        with pytest.raises(ValidationError, match="required attribute"):
+            dtd.validate(root)
+
+    def test_undeclared_attribute(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse(
+            '<movies><movie year="1" rating="5"><name>n</name></movie>'
+            "</movies>"
+        ).root
+        with pytest.raises(ValidationError, match="not declared"):
+            dtd.validate(root)
+
+    def test_undeclared_element(self):
+        dtd = parse_dtd(MOVIES_DTD)
+        root = parse("<unknown/>").root
+        with pytest.raises(ValidationError, match="not declared"):
+            dtd.validate(root)
+
+    def test_empty_model_rejects_content(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        with pytest.raises(ValidationError, match="EMPTY"):
+            dtd.validate(parse("<a>text</a>").root)
+
+    def test_pcdata_rejects_elements(self):
+        dtd = parse_dtd("<!ELEMENT a (#PCDATA)><!ELEMENT b EMPTY>")
+        with pytest.raises(ValidationError, match="PCDATA"):
+            dtd.validate(parse("<a><b/></a>").root)
+
+    def test_text_in_element_content_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a (b)><!ELEMENT b EMPTY>")
+        with pytest.raises(ValidationError, match="contains text"):
+            dtd.validate(parse("<a>junk<b/></a>").root)
+
+
+class TestContentModels:
+    @pytest.mark.parametrize(
+        "model,children,valid",
+        [
+            ("(b)", ["b"], True),
+            ("(b)", [], False),
+            ("(b?)", [], True),
+            ("(b*)", ["b", "b", "b"], True),
+            ("(b+)", [], False),
+            ("(b+)", ["b", "b"], True),
+            ("(b, c)", ["b", "c"], True),
+            ("(b, c)", ["c", "b"], False),
+            ("(b | c)", ["c"], True),
+            ("(b | c)", ["b", "c"], False),
+            ("((b | c)+, d)", ["b", "c", "b", "d"], True),
+            ("((b | c)+, d)", ["d"], False),
+            ("(b, (c | d)?, e*)", ["b", "d", "e", "e"], True),
+            ("(b, (c | d)?, e*)", ["b", "c", "d"], False),
+        ],
+    )
+    def test_model_matching(self, model, children, valid):
+        dtd = parse_dtd(
+            f"<!ELEMENT a {model}>"
+            "<!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+            "<!ELEMENT d EMPTY><!ELEMENT e EMPTY>"
+        )
+        xml = "<a>" + "".join(f"<{c}/>" for c in children) + "</a>"
+        root = parse(xml).root
+        if valid:
+            dtd.validate(root)
+        else:
+            with pytest.raises(ValidationError):
+                dtd.validate(root)
+
+
+class TestRealGrammars:
+    def test_all_dataset_grammars_parse(self):
+        from repro.datasets import DATASETS
+
+        for spec in DATASETS:
+            dtd = parse_dtd(spec.dtd)
+            assert dtd.elements, spec.name

@@ -1,0 +1,112 @@
+"""Edge-case tests for the XML substrate (escaping, references, limits)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.escape import (
+    PREDEFINED_ENTITIES,
+    escape_attribute,
+    escape_text,
+    resolve_entity,
+    unescape,
+)
+from repro.xmltree.errors import XMLEntityError, XMLSyntaxError
+from repro.xmltree.lexer import tokenize
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import serialize_document
+
+
+class TestEscaping:
+    def test_all_predefined_entities(self):
+        for name, char in PREDEFINED_ENTITIES.items():
+            assert resolve_entity(name) == char
+            assert unescape(f"&{name};") == char
+
+    def test_text_escape_leaves_quotes(self):
+        assert escape_text('say "hi"') == 'say "hi"'
+
+    def test_attribute_escape_handles_double_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+    def test_unescape_without_ampersand_fast_path(self):
+        text = "plain text"
+        assert unescape(text) is text
+
+    def test_unterminated_reference(self):
+        with pytest.raises(XMLEntityError, match="unterminated"):
+            unescape("broken &amp")
+
+    def test_custom_entities(self):
+        assert unescape("&me;", {"me": "value"}) == "value"
+
+
+class TestCharacterReferences:
+    def test_decimal_and_hex(self):
+        assert unescape("&#9731;") == "☃"
+        assert unescape("&#x2603;") == "☃"
+
+    def test_uppercase_hex_marker(self):
+        assert unescape("&#X41;") == "A"
+
+    @pytest.mark.parametrize("body", ["#", "#x", "#xGG", "#12a"])
+    def test_malformed_references(self, body):
+        with pytest.raises(XMLEntityError, match="malformed"):
+            unescape(f"&{body};")
+
+    @pytest.mark.parametrize("body", ["#0", "#1114112", "#x110000"])
+    def test_out_of_range_codepoints(self, body):
+        with pytest.raises(XMLEntityError, match="out of range"):
+            unescape(f"&{body};")
+
+    def test_max_codepoint_accepted(self):
+        assert unescape("&#x10FFFF;") == "\U0010ffff"
+
+
+class TestLexerCorners:
+    def test_entity_inside_attribute(self):
+        tokens = tokenize('<a t="&#65;&amp;B"/>')
+        assert tokens[0].attributes == [("t", "A&B")]
+
+    def test_crlf_line_counting(self):
+        with pytest.raises(XMLSyntaxError) as exc:
+            tokenize("<a>\r\n<b x=1/></a>")
+        assert exc.value.line == 2
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1  # EOF only
+
+    def test_whitespace_only_document_rejected_by_parser(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("\n\t  ")
+
+    def test_tag_name_starting_with_digit_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="invalid name"):
+            tokenize("<1bad/>")
+
+    def test_nested_cdata_like_text(self):
+        document = parse("<a><![CDATA[ ]]&gt; not a close ]]></a>")
+        assert "]]&gt;" in document.root.text()
+
+
+class TestSerializerCorners:
+    def test_deeply_nested_pretty_output_indents(self):
+        xml = "<a><b><c><d>x</d></c></b></a>"
+        output = serialize_document(parse(xml))
+        assert "      <d>x</d>" in output
+
+    def test_attribute_with_both_quote_kinds(self):
+        document = parse("<a t='he said &quot;hi&quot;'/>")
+        reparsed = parse(serialize_document(document))
+        assert reparsed.root.attributes["t"] == 'he said "hi"'
+
+    def test_unicode_content_roundtrip(self):
+        document = parse("<a>café ☃ 日本語</a>")
+        reparsed = parse(serialize_document(document))
+        assert reparsed.root.text() == "café ☃ 日本語"
+
+    def test_mixed_content_preserved_in_roundtrip(self):
+        document = parse("<a>one<b/>two</a>")
+        reparsed = parse(serialize_document(document))
+        assert reparsed.root.text().split() == ["one", "two"]

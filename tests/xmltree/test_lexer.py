@@ -1,0 +1,158 @@
+"""Unit tests for the XML tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.errors import XMLEntityError, XMLSyntaxError
+from repro.xmltree.lexer import Token, TokenType, XMLLexer, tokenize
+
+
+def types(source: str) -> list[TokenType]:
+    return [token.type for token in tokenize(source)]
+
+
+class TestBasicTokens:
+    def test_empty_element(self):
+        tokens = tokenize("<a/>")
+        assert tokens[0].type is TokenType.EMPTY_TAG
+        assert tokens[0].value == "a"
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_start_and_end_tags(self):
+        tokens = tokenize("<a></a>")
+        assert [t.type for t in tokens[:2]] == [
+            TokenType.START_TAG,
+            TokenType.END_TAG,
+        ]
+        assert tokens[0].value == tokens[1].value == "a"
+
+    def test_text_content(self):
+        tokens = tokenize("<a>hello world</a>")
+        assert tokens[1].type is TokenType.TEXT
+        assert tokens[1].value == "hello world"
+
+    def test_nested_elements(self):
+        assert types("<a><b/><c>x</c></a>") == [
+            TokenType.START_TAG,
+            TokenType.EMPTY_TAG,
+            TokenType.START_TAG,
+            TokenType.TEXT,
+            TokenType.END_TAG,
+            TokenType.END_TAG,
+            TokenType.EOF,
+        ]
+
+    def test_names_with_punctuation(self):
+        tokens = tokenize("<directed_by/><first-name/><ns:tag/>")
+        assert [t.value for t in tokens[:3]] == [
+            "directed_by", "first-name", "ns:tag",
+        ]
+
+    def test_whitespace_inside_tags(self):
+        tokens = tokenize('<a  x="1"\n  y="2"  ></a>')
+        assert tokens[0].attributes == [("x", "1"), ("y", "2")]
+
+
+class TestAttributes:
+    def test_attribute_order_preserved(self):
+        tokens = tokenize('<a z="1" a="2" m="3"/>')
+        assert [name for name, _ in tokens[0].attributes] == ["z", "a", "m"]
+
+    def test_single_and_double_quotes(self):
+        tokens = tokenize("<a x='one' y=\"two\"/>")
+        assert dict(tokens[0].attributes) == {"x": "one", "y": "two"}
+
+    def test_attribute_entities_resolved(self):
+        tokens = tokenize('<a t="a &amp; b"/>')
+        assert tokens[0].attributes == [("t", "a & b")]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="duplicate attribute"):
+            tokenize('<a x="1" x="2"/>')
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="quoted"):
+            tokenize("<a x=1/>")
+
+    def test_angle_bracket_in_value_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="not allowed"):
+            tokenize('<a x="a<b"/>')
+
+    def test_unterminated_value(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated"):
+            tokenize('<a x="oops>')
+
+
+class TestEntities:
+    def test_predefined_entities_in_text(self):
+        tokens = tokenize("<a>&lt;tag&gt; &amp; &quot;x&quot; &apos;y&apos;</a>")
+        assert tokens[1].value == "<tag> & \"x\" 'y'"
+
+    def test_numeric_character_references(self):
+        tokens = tokenize("<a>&#65;&#x42;</a>")
+        assert tokens[1].value == "AB"
+
+    def test_undefined_entity_raises(self):
+        with pytest.raises(XMLEntityError):
+            tokenize("<a>&nosuch;</a>")
+
+    def test_internal_dtd_entity(self):
+        source = (
+            '<!DOCTYPE a [<!ENTITY greet "hello">]>' "<a>&greet; world</a>"
+        )
+        tokens = tokenize(source)
+        text = [t for t in tokens if t.type is TokenType.TEXT][0]
+        assert text.value == "hello world"
+
+
+class TestMarkupSections:
+    def test_comment(self):
+        tokens = tokenize("<a><!-- note --></a>")
+        assert tokens[1].type is TokenType.COMMENT
+        assert tokens[1].value == " note "
+
+    def test_double_dash_in_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="--"):
+            tokenize("<a><!-- bad -- comment --></a>")
+
+    def test_cdata(self):
+        tokens = tokenize("<a><![CDATA[<raw> & text]]></a>")
+        assert tokens[1].type is TokenType.CDATA
+        assert tokens[1].value == "<raw> & text"
+
+    def test_processing_instruction(self):
+        tokens = tokenize('<?xml version="1.0"?><a/>')
+        assert tokens[0].type is TokenType.PI
+        assert tokens[0].value.startswith("xml ")
+
+    def test_doctype(self):
+        tokens = tokenize("<!DOCTYPE play SYSTEM 'play.dtd'><play/>")
+        assert tokens[0].type is TokenType.DOCTYPE
+        assert tokens[0].value.startswith("play")
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XMLSyntaxError, match="unterminated comment"):
+            tokenize("<a><!-- oops</a>")
+
+    def test_unterminated_cdata(self):
+        with pytest.raises(XMLSyntaxError, match="CDATA"):
+            tokenize("<a><![CDATA[oops</a>")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("<a>\n  <b/>\n</a>")
+        b = [t for t in tokens if t.value == "b"][0]
+        assert (b.line, b.column) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as exc:
+            tokenize("<a>\n<b x=1/></a>")
+        assert exc.value.line == 2
+
+    def test_lexer_reusable_token_stream(self):
+        lexer = XMLLexer("<a>x</a>")
+        stream = list(lexer.tokens())
+        assert stream[-1].type is TokenType.EOF
+        assert isinstance(stream[0], Token)

@@ -1,0 +1,90 @@
+"""Unit tests for XML serialization (round-trip and semantic output)."""
+
+from __future__ import annotations
+
+from repro.xmltree.dom import build_tree
+from repro.xmltree.parser import parse
+from repro.xmltree.serializer import (
+    serialize_document,
+    serialize_element,
+    serialize_semantic_tree,
+)
+
+
+def roundtrip(xml: str):
+    """Parse -> serialize -> parse; return both documents."""
+    first = parse(xml)
+    second = parse(serialize_document(first))
+    return first, second
+
+
+def same_structure(a, b) -> bool:
+    if a.name != b.name or a.attributes != b.attributes:
+        return False
+    a_children = a.child_elements()
+    b_children = b.child_elements()
+    if len(a_children) != len(b_children):
+        return False
+    if a.text().strip() != b.text().strip():
+        return False
+    return all(same_structure(x, y) for x, y in zip(a_children, b_children))
+
+
+class TestRoundTrip:
+    def test_simple_document(self):
+        first, second = roundtrip("<a><b x='1'>text</b><c/></a>")
+        assert same_structure(first.root, second.root)
+
+    def test_figure1_document(self, figure1_xml):
+        first, second = roundtrip(figure1_xml)
+        assert same_structure(first.root, second.root)
+
+    def test_special_characters_escaped(self):
+        first, second = roundtrip("<a t='a &amp; b'>1 &lt; 2 &amp; 3</a>")
+        assert second.root.text() == "1 < 2 & 3"
+        assert second.root.attributes["t"] == "a & b"
+
+    def test_empty_element_compact_form(self):
+        assert serialize_element(parse("<a/>").root).strip() == "<a/>"
+
+    def test_non_pretty_single_line(self):
+        text = serialize_element(parse("<a><b/></a>").root, pretty=False)
+        assert "\n" not in text
+
+    def test_declaration_emitted(self):
+        assert serialize_document(parse("<a/>")).startswith(
+            '<?xml version="1.0"?>'
+        )
+
+
+class TestSemanticSerialization:
+    def test_concept_annotations_emitted(self, lexicon):
+        tree = build_tree(parse("<films><picture/></films>").root)
+        picture = tree.find("picture")
+        output = serialize_semantic_tree(
+            tree, {picture.index: "movie.n.01"}, lexicon
+        )
+        assert 'concept="movie.n.01"' in output
+        assert 'gloss="a form of entertainment' in output
+
+    def test_unannotated_nodes_untouched(self, lexicon):
+        tree = build_tree(parse("<films><picture/></films>").root)
+        output = serialize_semantic_tree(tree, {}, lexicon)
+        assert "concept=" not in output
+        assert "<films>" in output
+
+    def test_value_tokens_serialized_as_token_elements(self, lexicon):
+        tree = build_tree(parse("<cast>Kelly</cast>").root)
+        token = [n for n in tree if n.label == "kelly"][0]
+        output = serialize_semantic_tree(
+            tree, {token.index: "kelly.n.01"}, lexicon
+        )
+        assert '<token value="kelly" concept="kelly.n.01"' in output
+
+    def test_output_is_well_formed(self, lexicon):
+        tree = build_tree(parse("<films><picture>Rear</picture></films>").root)
+        annotated = serialize_semantic_tree(
+            tree, {tree.find("picture").index: "movie.n.01"}, lexicon
+        )
+        reparsed = parse(annotated)
+        assert reparsed.root.name == "films"

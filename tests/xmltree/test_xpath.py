@@ -1,0 +1,107 @@
+"""Unit tests for the XPath-lite query engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmltree.dom import build_tree
+from repro.xmltree.parser import parse
+from repro.xmltree.xpath import XPathSyntaxError, parse_path, select, select_one
+
+XML = """
+<play>
+  <title>Hamlet</title>
+  <act>
+    <title>One</title>
+    <scene><title>Alpha</title><line>first verse</line></scene>
+    <scene><title>Beta</title><line>second verse</line></scene>
+  </act>
+  <act>
+    <title>Two</title>
+    <scene><title>Gamma</title><line>third verse</line></scene>
+  </act>
+</play>
+"""
+
+
+@pytest.fixture()
+def tree():
+    return build_tree(parse(XML).root)
+
+
+class TestChildSteps:
+    def test_root_step(self, tree):
+        assert [n.label for n in select(tree, "/play")] == ["play"]
+
+    def test_wrong_root_no_match(self, tree):
+        assert select(tree, "/movie") == []
+
+    def test_nested_path(self, tree):
+        scenes = select(tree, "/play/act/scene")
+        assert len(scenes) == 3
+
+    def test_document_order(self, tree):
+        scenes = select(tree, "/play/act/scene")
+        assert [n.index for n in scenes] == sorted(n.index for n in scenes)
+
+    def test_wildcard(self, tree):
+        children = select(tree, "/play/*")
+        assert [n.label for n in children] == ["title", "act", "act"]
+
+
+class TestDescendantSteps:
+    def test_descendant_anywhere(self, tree):
+        titles = select(tree, "//title")
+        assert len(titles) == 6  # play + 2 acts + 3 scenes
+
+    def test_descendant_below_step(self, tree):
+        lines = select(tree, "/play/act//line")
+        assert len(lines) == 3
+
+    def test_descendant_matches_self(self, tree):
+        acts = select(tree, "//act")
+        lines_under_act = select(tree, "//act//line")
+        assert len(acts) == 2 and len(lines_under_act) == 3
+
+
+class TestPredicates:
+    def test_position(self, tree):
+        second = select(tree, "/play/act[2]")
+        assert len(second) == 1
+        # Its first scene title value tokens spell "scene 3".
+        scene_titles = select(tree, "/play/act[2]/scene/title")
+        assert len(scene_titles) == 1
+
+    def test_position_per_parent(self, tree):
+        firsts = select(tree, "/play/act/scene[1]")
+        assert len(firsts) == 2  # one per act
+
+    def test_existence_predicate(self, tree):
+        with_lines = select(tree, "//scene[line]")
+        assert len(with_lines) == 3
+        assert select(tree, "//scene[speaker]") == []
+
+    def test_value_predicate(self, tree):
+        match = select(tree, "//scene[line=second verse]")
+        assert len(match) == 1
+
+    def test_select_one(self, tree):
+        node = select_one(tree, "//scene")
+        assert node is not None and node.label == "scene"
+        assert select_one(tree, "//nothing") is None
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "path",
+        ["", "act", "/play/[2]", "/play/act[", "/play//", "/play/act[0]",
+         "/play/act[=x]"],
+    )
+    def test_malformed_paths(self, path):
+        with pytest.raises(XPathSyntaxError):
+            parse_path(path)
+
+    def test_parse_structure(self):
+        steps = parse_path("//act/scene[2]")
+        assert steps[0].descendant and not steps[1].descendant
+        assert steps[1].position == 2
