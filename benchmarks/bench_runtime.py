@@ -1,0 +1,157 @@
+"""Runtime throughput: the index/cache fast path and the batch executor.
+
+Two workloads over the generated collection:
+
+* **repeated documents** — the same documents disambiguated many times,
+  the traffic shape of a schema-matching loop.  Baseline is the seed
+  behavior (a fresh ``XSDF`` per document, nothing shared); the runtime
+  serves repeats from its caches and must be at least 2x faster.
+* **unique documents** — one pass over distinct documents, serial
+  executor vs ``workers=2``.  Parallel output must stay byte-identical
+  to serial; the speedup assertion only applies on multi-core hosts.
+
+Results land in ``BENCH_runtime.json`` at the repo root.  Set
+``REPRO_BENCH_SMOKE=1`` to shrink the workloads for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import print_table
+
+from repro.core import XSDF, XSDFConfig
+from repro.runtime import BatchExecutor, MetricsRegistry
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+N_DOCS = 4 if SMOKE else 10          # distinct documents per workload
+REPEATS = 3 if SMOKE else 8          # copies of each in the repeated load
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_results():
+    """Collect per-test numbers and write BENCH_runtime.json once."""
+    yield
+    if _RESULTS:
+        payload = {"cpu_count": os.cpu_count(), "smoke": SMOKE, **_RESULTS}
+        RESULTS_PATH.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+
+def _distinct_documents(corpus, n: int):
+    """One document per dataset, cycling until ``n`` are collected."""
+    docs = []
+    per_dataset = [corpus.by_dataset(name) for name in corpus.datasets()]
+    i = 0
+    while len(docs) < n:
+        bucket = per_dataset[i % len(per_dataset)]
+        doc = bucket[(i // len(per_dataset)) % len(bucket)]
+        docs.append((f"{doc.name}#{len(docs)}", doc.xml))
+        i += 1
+    return docs
+
+
+def test_repeated_documents_cached_speedup(benchmark, network, corpus):
+    """Index + caches vs fresh-XSDF-per-document on repeated traffic."""
+    config = XSDFConfig()
+    base_docs = _distinct_documents(corpus, N_DOCS)
+    workload = [
+        (f"{name}@{r}", xml)
+        for r in range(REPEATS)
+        for name, xml in base_docs
+    ]
+
+    def run():
+        start = time.perf_counter()
+        baseline = [
+            XSDF(network, config).disambiguate_document(xml).to_dict()
+            for _, xml in workload
+        ]
+        baseline_s = time.perf_counter() - start
+
+        metrics = MetricsRegistry()
+        executor = BatchExecutor(
+            network, config, workers=1, metrics=metrics
+        )
+        start = time.perf_counter()
+        records = executor.run(workload)
+        runtime_s = time.perf_counter() - start
+        return baseline, records, baseline_s, runtime_s, metrics
+
+    baseline, records, baseline_s, runtime_s, metrics = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    assert [r.result for r in records] == baseline  # identical senses
+    speedup = baseline_s / runtime_s
+    caches = metrics.report()["caches"]
+    rows = [
+        ["seed (fresh XSDF/doc)", f"{len(workload) / baseline_s:.2f}", "-"],
+        ["runtime (index+caches)", f"{len(workload) / runtime_s:.2f}",
+         f"x{speedup:.1f}"],
+    ]
+    print_table(
+        f"Runtime: {len(workload)} docs ({N_DOCS} distinct x {REPEATS})",
+        ["pipeline", "docs/s", "speedup"],
+        rows,
+    )
+    _RESULTS["repeated_documents"] = {
+        "n_documents": len(workload),
+        "n_distinct": N_DOCS,
+        "baseline_docs_per_s": round(len(workload) / baseline_s, 3),
+        "runtime_docs_per_s": round(len(workload) / runtime_s, 3),
+        "speedup": round(speedup, 2),
+        "cache_hit_rates": {
+            name: stats["hit_rate"] for name, stats in caches.items()
+        },
+    }
+    assert speedup >= 2.0, f"cached runtime only x{speedup:.2f}"
+
+
+def test_parallel_batch_throughput(benchmark, network, corpus):
+    """Serial vs 2-worker executor on distinct documents."""
+    config = XSDFConfig()
+    docs = _distinct_documents(corpus, N_DOCS)
+
+    def run():
+        timings = {}
+        outputs = {}
+        for workers in (1, 2):
+            executor = BatchExecutor(network, config, workers=workers)
+            start = time.perf_counter()
+            records = executor.run(docs)
+            timings[workers] = time.perf_counter() - start
+            outputs[workers] = [r.to_json_line() for r in records]
+        return timings, outputs
+
+    timings, outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outputs[1] == outputs[2]  # byte-identical merge
+    speedup = timings[1] / timings[2]
+    rows = [
+        [f"workers={w}", f"{len(docs) / timings[w]:.2f}",
+         f"x{timings[1] / timings[w]:.1f}"]
+        for w in (1, 2)
+    ]
+    print_table(
+        f"Runtime: parallel batch over {len(docs)} distinct docs",
+        ["executor", "docs/s", "speedup"],
+        rows,
+    )
+    _RESULTS["parallel_batch"] = {
+        "n_documents": len(docs),
+        "serial_docs_per_s": round(len(docs) / timings[1], 3),
+        "parallel_docs_per_s": round(len(docs) / timings[2], 3),
+        "speedup": round(speedup, 2),
+    }
+    # A single-core host serializes the pool; only assert the win where
+    # the hardware can deliver one.
+    if (os.cpu_count() or 1) >= 2:
+        assert speedup >= 1.05, f"2 workers only x{speedup:.2f}"

@@ -6,6 +6,10 @@ Commands
     Run the full XSDF pipeline on an XML file and print either a
     per-node sense report (default) or the concept-annotated semantic
     XML tree (``--xml``).
+``batch GLOB [GLOB ...]``
+    Disambiguate a whole corpus of XML files through the cached,
+    parallel runtime (:mod:`repro.runtime`): JSONL results to a file or
+    stdout, optional metrics report (``--metrics``).
 ``audit FILE``
     Print the ambiguity-degree ranking of the file's nodes — which
     nodes are worth disambiguating, before spending any effort.
@@ -20,8 +24,10 @@ weights, the strip-target-dimension extension).
 from __future__ import annotations
 
 import argparse
+import glob as globlib
 import sys
 
+from . import __version__
 from .core.ambiguity import rank_nodes
 from .core.config import DisambiguationApproach, XSDFConfig
 from .core.framework import XSDF
@@ -41,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="XSDF: XML semantic disambiguation (EDBT 2015 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     dis = sub.add_parser("disambiguate", help="disambiguate an XML file")
@@ -59,6 +68,39 @@ def build_parser() -> argparse.ArgumentParser:
                      help="ignore text values (structure-only mode)")
     dis.add_argument("--xml", action="store_true",
                      help="emit the semantic XML tree instead of a report")
+
+    batch = sub.add_parser(
+        "batch",
+        help="disambiguate many XML files through the cached runtime",
+    )
+    batch.add_argument("patterns", nargs="+", metavar="GLOB",
+                       help="file paths or glob patterns of XML documents")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial, default)")
+    batch.add_argument("--chunk-size", type=int, default=None,
+                       help="documents per worker task (default: auto)")
+    batch.add_argument("--out", default=None,
+                       help="write JSONL results here (default: stdout)")
+    batch.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a JSON metrics report to PATH")
+    batch.add_argument("--no-index", action="store_true",
+                       help="disable the precomputed index and caches "
+                            "(uncached baseline)")
+    batch.add_argument("--cache-size", type=int, default=None,
+                       help="bound for the similarity caches "
+                            "(default 65536)")
+    batch.add_argument("--radius", type=int, default=2,
+                       help="sphere context radius d (default 2)")
+    batch.add_argument("--approach", choices=sorted(_APPROACHES),
+                       default="combined", help="disambiguation process")
+    batch.add_argument("--threshold", type=float, default=0.0,
+                       help="ambiguity threshold Thresh_Amb (default 0)")
+    batch.add_argument("--weights", metavar="EDGE,NODE,GLOSS", default=None,
+                       help="similarity weight mix, e.g. 1,1,1")
+    batch.add_argument("--strip-target-dimension", action="store_true",
+                       help="enable the context-vector bias fix (extension)")
+    batch.add_argument("--structure-only", action="store_true",
+                       help="ignore text values (structure-only mode)")
 
     audit = sub.add_parser("audit", help="rank nodes by ambiguity degree")
     audit.add_argument("file", help="path to the XML document")
@@ -146,6 +188,59 @@ def _cmd_disambiguate(args: argparse.Namespace, out) -> int:
             f"{assignment.score:>7.3f}  {gloss[:44]}\n"
         )
     return 0
+
+
+def _cmd_batch(args: argparse.Namespace, out) -> int:
+    from .runtime.executor import DEFAULT_CACHE_SIZE, BatchExecutor
+    from .runtime.metrics import MetricsRegistry
+
+    paths: list[str] = []
+    for pattern in args.patterns:
+        matches = sorted(globlib.glob(pattern, recursive=True))
+        if not matches:
+            raise SystemExit(f"no files match {pattern!r}")
+        paths.extend(matches)
+    documents = [(path, _read(path)) for path in paths]
+
+    metrics = MetricsRegistry()
+    try:
+        executor = BatchExecutor(
+            default_lexicon(),
+            _make_config(args),
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            use_index=not args.no_index,
+            cache_size=(
+                args.cache_size if args.cache_size is not None
+                else DEFAULT_CACHE_SIZE
+            ),
+            metrics=metrics,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            records = executor.run_to_jsonl(documents, handle)
+    else:
+        records = executor.run_to_jsonl(documents, out)
+    if args.metrics:
+        metrics.write_json(args.metrics)
+
+    failures = [r for r in records if not r.ok]
+    report = metrics.report()
+    # Rate from the executor's own batch timer: the per-document
+    # "documents" counter lives in the workers under --workers > 1.
+    batch = report["stages"].get("batch", {})
+    rate = len(records) / batch["total_s"] if batch.get("total_s") else 0.0
+    summary = (
+        f"{len(records)} documents, {len(failures)} failed, "
+        f"{rate:.1f} docs/s"
+    )
+    stream = sys.stderr if not args.out else out
+    stream.write(summary + "\n")
+    for record in failures:
+        stream.write(f"  FAILED {record.name}: {record.error}\n")
+    return 1 if failures else 0
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:
@@ -253,6 +348,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "disambiguate": _cmd_disambiguate,
+        "batch": _cmd_batch,
         "audit": _cmd_audit,
         "lexicon": _cmd_lexicon,
         "match": _cmd_match,

@@ -23,16 +23,51 @@ from .sphere import Sphere
 
 
 class ConceptBasedScorer:
-    """Scores candidate senses against a sphere context (Definition 8)."""
+    """Scores candidate senses against a sphere context (Definition 8).
 
-    def __init__(self, network: SemanticNetwork, similarity: ConceptSimilarity):
+    ``sense_cache`` optionally memoizes the inner ``Max_j Sim(s_p,
+    s_j^i)`` term per (candidate, context-sense-inventory) key — e.g. a
+    :class:`repro.runtime.cache.LRUCache`.  The same context labels
+    recur across nodes and documents, so in batch workloads this skips
+    most pairwise-similarity lookups entirely; cached values are the
+    deterministic max over the identical sense set, leaving every score
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        similarity: ConceptSimilarity,
+        sense_cache=None,
+    ):
         self._network = network
         self._similarity = similarity
+        self._sense_cache = sense_cache
 
     def _candidate_similarity(self, candidate: Candidate, sense_id: str) -> float:
         """``Sim((s_p, s_q), s_j)`` — the average over candidate parts."""
         total = sum(self._similarity(part, sense_id) for part in candidate)
         return total / len(candidate)
+
+    def _best_sense_similarity(
+        self, candidate: Candidate, sense_ids: tuple[str, ...]
+    ) -> float:
+        """``Max_j Sim(candidate, s_j)`` over one context sense inventory."""
+        cache = self._sense_cache
+        if cache is None:
+            return max(
+                self._candidate_similarity(candidate, sense_id)
+                for sense_id in sense_ids
+            )
+        key = (candidate, sense_ids)
+        best = cache.get(key)
+        if best is None:
+            best = max(
+                self._candidate_similarity(candidate, sense_id)
+                for sense_id in sense_ids
+            )
+            cache[key] = best
+        return best
 
     def score(self, candidate: Candidate, sphere: Sphere) -> float:
         """``Concept_Score(candidate, S_d(x), SN-bar)`` in [0, 1]."""
@@ -40,15 +75,14 @@ class ConceptBasedScorer:
         total = 0.0
         for member in sphere:
             context_node = member.node
-            sense_ids = context_sense_ids(context_node, self._network)
+            sense_ids = tuple(context_sense_ids(context_node, self._network))
             if not sense_ids:
                 continue
             label_weight = weights[context_node.label]
-            best = max(
-                self._candidate_similarity(candidate, sense_id)
-                for sense_id in sense_ids
+            total += (
+                self._best_sense_similarity(candidate, sense_ids)
+                * label_weight
             )
-            total += best * label_weight
         if not len(sphere):
             return 0.0
         return total / len(sphere)
@@ -63,9 +97,9 @@ class ConceptBasedScorer:
         candidates against the same context.
         """
         weights = context_vector(sphere)
-        context: list[tuple[list[str], float]] = []
+        context: list[tuple[tuple[str, ...], float]] = []
         for member in sphere:
-            sense_ids = context_sense_ids(member.node, self._network)
+            sense_ids = tuple(context_sense_ids(member.node, self._network))
             if sense_ids:
                 context.append((sense_ids, weights[member.node.label]))
         size = len(sphere)
@@ -73,10 +107,9 @@ class ConceptBasedScorer:
         for candidate in candidates:
             total = 0.0
             for sense_ids, label_weight in context:
-                best = max(
-                    self._candidate_similarity(candidate, sense_id)
-                    for sense_id in sense_ids
+                total += (
+                    self._best_sense_similarity(candidate, sense_ids)
+                    * label_weight
                 )
-                total += best * label_weight
             scores[candidate] = total / size if size else 0.0
         return scores

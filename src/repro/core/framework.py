@@ -55,6 +55,26 @@ class XSDF:
         framework instances); by default a :class:`CombinedSimilarity`
         with the configured weights is created, computing information
         content from the network's frequencies once.
+    index:
+        Optional :class:`repro.runtime.index.SemanticIndex` built over
+        ``network``.  Routes the default similarity through precomputed
+        taxonomy/IC/gloss tables — sense choices and scores are
+        bit-identical with and without it.  Ignored when ``similarity``
+        is supplied.
+    similarity_cache:
+        Optional external pairwise-similarity memo (e.g.
+        :class:`repro.runtime.cache.LRUCache`) replacing the default
+        unbounded dict inside :class:`CombinedSimilarity`.  Ignored
+        when ``similarity`` is supplied.
+    sense_cache:
+        Optional memo for the concept-based scorer's best-sense term
+        (``Max_j Sim(candidate, s_j)`` per context sense inventory);
+        scores are unchanged, repeated context labels get cheaper.
+    metrics:
+        Optional :class:`repro.runtime.metrics.MetricsRegistry`.  When
+        set, the pipeline records per-stage latency (parse, select,
+        sphere, score) and document/target counters; the default
+        ``None`` keeps every hot path exactly as uninstrumented.
     """
 
     def __init__(
@@ -62,17 +82,34 @@ class XSDF:
         network: SemanticNetwork,
         config: XSDFConfig | None = None,
         similarity: ConceptSimilarity | None = None,
+        index=None,
+        similarity_cache=None,
+        sense_cache=None,
+        metrics=None,
     ):
         self.network = network
         self.config = config or XSDFConfig()
+        self.index = index
+        self.similarity_cache = similarity_cache
+        self.sense_cache = sense_cache
+        self.metrics = metrics
         self.pipeline = LinguisticPipeline(known=network.has_word)
         if similarity is None:
             needs_ic = self.config.similarity_weights.node > 0
-            ic = InformationContent(network) if needs_ic else None
+            if index is not None:
+                ic = index.ic if needs_ic else None
+            else:
+                ic = InformationContent(network) if needs_ic else None
             similarity = CombinedSimilarity(
-                network, weights=self.config.similarity_weights, ic=ic
+                network,
+                weights=self.config.similarity_weights,
+                ic=ic,
+                index=index,
+                cache=similarity_cache,
             )
-        self._concept_scorer = ConceptBasedScorer(network, similarity)
+        self._concept_scorer = ConceptBasedScorer(
+            network, similarity, sense_cache=sense_cache
+        )
         self._distance_policy = (
             None
             if self.config.distance_policy is None
@@ -89,18 +126,33 @@ class XSDF:
 
     def build_tree(self, xml_text: str) -> XMLTree:
         """Parse XML text into a pre-processed rooted labeled tree."""
-        document = parse(xml_text)
-        return build_tree(
-            document.root,
-            include_values=self.config.include_values,
-            label_processor=self.pipeline.process_label,
-            value_processor=self.pipeline.process_value,
-        )
+        m = self.metrics
+        if m is None:
+            document = parse(xml_text)
+            return build_tree(
+                document.root,
+                include_values=self.config.include_values,
+                label_processor=self.pipeline.process_label,
+                value_processor=self.pipeline.process_value,
+            )
+        with m.timer("parse"):
+            document = parse(xml_text)
+            return build_tree(
+                document.root,
+                include_values=self.config.include_values,
+                label_processor=self.pipeline.process_label,
+                value_processor=self.pipeline.process_value,
+            )
 
     # -- disambiguation ------------------------------------------------------
 
     def disambiguate_document(self, xml_text: str) -> DisambiguationResult:
         """Full pipeline: XML text in, sense assignments out."""
+        m = self.metrics
+        if m is not None:
+            m.count("documents")
+            with m.timer("document"):
+                return self.disambiguate_tree(self.build_tree(xml_text))
         return self.disambiguate_tree(self.build_tree(xml_text))
 
     def disambiguate_tree(
@@ -112,18 +164,32 @@ class XSDF:
         harness passes the pre-selected gold nodes so every system
         disambiguates the same set (paper Section 4.3).
         """
+        m = self.metrics
         if targets is None:
-            targets = select_targets(
-                tree,
-                self.network,
-                threshold=self.config.ambiguity_threshold,
-                weights=self.config.ambiguity_weights,
-            )
+            if m is None:
+                targets = select_targets(
+                    tree,
+                    self.network,
+                    threshold=self.config.ambiguity_threshold,
+                    weights=self.config.ambiguity_weights,
+                )
+            else:
+                with m.timer("select"):
+                    targets = select_targets(
+                        tree,
+                        self.network,
+                        threshold=self.config.ambiguity_threshold,
+                        weights=self.config.ambiguity_weights,
+                    )
         assignments = []
         for node in targets:
             assignment = self.disambiguate_node(tree, node)
             if assignment is not None:
                 assignments.append(assignment)
+        if m is not None:
+            m.count("nodes", len(tree))
+            m.count("targets", len(targets))
+            m.count("assignments", len(assignments))
         return DisambiguationResult(
             assignments=assignments,
             n_nodes=len(tree),
@@ -138,13 +204,25 @@ class XSDF:
         candidates = candidate_senses(node, self.network)
         if not candidates:
             return None
-        sphere = build_sphere(
-            tree, node, self.config.sphere_radius,
-            policy=self._distance_policy,
-        )
-        concept_scores, context_scores, combined = self._score(
-            candidates, sphere
-        )
+        m = self.metrics
+        if m is None:
+            sphere = build_sphere(
+                tree, node, self.config.sphere_radius,
+                policy=self._distance_policy,
+            )
+            concept_scores, context_scores, combined = self._score(
+                candidates, sphere
+            )
+        else:
+            with m.timer("sphere"):
+                sphere = build_sphere(
+                    tree, node, self.config.sphere_radius,
+                    policy=self._distance_policy,
+                )
+            with m.timer("score"):
+                concept_scores, context_scores, combined = self._score(
+                    candidates, sphere
+                )
         chosen = self._pick(combined)
         return SenseAssignment(
             node_index=node.index,

@@ -1,0 +1,43 @@
+"""Cached, parallel, instrumented disambiguation runtime.
+
+The paper's algorithms (:mod:`repro.core`, :mod:`repro.similarity`)
+describe *what* to compute; this package makes computing it at corpus
+scale cheap and observable without changing a single score:
+
+* :mod:`~repro.runtime.index` — :class:`SemanticIndex`, immutable
+  precomputed taxonomy/IC/gloss tables built once per network and
+  consumed by the similarity measures via ``index=`` (bit-identical
+  fast path);
+* :mod:`~repro.runtime.cache` — :class:`LRUCache`, a bounded pairwise
+  memo with hit/miss/eviction counters;
+* :mod:`~repro.runtime.executor` — :class:`BatchExecutor`, a
+  multiprocessing fan-out with serial fallback and deterministic,
+  input-ordered results;
+* :mod:`~repro.runtime.metrics` — :class:`MetricsRegistry`, per-stage
+  latency timers and counters with JSON report export, zero-overhead
+  when off.
+
+Typical use::
+
+    from repro.runtime import BatchExecutor, MetricsRegistry
+
+    metrics = MetricsRegistry()
+    executor = BatchExecutor(network, config, workers=4, metrics=metrics)
+    records = executor.run([(doc.name, doc.xml) for doc in corpus])
+    print(metrics.to_json())
+"""
+
+from .cache import LRUCache
+from .executor import BatchDocument, BatchExecutor, BatchRecord
+from .index import SemanticIndex
+from .metrics import MetricsRegistry, StageTimer
+
+__all__ = [
+    "BatchDocument",
+    "BatchExecutor",
+    "BatchRecord",
+    "LRUCache",
+    "MetricsRegistry",
+    "SemanticIndex",
+    "StageTimer",
+]

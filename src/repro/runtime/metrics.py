@@ -1,0 +1,141 @@
+"""Lightweight runtime instrumentation: counters, stage timers, reports.
+
+The pipeline stays zero-overhead by default: :class:`repro.core
+.framework.XSDF` holds ``metrics = None`` and every instrumentation site
+is guarded by a plain ``is not None`` check, so uninstrumented runs
+execute exactly the seed code path.  Passing a :class:`MetricsRegistry`
+turns on per-stage latency timers (parse, select, sphere, score),
+document/target counters, and cache-statistics collection, all
+exportable as a JSON report for dashboards or the perf trajectory
+(``BENCH_runtime.json``).
+
+Timers use ``time.perf_counter`` and cost one function call plus a dict
+update per observation — cheap enough to leave on in batch jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import LRUCache
+
+
+class StageTimer:
+    """Accumulated wall-clock time of one named pipeline stage."""
+
+    __slots__ = ("name", "count", "total")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": round(self.total, 6),
+            "mean_ms": round(self.mean * 1e3, 6),
+        }
+
+
+class MetricsRegistry:
+    """Counters + timers + cache stats for one runtime session.
+
+    All mutation methods are cheap and allocation-free on the hot path;
+    aggregation happens only in :meth:`report`.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, float] = {}
+        self._timers: dict[str, StageTimer] = {}
+        self._caches: dict[str, "LRUCache"] = {}
+        self._started = time.perf_counter()
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the named counter (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never touched)."""
+        return self._counters.get(name, 0.0)
+
+    # -- timers --------------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager timing one observation of stage ``name``."""
+        stage = self._timers.get(name)
+        if stage is None:
+            stage = self._timers[name] = StageTimer(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stage.observe(time.perf_counter() - start)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration for stage ``name``."""
+        stage = self._timers.get(name)
+        if stage is None:
+            stage = self._timers[name] = StageTimer(name)
+        stage.observe(seconds)
+
+    def stage(self, name: str) -> StageTimer | None:
+        """The named timer, if any observation was recorded."""
+        return self._timers.get(name)
+
+    # -- cache attachment ----------------------------------------------------
+
+    def register_cache(self, name: str, cache: "LRUCache") -> None:
+        """Attach a cache whose stats join the report snapshot."""
+        self._caches[name] = cache
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> dict:
+        """JSON-ready snapshot of everything observed so far.
+
+        ``throughput.docs_per_s`` is derived from the ``documents``
+        counter over the registry's lifetime — the number a capacity
+        plan actually needs.
+        """
+        elapsed = time.perf_counter() - self._started
+        docs = self._counters.get("documents", 0.0)
+        return {
+            "elapsed_s": round(elapsed, 6),
+            "counters": dict(self._counters),
+            "stages": {
+                name: timer.stats() for name, timer in self._timers.items()
+            },
+            "caches": {
+                name: cache.stats() for name, cache in self._caches.items()
+            },
+            "throughput": {
+                "documents": docs,
+                "docs_per_s": round(docs / elapsed, 6) if elapsed > 0 else 0.0,
+            },
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        """The report serialized as JSON text."""
+        return json.dumps(self.report(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        """Write the JSON report to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

@@ -49,7 +49,16 @@ class SimilarityWeights:
 
 
 class CombinedSimilarity:
-    """Weighted combination of edge-, node-, and gloss-based measures."""
+    """Weighted combination of edge-, node-, and gloss-based measures.
+
+    ``index`` (a :class:`repro.runtime.index.SemanticIndex`) routes the
+    default component measures through precomputed taxonomy/gloss
+    tables — scores are bit-identical with and without it.  ``cache``
+    replaces the private unbounded pair memo with an external store
+    (e.g. :class:`repro.runtime.cache.LRUCache` for bounded memory and
+    hit/miss observability); any mapping with ``get``/``__setitem__``/
+    ``__len__`` works.
+    """
 
     def __init__(
         self,
@@ -59,17 +68,23 @@ class CombinedSimilarity:
         edge_measure: ConceptSimilarity | None = None,
         node_measure: ConceptSimilarity | None = None,
         gloss_measure: ConceptSimilarity | None = None,
+        index=None,
+        cache=None,
     ):
         self.weights = weights or SimilarityWeights()
-        self._edge = edge_measure or WuPalmerSimilarity(network)
+        self._edge = edge_measure or WuPalmerSimilarity(network, index=index)
         # The node measure needs the weighted network; build IC once and
         # share it when the caller did not supply a measure.
         if node_measure is not None:
             self._node = node_measure
         else:
-            self._node = LinSimilarity(network, ic=ic)
-        self._gloss = gloss_measure or ExtendedLeskSimilarity(network)
-        self._cache: dict[tuple[str, str], float] = {}
+            self._node = LinSimilarity(network, ic=ic, index=index)
+        self._gloss = gloss_measure or ExtendedLeskSimilarity(
+            network, index=index
+        )
+        self._cache: dict[tuple[str, str], float] = (
+            cache if cache is not None else {}
+        )
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:

@@ -12,6 +12,12 @@ These estimate similarity from the shortest IS-A path between concepts:
 
 All measures return values in [0, 1] and 0.0 when the concepts share no
 IS-A ancestor (disconnected taxonomies).
+
+Each accepts an optional precomputed
+:class:`repro.runtime.index.SemanticIndex` (``index=``): the fast path
+serves closures, depths, and LCS lookups from the index's tables
+instead of walking the network, with bit-identical results (the index
+stores the very closure dicts and tie-break the network produces).
 """
 
 from __future__ import annotations
@@ -24,20 +30,31 @@ from ..semnet.network import SemanticNetwork
 class WuPalmerSimilarity:
     """Wu-Palmer conceptual similarity over a semantic network."""
 
-    def __init__(self, network: SemanticNetwork):
+    def __init__(self, network: SemanticNetwork, index=None):
         self._network = network
+        self._index = index
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        network = self._network
-        lcs = network.lowest_common_subsumer(a, b)
-        if lcs is None:
-            return 0.0
-        depth_lcs = network.depth(lcs)
-        # Depths of a and b measured through the LCS, as Wu-Palmer defines.
-        depth_a = depth_lcs + network.hypernym_closure(a)[lcs]
-        depth_b = depth_lcs + network.hypernym_closure(b)[lcs]
+        index = self._index
+        if index is not None:
+            lcs = index.lowest_common_subsumer(a, b)
+            if lcs is None:
+                return 0.0
+            depth_lcs = index.depth(lcs)
+            depth_a = depth_lcs + index.hypernym_closure(a)[lcs]
+            depth_b = depth_lcs + index.hypernym_closure(b)[lcs]
+        else:
+            network = self._network
+            lcs = network.lowest_common_subsumer(a, b)
+            if lcs is None:
+                return 0.0
+            depth_lcs = network.depth(lcs)
+            # Depths of a and b measured through the LCS, as Wu-Palmer
+            # defines.
+            depth_a = depth_lcs + network.hypernym_closure(a)[lcs]
+            depth_b = depth_lcs + network.hypernym_closure(b)[lcs]
         if depth_a + depth_b == 0:
             return 1.0
         return 2.0 * depth_lcs / (depth_a + depth_b)
@@ -46,13 +63,17 @@ class WuPalmerSimilarity:
 class PathSimilarity:
     """Inverse shortest-IS-A-path similarity: ``1 / (1 + distance)``."""
 
-    def __init__(self, network: SemanticNetwork):
+    def __init__(self, network: SemanticNetwork, index=None):
         self._network = network
+        self._index = index
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        distance = self._network.taxonomic_distance(a, b)
+        if self._index is not None:
+            distance = self._index.taxonomic_distance(a, b)
+        else:
+            distance = self._network.taxonomic_distance(a, b)
         if distance is None:
             return 0.0
         return 1.0 / (1.0 + distance)
@@ -66,15 +87,24 @@ class LeacockChodorowSimilarity:
     yields a unit-interval measure comparable with the others.
     """
 
-    def __init__(self, network: SemanticNetwork):
+    def __init__(self, network: SemanticNetwork, index=None):
         self._network = network
-        depth = max(1, network.max_taxonomy_depth)
+        self._index = index
+        depth = max(
+            1,
+            index.max_taxonomy_depth
+            if index is not None
+            else network.max_taxonomy_depth,
+        )
         self._scale = math.log(2.0 * depth)
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        distance = self._network.taxonomic_distance(a, b)
+        if self._index is not None:
+            distance = self._index.taxonomic_distance(a, b)
+        else:
+            distance = self._network.taxonomic_distance(a, b)
         if distance is None:
             return 0.0
         raw = -math.log((distance + 1.0) / math.exp(self._scale))

@@ -49,6 +49,29 @@ def _ngram_overlap_score(tokens_a: list[str], tokens_b: list[str]) -> float:
     return score
 
 
+def extended_gloss_tokens(
+    network: SemanticNetwork, concept_id: str, expand: bool = True
+) -> list[str]:
+    """The (optionally neighbor-extended) gloss token bag of one concept.
+
+    Shared between :class:`ExtendedLeskSimilarity` and the precomputed
+    :class:`repro.runtime.index.SemanticIndex` gloss bags, so both paths
+    score from identical token sequences.
+    """
+    from ..linguistics.stemmer import stem
+
+    concept = network.concept(concept_id)
+    tokens = concept.gloss_tokens()
+    # Synonym words join the extended gloss, stemmed to match the
+    # gloss-token conflation (multiword synonyms contribute each part).
+    for word in concept.words:
+        tokens.extend(stem(part) for part in word.split())
+    if expand:
+        for neighbor_id in network.neighbors(concept_id):
+            tokens.extend(network.concept(neighbor_id).gloss_tokens())
+    return tokens
+
+
 class ExtendedLeskSimilarity:
     """Normalized extended gloss overlap between two concepts.
 
@@ -60,28 +83,30 @@ class ExtendedLeskSimilarity:
         When True (default) each concept's gloss is concatenated with the
         glosses of its direct neighbors (hypernyms, hyponyms, meronyms,
         ...), the "extended" part of extended Lesk.
+    index:
+        Optional :class:`repro.runtime.index.SemanticIndex` whose
+        precomputed gloss bags replace the lazy per-instance token cache
+        (only consulted when ``expand`` matches the index's bags, i.e.
+        ``expand=True``).  Scores are identical either way.
     """
 
-    def __init__(self, network: SemanticNetwork, expand: bool = True):
+    def __init__(
+        self, network: SemanticNetwork, expand: bool = True, index=None
+    ):
         self._network = network
         self._expand = expand
+        self._index = index if (index is not None and expand) else None
         self._token_cache: dict[str, list[str]] = {}
 
     def _extended_gloss(self, concept_id: str) -> list[str]:
+        if self._index is not None:
+            return self._index.gloss_bag(concept_id)
         cached = self._token_cache.get(concept_id)
         if cached is not None:
             return cached
-        from ..linguistics.stemmer import stem
-
-        concept = self._network.concept(concept_id)
-        tokens = concept.gloss_tokens()
-        # Synonym words join the extended gloss, stemmed to match the
-        # gloss-token conflation (multiword synonyms contribute each part).
-        for word in concept.words:
-            tokens.extend(stem(part) for part in word.split())
-        if self._expand:
-            for neighbor_id in self._network.neighbors(concept_id):
-                tokens.extend(self._network.concept(neighbor_id).gloss_tokens())
+        tokens = extended_gloss_tokens(
+            self._network, concept_id, expand=self._expand
+        )
         self._token_cache[concept_id] = tokens
         return tokens
 

@@ -4,6 +4,12 @@ These use the statistical distribution of concept occurrences in a text
 corpus (the weighted network ``SN-bar``).  The paper plugs Lin's measure
 (ICML 1998) in as ``Sim_Node``; Resnik and Jiang-Conrath variants are
 provided for ablations.  All are normalized into [0, 1].
+
+Each accepts an optional precomputed
+:class:`repro.runtime.index.SemanticIndex` (``index=``): IC values stay
+table lookups either way, but the lowest-common-subsumer query — the
+taxonomy walk dominating these measures — is served from the index's
+memo, with bit-identical results.
 """
 
 from __future__ import annotations
@@ -15,23 +21,55 @@ from ..semnet.network import SemanticNetwork
 class LinSimilarity:
     """Lin similarity ``2*IC(lcs) / (IC(a)+IC(b))`` — already in [0, 1]."""
 
-    def __init__(self, network: SemanticNetwork, ic: InformationContent | None = None):
-        self._ic = ic or InformationContent(network)
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        ic: InformationContent | None = None,
+        index=None,
+    ):
+        if ic is None:
+            ic = index.ic if index is not None else InformationContent(network)
+        self._ic = ic
+        self._index = index
 
     def __call__(self, a: str, b: str) -> float:
-        return self._ic.lin(a, b)
+        if self._index is None:
+            return self._ic.lin(a, b)
+        # Same arithmetic as InformationContent.lin, with the LCS served
+        # from the index memo.
+        if a == b:
+            return 1.0
+        denominator = self._ic.ic(a) + self._ic.ic(b)
+        if denominator <= 0:
+            return 0.0
+        lcs = self._index.lowest_common_subsumer(a, b)
+        resnik = 0.0 if lcs is None else self._ic.ic(lcs)
+        return max(0.0, min(1.0, 2.0 * resnik / denominator))
 
 
 class ResnikSimilarity:
     """Resnik similarity ``IC(lcs)``, normalized by the network's max IC."""
 
-    def __init__(self, network: SemanticNetwork, ic: InformationContent | None = None):
-        self._ic = ic or InformationContent(network)
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        ic: InformationContent | None = None,
+        index=None,
+    ):
+        if ic is None:
+            ic = index.ic if index is not None else InformationContent(network)
+        self._ic = ic
+        self._index = index
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return min(1.0, self._ic.ic(a) / self._ic.max_ic)
-        return min(1.0, self._ic.resnik(a, b) / self._ic.max_ic)
+        if self._index is not None:
+            lcs = self._index.lowest_common_subsumer(a, b)
+            raw = 0.0 if lcs is None else self._ic.ic(lcs)
+        else:
+            raw = self._ic.resnik(a, b)
+        return min(1.0, raw / self._ic.max_ic)
 
 
 class JiangConrathSimilarity:
@@ -41,13 +79,28 @@ class JiangConrathSimilarity:
     ``2 * max_ic`` so the result stays in the unit interval.
     """
 
-    def __init__(self, network: SemanticNetwork, ic: InformationContent | None = None):
-        self._ic = ic or InformationContent(network)
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        ic: InformationContent | None = None,
+        index=None,
+    ):
+        if ic is None:
+            ic = index.ic if index is not None else InformationContent(network)
+        self._ic = ic
+        self._index = index
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        distance = self._ic.jiang_conrath_distance(a, b)
+        if self._index is not None:
+            lcs = self._index.lowest_common_subsumer(a, b)
+            resnik = 0.0 if lcs is None else self._ic.ic(lcs)
+            distance = max(
+                0.0, self._ic.ic(a) + self._ic.ic(b) - 2.0 * resnik
+            )
+        else:
+            distance = self._ic.jiang_conrath_distance(a, b)
         bound = 2.0 * self._ic.max_ic
         if bound <= 0:
             return 0.0

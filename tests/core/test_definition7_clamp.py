@@ -1,0 +1,70 @@
+"""Regression pin for faithfulness note 5 (DESIGN.md).
+
+Definition 7 claims context-vector weights ``w = 2 * Freq / (|S|+1)``
+lie in [0, 1], but its implicit maximum (every sphere node sharing one
+label at ``Struct = 1/2``) only holds for ``d = 1``: for ``d >= 2`` a
+label concentrated in the innermost ring carries ``Struct = 1 - 1/(d+1)
+> 1/2`` per occurrence and the raw ratio exceeds 1.  The implementation
+clamps weights to 1 in exactly that degenerate single-dominant-label
+regime — asserted nowhere until this test.
+"""
+
+from __future__ import annotations
+
+from repro.core.context_vector import (
+    context_vector,
+    label_frequencies,
+    struct_proximity,
+)
+from repro.core.sphere import build_sphere
+from repro.xmltree.dom import XMLNode, XMLTree
+
+
+def _dominant_label_tree(n_children: int) -> tuple[XMLTree, XMLNode]:
+    """A target whose entire context is one label in the innermost ring."""
+    root = XMLNode("cast")
+    for _ in range(n_children):
+        root.add_child(XMLNode("star"))
+    return XMLTree(root), root
+
+
+class TestDefinition7Clamp:
+    def test_raw_weight_exceeds_unit_interval_for_d2(self):
+        """The paper's formula breaks its own bound at d >= 2."""
+        tree, target = _dominant_label_tree(10)
+        sphere = build_sphere(tree, target, 2)
+        raw = label_frequencies(sphere)["star"] / ((len(sphere) + 1.0) / 2.0)
+        # Struct(1, 2) = 2/3 > 1/2, so ten occurrences overflow the bound:
+        # w_raw = 10 * (2/3) / (12/2) = 10/9.
+        assert struct_proximity(1, 2) > 0.5
+        assert raw > 1.0
+
+    def test_weight_is_clamped_to_one(self):
+        tree, target = _dominant_label_tree(10)
+        vector = context_vector(build_sphere(tree, target, 2))
+        assert vector["star"] == 1.0
+
+    def test_all_weights_stay_in_unit_interval(self):
+        tree, target = _dominant_label_tree(10)
+        for radius in (1, 2, 3):
+            vector = context_vector(build_sphere(tree, target, radius))
+            for label, weight in vector.items():
+                assert 0.0 < weight <= 1.0, (radius, label, weight)
+
+    def test_d1_regime_needs_no_clamp(self):
+        """At d = 1 the claimed bound holds (Struct = 1/2 exactly)."""
+        tree, target = _dominant_label_tree(10)
+        sphere = build_sphere(tree, target, 1)
+        raw = label_frequencies(sphere)["star"] / ((len(sphere) + 1.0) / 2.0)
+        assert raw <= 1.0
+
+    def test_clamp_preserves_relative_order_of_other_labels(self):
+        """Clamping only touches the degenerate dominant label."""
+        root = XMLNode("cast")
+        for _ in range(10):
+            root.add_child(XMLNode("star"))
+        root.add_child(XMLNode("plot"))
+        tree, target = XMLTree(root), root
+        vector = context_vector(build_sphere(tree, target, 2))
+        assert vector["star"] == 1.0
+        assert 0.0 < vector["plot"] < vector["star"]

@@ -14,12 +14,20 @@ _words = st.from_regex(r"[a-z]{1,10}", fullmatch=True)
 
 
 @given(_words)
-def test_stemming_is_idempotent_up_to_two_passes(word):
-    """Porter is not strictly idempotent, but stabilizes quickly; two
-    applications must agree with three (a well-known practical bound
-    that catches rule-cascade regressions)."""
-    twice = stem(stem(word))
-    assert stem(twice) == twice
+def test_stemming_reaches_a_fixed_point(word):
+    """Porter is not idempotent — step 5a strips one trailing ``e`` per
+    pass, so ``abeee`` needs three passes to settle — but repeated
+    application must reach a fixed point within ``len(word)`` passes
+    and never grow the word (catches rule-cascade regressions)."""
+    current = stem(word)
+    assert len(current) <= len(word)
+    for _ in range(len(word) + 1):
+        nxt = stem(current)
+        if nxt == current:
+            break
+        assert len(nxt) <= len(current)
+        current = nxt
+    assert stem(current) == current
 
 
 @given(st.lists(_words, max_size=12))

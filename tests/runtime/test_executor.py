@@ -1,0 +1,132 @@
+"""Batch executor determinism, equality with the seed pipeline, faults.
+
+Two contracts are pinned here:
+
+* the runtime (index + caches, serial or parallel) chooses **identical
+  senses** to the seed implementation — checked per dataset across all
+  ten generated datasets (equality, not tolerance);
+* parallel output is **byte-identical** to serial output for the same
+  corpus (JSONL line comparison).
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import XSDF, XSDFConfig
+from repro.runtime import BatchDocument, BatchExecutor, MetricsRegistry
+
+
+def _one_doc_per_dataset(corpus):
+    docs = []
+    for dataset in corpus.datasets():
+        docs.append(corpus.by_dataset(dataset)[0])
+    return docs
+
+
+class TestSeedEquality:
+    def test_identical_sense_choices_on_all_ten_datasets(
+        self, lexicon, corpus
+    ):
+        """Runtime path == seed path, one document per dataset, d=2."""
+        docs = _one_doc_per_dataset(corpus)
+        assert len(docs) == 10
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+        records = executor.run([(d.name, d.xml) for d in docs])
+        for doc, record in zip(docs, records):
+            seed_result = XSDF(lexicon, XSDFConfig()).disambiguate_document(
+                doc.xml
+            )
+            assert record.ok, record.error
+            assert record.result == seed_result.to_dict(), doc.name
+
+    def test_uncached_executor_matches_indexed(self, lexicon, corpus):
+        docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:4]]
+        indexed = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+        uncached = BatchExecutor(
+            lexicon, XSDFConfig(), workers=1, use_index=False
+        )
+        lines_a = [r.to_json_line() for r in indexed.run(docs)]
+        lines_b = [r.to_json_line() for r in uncached.run(docs)]
+        assert lines_a == lines_b
+
+
+class TestParallelDeterminism:
+    def test_parallel_byte_identical_to_serial(self, lexicon, corpus):
+        docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:6]]
+        serial = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+        parallel = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, chunk_size=1
+        )
+        serial_out = io.StringIO()
+        parallel_out = io.StringIO()
+        serial.run_to_jsonl(docs, serial_out)
+        parallel.run_to_jsonl(docs, parallel_out)
+        assert serial_out.getvalue() == parallel_out.getvalue()
+
+    def test_results_in_input_order(self, lexicon, corpus):
+        docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:5]]
+        reversed_docs = list(reversed(docs))
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        records = executor.run(reversed_docs)
+        assert [r.name for r in records] == [name for name, _ in reversed_docs]
+
+
+class TestFaultIsolation:
+    def test_bad_document_does_not_sink_batch(self, lexicon, figure1_xml):
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+        records = executor.run([
+            ("good-1", figure1_xml),
+            ("broken", "<unclosed><tag>"),
+            ("good-2", figure1_xml),
+        ])
+        assert [r.ok for r in records] == [True, False, True]
+        assert records[1].result is None
+        assert records[1].error
+        # The two good copies are identical documents -> identical output.
+        assert records[0].result == records[2].result
+
+    def test_invalid_parameters_rejected(self, lexicon):
+        with pytest.raises(ValueError):
+            BatchExecutor(lexicon, workers=0)
+        with pytest.raises(ValueError):
+            BatchExecutor(lexicon, chunk_size=0)
+        with pytest.raises(ValueError):
+            BatchExecutor(lexicon, cache_size=0)
+
+
+class TestCachingBehavior:
+    def test_repeated_documents_hit_the_result_cache(
+        self, lexicon, figure1_xml
+    ):
+        metrics = MetricsRegistry()
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=1, metrics=metrics
+        )
+        docs = [BatchDocument(f"doc-{i}", figure1_xml) for i in range(5)]
+        records = executor.run(docs)
+        assert all(r.ok for r in records)
+        assert len({r.to_json_line() for r in records}) == len(docs)  # names differ
+        assert all(r.result["assignments"] for r in records)
+        # Identical text -> identical result payload, names aside.
+        assert all(r.result == records[0].result for r in records)
+        report = metrics.report()
+        # One full pipeline run, four result-cache hits.
+        assert report["counters"]["documents"] == 1
+        assert report["caches"]["documents"]["hits"] == 4
+
+    def test_executor_metrics_report(self, lexicon, figure1_xml):
+        metrics = MetricsRegistry()
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=1, metrics=metrics
+        )
+        executor.run([("a", figure1_xml), ("b", figure1_xml)])
+        report = metrics.report()
+        assert report["counters"]["batches"] == 1
+        assert report["counters"]["batch_documents"] == 2
+        assert report["counters"]["batch_failures"] == 0
+        assert "similarity_pairs" in report["caches"]
+        assert "sense_scores" in report["caches"]
+        assert report["stages"]["batch"]["count"] == 1

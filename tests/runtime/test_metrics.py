@@ -1,0 +1,86 @@
+"""Metrics registry tests + instrumentation hooks in XSDF."""
+
+from __future__ import annotations
+
+import json
+
+from repro import XSDF, XSDFConfig
+from repro.runtime import LRUCache, MetricsRegistry
+
+
+class TestRegistry:
+    def test_counters(self):
+        m = MetricsRegistry()
+        m.count("documents")
+        m.count("documents", 2)
+        assert m.counter("documents") == 3
+        assert m.counter("untouched") == 0
+
+    def test_timer_accumulates(self):
+        m = MetricsRegistry()
+        for _ in range(3):
+            with m.timer("stage"):
+                pass
+        stage = m.stage("stage")
+        assert stage.count == 3
+        assert stage.total >= 0
+        assert stage.mean == stage.total / 3
+
+    def test_observe_external_duration(self):
+        m = MetricsRegistry()
+        m.observe("batch", 1.5)
+        m.observe("batch", 0.5)
+        assert m.stage("batch").count == 2
+        assert m.stage("batch").total == 2.0
+
+    def test_report_shape(self):
+        m = MetricsRegistry()
+        m.count("documents", 4)
+        with m.timer("parse"):
+            pass
+        cache = LRUCache(maxsize=4)
+        cache["k"] = 1
+        cache.get("k")
+        m.register_cache("pairs", cache)
+        report = m.report()
+        assert report["counters"]["documents"] == 4
+        assert report["stages"]["parse"]["count"] == 1
+        assert report["caches"]["pairs"]["hits"] == 1
+        assert report["throughput"]["documents"] == 4
+        assert report["throughput"]["docs_per_s"] > 0
+
+    def test_json_round_trip(self, tmp_path):
+        m = MetricsRegistry()
+        m.count("documents")
+        parsed = json.loads(m.to_json())
+        assert parsed["counters"]["documents"] == 1
+        path = tmp_path / "metrics.json"
+        m.write_json(str(path))
+        assert json.loads(path.read_text())["counters"]["documents"] == 1
+
+
+class TestXSDFInstrumentation:
+    def test_default_is_uninstrumented(self, lexicon, figure1_xml):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        assert xsdf.metrics is None
+        xsdf.disambiguate_document(figure1_xml)  # no metrics side effects
+
+    def test_stage_timers_and_counters(self, lexicon, figure1_xml):
+        metrics = MetricsRegistry()
+        xsdf = XSDF(lexicon, XSDFConfig(), metrics=metrics)
+        result = xsdf.disambiguate_document(figure1_xml)
+        assert metrics.counter("documents") == 1
+        assert metrics.counter("targets") == result.n_targets
+        assert metrics.counter("nodes") == result.n_nodes
+        assert metrics.counter("assignments") == len(result.assignments)
+        for stage in ("parse", "select", "sphere", "score", "document"):
+            assert metrics.stage(stage) is not None, stage
+        # Sphere/score timers fire once per target that had candidates.
+        assert metrics.stage("sphere").count == len(result.assignments)
+
+    def test_instrumented_results_identical(self, lexicon, figure1_xml):
+        plain = XSDF(lexicon, XSDFConfig()).disambiguate_document(figure1_xml)
+        timed = XSDF(
+            lexicon, XSDFConfig(), metrics=MetricsRegistry()
+        ).disambiguate_document(figure1_xml)
+        assert plain.to_dict() == timed.to_dict()

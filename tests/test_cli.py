@@ -61,6 +61,59 @@ class TestDisambiguate:
             run(["disambiguate", "/nonexistent/file.xml"])
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestBatch:
+    def test_batch_to_jsonl(self, tmp_path, figure1_xml):
+        import json
+
+        for i in range(3):
+            (tmp_path / f"doc-{i}.xml").write_text(
+                figure1_xml, encoding="utf-8"
+            )
+        out_path = tmp_path / "results.jsonl"
+        metrics_path = tmp_path / "metrics.json"
+        code, output = run([
+            "batch", str(tmp_path / "*.xml"),
+            "--out", str(out_path),
+            "--metrics", str(metrics_path),
+        ])
+        assert code == 0
+        assert "3 documents, 0 failed" in output
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 3
+        records = [json.loads(line) for line in lines]
+        assert all(r["ok"] for r in records)
+        assert records[0]["result"]["assignments"]
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["batch_documents"] == 3
+        assert "similarity_pairs" in metrics["caches"]
+
+    def test_batch_failure_exit_code(self, tmp_path, figure1_xml):
+        (tmp_path / "good.xml").write_text(figure1_xml, encoding="utf-8")
+        (tmp_path / "bad.xml").write_text("<oops>", encoding="utf-8")
+        out_path = tmp_path / "results.jsonl"
+        code, output = run([
+            "batch", str(tmp_path / "*.xml"), "--out", str(out_path),
+        ])
+        assert code == 1
+        assert "1 failed" in output
+        assert "FAILED" in output
+        assert len(out_path.read_text().splitlines()) == 2
+
+    def test_batch_no_match(self):
+        with pytest.raises(SystemExit):
+            run(["batch", "/nonexistent/*.xml"])
+
+
 class TestAudit:
     def test_ranking(self, xml_file):
         code, output = run(["audit", xml_file, "--top", "4"])
