@@ -45,6 +45,7 @@ class Clustering:
     clusters: list[list[int]] = field(default_factory=list)
 
     def cluster_of(self, index: int) -> int:
+        """The cluster ID holding node ``index`` (-1 when absent)."""
         for cluster_id, members in enumerate(self.clusters):
             if index in members:
                 return cluster_id

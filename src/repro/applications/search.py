@@ -58,6 +58,7 @@ class SemanticIndex:
 
     @property
     def documents(self) -> set[str]:
+        """Names of every indexed document."""
         return set(self._documents)
 
     # -- querying ----------------------------------------------------------

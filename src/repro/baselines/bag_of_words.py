@@ -46,6 +46,7 @@ class BagOfWordsDisambiguator(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores from plain bag-of-words gloss overlap with the document."""
         sense_lists = self._document_context(tree, node)
         scores: dict[Candidate, float] = {}
         for candidate in candidates:

@@ -39,6 +39,7 @@ class ParentContextDisambiguator(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores candidates against the parent node's sense glosses."""
         sense_lists = [
             sense_ids
             for context_node in self._context(node)

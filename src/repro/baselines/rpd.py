@@ -59,6 +59,7 @@ class RootPathDisambiguator(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores candidates against senses along the root path."""
         context_nodes = self._path_context(node)
         context_senses: list[list[str]] = []
         for context_node in context_nodes:

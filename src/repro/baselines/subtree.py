@@ -48,6 +48,7 @@ class SubtreeContextDisambiguator(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores candidates against senses in the node's subtree."""
         label_vector = self._label_vector(node)
         return {
             candidate: cosine_similarity(label_vector, self._sense_vector(candidate))

@@ -23,6 +23,7 @@ class FirstSenseBaseline(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores candidates by their sense-rank order."""
         # Candidates are enumerated in sense-rank order; score by rank.
         n = len(candidates)
         return {c: (n - i) / n for i, c in enumerate(candidates)}
@@ -45,6 +46,7 @@ class RandomSenseBaseline(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores candidates with seeded per-node random draws."""
         rng = random.Random(self._seed ^ (node.index * 2654435761))
         scores = {c: rng.random() for c in candidates}
         return scores

@@ -70,6 +70,7 @@ class VersatileStructuralDisambiguator(Baseline):
     def score_candidates(
         self, tree: XMLTree, node: XMLNode, candidates: list[Candidate]
     ) -> dict[Candidate, float]:
+        """Scores candidates against the Gaussian-decayed crossable context."""
         context = self._context(tree, node)
         weighted_senses: list[tuple[list[str], float]] = []
         for context_node, weight in context:

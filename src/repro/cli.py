@@ -16,6 +16,10 @@ Commands
 ``lexicon``
     Summary statistics of the bundled mini-WordNet, or the sense
     inventory of one word (``--word``).
+``lint [PATH ...]``
+    Run reprolint (:mod:`repro.devtools`) over files/directories
+    (default ``src tests``): text or JSON findings, ``--rules`` filter,
+    non-zero exit on any finding.
 
 All pipeline knobs are exposed as flags (radius, approach, threshold,
 weights, the strip-target-dimension extension).
@@ -25,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import glob as globlib
+import os
 import sys
 
 from . import __version__
@@ -137,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--out", default=None,
                      help="write the report to a file instead of stdout")
+
+    lint = sub.add_parser(
+        "lint",
+        help="check XSDF correctness contracts (reprolint)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files, directories, or glob patterns "
+                           "(default: src tests)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                      help="run only these rule IDs")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -342,6 +361,39 @@ def _cmd_report(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    from .devtools import RULE_CLASSES, all_rules, lint_paths
+    from .devtools.reporters import render_json, render_text
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in RULE_CLASSES)
+        for rule_id, rule_class in sorted(RULE_CLASSES.items()):
+            out.write(f"{rule_id:<{width}}  {rule_class.description}\n")
+        return 0
+    try:
+        rules = all_rules(
+            args.rules.split(",") if args.rules else None
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    paths: list[str] = []
+    for pattern in args.paths or ["src", "tests"]:
+        matches = sorted(globlib.glob(pattern, recursive=True))
+        if matches:
+            paths.extend(matches)
+        else:
+            # Not a glob hit — keep it literal so missing paths error
+            # loudly below instead of silently linting nothing.
+            paths.append(pattern)
+    for path in paths:
+        if not os.path.exists(path):
+            raise SystemExit(f"cannot lint {path}: no such file or directory")
+    findings = lint_paths(paths, rules=rules)
+    renderer = render_json if args.format == "json" else render_text
+    out.write(renderer(findings))
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -355,6 +407,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "validate": _cmd_validate,
         "report": _cmd_report,
         "corpus": _cmd_corpus,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args, out)

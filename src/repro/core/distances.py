@@ -49,6 +49,7 @@ class UniformDistance(DistancePolicy):
     name = "uniform"
 
     def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        """Every edge costs 1 (the paper's plain hop count)."""
         return 1.0
 
 
@@ -69,6 +70,7 @@ class DirectionWeightedDistance(DistancePolicy):
         self.descending_cost = descending_cost
 
     def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        """The configured cost for this edge's direction."""
         return self.ascending_cost if ascending else self.descending_cost
 
 
@@ -92,6 +94,7 @@ class DensityWeightedDistance(DistancePolicy):
         self.max_fan_out = max_fan_out
 
     def edge_cost(self, parent: XMLNode, child: XMLNode, ascending: bool) -> float:
+        """1 plus a penalty growing with the parent's fan-out."""
         spread = min(max(parent.fan_out - 1, 0), self.max_fan_out)
         return 1.0 + self.penalty * spread / self.max_fan_out
 

@@ -107,11 +107,13 @@ class TuningResult:
 
     @property
     def best(self) -> TrialResult:
+        """The highest-scoring trial (trials are kept sorted)."""
         if not self.trials:
             raise ValueError("no trials were run")
         return self.trials[0]
 
     def top(self, k: int) -> list[TrialResult]:
+        """The ``k`` best trials, best first."""
         return self.trials[:k]
 
 

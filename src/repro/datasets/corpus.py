@@ -42,6 +42,7 @@ class GeneratedDocument:
 
     @property
     def name(self) -> str:
+        """Stable document name: ``<dataset>-<two-digit id>``."""
         return f"{self.dataset}-{self.doc_id:02d}"
 
 

@@ -1,0 +1,244 @@
+"""The reprolint engine: rule registry, one-pass AST dispatch, runner.
+
+Design goals, in order:
+
+1. **One walk per file.**  Every rule registers interest in AST node
+   types by defining ``visit_<NodeType>`` methods; the engine walks the
+   tree exactly once and dispatches each node to the rules that asked
+   for its type.  Rules that need intra-function context (the
+   ``index=``-parity and purity checks) receive the ``FunctionDef``
+   node and perform a bounded sub-walk of that function's body — the
+   file-level pass stays single.
+2. **Stable rule IDs.**  IDs are part of the suppression contract
+   (``# lint: disable=rule-id``) and of CI output; they never change
+   once shipped.
+3. **stdlib only.**  ``ast`` + ``tokenize`` — the checker must run in
+   the same dependency-free environment as the library it guards.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from .pragmas import PRAGMA_RULE_ID, PragmaIndex
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to ``path:line:col``."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        """The conventional clickable ``path:line:col`` prefix."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the JSON reporter)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``description`` and implement any of:
+
+    * ``visit_<NodeType>(self, node, ctx)`` — called from the single
+      file walk for every node of that type;
+    * ``begin_file(self, ctx)`` — called once before the walk (e.g. to
+      scan comments);
+    * ``end_file(self, ctx)`` — called once after the walk.
+
+    ``scope`` restricts where the rule applies: a tuple of path
+    fragments, at least one of which must occur in the posix-normalized
+    file path.  ``None`` means the rule applies everywhere.
+    """
+
+    id: str = ""
+    description: str = ""
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule's scope covers ``path``."""
+        if self.scope is None:
+            return True
+        posix = path.replace("\\", "/")
+        return any(fragment in posix for fragment in self.scope)
+
+    def begin_file(self, ctx: "LintContext") -> None:
+        """Per-file setup hook (default: nothing)."""
+
+    def end_file(self, ctx: "LintContext") -> None:
+        """Per-file teardown hook (default: nothing)."""
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult while checking one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    comments: list[tuple[int, str]]
+    pragmas: PragmaIndex
+    project_root: Path
+    findings: list[Finding] = field(default_factory=list)
+
+    def report(
+        self,
+        rule_id: str,
+        node: ast.AST | None,
+        message: str,
+        line: int | None = None,
+        col: int | None = None,
+    ) -> None:
+        """File a finding unless a pragma suppresses it at that line."""
+        at_line = line if line is not None else getattr(node, "lineno", 1)
+        at_col = col if col is not None else getattr(node, "col_offset", 0)
+        if self.pragmas.is_disabled(rule_id, at_line):
+            return
+        self.findings.append(Finding(
+            rule=rule_id, path=self.path,
+            line=at_line, col=at_col, message=message,
+        ))
+
+
+class LintEngine:
+    """Runs a set of rules over files or source strings."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        project_root: str | Path | None = None,
+    ):
+        ids = [rule.id for rule in rules]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate rule IDs: {sorted(ids)}")
+        if PRAGMA_RULE_ID in ids:
+            raise ValueError(f"rule ID {PRAGMA_RULE_ID!r} is reserved")
+        self.rules = list(rules)
+        self.rule_ids = frozenset(ids)
+        self.project_root = Path(project_root) if project_root else Path.cwd()
+
+    # -- per-source entry points --------------------------------------------
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one source string presented as ``path``.
+
+        Syntax errors become findings under the reserved ``pragma``-like
+        ``parse-error`` pseudo-rule rather than exceptions: a broken
+        file must fail the lint run, not crash it.
+        """
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [Finding(
+                rule="parse-error", path=path,
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message=f"cannot parse: {exc.msg}",
+            )]
+        comments = _collect_comments(source)
+        pragmas = PragmaIndex.parse(comments, self.rule_ids)
+        ctx = LintContext(
+            path=path, source=source, tree=tree,
+            comments=comments, pragmas=pragmas,
+            project_root=self.project_root,
+        )
+        for error in pragmas.errors:
+            ctx.findings.append(Finding(
+                rule=PRAGMA_RULE_ID, path=path,
+                line=error.line, col=0, message=error.message,
+            ))
+        active = [rule for rule in self.rules if rule.applies_to(path)]
+        dispatch = _build_dispatch(active)
+        for rule in active:
+            rule.begin_file(ctx)
+        for node in ast.walk(tree):
+            for handler in dispatch.get(type(node).__name__, ()):
+                handler(node, ctx)
+        for rule in active:
+            rule.end_file(ctx)
+        ctx.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+        return ctx.findings
+
+    def lint_file(self, path: str | Path) -> list[Finding]:
+        """Lint one file from disk."""
+        file_path = Path(path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return [Finding(
+                rule="parse-error", path=str(path), line=1, col=0,
+                message=f"cannot read: {exc}",
+            )]
+        return self.lint_source(source, path=str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and directories (recursed for ``*.py``)."""
+        findings: list[Finding] = []
+        for path in expand_paths(paths):
+            findings.extend(self.lint_file(path))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+
+def expand_paths(paths: Iterable[str | Path]) -> list[Path]:
+    """Resolve files/directories into a sorted, de-duplicated file list.
+
+    Directories are walked recursively for ``*.py``; explicit file
+    arguments are kept as-is (whatever their suffix), so a scratch file
+    can be linted directly.
+    """
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for path in paths:
+        p = Path(path)
+        candidates = sorted(p.rglob("*.py")) if p.is_dir() else [p]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                ordered.append(candidate)
+    return ordered
+
+
+def _collect_comments(source: str) -> list[tuple[int, str]]:
+    """All ``(line, text)`` comment tokens of a source string."""
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse already surfaced (or will surface) the problem.
+        pass
+    return comments
+
+
+def _build_dispatch(
+    rules: Sequence[Rule],
+) -> dict[str, list[Callable[[ast.AST, LintContext], None]]]:
+    """Map AST node-type name -> the active rules' visit handlers."""
+    dispatch: dict[str, list[Callable[[ast.AST, LintContext], None]]] = {}
+    for rule in rules:
+        for attr in dir(rule):
+            if attr.startswith("visit_"):
+                dispatch.setdefault(attr[len("visit_"):], []).append(
+                    getattr(rule, attr)
+                )
+    return dispatch

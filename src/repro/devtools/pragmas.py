@@ -1,0 +1,105 @@
+"""Suppression pragmas: ``# lint: disable=rule-id[,rule-id...]``.
+
+reprolint has exactly one suppression syntax (the tree previously mixed
+``# noqa`` codes in):
+
+* ``code  # lint: disable=rule-a,rule-b`` silences those rules on that
+  physical line only — the line a finding is anchored to is the
+  reported node's ``lineno``;
+* ``# lint: disable-file=rule-a`` anywhere in the file silences the
+  rules for the whole file.
+
+Unknown rule IDs inside a pragma are hard errors, not silent no-ops: a
+typo in a suppression must never suppress nothing while looking like it
+suppressed something.  Errors surface as findings under the reserved
+``pragma`` rule ID, which itself cannot be disabled.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Reserved rule ID for malformed pragmas; never suppressible.
+PRAGMA_RULE_ID = "pragma"
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*(disable(?:-file)?)\s*=\s*([^#]*)")
+_RULE_ID_RE = re.compile(r"^[a-z][a-z0-9]*(?:-[a-z0-9]+)*$")
+
+
+@dataclass
+class PragmaError:
+    """One malformed pragma occurrence (bad syntax or unknown rule ID)."""
+
+    line: int
+    message: str
+
+
+@dataclass
+class PragmaIndex:
+    """Which rules are disabled on which lines (or file-wide)."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+    errors: list[PragmaError] = field(default_factory=list)
+
+    def is_disabled(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is suppressed at ``line``."""
+        if rule_id == PRAGMA_RULE_ID:
+            return False
+        if rule_id in self.file_wide:
+            return True
+        return rule_id in self.by_line.get(line, ())
+
+    @classmethod
+    def parse(
+        cls,
+        comments: list[tuple[int, str]],
+        known_rule_ids: frozenset[str] | set[str],
+    ) -> "PragmaIndex":
+        """Build the index from ``(line, comment_text)`` pairs.
+
+        ``known_rule_ids`` is the registry's ID set; anything else in a
+        disable list is recorded as a :class:`PragmaError`.
+        """
+        index = cls()
+        for line, text in comments:
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                if re.search(r"#\s*lint:", text):
+                    index.errors.append(PragmaError(
+                        line,
+                        "malformed lint pragma: expected "
+                        "'# lint: disable=rule-id' or "
+                        "'# lint: disable-file=rule-id'",
+                    ))
+                continue
+            kind, id_list = match.group(1), match.group(2)
+            rule_ids = [part.strip() for part in id_list.split(",")]
+            accepted: set[str] = set()
+            for rule_id in rule_ids:
+                if not rule_id:
+                    index.errors.append(PragmaError(
+                        line, "empty rule ID in lint pragma"
+                    ))
+                    continue
+                if rule_id == PRAGMA_RULE_ID:
+                    index.errors.append(PragmaError(
+                        line, f"the {PRAGMA_RULE_ID!r} rule cannot be disabled"
+                    ))
+                    continue
+                if not _RULE_ID_RE.match(rule_id) or \
+                        rule_id not in known_rule_ids:
+                    index.errors.append(PragmaError(
+                        line,
+                        f"unknown rule ID {rule_id!r} in lint pragma "
+                        f"(known: {', '.join(sorted(known_rule_ids))})",
+                    ))
+                    continue
+                accepted.add(rule_id)
+            if accepted:
+                if kind == "disable-file":
+                    index.file_wide.update(accepted)
+                else:
+                    index.by_line.setdefault(line, set()).update(accepted)
+        return index

@@ -37,7 +37,9 @@ class Disambiguator(Protocol):
 
     def disambiguate_tree(
         self, tree: XMLTree, targets: list[XMLNode] | None = None
-    ) -> DisambiguationResult: ...
+    ) -> DisambiguationResult:
+        """Disambiguate ``targets`` (default: auto-selected) in ``tree``."""
+        ...
 
 
 def _doc_rng(document: GeneratedDocument, salt: str) -> random.Random:

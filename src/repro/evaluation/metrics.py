@@ -21,6 +21,7 @@ class PRF:
 
     @property
     def f_value(self) -> float:
+        """Harmonic mean of precision and recall (0.0 when both 0)."""
         if self.precision + self.recall == 0:
             return 0.0
         return 2 * self.precision * self.recall / (self.precision + self.recall)

@@ -101,9 +101,11 @@ class LinguisticPipeline:
     # -- adapters for build_tree ------------------------------------------------
 
     def label_processor(self) -> Callable[[str], list[str]]:
+        """The label-tokenizing callable ``build_tree`` expects."""
         return self.process_label
 
     def value_processor(self) -> Callable[[str], list[str]]:
+        """The value-tokenizing callable ``build_tree`` expects."""
         return self.process_value
 
 

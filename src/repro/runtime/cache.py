@@ -50,6 +50,7 @@ class LRUCache:
     # -- dict-compatible surface (what CombinedSimilarity touches) ----------
 
     def get(self, key: K, default: V | None = None) -> V | None:
+        """The cached value (marking a hit) or ``default`` (a miss)."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1

@@ -24,7 +24,7 @@ import hashlib
 import json
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import IO, Iterable, Sequence
 
 from ..core.config import XSDFConfig
 from ..core.framework import XSDF
@@ -68,9 +68,11 @@ class BatchRecord:
 
     @property
     def ok(self) -> bool:
+        """True when the document disambiguated without an error."""
         return self.error is None
 
     def to_dict(self) -> dict:
+        """JSON-ready rendering (the JSONL payload shape)."""
         return {
             "name": self.name,
             "ok": self.ok,
@@ -95,7 +97,10 @@ _WORKER_DOC_CACHE: LRUCache | None = None
 
 def _init_worker(network: SemanticNetwork, config: XSDFConfig,
                  use_index: bool, cache_size: int | None) -> None:
-    global _WORKER_XSDF, _WORKER_DOC_CACHE
+    """Build this worker process's XSDF + caches (pool initializer)."""
+    # Per-process worker state is the one sanctioned module-global
+    # mutation: it is written once per process, before any task runs.
+    global _WORKER_XSDF, _WORKER_DOC_CACHE  # lint: disable=cache-purity
     _WORKER_XSDF = _build_xsdf(network, config, use_index, cache_size)
     _WORKER_DOC_CACHE = LRUCache(maxsize=DOC_CACHE_SIZE) if use_index else None
 
@@ -145,11 +150,13 @@ def _disambiguate_one(
     try:
         result = xsdf.disambiguate_document(xml).to_dict()
         error = None
-    except Exception as exc:  # noqa: BLE001 - isolate per-document failures
+    except Exception as exc:  # lint: disable=broad-except  # isolation boundary
         result = None
         error = f"{type(exc).__name__}: {exc}"
     if key is not None:
-        doc_cache[key] = (result, error)
+        # The document cache is this function's explicit output store,
+        # not incidental state: writing it is the point.
+        doc_cache[key] = (result, error)  # lint: disable=cache-purity
     return BatchRecord(
         name=name,
         result=result,
@@ -243,7 +250,7 @@ class BatchExecutor:
     def run_to_jsonl(
         self,
         documents: Iterable[BatchDocument | tuple[str, str]],
-        handle,
+        handle: IO[str],
     ) -> list[BatchRecord]:
         """Run the batch and stream canonical JSONL lines to ``handle``."""
         records = self.run(documents)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .cache import LRUCache
@@ -35,14 +35,17 @@ class StageTimer:
         self.total = 0.0
 
     def observe(self, seconds: float) -> None:
+        """Record one more observation of this stage."""
         self.count += 1
         self.total += seconds
 
     @property
     def mean(self) -> float:
+        """Average seconds per observation (0.0 before any)."""
         return self.total / self.count if self.count else 0.0
 
     def stats(self) -> dict[str, float]:
+        """JSON-ready counters snapshot for this stage."""
         return {
             "count": self.count,
             "total_s": round(self.total, 6),
@@ -76,7 +79,7 @@ class MetricsRegistry:
     # -- timers --------------------------------------------------------------
 
     @contextmanager
-    def timer(self, name: str):
+    def timer(self, name: str) -> Iterator[None]:
         """Context manager timing one observation of stage ``name``."""
         stage = self._timers.get(name)
         if stage is None:

@@ -128,4 +128,5 @@ class Edge:
 
     @property
     def inverse(self) -> "Edge":
+        """The same edge seen from the other endpoint."""
         return Edge(self.target, self.source, self.relation.inverse)

@@ -175,9 +175,11 @@ class SemanticNetwork:
         return out
 
     def hypernyms(self, concept_id: str) -> list[str]:
+        """Direct IS-A parents of a concept (empty at taxonomy roots)."""
         return self._edges.get(concept_id, {}).get(Relation.HYPERNYM, [])
 
     def hyponyms(self, concept_id: str) -> list[str]:
+        """Direct IS-A children of a concept."""
         return self._edges.get(concept_id, {}).get(Relation.HYPONYM, [])
 
     # -- rings and spheres (Section 3.5.2) -------------------------------------------

@@ -32,6 +32,7 @@ class Issue:
 
     @property
     def is_error(self) -> bool:
+        """True for error-severity issues (warnings pass validation)."""
         return self.severity == "error"
 
 
@@ -47,9 +48,11 @@ class ValidationReport:
         return not any(issue.is_error for issue in self.issues)
 
     def errors(self) -> list[Issue]:
+        """Only the error-severity issues."""
         return [issue for issue in self.issues if issue.is_error]
 
     def warnings(self) -> list[Issue]:
+        """Only the warning-severity issues."""
         return [issue for issue in self.issues if not issue.is_error]
 
     def _add(self, severity: str, code: str, message: str) -> None:

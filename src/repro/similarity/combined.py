@@ -13,7 +13,7 @@ concept-based scorer's complexity linear in distinct pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, MutableMapping
 
 from ..semnet.ic import InformationContent
 from ..semnet.network import SemanticNetwork
@@ -21,8 +21,16 @@ from .edge import WuPalmerSimilarity
 from .gloss import ExtendedLeskSimilarity
 from .node import LinSimilarity
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..runtime.index import SemanticIndex
+
 #: A concept-to-concept similarity function.
 ConceptSimilarity = Callable[[str, str], float]
+
+#: Anything CombinedSimilarity can memoize pairs into: a plain dict or
+#: a dict-compatible store such as :class:`repro.runtime.cache.LRUCache`
+#: (only ``get`` / ``__setitem__`` / ``__len__`` are touched).
+PairCache = MutableMapping[tuple[str, str], float]
 
 
 @dataclass(frozen=True)
@@ -68,8 +76,8 @@ class CombinedSimilarity:
         edge_measure: ConceptSimilarity | None = None,
         node_measure: ConceptSimilarity | None = None,
         gloss_measure: ConceptSimilarity | None = None,
-        index=None,
-        cache=None,
+        index: SemanticIndex | None = None,
+        cache: PairCache | None = None,
     ):
         self.weights = weights or SimilarityWeights()
         self._edge = edge_measure or WuPalmerSimilarity(network, index=index)
@@ -82,9 +90,7 @@ class CombinedSimilarity:
         self._gloss = gloss_measure or ExtendedLeskSimilarity(
             network, index=index
         )
-        self._cache: dict[tuple[str, str], float] = (
-            cache if cache is not None else {}
-        )
+        self._cache: PairCache = cache if cache is not None else {}
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:

@@ -23,14 +23,19 @@ stores the very closure dicts and tie-break the network produces).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from ..semnet.network import SemanticNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..runtime.index import SemanticIndex
 
 
 class WuPalmerSimilarity:
     """Wu-Palmer conceptual similarity over a semantic network."""
 
-    def __init__(self, network: SemanticNetwork, index=None):
+    def __init__(self, network: SemanticNetwork,
+                 index: SemanticIndex | None = None):
         self._network = network
         self._index = index
 
@@ -63,7 +68,8 @@ class WuPalmerSimilarity:
 class PathSimilarity:
     """Inverse shortest-IS-A-path similarity: ``1 / (1 + distance)``."""
 
-    def __init__(self, network: SemanticNetwork, index=None):
+    def __init__(self, network: SemanticNetwork,
+                 index: SemanticIndex | None = None):
         self._network = network
         self._index = index
 
@@ -87,7 +93,8 @@ class LeacockChodorowSimilarity:
     yields a unit-interval measure comparable with the others.
     """
 
-    def __init__(self, network: SemanticNetwork, index=None):
+    def __init__(self, network: SemanticNetwork,
+                 index: SemanticIndex | None = None):
         self._network = network
         self._index = index
         depth = max(

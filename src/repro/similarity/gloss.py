@@ -11,7 +11,12 @@ extended glosses, yielding a [0, 1] measure.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..semnet.network import SemanticNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..runtime.index import SemanticIndex
 
 
 def _ngram_overlap_score(tokens_a: list[str], tokens_b: list[str]) -> float:
@@ -91,7 +96,10 @@ class ExtendedLeskSimilarity:
     """
 
     def __init__(
-        self, network: SemanticNetwork, expand: bool = True, index=None
+        self,
+        network: SemanticNetwork,
+        expand: bool = True,
+        index: SemanticIndex | None = None,
     ):
         self._network = network
         self._expand = expand

@@ -14,8 +14,13 @@ memo, with bit-identical results.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..semnet.ic import InformationContent
 from ..semnet.network import SemanticNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..runtime.index import SemanticIndex
 
 
 class LinSimilarity:
@@ -25,7 +30,7 @@ class LinSimilarity:
         self,
         network: SemanticNetwork,
         ic: InformationContent | None = None,
-        index=None,
+        index: SemanticIndex | None = None,
     ):
         if ic is None:
             ic = index.ic if index is not None else InformationContent(network)
@@ -54,7 +59,7 @@ class ResnikSimilarity:
         self,
         network: SemanticNetwork,
         ic: InformationContent | None = None,
-        index=None,
+        index: SemanticIndex | None = None,
     ):
         if ic is None:
             ic = index.ic if index is not None else InformationContent(network)
@@ -83,7 +88,7 @@ class JiangConrathSimilarity:
         self,
         network: SemanticNetwork,
         ic: InformationContent | None = None,
-        index=None,
+        index: SemanticIndex | None = None,
     ):
         if ic is None:
             ic = index.ic if index is not None else InformationContent(network)

@@ -108,6 +108,7 @@ class XMLNode:
 
     @property
     def is_leaf(self) -> bool:
+        """True when the node has no children."""
         return not self.children
 
     @property

@@ -88,6 +88,7 @@ class XMLParser:
         return token
 
     def parse(self) -> Document:
+        """Parse the token stream into a single-rooted ``Document``."""
         doctype: str | None = None
         pis: list[str] = []
         root: Element | None = None

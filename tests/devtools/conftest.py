@@ -1,0 +1,48 @@
+"""Shared helpers for the reprolint test battery."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.devtools import LintEngine, all_rules
+
+#: Mini paper catalogue: enough DESIGN.md for the xref rule to engage.
+MINI_DESIGN = textwrap.dedent(
+    """\
+    # Design notes
+
+    **Definition 1** — semantic network.
+    **Definition 2** — sense disambiguation.
+    **Definition 3 - 5** — similarity measures.
+    Eq. (10) scores a pair; Eq. (12) combines them.
+    Prop. 1 shows monotonicity.
+    """
+)
+
+
+@pytest.fixture()
+def design_root(tmp_path):
+    """A project root whose catalogue is :data:`MINI_DESIGN`."""
+    (tmp_path / "DESIGN.md").write_text(MINI_DESIGN, encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture()
+def lint(tmp_path):
+    """``lint(source, rules=[...], path=..., root=...) -> findings``.
+
+    Sources are dedented so tests can indent fixture snippets naturally.
+    The default root is an empty tmp dir (no catalogue — the xref rule
+    stays inert unless a test passes ``root=design_root``).
+    """
+
+    def _lint(source, rules=None, path="src/repro/core/snippet.py",
+              root=None):
+        engine = LintEngine(
+            all_rules(rules), project_root=root or tmp_path
+        )
+        return engine.lint_source(textwrap.dedent(source), path=path)
+
+    return _lint

@@ -1,0 +1,114 @@
+"""Engine mechanics: dispatch, scoping, error handling, path expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools import (
+    LintEngine,
+    Rule,
+    all_rules,
+    expand_paths,
+    find_project_root,
+)
+
+
+class TestEngineConstruction:
+    def test_duplicate_rule_ids_rejected(self):
+        rules = all_rules(["broad-except"]) + all_rules(["broad-except"])
+        with pytest.raises(ValueError, match="duplicate rule IDs"):
+            LintEngine(rules)
+
+    def test_reserved_pragma_id_rejected(self):
+        class Impostor(Rule):
+            id = "pragma"
+            description = "tries to squat the reserved ID"
+
+        with pytest.raises(ValueError, match="reserved"):
+            LintEngine([Impostor()])
+
+    def test_unknown_rule_selection_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown rule IDs: nope"):
+            all_rules(["nope"])
+
+
+class TestLintSource:
+    def test_syntax_error_becomes_parse_error_finding(self, lint):
+        (finding,) = lint("def broken(:\n    pass\n")
+        assert finding.rule == "parse-error"
+        assert finding.line == 1
+        assert "cannot parse" in finding.message
+
+    def test_findings_are_sorted_by_position(self, lint):
+        findings = lint(
+            """\
+            def f(b={}):
+                try:
+                    pass
+                except Exception:
+                    pass
+
+            def g(a=[]):
+                pass
+            """,
+            rules=["broad-except", "mutable-default"],
+        )
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        assert [f.rule for f in findings] == [
+            "mutable-default", "broad-except", "mutable-default",
+        ]
+
+    def test_scoped_rule_skips_out_of_scope_paths(self, lint):
+        source = """\
+        def f(tokens):
+            tokens.append(1)
+        """
+        in_scope = lint(
+            source, rules=["cache-purity"],
+            path="src/repro/similarity/snippet.py",
+        )
+        out_of_scope = lint(
+            source, rules=["cache-purity"],
+            path="src/repro/xmltree/snippet.py",
+        )
+        assert [f.rule for f in in_scope] == ["cache-purity"]
+        assert out_of_scope == []
+
+
+class TestPathHandling:
+    def test_expand_paths_recurses_and_dedups(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        sub = pkg / "sub"
+        sub.mkdir(parents=True)
+        a = pkg / "a.py"
+        b = sub / "b.py"
+        a.write_text("x = 1\n")
+        b.write_text("y = 2\n")
+        (pkg / "notes.txt").write_text("not python\n")
+        result = expand_paths([pkg, a])
+        assert result == [a, b]
+
+    def test_explicit_non_py_file_is_kept(self, tmp_path):
+        scratch = tmp_path / "scratch.txt"
+        scratch.write_text("def f():\n    pass\n")
+        assert expand_paths([scratch]) == [scratch]
+
+    def test_unreadable_file_is_a_finding_not_a_crash(self, tmp_path):
+        engine = LintEngine(all_rules(), project_root=tmp_path)
+        (finding,) = engine.lint_file(tmp_path / "missing.py")
+        assert finding.rule == "parse-error"
+        assert "cannot read" in finding.message
+
+    def test_find_project_root_walks_up_to_catalogue(self, tmp_path):
+        (tmp_path / "DESIGN.md").write_text("Definition 1\n")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_project_root(nested) == tmp_path
+
+    def test_find_project_root_falls_back_to_start(self, tmp_path):
+        bare = tmp_path / "bare"
+        bare.mkdir()
+        # tmp dirs sit under the real FS root; no DESIGN.md above them
+        # is guaranteed, so only assert the call does not explode and
+        # returns a directory.
+        assert find_project_root(bare).is_dir()

@@ -1,0 +1,125 @@
+"""Suppression pragma parsing and enforcement."""
+
+from __future__ import annotations
+
+from repro.devtools import PRAGMA_RULE_ID, PragmaIndex
+
+KNOWN = frozenset({"broad-except", "mutable-default"})
+
+
+class TestPragmaIndexParse:
+    def test_same_line_disable(self):
+        index = PragmaIndex.parse(
+            [(7, "# lint: disable=broad-except")], KNOWN
+        )
+        assert index.is_disabled("broad-except", 7)
+        assert not index.is_disabled("broad-except", 8)
+        assert not index.is_disabled("mutable-default", 7)
+        assert not index.errors
+
+    def test_file_wide_disable(self):
+        index = PragmaIndex.parse(
+            [(3, "# lint: disable-file=mutable-default")], KNOWN
+        )
+        assert index.is_disabled("mutable-default", 1)
+        assert index.is_disabled("mutable-default", 500)
+        assert not index.is_disabled("broad-except", 3)
+
+    def test_comma_separated_ids(self):
+        index = PragmaIndex.parse(
+            [(4, "# lint: disable=broad-except, mutable-default")], KNOWN
+        )
+        assert index.is_disabled("broad-except", 4)
+        assert index.is_disabled("mutable-default", 4)
+
+    def test_justification_after_second_hash(self):
+        index = PragmaIndex.parse(
+            [(9, "# lint: disable=broad-except  # isolation boundary")],
+            KNOWN,
+        )
+        assert index.is_disabled("broad-except", 9)
+        assert not index.errors
+
+    def test_unknown_rule_id_is_rejected_with_clear_error(self):
+        index = PragmaIndex.parse(
+            [(5, "# lint: disable=no-such-rule")], KNOWN
+        )
+        assert not index.by_line
+        (error,) = index.errors
+        assert error.line == 5
+        assert "unknown rule ID 'no-such-rule'" in error.message
+        assert "broad-except" in error.message  # lists the known IDs
+
+    def test_empty_rule_id_is_rejected(self):
+        index = PragmaIndex.parse([(2, "# lint: disable=")], KNOWN)
+        (error,) = index.errors
+        assert "empty rule ID" in error.message
+
+    def test_pragma_rule_cannot_be_disabled(self):
+        index = PragmaIndex.parse(
+            [(6, f"# lint: disable-file={PRAGMA_RULE_ID}")], KNOWN
+        )
+        (error,) = index.errors
+        assert "cannot be disabled" in error.message
+        # Even a hand-built entry never silences the pragma rule.
+        index.file_wide.add(PRAGMA_RULE_ID)
+        assert not index.is_disabled(PRAGMA_RULE_ID, 6)
+
+    def test_malformed_pragma_is_an_error_not_a_noop(self):
+        index = PragmaIndex.parse([(1, "# lint: disabled broad")], KNOWN)
+        (error,) = index.errors
+        assert "malformed lint pragma" in error.message
+
+    def test_plain_comments_are_ignored(self):
+        index = PragmaIndex.parse(
+            [(1, "# just a comment"), (2, "# noqa: BLE001")], KNOWN
+        )
+        assert not index.errors
+        assert not index.by_line
+        assert not index.file_wide
+
+
+class TestPragmasThroughEngine:
+    def test_same_line_pragma_suppresses_only_that_line(self, lint):
+        findings = lint(
+            """\
+            try:
+                pass
+            except Exception:  # lint: disable=broad-except
+                pass
+            try:
+                pass
+            except Exception:
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        assert [f.line for f in findings] == [7]
+        assert findings[0].rule == "broad-except"
+
+    def test_file_wide_pragma_suppresses_everywhere(self, lint):
+        findings = lint(
+            """\
+            # lint: disable-file=broad-except
+            try:
+                pass
+            except Exception:
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        assert findings == []
+
+    def test_unknown_id_surfaces_as_pragma_finding(self, lint):
+        findings = lint(
+            """\
+            try:
+                pass
+            except Exception:  # lint: disable=broadexcept
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        rules = {f.rule for f in findings}
+        # The typo'd suppression suppresses nothing AND is itself flagged.
+        assert rules == {PRAGMA_RULE_ID, "broad-except"}

@@ -1,0 +1,54 @@
+"""Text and JSON reporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools import Finding, render_json, render_text
+
+FINDINGS = [
+    Finding(rule="broad-except", path="src/a.py", line=3, col=0,
+            message="bare 'except:' swallows every error"),
+    Finding(rule="mutable-default", path="src/b.py", line=12, col=8,
+            message="mutable default for parameter 'acc'"),
+]
+
+
+class TestTextReporter:
+    def test_one_location_line_per_finding(self):
+        text = render_text(FINDINGS)
+        lines = text.splitlines()
+        assert lines[0] == (
+            "src/a.py:3:0: [broad-except] bare 'except:' swallows every error"
+        )
+        assert lines[1].startswith("src/b.py:12:8: [mutable-default]")
+
+    def test_summary_counts_findings_and_files(self):
+        assert render_text(FINDINGS).splitlines()[-1] == \
+            "reprolint: 2 findings in 2 files"
+        assert render_text(FINDINGS[:1]).splitlines()[-1] == \
+            "reprolint: 1 finding in 1 file"
+
+    def test_clean_run_still_prints_a_summary(self):
+        assert render_text([]) == "reprolint: clean (0 findings)\n"
+
+
+class TestJsonReporter:
+    def test_round_trips_through_json_loads(self):
+        payload = json.loads(render_json(FINDINGS))
+        assert payload["count"] == 2
+        assert payload["findings"][0] == {
+            "rule": "broad-except",
+            "path": "src/a.py",
+            "line": 3,
+            "col": 0,
+            "message": "bare 'except:' swallows every error",
+        }
+
+    def test_empty_document_shape(self):
+        payload = json.loads(render_json([]))
+        assert payload == {"count": 0, "findings": []}
+
+    def test_output_is_byte_stable(self):
+        assert render_json(FINDINGS) == render_json(list(FINDINGS))
+        assert render_json(FINDINGS).endswith("\n")

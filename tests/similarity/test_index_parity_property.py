@@ -1,0 +1,151 @@
+"""Property-based ``index=`` fast-path parity on random networks.
+
+The curated-lexicon parity tests (``tests/runtime/test_index.py``) pin
+bit-identical indexed scores on one fixed network; these properties
+assert the same contract on *hypothesis-chosen* synthetic taxonomies —
+shape, polysemy, and seed all vary — for every similarity measure in
+the five ``repro.similarity`` modules.  ``edge``, ``node``, ``gloss``
+and ``combined`` expose the ``index=`` fast path directly;
+``vector`` has none (its inputs are plain mappings), which a signature
+test pins so a future fast path cannot dodge this battery.
+"""
+
+from __future__ import annotations
+
+import inspect
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import SemanticIndex
+from repro.semnet.generator import GeneratorConfig, generate_network
+from repro.semnet.ic import InformationContent
+from repro.similarity.combined import CombinedSimilarity, SimilarityWeights
+from repro.similarity.edge import (
+    LeacockChodorowSimilarity,
+    PathSimilarity,
+    WuPalmerSimilarity,
+)
+from repro.similarity.gloss import ExtendedLeskSimilarity
+from repro.similarity.node import (
+    JiangConrathSimilarity,
+    LinSimilarity,
+    ResnikSimilarity,
+)
+from repro.similarity.vector import VECTOR_MEASURES
+
+#: (network, index, ic) per generator shape — hypothesis revisits
+#: shapes across examples, and network construction dominates runtime.
+_NETWORK_CACHE: dict[tuple, tuple] = {}
+
+network_shapes = st.tuples(
+    st.integers(min_value=0, max_value=999),     # generator seed
+    st.sampled_from([30, 80, 140]),              # concepts
+    st.sampled_from([2, 4, 7]),                  # branching
+    st.sampled_from([1.5, 3.0]),                 # mean polysemy
+)
+
+
+def _network_index_ic(shape):
+    if shape not in _NETWORK_CACHE:
+        if len(_NETWORK_CACHE) > 48:
+            _NETWORK_CACHE.clear()
+        seed, n_concepts, branching, polysemy = shape
+        network = generate_network(GeneratorConfig(
+            n_concepts=n_concepts,
+            branching=branching,
+            mean_polysemy=polysemy,
+            seed=seed,
+        ))
+        _NETWORK_CACHE[shape] = (
+            network, SemanticIndex(network), InformationContent(network)
+        )
+    return _NETWORK_CACHE[shape]
+
+
+def _sample_pairs(network, seed, n_random=25):
+    """Random concept pairs plus the senses-of-one-word pairs WSD uses."""
+    rng = random.Random(seed)
+    ids = [concept.id for concept in network]
+    pairs = [(rng.choice(ids), rng.choice(ids)) for _ in range(n_random)]
+    for word in sorted(network.words())[:10]:
+        senses = [s.id for s in network.senses(word)]
+        pairs.extend((a, b) for a in senses[:3] for b in senses[:3])
+    return pairs
+
+
+def _measure_pairs(network, index, ic, weights=None):
+    """(slow, fast) instances for every index-accepting measure."""
+    return [
+        (WuPalmerSimilarity(network),
+         WuPalmerSimilarity(network, index=index)),
+        (PathSimilarity(network),
+         PathSimilarity(network, index=index)),
+        (LeacockChodorowSimilarity(network),
+         LeacockChodorowSimilarity(network, index=index)),
+        (LinSimilarity(network, ic=ic),
+         LinSimilarity(network, ic=ic, index=index)),
+        (ResnikSimilarity(network, ic=ic),
+         ResnikSimilarity(network, ic=ic, index=index)),
+        (JiangConrathSimilarity(network, ic=ic),
+         JiangConrathSimilarity(network, ic=ic, index=index)),
+        (ExtendedLeskSimilarity(network),
+         ExtendedLeskSimilarity(network, index=index)),
+        (CombinedSimilarity(network, ic=ic, weights=weights),
+         CombinedSimilarity(network, ic=ic, weights=weights, index=index)),
+    ]
+
+
+class TestIndexParityProperty:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(shape=network_shapes, pair_seed=st.integers(0, 2**16))
+    def test_every_measure_is_bit_identical(self, shape, pair_seed):
+        """Indexed scores must ``==`` unindexed ones, measure by measure."""
+        network, index, ic = _network_index_ic(shape)
+        pairs = _sample_pairs(network, pair_seed)
+        for slow, fast in _measure_pairs(network, index, ic):
+            for a, b in pairs:
+                assert slow(a, b) == fast(a, b), (
+                    f"{type(slow).__name__} diverges on ({a}, {b}) "
+                    f"for network shape {shape}"
+                )
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        shape=network_shapes,
+        pair_seed=st.integers(0, 2**16),
+        mix=st.tuples(
+            st.floats(0.0, 1.0), st.floats(0.0, 1.0), st.floats(0.0, 1.0)
+        ).filter(lambda m: sum(m) > 0),
+    )
+    def test_combined_parity_under_any_weight_mix(
+        self, shape, pair_seed, mix
+    ):
+        """The Definition 9 combination keeps parity for any weights."""
+        network, index, ic = _network_index_ic(shape)
+        weights = SimilarityWeights(*mix)
+        slow = CombinedSimilarity(network, ic=ic, weights=weights)
+        fast = CombinedSimilarity(
+            network, ic=ic, weights=weights, index=index
+        )
+        for a, b in _sample_pairs(network, pair_seed, n_random=12):
+            assert slow(a, b) == fast(a, b)
+
+    def test_vector_module_has_no_index_fast_path(self):
+        """``repro.similarity.vector`` takes no ``index=`` — if one is
+        ever added, this pin forces it into the parity battery above."""
+        for name, measure in VECTOR_MEASURES.items():
+            parameters = inspect.signature(measure).parameters
+            assert "index" not in parameters, (
+                f"vector measure {name!r} grew an index= parameter; "
+                "add it to the index-parity property tests"
+            )
