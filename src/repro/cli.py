@@ -9,7 +9,9 @@ Commands
 ``batch GLOB [GLOB ...]``
     Disambiguate a whole corpus of XML files through the cached,
     parallel runtime (:mod:`repro.runtime`): JSONL results to a file or
-    stdout, optional metrics report (``--metrics``).
+    stdout, optional metrics report (``--metrics``), optional cProfile
+    hot-frame summary (``--profile``), packed index by default
+    (``--dict-index`` for the dict-keyed one).
 ``audit FILE``
     Print the ambiguity-degree ranking of the file's nodes — which
     nodes are worth disambiguating, before spending any effort.
@@ -91,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--no-index", action="store_true",
                        help="disable the precomputed index and caches "
                             "(uncached baseline)")
+    batch.add_argument("--dict-index", action="store_true",
+                       help="use the dict-keyed SemanticIndex instead of "
+                            "the packed flat-array index (same scores)")
+    batch.add_argument("--profile", action="store_true",
+                       help="profile the batch under cProfile and append "
+                            "the hottest frames to the summary (parent "
+                            "process only under --workers > 1)")
     batch.add_argument("--cache-size", type=int, default=None,
                        help="bound for the similarity caches "
                             "(default 65536)")
@@ -229,6 +238,7 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             use_index=not args.no_index,
+            packed=not args.dict_index,
             cache_size=(
                 args.cache_size if args.cache_size is not None
                 else DEFAULT_CACHE_SIZE
@@ -237,11 +247,19 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             records = executor.run_to_jsonl(documents, handle)
     else:
         records = executor.run_to_jsonl(documents, out)
+    if profiler is not None:
+        profiler.disable()
     if args.metrics:
         metrics.write_json(args.metrics)
 
@@ -259,7 +277,36 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
     stream.write(summary + "\n")
     for record in failures:
         stream.write(f"  FAILED {record.name}: {record.error}\n")
+    if profiler is not None:
+        stream.write(_profile_summary(profiler))
     return 1 if failures else 0
+
+
+def _profile_summary(profiler, top: int = 15) -> str:
+    """The hottest frames of a batch run, formatted for the summary.
+
+    Sorted by cumulative time so pipeline stages surface above their
+    leaf callees; under ``--workers > 1`` only the parent process is
+    profiled (pool dispatch + any serial fallback), which the header
+    states to avoid misreading worker-side costs as absent.
+    """
+    import io
+    import pstats
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    lines = [
+        line for line in buffer.getvalue().splitlines()
+        # pstats emits leading banner/blank lines and absolute paths;
+        # keep the table only, trimmed to the repo-relative tail.
+        if line.strip()
+    ]
+    return (
+        "--- profile (parent process, top frames by cumulative time) ---\n"
+        + "\n".join(lines)
+        + "\n"
+    )
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:

@@ -88,15 +88,20 @@ class ConceptBasedScorer:
         return total / len(sphere)
 
     def score_all(
-        self, candidates: list[Candidate], sphere: Sphere
+        self,
+        candidates: list[Candidate],
+        sphere: Sphere,
+        vector: dict[str, float] | None = None,
     ) -> dict[Candidate, float]:
         """Scores for every candidate against one (shared) sphere.
 
         Computes the context vector and per-node sense inventories once,
         which matters because real documents evaluate dozens of
-        candidates against the same context.
+        candidates against the same context.  Callers that already hold
+        the sphere's context vector pass it as ``vector`` (it is read,
+        never mutated) so it is not re-derived per scorer.
         """
-        weights = context_vector(sphere)
+        weights = vector if vector is not None else context_vector(sphere)
         context: list[tuple[tuple[str, ...], float]] = []
         for member in sphere:
             sense_ids = tuple(context_sense_ids(member.node, self._network))

@@ -85,10 +85,18 @@ class ContextBasedScorer:
         return self.score_all([candidate], sphere)[candidate]
 
     def score_all(
-        self, candidates: list[Candidate], sphere: Sphere
+        self,
+        candidates: list[Candidate],
+        sphere: Sphere,
+        vector: dict[str, float] | None = None,
     ) -> dict[Candidate, float]:
-        """Scores for every candidate against one (shared) XML vector."""
-        xml_vector = context_vector(sphere)
+        """Scores for every candidate against one (shared) XML vector.
+
+        ``vector`` lets callers supply the sphere's context vector when
+        they already computed it (read-only; stripping builds a new
+        dict) instead of re-deriving it here.
+        """
+        xml_vector = vector if vector is not None else context_vector(sphere)
         if self._strip:
             xml_vector = self._strip_target_dimensions(xml_vector, sphere)
         scores: dict[Candidate, float] = {}

@@ -33,12 +33,25 @@ def struct_proximity(distance: int, radius: int) -> float:
 
 
 def label_frequencies(sphere: Sphere) -> dict[str, float]:
-    """``Freq(l, S_d(x))`` for every distinct label in the sphere."""
+    """``Freq(l, S_d(x))`` for every distinct label in the sphere.
+
+    The ``Struct`` factor depends only on the ring distance, so it is
+    derived once per distinct distance (same expression and operand
+    order as :func:`struct_proximity` — the floats are identical) and
+    reused across the members of each ring.
+    """
     frequencies: dict[str, float] = {}
+    radius_plus_one = sphere.radius + 1.0
+    ring_weights: dict[float, float] = {}
+    frequencies_get = frequencies.get
     for member in sphere:
-        weight = struct_proximity(member.distance, sphere.radius)
+        distance = member.distance
+        weight = ring_weights.get(distance)
+        if weight is None:
+            weight = 1.0 - distance / radius_plus_one
+            ring_weights[distance] = weight
         label = member.node.label
-        frequencies[label] = frequencies.get(label, 0.0) + weight
+        frequencies[label] = frequencies_get(label, 0.0) + weight
     return frequencies
 
 

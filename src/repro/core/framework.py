@@ -36,6 +36,7 @@ from .candidates import Candidate, candidate_senses
 from .concept_based import ConceptBasedScorer
 from .config import DisambiguationApproach, XSDFConfig
 from .context_based import ContextBasedScorer
+from .context_vector import context_vector
 from .distances import resolve_policy
 from .results import DisambiguationResult, SenseAssignment
 from .sphere import build_sphere
@@ -56,9 +57,11 @@ class XSDF:
         with the configured weights is created, computing information
         content from the network's frequencies once.
     index:
-        Optional :class:`repro.runtime.index.SemanticIndex` built over
-        ``network``.  Routes the default similarity through precomputed
-        taxonomy/IC/gloss tables — sense choices and scores are
+        Optional :class:`repro.runtime.index.SemanticIndex` or
+        :class:`repro.runtime.pack.PackedIndex` built over ``network``.
+        Routes the default similarity through precomputed
+        taxonomy/IC/gloss tables (the packed form through interned
+        flat-array kernels) — sense choices and scores are
         bit-identical with and without it.  Ignored when ``similarity``
         is supplied.
     similarity_cache:
@@ -242,16 +245,23 @@ class XSDF:
         approach = self.config.approach
         concept_scores: dict[Candidate, float] = {}
         context_scores: dict[Candidate, float] = {}
+        # Both scorers weight by the same Definition 7 vector; derive it
+        # once per sphere instead of once per scorer.
+        vector = context_vector(sphere)
         if approach in (
             DisambiguationApproach.CONCEPT_BASED,
             DisambiguationApproach.COMBINED,
         ):
-            concept_scores = self._concept_scorer.score_all(candidates, sphere)
+            concept_scores = self._concept_scorer.score_all(
+                candidates, sphere, vector=vector
+            )
         if approach in (
             DisambiguationApproach.CONTEXT_BASED,
             DisambiguationApproach.COMBINED,
         ):
-            context_scores = self._context_scorer.score_all(candidates, sphere)
+            context_scores = self._context_scorer.score_all(
+                candidates, sphere, vector=vector
+            )
         if approach is DisambiguationApproach.CONCEPT_BASED:
             combined = dict(concept_scores)
         elif approach is DisambiguationApproach.CONTEXT_BASED:

@@ -104,18 +104,30 @@ def _neighbors(node: XMLNode) -> list[tuple[XMLNode, bool]]:
 
 
 def _bfs_members(center: XMLNode, radius: float) -> list[SphereMember]:
+    # Hot path (one call per target node): the parent/children edges
+    # are iterated inline, in the same parent-first order `_neighbors`
+    # yields, without allocating a pair list per visited node.
     visited = {center.index}
     members = [SphereMember(center, 0)]
     queue: deque[tuple[XMLNode, int]] = deque([(center, 0)])
+    visited_add = visited.add
+    members_append = members.append
+    queue_append = queue.append
     while queue:
         node, distance = queue.popleft()
         if distance >= radius:
             continue
-        for neighbor, _ascending in _neighbors(node):
-            if neighbor.index not in visited:
-                visited.add(neighbor.index)
-                members.append(SphereMember(neighbor, distance + 1))
-                queue.append((neighbor, distance + 1))
+        next_distance = distance + 1
+        parent = node.parent
+        if parent is not None and parent.index not in visited:
+            visited_add(parent.index)
+            members_append(SphereMember(parent, next_distance))
+            queue_append((parent, next_distance))
+        for child in node.children:
+            if child.index not in visited:
+                visited_add(child.index)
+                members_append(SphereMember(child, next_distance))
+                queue_append((child, next_distance))
     return members
 
 

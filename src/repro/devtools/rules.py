@@ -77,15 +77,20 @@ class IndexParityRule(Rule):
     indexed path is a pure accelerator: any function that *dereferences*
     an ``index`` parameter (or ``self._index``) — attribute access,
     subscript, or call — must test it against ``None`` in the same
-    function and keep a fallback branch that runs without it.  Merely
-    storing or forwarding the index (``self._index = index``,
+    function and keep a fallback branch that runs without it.  The
+    same contract covers the interned
+    :class:`repro.runtime.pack.PackedIndex` fast path, conventionally
+    stored as ``self._packed``: packed-kernel dereferences need their
+    own ``None`` guard and a surviving slower branch.  Merely storing
+    or forwarding the index (``self._index = index``,
     ``XSDF(..., index=index)``) is a pass-through and stays silent.
     """
 
     id = "index-parity"
     description = (
-        "functions dereferencing an index= parameter must guard it with "
-        "'is not None' and keep a network-walk fallback branch"
+        "functions dereferencing an index= parameter (or the packed-index "
+        "attribute) must guard it with 'is not None' and keep a "
+        "slower-path fallback branch"
     )
 
     def visit_FunctionDef(self, fn: ast.FunctionDef, ctx: LintContext) -> None:
@@ -156,7 +161,7 @@ class IndexParityRule(Rule):
             return node.id in index_names
         return (
             isinstance(node, ast.Attribute)
-            and node.attr == "_index"
+            and node.attr in ("_index", "_packed")
             and isinstance(node.value, ast.Name)
             and node.value.id == "self"
         )

@@ -8,6 +8,9 @@ scale cheap and observable without changing a single score:
   precomputed taxonomy/IC/gloss tables built once per network and
   consumed by the similarity measures via ``index=`` (bit-identical
   fast path);
+* :mod:`~repro.runtime.pack` — :class:`PackedIndex`, the same tables
+  interned to dense integers and flat arrays with packed similarity
+  kernels and a compact binary codec (cheap to ship to pool workers);
 * :mod:`~repro.runtime.cache` — :class:`LRUCache`, a bounded pairwise
   memo with hit/miss/eviction counters;
 * :mod:`~repro.runtime.executor` — :class:`BatchExecutor`, a
@@ -31,6 +34,7 @@ from .cache import LRUCache
 from .executor import BatchDocument, BatchExecutor, BatchRecord
 from .index import SemanticIndex
 from .metrics import MetricsRegistry, StageTimer
+from .pack import PackedIC, PackedIndex, PackedIndexError
 
 __all__ = [
     "BatchDocument",
@@ -38,6 +42,9 @@ __all__ = [
     "BatchRecord",
     "LRUCache",
     "MetricsRegistry",
+    "PackedIC",
+    "PackedIndex",
+    "PackedIndexError",
     "SemanticIndex",
     "StageTimer",
 ]

@@ -15,7 +15,12 @@ to serial output for the same input (the test suite pins this).
 
 Workers are initialized once per process with the pickled network +
 config (documents are the only per-task payload), so pool startup cost
-is paid per worker, not per document.
+is paid per worker, not per document.  The semantic index itself is
+built **once in the parent** and shipped to workers as a
+:class:`repro.runtime.pack.PackedIndex` — whose pickled form is the
+compact binary codec, a fraction of the network pickle — so worker
+initialization decodes a buffer instead of re-walking the taxonomy and
+re-stemming every gloss.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from ..semnet.network import SemanticNetwork
 from .cache import LRUCache
 from .index import SemanticIndex
 from .metrics import MetricsRegistry
+from .pack import PackedIndex
 
 #: Default bound for the per-process pairwise/sense similarity caches.
 DEFAULT_CACHE_SIZE = 65536
@@ -39,6 +45,12 @@ DEFAULT_CACHE_SIZE = 65536
 #: Bound for the per-process document-result cache (full result dicts
 #: are larger than similarity floats, so the bound is tighter).
 DOC_CACHE_SIZE = 1024
+
+#: Soft cap on the XML payload of one pool chunk.  The default chunk
+#: formula only counts documents; when documents are large, a chunk's
+#: pickled payload (and the latency of losing its worker) grows with
+#: per-document cost, so the adaptive formula also bounds chunk bytes.
+TARGET_CHUNK_BYTES = 256 * 1024
 
 
 @dataclass(frozen=True)
@@ -95,14 +107,25 @@ _WORKER_XSDF: XSDF | None = None
 _WORKER_DOC_CACHE: LRUCache | None = None
 
 
-def _init_worker(network: SemanticNetwork, config: XSDFConfig,
-                 use_index: bool, cache_size: int | None) -> None:
-    """Build this worker process's XSDF + caches (pool initializer)."""
+def _init_worker(
+    network: SemanticNetwork,
+    config: XSDFConfig,
+    index: "PackedIndex | SemanticIndex | None",
+    cache_size: int | None,
+) -> None:
+    """Install this worker process's XSDF + caches (pool initializer).
+
+    ``index`` arrives pre-built from the parent — for a
+    :class:`PackedIndex` the pickle payload is its compact codec
+    buffer, so initialization is a decode, not an index rebuild.
+    """
     # Per-process worker state is the one sanctioned module-global
     # mutation: it is written once per process, before any task runs.
     global _WORKER_XSDF, _WORKER_DOC_CACHE  # lint: disable=cache-purity
-    _WORKER_XSDF = _build_xsdf(network, config, use_index, cache_size)
-    _WORKER_DOC_CACHE = LRUCache(maxsize=DOC_CACHE_SIZE) if use_index else None
+    _WORKER_XSDF = _build_xsdf(network, config, index, cache_size)
+    _WORKER_DOC_CACHE = (
+        LRUCache(maxsize=DOC_CACHE_SIZE) if index is not None else None
+    )
 
 
 def _run_one(task: tuple[str, str]) -> BatchRecord:
@@ -112,9 +135,13 @@ def _run_one(task: tuple[str, str]) -> BatchRecord:
     )
 
 
-def _build_xsdf(network: SemanticNetwork, config: XSDFConfig,
-                use_index: bool, cache_size: int | None) -> XSDF:
-    index = SemanticIndex(network) if use_index else None
+def _build_xsdf(
+    network: SemanticNetwork,
+    config: XSDFConfig,
+    index: "PackedIndex | SemanticIndex | None",
+    cache_size: int | None,
+) -> XSDF:
+    use_index = index is not None
     pair_cache = LRUCache(maxsize=cache_size) if use_index else None
     sense_cache = LRUCache(maxsize=cache_size) if use_index else None
     return XSDF(
@@ -175,17 +202,28 @@ class BatchExecutor:
     config:
         Pipeline parameters (defaults follow the paper).
     workers:
-        Process count; ``<= 1`` runs serially in-process.  Pool failures
-        (platforms without working ``multiprocessing``) degrade to the
-        serial path instead of erroring.
+        Process count; ``<= 1`` runs serially in-process.  Pool
+        creation failures (platforms without working
+        ``multiprocessing``) *and* mid-batch ``pool.map`` failures
+        (worker crashes, pickling errors) degrade to the serial path
+        instead of erroring.
     chunk_size:
         Documents per pool task; ``None`` picks ``ceil(n / (4 *
         workers))`` — large enough to amortize dispatch, small enough to
         load-balance.
     use_index:
-        Build a :class:`SemanticIndex` + bounded LRU similarity cache
-        per process (on by default — this is the runtime's raison
-        d'être; disable to measure the uncached baseline).
+        Build a semantic index + bounded LRU similarity cache (on by
+        default — this is the runtime's raison d'être; disable to
+        measure the uncached baseline).  The index is built once in the
+        parent and shared: the serial path uses it directly, the
+        parallel path ships it to every worker.
+    packed:
+        Use the interned flat-array :class:`PackedIndex` (default) —
+        faster kernels and a compact pickled form for worker shipping.
+        ``packed=False`` keeps the dict-keyed :class:`SemanticIndex`
+        (the PR 1 runtime, retained for benchmarking and fallback).
+        Scores are bit-identical either way.  Ignored when
+        ``use_index`` is False.
     cache_size:
         Bound for the pairwise-similarity LRU (``None`` = unbounded).
     metrics:
@@ -202,6 +240,7 @@ class BatchExecutor:
         workers: int = 1,
         chunk_size: int | None = None,
         use_index: bool = True,
+        packed: bool = True,
         cache_size: int | None = DEFAULT_CACHE_SIZE,
         metrics: MetricsRegistry | None = None,
     ):
@@ -216,12 +255,25 @@ class BatchExecutor:
         self.workers = workers
         self.chunk_size = chunk_size
         self.use_index = use_index
+        self.packed = packed
         self.cache_size = cache_size
         self.metrics = metrics
+        self._index: "PackedIndex | SemanticIndex | None" = None
         self._serial_xsdf: XSDF | None = None
         self._doc_cache: LRUCache | None = (
             LRUCache(maxsize=DOC_CACHE_SIZE) if use_index else None
         )
+
+    def _ensure_index(self) -> "PackedIndex | SemanticIndex | None":
+        """The shared per-executor index, built lazily exactly once."""
+        if not self.use_index:
+            return None
+        if self._index is None:
+            if self.packed:
+                self._index = PackedIndex(self.network)
+            else:
+                self._index = SemanticIndex(self.network)
+        return self._index
 
     # -- public API ----------------------------------------------------------
 
@@ -264,7 +316,8 @@ class BatchExecutor:
     def _serial(self) -> XSDF:
         if self._serial_xsdf is None:
             self._serial_xsdf = _build_xsdf(
-                self.network, self.config, self.use_index, self.cache_size
+                self.network, self.config, self._ensure_index(),
+                self.cache_size,
             )
             if self.metrics is not None:
                 self._serial_xsdf.metrics = self.metrics
@@ -286,7 +339,27 @@ class BatchExecutor:
 
     # -- parallel path -------------------------------------------------------
 
+    def _auto_chunk(self, docs: Sequence[BatchDocument]) -> int:
+        """Documents per pool task, adapted to per-document payload.
+
+        Starts from the classic ``ceil(n / (4 * workers))`` (amortize
+        dispatch, keep 4 waves per worker for load balancing) and then
+        caps the chunk so its XML payload stays near
+        :data:`TARGET_CHUNK_BYTES` — for corpora of large documents a
+        count-only formula would serialize most of the batch into a
+        single task and lose both balance and failure granularity.
+        """
+        count_chunk = max(1, -(-len(docs) // (4 * self.workers)))
+        if count_chunk == 1:
+            return 1
+        mean_doc_bytes = max(
+            1, sum(len(doc.xml) for doc in docs) // len(docs)
+        )
+        byte_cap = max(1, TARGET_CHUNK_BYTES // mean_doc_bytes)
+        return min(count_chunk, byte_cap)
+
     def _run_parallel(self, docs: Sequence[BatchDocument]) -> list[BatchRecord]:
+        index = self._ensure_index()
         try:
             import multiprocessing
 
@@ -294,20 +367,29 @@ class BatchExecutor:
                 processes=self.workers,
                 initializer=_init_worker,
                 initargs=(
-                    self.network, self.config,
-                    self.use_index, self.cache_size,
+                    self.network, self.config, index, self.cache_size,
                 ),
             )
         except (ImportError, OSError, ValueError):
             # No usable multiprocessing on this platform — degrade
             # gracefully; output is identical either way.
             return self._run_serial(docs)
-        chunk = self.chunk_size or max(1, -(-len(docs) // (4 * self.workers)))
+        chunk = self.chunk_size or self._auto_chunk(docs)
         tasks = [(doc.name, doc.xml) for doc in docs]
+        records: list[BatchRecord] | None
         try:
             # Pool.map preserves task order, giving input-ordered merge.
             records = pool.map(_run_one, tasks, chunksize=chunk)
+        except Exception:  # lint: disable=broad-except  # isolation boundary
+            # A mid-batch failure (worker crash, PicklingError, pool
+            # torn down under us) must not sink the run: per-document
+            # errors are already isolated inside _disambiguate_one, so
+            # anything surfacing here is pool machinery — redo the
+            # batch on the serial path, whose output is identical.
+            records = None
         finally:
             pool.close()
             pool.join()
+        if records is None:
+            return self._run_serial(docs)
         return records

@@ -76,6 +76,8 @@ class SemanticIndex:
             self._depths[cid] = min(root_distances) if root_distances else 0
         self.max_taxonomy_depth = max(self._depths.values(), default=1)
         self._lcs_memo: dict[tuple[str, str], str | None] = {}
+        self._lcs_memo_hits = 0
+        self._lcs_memo_misses = 0
         self._gloss_bags: dict[str, list[str]] | None = None
         if include_gloss:
             self._gloss_bags = {
@@ -110,9 +112,13 @@ class SemanticIndex:
         """
         key = (a, b)
         try:
-            return self._lcs_memo[key]
+            lcs = self._lcs_memo[key]
         except KeyError:
             pass
+        else:
+            self._lcs_memo_hits += 1
+            return lcs
+        self._lcs_memo_misses += 1
         closure_a = self.hypernym_closure(a)
         closure_b = self.hypernym_closure(b)
         shared = set(closure_a) & set(closure_b)
@@ -122,7 +128,9 @@ class SemanticIndex:
         depths = self._depths
         lcs = max(
             shared,
-            key=lambda cid: (depths[cid], -closure_a[cid] - closure_b[cid]),
+            key=lambda cid: (
+                depths[cid], -closure_a[cid] - closure_b[cid], cid
+            ),
         )
         self._lcs_memo[key] = lcs
         return lcs
@@ -161,14 +169,21 @@ class SemanticIndex:
 
     # -- observability -------------------------------------------------------
 
-    def stats(self) -> dict[str, float]:
-        """Size/build statistics for reports and benchmarks."""
+    def stats(self) -> dict[str, int | float]:
+        """Size/build statistics for reports and benchmarks.
+
+        Counts are ints, ``build_seconds`` is a float; the LCS-memo
+        hit/miss counters make index-layer caching observable alongside
+        the runtime's LRU caches.
+        """
         return {
             "concepts": len(self._ancestors),
             "ancestor_entries": sum(
                 len(closure) for closure in self._ancestors.values()
             ),
             "lcs_memo_pairs": len(self._lcs_memo),
+            "lcs_memo_hits": self._lcs_memo_hits,
+            "lcs_memo_misses": self._lcs_memo_misses,
             "gloss_bags": (
                 len(self._gloss_bags) if self._gloss_bags is not None else 0
             ),

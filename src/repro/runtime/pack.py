@@ -1,0 +1,787 @@
+"""Packed semantic kernels: an interned, flat-array semantic index.
+
+:class:`repro.runtime.index.SemanticIndex` already amortizes taxonomy
+walks, but its tables are string-keyed dicts of dicts: every lookup
+hashes concept-id strings, every gloss comparison equality-tests token
+strings, and pickling the index for a worker pool ships a fat object
+graph.  :class:`PackedIndex` interns concept ids and gloss tokens to
+dense integers and lays the same tables out as flat ``array`` buffers
+(CSR-style offsets + values):
+
+* **ancestor closures** — one ``(concept, distance)`` run per concept,
+  in the exact BFS order the network produces;
+* **depth / information-content tables** — one slot per concept;
+* **gloss bags** — token-id sequences (order preserved: the extended
+  Lesk overlap is sequence-sensitive) plus per-concept token *sets* for
+  an exact-match quick reject.
+
+The similarity kernels (:meth:`pair_terms` for the edge/node measures,
+:meth:`lesk_similarity` for gloss overlap) consume the packed tables
+directly and are **bit-identical** to the unpacked scores — the parity
+suite in ``tests/similarity`` pins ``==`` equality for all 8 measures.
+The lowest-common-subsumer tie-break is the same total order the
+network and :class:`SemanticIndex` use: ``(depth, -distance-sum,
+concept-id)``.
+
+The index also carries a compact binary codec (:meth:`to_bytes` /
+:meth:`from_bytes`, wired into pickling via ``__getstate__`` /
+``__setstate__``), so :class:`repro.runtime.executor.BatchExecutor`
+builds the index **once in the parent** and ships a small byte buffer
+to pool workers — worker initialization decodes a buffer instead of
+re-walking the whole network::
+
+    packed = PackedIndex(network)
+    blob = packed.to_bytes()            # small, checksummed, versioned
+    clone = PackedIndex.from_bytes(blob)
+    xsdf = XSDF(network, config, index=packed)   # drop-in index=
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import time
+import zlib
+from array import array
+from typing import Iterable
+
+from ..semnet.ic import InformationContent
+from ..semnet.network import SemanticNetwork, UnknownConceptError
+from .index import SemanticIndex
+
+_MAGIC = b"RXPK"
+_VERSION = 1
+
+#: Sentinel distinguishing "no memo entry" from a memoized ``None``.
+_MISSING = object()
+
+
+class PackedIndexError(ValueError):
+    """Raised when a packed-index buffer is truncated or corrupted."""
+
+
+def _encode_strings(items: Iterable[str]) -> bytes:
+    """NUL-join a string table (ids/tokens must not contain NUL)."""
+    table = tuple(items)
+    if any("\x00" in item for item in table):
+        raise PackedIndexError("string table entries must not contain NUL")
+    return "\x00".join(table).encode("utf-8")
+
+
+def _decode_strings(blob: bytes) -> tuple[str, ...]:
+    """Inverse of :func:`_encode_strings` (empty blob -> empty table)."""
+    if not blob:
+        return ()
+    return tuple(blob.decode("utf-8").split("\x00"))
+
+
+def _pack_array(arr: array) -> bytes:
+    """Typecode byte + item count + raw buffer for one flat table."""
+    return (
+        arr.typecode.encode("ascii")
+        + struct.pack("<I", len(arr))
+        + arr.tobytes()
+    )
+
+
+def _unpack_array(blob: bytes, swap: bool) -> array:
+    """Inverse of :func:`_pack_array`; byteswaps on endianness mismatch."""
+    if len(blob) < 5:
+        raise PackedIndexError("array section truncated")
+    typecode = blob[:1].decode("ascii")
+    (count,) = struct.unpack_from("<I", blob, 1)
+    arr = array(typecode)
+    try:
+        arr.frombytes(blob[5:])
+    except ValueError as exc:
+        raise PackedIndexError(f"array section malformed: {exc}") from None
+    if len(arr) != count:
+        raise PackedIndexError(
+            f"array section declares {count} items, holds {len(arr)}"
+        )
+    if swap:
+        arr.byteswap()
+    return arr
+
+
+def _index_typecode(n: int) -> str:
+    """Smallest unsigned array typecode that can hold ids ``< n``."""
+    return "H" if n <= 0xFFFF else "I"
+
+
+class PackedIC:
+    """Information-content view over a :class:`PackedIndex`.
+
+    Presents the :class:`repro.semnet.ic.InformationContent` query API
+    (``ic`` / ``max_ic`` / ``resnik`` / ``lin`` /
+    ``jiang_conrath_distance``) served from the packed IC table, with
+    the LCS resolved by the packed pair kernel.  Values are the exact
+    floats the unpacked table holds, so scores are bit-identical.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "PackedIndex"):
+        self._owner = owner
+
+    def ic(self, concept_id: str) -> float:
+        """Information content of one concept."""
+        owner = self._owner
+        return owner._ic_list[owner._intern(concept_id)]
+
+    @property
+    def max_ic(self) -> float:
+        """Highest finite IC in the network (for normalization)."""
+        return self._owner._max_ic
+
+    def resnik(self, a: str, b: str) -> float:
+        """IC of the lowest common subsumer (0 when none exists)."""
+        terms = self._owner.pair_terms(a, b)
+        if terms is None:
+            return 0.0
+        return self._owner._ic_list[terms[0]]
+
+    def lin(self, a: str, b: str) -> float:
+        """Lin similarity ``2*IC(lcs) / (IC(a)+IC(b))`` in [0, 1]."""
+        if a == b:
+            return 1.0
+        denominator = self.ic(a) + self.ic(b)
+        if denominator <= 0:
+            return 0.0
+        return max(0.0, min(1.0, 2.0 * self.resnik(a, b) / denominator))
+
+    def jiang_conrath_distance(self, a: str, b: str) -> float:
+        """Jiang-Conrath distance ``IC(a) + IC(b) - 2 * IC(lcs)``."""
+        return max(0.0, self.ic(a) + self.ic(b) - 2.0 * self.resnik(a, b))
+
+
+def _interned_overlap_score(tokens_a: list[int], tokens_b: list[int]) -> float:
+    """Greedy extended-Lesk overlap over interned token-id sequences.
+
+    The same procedure as :func:`repro.similarity.gloss
+    ._ngram_overlap_score` — repeatedly find the longest common
+    contiguous run, score it ``len**2``, remove it from both sides —
+    but the DP rows are *sparse*: only positions where the tokens
+    actually match are visited (non-match cells are always zero and can
+    never beat the running best), and comparisons are int equality
+    instead of string equality.  Identical removal sequence, identical
+    score, a fraction of the work.
+    """
+    a = list(tokens_a)
+    b = list(tokens_b)
+    score = 0.0
+    while a and b:
+        positions: dict[int, list[int]] = {}
+        for j, token in enumerate(b):
+            positions.setdefault(token, []).append(j)
+        best_len = 0
+        best_a = best_b = -1
+        prev: dict[int, int] = {}
+        for i, token in enumerate(a):
+            hits = positions.get(token)
+            row: dict[int, int] = {}
+            if hits:
+                prev_get = prev.get
+                for j in hits:
+                    length = prev_get(j - 1, 0) + 1
+                    row[j] = length
+                    if length > best_len:
+                        best_len = length
+                        best_a = i - length + 1
+                        best_b = j - length + 1
+            prev = row
+        if best_len == 0:
+            break
+        score += float(best_len * best_len)
+        del a[best_a : best_a + best_len]
+        del b[best_b : best_b + best_len]
+    return score
+
+
+class PackedIndex:
+    """Interned flat-array semantic index with a compact binary codec.
+
+    A drop-in ``index=`` accelerator: pass it wherever a
+    :class:`~repro.runtime.index.SemanticIndex` is accepted (the
+    similarity measures and :class:`repro.core.framework.XSDF` detect
+    it via the ``is_packed`` marker and route through the packed
+    kernels).  All scores are bit-identical to the dict-index and
+    plain-network paths.
+
+    Parameters
+    ----------
+    network:
+        The network to index (not mutated; the packed tables are a
+        snapshot and hold **no** reference to it afterwards, which is
+        what keeps the pickled form small).
+    include_gloss:
+        Pack extended-Lesk gloss token bags (True by default).
+    ic_smoothing:
+        Laplace smoothing for the information-content table, matching
+        :class:`repro.semnet.ic.InformationContent`'s default.
+    include_ic:
+        Pack the IC table eagerly (True by default) so workers never
+        recompute it.  Networks with no frequency mass (possible only
+        with ``ic_smoothing=0``) simply omit the table.
+    """
+
+    #: Duck-type marker the similarity measures test for (avoids an
+    #: import cycle between ``repro.similarity`` and ``repro.runtime``).
+    is_packed = True
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        include_gloss: bool = True,
+        ic_smoothing: float = 1.0,
+        include_ic: bool = True,
+    ):
+        start = time.perf_counter()
+        index = SemanticIndex(
+            network, include_gloss=include_gloss, ic_smoothing=ic_smoothing
+        )
+        self._load_from_semantic_index(index, include_ic=include_ic)
+        self.build_seconds = time.perf_counter() - start
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_semantic_index(
+        cls, index: SemanticIndex, include_ic: bool = True
+    ) -> "PackedIndex":
+        """Pack an already-built :class:`SemanticIndex` (shares no state)."""
+        start = time.perf_counter()
+        packed = cls.__new__(cls)
+        packed._load_from_semantic_index(index, include_ic=include_ic)
+        packed.build_seconds = time.perf_counter() - start
+        return packed
+
+    def _load_from_semantic_index(
+        self, index: SemanticIndex, include_ic: bool
+    ) -> None:
+        """Intern and flatten one SemanticIndex's tables into arrays."""
+        network = index.network
+        ids = tuple(concept.id for concept in network)
+        id_of = {cid: i for i, cid in enumerate(ids)}
+        n = len(ids)
+        ref_code = _index_typecode(n)
+
+        anc_off = array("I", [0])
+        anc_cid = array(ref_code)
+        anc_dist = array("I")
+        depths = array("I")
+        for cid in ids:
+            closure = index.hypernym_closure(cid)
+            for ancestor, dist in closure.items():
+                anc_cid.append(id_of[ancestor])
+                anc_dist.append(dist)
+            anc_off.append(len(anc_cid))
+            depths.append(index.depth(cid))
+
+        tokens: tuple[str, ...] = ()
+        gloss_off = gloss_tok = None
+        if index._gloss_bags is not None:
+            token_of: dict[str, int] = {}
+            flat: list[int] = []
+            gloss_off = array("I", [0])
+            for cid in ids:
+                for token in index.gloss_bag(cid):
+                    slot = token_of.get(token)
+                    if slot is None:
+                        slot = len(token_of)
+                        token_of[token] = slot
+                    flat.append(slot)
+                gloss_off.append(len(flat))
+            tokens = tuple(token_of)
+            gloss_tok = array(_index_typecode(len(tokens)), flat)
+
+        ic_values = None
+        max_ic = 1.0
+        if include_ic and n:
+            try:
+                ic = index.ic
+            except ValueError:
+                ic = None  # no frequency mass (only when smoothing == 0)
+            if ic is not None:
+                ic_values = array("d", (ic.ic(cid) for cid in ids))
+                max_ic = ic.max_ic
+
+        self._install_tables(
+            ids=ids,
+            depths=depths,
+            anc_off=anc_off,
+            anc_cid=anc_cid,
+            anc_dist=anc_dist,
+            tokens=tokens,
+            gloss_off=gloss_off,
+            gloss_tok=gloss_tok,
+            ic_values=ic_values,
+            max_ic=max_ic,
+            max_taxonomy_depth=index.max_taxonomy_depth,
+            ic_smoothing=index._ic_smoothing,
+        )
+
+    def _install_tables(
+        self,
+        ids: tuple[str, ...],
+        depths: array,
+        anc_off: array,
+        anc_cid: array,
+        anc_dist: array,
+        tokens: tuple[str, ...],
+        gloss_off: array | None,
+        gloss_tok: array | None,
+        ic_values: array | None,
+        max_ic: float,
+        max_taxonomy_depth: int,
+        ic_smoothing: float,
+    ) -> None:
+        """Set serialized tables and (re)initialize derived lazy state."""
+        self._ids = ids
+        self._id_of = {cid: i for i, cid in enumerate(ids)}
+        self._depths = depths.tolist()
+        self._anc_off = anc_off
+        self._anc_cid = anc_cid
+        self._anc_dist = anc_dist
+        self._tokens = tokens
+        self._gloss_off = gloss_off
+        self._gloss_tok = gloss_tok
+        self._ic_values = ic_values
+        self._ic_list = ic_values.tolist() if ic_values is not None else None
+        self._max_ic = max_ic
+        self.max_taxonomy_depth = max_taxonomy_depth
+        self._ic_smoothing = ic_smoothing
+        self.build_seconds = 0.0
+        # Derived lazy state (never serialized).
+        n = len(ids)
+        self._closures: list[dict[int, int] | None] = [None] * n
+        self._bags: list[list[int] | None] = [None] * n
+        self._bag_sets: list[frozenset[int] | None] = [None] * n
+        self._pair_memo: dict[
+            tuple[int, int], tuple[int, int, int, int] | None
+        ] = {}
+        self._pair_hits = 0
+        self._pair_misses = 0
+        self._ic_view: PackedIC | None = None
+
+    # -- interning ------------------------------------------------------------
+
+    def _intern(self, concept_id: str) -> int:
+        """Dense integer id of one concept (raises on unknown ids)."""
+        try:
+            return self._id_of[concept_id]
+        except KeyError:
+            raise UnknownConceptError(concept_id) from None
+
+    def concept_id(self, slot: int) -> str:
+        """The concept-id string a dense integer id stands for."""
+        return self._ids[slot]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    # -- packed kernels -------------------------------------------------------
+
+    def _closure(self, slot: int) -> dict[int, int]:
+        """Interned ancestor->distance map of one concept (memoized)."""
+        closure = self._closures[slot]
+        if closure is None:
+            lo, hi = self._anc_off[slot], self._anc_off[slot + 1]
+            closure = dict(
+                zip(self._anc_cid[lo:hi].tolist(),
+                    self._anc_dist[lo:hi].tolist())
+            )
+            self._closures[slot] = closure
+        return closure
+
+    def pair_terms(
+        self, a: str, b: str
+    ) -> tuple[int, int, int, int] | None:
+        """``(lcs_slot, depth(lcs), dist(a, lcs), dist(b, lcs))`` or None.
+
+        One memoized lookup serves every taxonomic measure: Wu-Palmer
+        reads all four terms, path/Leacock-Chodorow read the distance
+        sum, and the IC measures read the LCS slot.  The memo is keyed
+        on the unordered pair (the LCS and its tie-break are symmetric
+        in ``a`` and ``b``), halving its footprint.
+        """
+        ia = self._intern(a)
+        ib = self._intern(b)
+        if ia <= ib:
+            key = (ia, ib)
+            swapped = False
+        else:
+            key = (ib, ia)
+            swapped = True
+        terms = self._pair_memo.get(key, _MISSING)
+        if terms is _MISSING:
+            self._pair_misses += 1
+            terms = self._compute_pair(key[0], key[1])
+            self._pair_memo[key] = terms
+        else:
+            self._pair_hits += 1
+        if terms is None or not swapped:
+            return terms
+        lcs, depth, dist_a, dist_b = terms
+        return (lcs, depth, dist_b, dist_a)
+
+    def _compute_pair(
+        self, ia: int, ib: int
+    ) -> tuple[int, int, int, int] | None:
+        """Scan the smaller closure for the max-key shared ancestor.
+
+        The selection key is the total order ``(depth, -distance-sum,
+        concept-id)`` — exactly the tie-break the network and
+        :class:`SemanticIndex` use, so all three paths agree bit-for-bit.
+        """
+        closure_a = self._closure(ia)
+        closure_b = self._closure(ib)
+        if len(closure_a) <= len(closure_b):
+            outer, other, outer_is_a = closure_a, closure_b, True
+        else:
+            outer, other, outer_is_a = closure_b, closure_a, False
+        depths = self._depths
+        other_get = other.get
+        best = -1
+        best_depth = -1
+        best_sum = 0
+        best_out = best_oth = 0
+        for cid, dist_out in outer.items():
+            dist_oth = other_get(cid)
+            if dist_oth is None:
+                continue
+            depth = depths[cid]
+            total = dist_out + dist_oth
+            if best < 0 or depth > best_depth or (
+                depth == best_depth and (
+                    total < best_sum or (
+                        total == best_sum
+                        and self._ids[cid] > self._ids[best]
+                    )
+                )
+            ):
+                best = cid
+                best_depth = depth
+                best_sum = total
+                best_out = dist_out
+                best_oth = dist_oth
+        if best < 0:
+            return None
+        if outer_is_a:
+            return (best, best_depth, best_out, best_oth)
+        return (best, best_depth, best_oth, best_out)
+
+    def _bag(self, slot: int) -> list[int]:
+        """Interned gloss token sequence of one concept (memoized)."""
+        bag = self._bags[slot]
+        if bag is None:
+            assert self._gloss_off is not None and self._gloss_tok is not None
+            lo, hi = self._gloss_off[slot], self._gloss_off[slot + 1]
+            bag = self._gloss_tok[lo:hi].tolist()
+            self._bags[slot] = bag
+        return bag
+
+    def _bag_set(self, slot: int) -> frozenset[int]:
+        """Distinct token ids of one gloss bag (for the quick reject)."""
+        bag_set = self._bag_sets[slot]
+        if bag_set is None:
+            bag_set = frozenset(self._bag(slot))
+            self._bag_sets[slot] = bag_set
+        return bag_set
+
+    def lesk_similarity(self, a: str, b: str) -> float:
+        """Normalized extended-Lesk gloss overlap over interned tokens.
+
+        Bit-identical to :class:`repro.similarity.gloss
+        .ExtendedLeskSimilarity`'s unpacked arithmetic: disjoint token
+        sets short-circuit to the same 0.0 the full DP would produce.
+        """
+        if self._gloss_off is None:
+            raise RuntimeError(
+                "index was packed with include_gloss=False; "
+                "gloss kernels are unavailable"
+            )
+        ia = self._intern(a)
+        ib = self._intern(b)
+        if ia == ib:
+            return 1.0
+        bag_a = self._bag(ia)
+        bag_b = self._bag(ib)
+        if not bag_a or not bag_b:
+            return 0.0
+        if self._bag_set(ia).isdisjoint(self._bag_set(ib)):
+            return 0.0
+        raw = _interned_overlap_score(bag_a, bag_b)
+        shorter = min(len(bag_a), len(bag_b))
+        return min(1.0, (raw ** 0.5) / shorter)
+
+    def ic_value(self, concept_id: str) -> float:
+        """Packed information content of one concept (table lookup)."""
+        ic_list = self._ic_list
+        if ic_list is None:
+            raise RuntimeError(
+                "index was packed with include_ic=False; "
+                "the IC table is unavailable"
+            )
+        return ic_list[self._intern(concept_id)]
+
+    def ic_of_slot(self, slot: int) -> float:
+        """Packed information content of one interned concept slot."""
+        ic_list = self._ic_list
+        if ic_list is None:
+            raise RuntimeError(
+                "index was packed with include_ic=False; "
+                "the IC table is unavailable"
+            )
+        return ic_list[slot]
+
+    # -- SemanticIndex-compatible query surface -------------------------------
+
+    @property
+    def has_gloss(self) -> bool:
+        """True when gloss bags were packed."""
+        return self._gloss_off is not None
+
+    @property
+    def has_ic(self) -> bool:
+        """True when the information-content table was packed."""
+        return self._ic_values is not None
+
+    @property
+    def ic(self) -> PackedIC:
+        """Information-content view (API-compatible with the IC table)."""
+        if self._ic_list is None:
+            raise RuntimeError(
+                "index was packed with include_ic=False; "
+                "the IC table is unavailable"
+            )
+        if self._ic_view is None:
+            self._ic_view = PackedIC(self)
+        return self._ic_view
+
+    def hypernym_closure(self, concept_id: str) -> dict[str, int]:
+        """Ancestor -> minimal IS-A distance (includes self at 0)."""
+        slot = self._intern(concept_id)
+        lo, hi = self._anc_off[slot], self._anc_off[slot + 1]
+        ids = self._ids
+        return {
+            ids[cid]: dist
+            for cid, dist in zip(self._anc_cid[lo:hi], self._anc_dist[lo:hi])
+        }
+
+    def depth(self, concept_id: str) -> int:
+        """Minimal number of IS-A edges from a taxonomy root."""
+        return self._depths[self._intern(concept_id)]
+
+    def lowest_common_subsumer(self, a: str, b: str) -> str | None:
+        """Deepest shared IS-A ancestor under the total tie-break order."""
+        terms = self.pair_terms(a, b)
+        if terms is None:
+            return None
+        return self._ids[terms[0]]
+
+    def taxonomic_distance(self, a: str, b: str) -> int | None:
+        """Shortest IS-A path length between two concepts (via the LCS)."""
+        terms = self.pair_terms(a, b)
+        if terms is None:
+            return None
+        return terms[2] + terms[3]
+
+    def gloss_bag(self, concept_id: str) -> list[str]:
+        """Extended-Lesk token bag of one concept (reconstructed strings)."""
+        if self._gloss_off is None:
+            raise RuntimeError(
+                "index was packed with include_gloss=False; "
+                "gloss bags are unavailable"
+            )
+        tokens = self._tokens
+        return [tokens[t] for t in self._bag(self._intern(concept_id))]
+
+    # -- codec ----------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize every table to one checksummed, versioned buffer.
+
+        The payload is zlib-compressed (interned int runs compress
+        well); the header carries magic, format version, byte order,
+        and a CRC-32 of the compressed body so truncation and
+        corruption are detected before any table is trusted.
+        """
+        flags = (1 if self._gloss_off is not None else 0) | (
+            2 if self._ic_values is not None else 0
+        )
+        meta = struct.pack(
+            "<IIBdd",
+            len(self._ids),
+            self.max_taxonomy_depth,
+            flags,
+            self._ic_smoothing,
+            self._max_ic,
+        )
+        empty = array("I")
+        sections = [
+            meta,
+            _encode_strings(self._ids),
+            _pack_array(array("I", self._depths)),
+            _pack_array(self._anc_off),
+            _pack_array(self._anc_cid),
+            _pack_array(self._anc_dist),
+            _encode_strings(self._tokens),
+            _pack_array(self._gloss_off if self._gloss_off is not None
+                        else empty),
+            _pack_array(self._gloss_tok if self._gloss_tok is not None
+                        else empty),
+            _pack_array(self._ic_values if self._ic_values is not None
+                        else array("d")),
+        ]
+        body = b"".join(
+            struct.pack("<I", len(section)) + section for section in sections
+        )
+        packed_body = zlib.compress(body, 6)
+        header = _MAGIC + struct.pack(
+            "<HBII",
+            _VERSION,
+            0 if sys.byteorder == "little" else 1,
+            zlib.crc32(packed_body),
+            len(packed_body),
+        )
+        return header + packed_body
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PackedIndex":
+        """Decode a :meth:`to_bytes` buffer into a ready-to-query index.
+
+        Raises :class:`PackedIndexError` on bad magic, unsupported
+        version, truncation, or checksum mismatch.
+        """
+        packed = cls.__new__(cls)
+        packed._decode(data)
+        return packed
+
+    def _decode(self, data: bytes) -> None:
+        """Populate this instance from one serialized buffer."""
+        start = time.perf_counter()
+        header_size = len(_MAGIC) + struct.calcsize("<HBII")
+        if len(data) < header_size:
+            raise PackedIndexError("buffer shorter than the packed header")
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise PackedIndexError("not a packed-index buffer (bad magic)")
+        version, byteorder, crc, body_len = struct.unpack_from(
+            "<HBII", data, len(_MAGIC)
+        )
+        if version != _VERSION:
+            raise PackedIndexError(
+                f"unsupported packed-index version {version}"
+            )
+        packed_body = data[header_size:]
+        if len(packed_body) < body_len:
+            raise PackedIndexError(
+                f"buffer truncated: header declares {body_len} body bytes, "
+                f"{len(packed_body)} present"
+            )
+        packed_body = packed_body[:body_len]
+        if zlib.crc32(packed_body) != crc:
+            raise PackedIndexError("buffer corrupted (checksum mismatch)")
+        try:
+            body = zlib.decompress(packed_body)
+        except zlib.error as exc:
+            raise PackedIndexError(f"buffer corrupted: {exc}") from None
+        sections: list[bytes] = []
+        offset = 0
+        while offset < len(body):
+            if offset + 4 > len(body):
+                raise PackedIndexError("section length truncated")
+            (length,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            if offset + length > len(body):
+                raise PackedIndexError("section payload truncated")
+            sections.append(body[offset : offset + length])
+            offset += length
+        if len(sections) != 10:
+            raise PackedIndexError(
+                f"expected 10 sections, found {len(sections)}"
+            )
+        swap = (byteorder == 1) != (sys.byteorder == "big")
+        try:
+            n, max_depth, flags, smoothing, max_ic = struct.unpack(
+                "<IIBdd", sections[0]
+            )
+        except struct.error as exc:
+            raise PackedIndexError(f"meta section malformed: {exc}") from None
+        ids = _decode_strings(sections[1])
+        if len(ids) != n:
+            raise PackedIndexError(
+                f"id table declares {n} concepts, holds {len(ids)}"
+            )
+        depths = _unpack_array(sections[2], swap)
+        anc_off = _unpack_array(sections[3], swap)
+        anc_cid = _unpack_array(sections[4], swap)
+        anc_dist = _unpack_array(sections[5], swap)
+        if len(anc_off) != n + 1 or len(depths) != n:
+            raise PackedIndexError("taxonomy tables inconsistent")
+        if len(anc_cid) != len(anc_dist) or (
+            n and anc_off[-1] != len(anc_cid)
+        ):
+            raise PackedIndexError("ancestor tables inconsistent")
+        tokens = _decode_strings(sections[6])
+        gloss_off = gloss_tok = None
+        if flags & 1:
+            gloss_off = _unpack_array(sections[7], swap)
+            gloss_tok = _unpack_array(sections[8], swap)
+            if len(gloss_off) != n + 1 or (
+                n and gloss_off[-1] != len(gloss_tok)
+            ):
+                raise PackedIndexError("gloss tables inconsistent")
+        ic_values = None
+        if flags & 2:
+            ic_values = _unpack_array(sections[9], swap)
+            if len(ic_values) != n:
+                raise PackedIndexError("IC table inconsistent")
+        self._install_tables(
+            ids=ids,
+            depths=depths,
+            anc_off=anc_off,
+            anc_cid=anc_cid,
+            anc_dist=anc_dist,
+            tokens=tokens,
+            gloss_off=gloss_off,
+            gloss_tok=gloss_tok,
+            ic_values=ic_values,
+            max_ic=max_ic,
+            max_taxonomy_depth=max_depth,
+            ic_smoothing=smoothing,
+        )
+        self.build_seconds = time.perf_counter() - start
+
+    def __getstate__(self) -> dict[str, bytes]:
+        """Pickle as the compact codec buffer, not the object graph."""
+        return {"packed": self.to_bytes()}
+
+    def __setstate__(self, state: dict[str, bytes]) -> None:
+        """Rebuild every table from the pickled codec buffer."""
+        self._decode(state["packed"])
+
+    # -- observability --------------------------------------------------------
+
+    def stats(self) -> dict[str, int | float]:
+        """Size/build statistics, including pair-kernel memo hit rates."""
+        return {
+            "concepts": len(self._ids),
+            "ancestor_entries": len(self._anc_cid),
+            "gloss_tokens": (
+                len(self._gloss_tok) if self._gloss_tok is not None else 0
+            ),
+            "distinct_tokens": len(self._tokens),
+            "pair_memo_pairs": len(self._pair_memo),
+            "pair_memo_hits": self._pair_hits,
+            "pair_memo_misses": self._pair_misses,
+            "max_taxonomy_depth": self.max_taxonomy_depth,
+            "packed_bytes": len(self.to_bytes()),
+            "build_seconds": round(self.build_seconds, 6),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedIndex({len(self._ids)} concepts, "
+            f"{len(self._anc_cid)} ancestor entries)"
+        )

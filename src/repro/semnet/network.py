@@ -265,13 +265,24 @@ class SemanticNetwork:
         return max((self.depth(cid) for cid in self._concepts), default=1)
 
     def lowest_common_subsumer(self, a: str, b: str) -> str | None:
-        """The deepest shared IS-A ancestor of ``a`` and ``b`` (or None)."""
+        """The deepest shared IS-A ancestor of ``a`` and ``b`` (or None).
+
+        The tie-break key ``(depth, -distance-sum, concept-id)`` is a
+        *total* order: without the id component, exact depth/distance
+        ties would fall back to set-iteration order, which varies with
+        ``PYTHONHASHSEED`` — unacceptable for cross-process determinism.
+        """
         closure_a = self.hypernym_closure(a)
         closure_b = self.hypernym_closure(b)
         shared = set(closure_a) & set(closure_b)
         if not shared:
             return None
-        return max(shared, key=lambda cid: (self.depth(cid), -closure_a[cid] - closure_b[cid]))
+        return max(
+            shared,
+            key=lambda cid: (
+                self.depth(cid), -closure_a[cid] - closure_b[cid], cid
+            ),
+        )
 
     def taxonomic_distance(self, a: str, b: str) -> int | None:
         """Shortest IS-A path length between two concepts (via their LCS)."""

@@ -18,32 +18,48 @@ Each accepts an optional precomputed
 serves closures, depths, and LCS lookups from the index's tables
 instead of walking the network, with bit-identical results (the index
 stores the very closure dicts and tie-break the network produces).
+Passing a :class:`repro.runtime.pack.PackedIndex` (detected via its
+``is_packed`` marker) routes through the interned flat-array pair
+kernel instead — one memoized ``pair_terms`` lookup yields the LCS
+slot, its depth, and both distances, still bit-identical.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 from ..semnet.network import SemanticNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..runtime.index import SemanticIndex
+    from ..runtime.pack import PackedIndex
+
+    AnyIndex = Union[SemanticIndex, PackedIndex]
 
 
 class WuPalmerSimilarity:
     """Wu-Palmer conceptual similarity over a semantic network."""
 
     def __init__(self, network: SemanticNetwork,
-                 index: SemanticIndex | None = None):
+                 index: "AnyIndex | None" = None):
         self._network = network
         self._index = index
+        self._packed = index if getattr(index, "is_packed", False) else None
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        index = self._index
-        if index is not None:
+        packed = self._packed
+        if packed is not None:
+            terms = packed.pair_terms(a, b)
+            if terms is None:
+                return 0.0
+            depth_lcs = terms[1]
+            depth_a = depth_lcs + terms[2]
+            depth_b = depth_lcs + terms[3]
+        elif self._index is not None:
+            index = self._index
             lcs = index.lowest_common_subsumer(a, b)
             if lcs is None:
                 return 0.0
@@ -69,14 +85,19 @@ class PathSimilarity:
     """Inverse shortest-IS-A-path similarity: ``1 / (1 + distance)``."""
 
     def __init__(self, network: SemanticNetwork,
-                 index: SemanticIndex | None = None):
+                 index: "AnyIndex | None" = None):
         self._network = network
         self._index = index
+        self._packed = index if getattr(index, "is_packed", False) else None
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        if self._index is not None:
+        packed = self._packed
+        if packed is not None:
+            terms = packed.pair_terms(a, b)
+            distance = None if terms is None else terms[2] + terms[3]
+        elif self._index is not None:
             distance = self._index.taxonomic_distance(a, b)
         else:
             distance = self._network.taxonomic_distance(a, b)
@@ -94,9 +115,10 @@ class LeacockChodorowSimilarity:
     """
 
     def __init__(self, network: SemanticNetwork,
-                 index: SemanticIndex | None = None):
+                 index: "AnyIndex | None" = None):
         self._network = network
         self._index = index
+        self._packed = index if getattr(index, "is_packed", False) else None
         depth = max(
             1,
             index.max_taxonomy_depth
@@ -108,7 +130,11 @@ class LeacockChodorowSimilarity:
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
-        if self._index is not None:
+        packed = self._packed
+        if packed is not None:
+            terms = packed.pair_terms(a, b)
+            distance = None if terms is None else terms[2] + terms[3]
+        elif self._index is not None:
             distance = self._index.taxonomic_distance(a, b)
         else:
             distance = self._network.taxonomic_distance(a, b)

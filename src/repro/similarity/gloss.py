@@ -11,12 +11,15 @@ extended glosses, yielding a [0, 1] measure.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Union
 
 from ..semnet.network import SemanticNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from ..runtime.index import SemanticIndex
+    from ..runtime.pack import PackedIndex
+
+    AnyIndex = Union[SemanticIndex, PackedIndex]
 
 
 def _ngram_overlap_score(tokens_a: list[str], tokens_b: list[str]) -> float:
@@ -92,18 +95,27 @@ class ExtendedLeskSimilarity:
         Optional :class:`repro.runtime.index.SemanticIndex` whose
         precomputed gloss bags replace the lazy per-instance token cache
         (only consulted when ``expand`` matches the index's bags, i.e.
-        ``expand=True``).  Scores are identical either way.
+        ``expand=True``).  Scores are identical either way.  A
+        :class:`repro.runtime.pack.PackedIndex` routes the whole
+        comparison through its interned-token kernel — the same greedy
+        overlap over dense int ids with a disjoint-set quick reject —
+        still bit-identical.
     """
 
     def __init__(
         self,
         network: SemanticNetwork,
         expand: bool = True,
-        index: SemanticIndex | None = None,
+        index: "AnyIndex | None" = None,
     ):
         self._network = network
         self._expand = expand
         self._index = index if (index is not None and expand) else None
+        self._packed = (
+            self._index
+            if getattr(self._index, "is_packed", False)
+            else None
+        )
         self._token_cache: dict[str, list[str]] = {}
 
     def _extended_gloss(self, concept_id: str) -> list[str]:
@@ -121,6 +133,8 @@ class ExtendedLeskSimilarity:
     def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 1.0
+        if self._packed is not None:
+            return self._packed.lesk_similarity(a, b)
         tokens_a = self._extended_gloss(a)
         tokens_b = self._extended_gloss(b)
         if not tokens_a or not tokens_b:

@@ -113,6 +113,32 @@ class TestIndexParity:
             rules=["index-parity"],
         ) == []
 
+    def test_fires_on_unguarded_packed_deref(self, lint):
+        # The PackedIndex fast path (self._packed) carries the same
+        # guard + fallback contract as the dict index.
+        findings = lint(
+            """\
+            class Measure:
+                def __call__(self, a, b):
+                    return self._packed.pair_terms(a, b)
+            """,
+            rules=["index-parity"],
+        )
+        assert rules_of(findings) == ["index-parity"]
+
+    def test_tracks_alias_of_self_packed_with_fallback(self, lint):
+        assert lint(
+            """\
+            class Measure:
+                def __call__(self, a, b):
+                    packed = self._packed
+                    if packed is not None:
+                        return packed.pair_terms(a, b)
+                    return self._walk(a, b)
+            """,
+            rules=["index-parity"],
+        ) == []
+
 
 class TestCachePurity:
     def test_fires_on_parameter_mutation(self, lint):

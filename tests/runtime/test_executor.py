@@ -16,7 +16,14 @@ import io
 import pytest
 
 from repro import XSDF, XSDFConfig
-from repro.runtime import BatchDocument, BatchExecutor, MetricsRegistry
+from repro.runtime import (
+    BatchDocument,
+    BatchExecutor,
+    MetricsRegistry,
+    PackedIndex,
+    SemanticIndex,
+)
+from repro.runtime import executor as executor_module
 
 
 def _one_doc_per_dataset(corpus):
@@ -72,6 +79,100 @@ class TestParallelDeterminism:
         executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
         records = executor.run(reversed_docs)
         assert [r.name for r in records] == [name for name, _ in reversed_docs]
+
+    def test_byte_identical_across_index_and_worker_modes(
+        self, lexicon, corpus
+    ):
+        """{serial, parallel} x {dict-index, packed-index} all agree."""
+        docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:4]]
+        outputs = []
+        for workers in (1, 2):
+            for packed in (False, True):
+                executor = BatchExecutor(
+                    lexicon, XSDFConfig(), workers=workers, packed=packed
+                )
+                out = io.StringIO()
+                executor.run_to_jsonl(docs, out)
+                outputs.append(out.getvalue())
+        assert all(output == outputs[0] for output in outputs)
+
+    def test_parent_index_is_built_once_and_shared(self, lexicon, corpus):
+        docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:2]]
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+        executor.run(docs)
+        index = executor._index
+        assert isinstance(index, PackedIndex)
+        executor.run(docs)
+        assert executor._index is index  # same object, not rebuilt
+        dict_mode = BatchExecutor(
+            lexicon, XSDFConfig(), workers=1, packed=False
+        )
+        dict_mode.run(docs)
+        assert isinstance(dict_mode._index, SemanticIndex)
+
+
+class TestAdaptiveChunking:
+    def test_counts_dominate_for_small_documents(self, lexicon):
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        docs = [BatchDocument(f"d{i}", "<a/>") for i in range(80)]
+        # ceil(80 / (4*2)) = 10, far below the byte cap for tiny docs.
+        assert executor._auto_chunk(docs) == 10
+
+    def test_byte_cap_shrinks_chunks_for_large_documents(self, lexicon):
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        big = "<a>" + "x" * (2 * executor_module.TARGET_CHUNK_BYTES) + "</a>"
+        docs = [BatchDocument(f"d{i}", big) for i in range(80)]
+        assert executor._auto_chunk(docs) == 1
+
+
+class TestPoolFailureDegrade:
+    def test_map_failure_degrades_to_serial(
+        self, lexicon, figure1_xml, monkeypatch
+    ):
+        """A mid-batch pool.map blow-up must not sink the run."""
+
+        class _ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                # Run the initializer like a real pool would, so the
+                # degrade happens after worker setup, not instead of it.
+                init = kwargs.get("initializer")
+                if init is not None:
+                    init(*kwargs.get("initargs", ()))
+
+            def map(self, fn, tasks, chunksize=None):
+                raise RuntimeError("worker crashed mid-batch")
+
+            def close(self):
+                pass
+
+            def join(self):
+                pass
+
+        import multiprocessing
+
+        monkeypatch.setattr(multiprocessing, "Pool", _ExplodingPool)
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        docs = [("a", figure1_xml), ("b", figure1_xml)]
+        records = executor.run(docs)
+        assert [r.name for r in records] == ["a", "b"]
+        assert all(r.ok for r in records)
+        # And the serial result equals an untouched serial executor's.
+        serial = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+        assert [r.to_json_line() for r in records] == \
+            [r.to_json_line() for r in serial.run(docs)]
+
+    def test_pool_creation_failure_degrades_to_serial(
+        self, lexicon, figure1_xml, monkeypatch
+    ):
+        import multiprocessing
+
+        def _no_pool(*args, **kwargs):
+            raise OSError("no process spawning here")
+
+        monkeypatch.setattr(multiprocessing, "Pool", _no_pool)
+        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        records = executor.run([("a", figure1_xml), ("b", figure1_xml)])
+        assert all(r.ok for r in records)
 
 
 class TestFaultIsolation:

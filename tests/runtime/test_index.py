@@ -161,3 +161,19 @@ class TestIndexQueries:
         assert stats["gloss_bags"] == len(lexicon)
         assert stats["ancestor_entries"] > stats["concepts"]
         assert stats["build_seconds"] >= 0
+        # Counts are ints (the annotation says int | float; only
+        # build_seconds is a float) and the LCS memo is observable.
+        for key, value in stats.items():
+            if key != "build_seconds":
+                assert isinstance(value, int), key
+        assert stats["lcs_memo_hits"] + stats["lcs_memo_misses"] >= 0
+
+    def test_lcs_memo_counters_track_lookups(self, lexicon):
+        index = SemanticIndex(lexicon, include_gloss=False)
+        ids = [concept.id for concept in lexicon]
+        a, b = ids[10], ids[20]
+        index.lowest_common_subsumer(a, b)
+        index.lowest_common_subsumer(a, b)
+        stats = index.stats()
+        assert stats["lcs_memo_misses"] == 1
+        assert stats["lcs_memo_hits"] == 1

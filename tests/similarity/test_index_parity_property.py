@@ -8,6 +8,11 @@ the five ``repro.similarity`` modules.  ``edge``, ``node``, ``gloss``
 and ``combined`` expose the ``index=`` fast path directly;
 ``vector`` has none (its inputs are plain mappings), which a signature
 test pins so a future fast path cannot dodge this battery.
+
+Each measure is exercised in **both** accelerated modes: the dict-keyed
+:class:`SemanticIndex` and the interned flat-array
+:class:`~repro.runtime.pack.PackedIndex` — three-way bit-identity
+(network walk == dict index == packed kernels) on every sampled pair.
 """
 
 from __future__ import annotations
@@ -18,7 +23,7 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.runtime import SemanticIndex
+from repro.runtime import PackedIndex, SemanticIndex
 from repro.semnet.generator import GeneratorConfig, generate_network
 from repro.semnet.ic import InformationContent
 from repro.similarity.combined import CombinedSimilarity, SimilarityWeights
@@ -35,8 +40,9 @@ from repro.similarity.node import (
 )
 from repro.similarity.vector import VECTOR_MEASURES
 
-#: (network, index, ic) per generator shape — hypothesis revisits
-#: shapes across examples, and network construction dominates runtime.
+#: (network, index, packed, ic) per generator shape — hypothesis
+#: revisits shapes across examples, and network construction dominates
+#: runtime.
 _NETWORK_CACHE: dict[tuple, tuple] = {}
 
 network_shapes = st.tuples(
@@ -58,8 +64,12 @@ def _network_index_ic(shape):
             mean_polysemy=polysemy,
             seed=seed,
         ))
+        index = SemanticIndex(network)
         _NETWORK_CACHE[shape] = (
-            network, SemanticIndex(network), InformationContent(network)
+            network,
+            index,
+            PackedIndex.from_semantic_index(index),
+            InformationContent(network),
         )
     return _NETWORK_CACHE[shape]
 
@@ -75,25 +85,33 @@ def _sample_pairs(network, seed, n_random=25):
     return pairs
 
 
-def _measure_pairs(network, index, ic, weights=None):
-    """(slow, fast) instances for every index-accepting measure."""
+def _measure_triples(network, index, packed, ic, weights=None):
+    """(slow, dict-fast, packed-fast) per index-accepting measure."""
     return [
         (WuPalmerSimilarity(network),
-         WuPalmerSimilarity(network, index=index)),
+         WuPalmerSimilarity(network, index=index),
+         WuPalmerSimilarity(network, index=packed)),
         (PathSimilarity(network),
-         PathSimilarity(network, index=index)),
+         PathSimilarity(network, index=index),
+         PathSimilarity(network, index=packed)),
         (LeacockChodorowSimilarity(network),
-         LeacockChodorowSimilarity(network, index=index)),
+         LeacockChodorowSimilarity(network, index=index),
+         LeacockChodorowSimilarity(network, index=packed)),
         (LinSimilarity(network, ic=ic),
-         LinSimilarity(network, ic=ic, index=index)),
+         LinSimilarity(network, ic=ic, index=index),
+         LinSimilarity(network, ic=ic, index=packed)),
         (ResnikSimilarity(network, ic=ic),
-         ResnikSimilarity(network, ic=ic, index=index)),
+         ResnikSimilarity(network, ic=ic, index=index),
+         ResnikSimilarity(network, ic=ic, index=packed)),
         (JiangConrathSimilarity(network, ic=ic),
-         JiangConrathSimilarity(network, ic=ic, index=index)),
+         JiangConrathSimilarity(network, ic=ic, index=index),
+         JiangConrathSimilarity(network, ic=ic, index=packed)),
         (ExtendedLeskSimilarity(network),
-         ExtendedLeskSimilarity(network, index=index)),
+         ExtendedLeskSimilarity(network, index=index),
+         ExtendedLeskSimilarity(network, index=packed)),
         (CombinedSimilarity(network, ic=ic, weights=weights),
-         CombinedSimilarity(network, ic=ic, weights=weights, index=index)),
+         CombinedSimilarity(network, ic=ic, weights=weights, index=index),
+         CombinedSimilarity(network, ic=ic, weights=weights, index=packed)),
     ]
 
 
@@ -105,14 +123,21 @@ class TestIndexParityProperty:
     )
     @given(shape=network_shapes, pair_seed=st.integers(0, 2**16))
     def test_every_measure_is_bit_identical(self, shape, pair_seed):
-        """Indexed scores must ``==`` unindexed ones, measure by measure."""
-        network, index, ic = _network_index_ic(shape)
+        """Indexed and packed scores must ``==`` unindexed ones."""
+        network, index, packed, ic = _network_index_ic(shape)
         pairs = _sample_pairs(network, pair_seed)
-        for slow, fast in _measure_pairs(network, index, ic):
+        for slow, fast, fast_packed in _measure_triples(
+            network, index, packed, ic
+        ):
             for a, b in pairs:
-                assert slow(a, b) == fast(a, b), (
-                    f"{type(slow).__name__} diverges on ({a}, {b}) "
-                    f"for network shape {shape}"
+                expected = slow(a, b)
+                assert expected == fast(a, b), (
+                    f"{type(slow).__name__} (dict index) diverges on "
+                    f"({a}, {b}) for network shape {shape}"
+                )
+                assert expected == fast_packed(a, b), (
+                    f"{type(slow).__name__} (packed index) diverges on "
+                    f"({a}, {b}) for network shape {shape}"
                 )
 
     @settings(
@@ -131,14 +156,19 @@ class TestIndexParityProperty:
         self, shape, pair_seed, mix
     ):
         """The Definition 9 combination keeps parity for any weights."""
-        network, index, ic = _network_index_ic(shape)
+        network, index, packed, ic = _network_index_ic(shape)
         weights = SimilarityWeights(*mix)
         slow = CombinedSimilarity(network, ic=ic, weights=weights)
         fast = CombinedSimilarity(
             network, ic=ic, weights=weights, index=index
         )
+        fast_packed = CombinedSimilarity(
+            network, ic=ic, weights=weights, index=packed
+        )
         for a, b in _sample_pairs(network, pair_seed, n_random=12):
-            assert slow(a, b) == fast(a, b)
+            expected = slow(a, b)
+            assert expected == fast(a, b)
+            assert expected == fast_packed(a, b)
 
     def test_vector_module_has_no_index_fast_path(self):
         """``repro.similarity.vector`` takes no ``index=`` — if one is

@@ -113,6 +113,36 @@ class TestBatch:
         with pytest.raises(SystemExit):
             run(["batch", "/nonexistent/*.xml"])
 
+    def test_batch_dict_index_is_byte_identical(self, tmp_path, figure1_xml):
+        for i in range(2):
+            (tmp_path / f"doc-{i}.xml").write_text(
+                figure1_xml, encoding="utf-8"
+            )
+        packed_out = tmp_path / "packed.jsonl"
+        dict_out = tmp_path / "dict.jsonl"
+        code, _ = run([
+            "batch", str(tmp_path / "*.xml"), "--out", str(packed_out),
+        ])
+        assert code == 0
+        code, _ = run([
+            "batch", str(tmp_path / "*.xml"), "--out", str(dict_out),
+            "--dict-index",
+        ])
+        assert code == 0
+        assert packed_out.read_bytes() == dict_out.read_bytes()
+
+    def test_batch_profile_prints_summary(self, tmp_path, figure1_xml):
+        (tmp_path / "doc.xml").write_text(figure1_xml, encoding="utf-8")
+        out_path = tmp_path / "results.jsonl"
+        code, output = run([
+            "batch", str(tmp_path / "*.xml"), "--out", str(out_path),
+            "--profile",
+        ])
+        assert code == 0
+        assert "--- profile" in output
+        assert "cumulative" in output
+        assert len(out_path.read_text().splitlines()) == 1
+
 
 class TestAudit:
     def test_ranking(self, xml_file):
