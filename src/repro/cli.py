@@ -9,9 +9,10 @@ Commands
 ``batch GLOB [GLOB ...]``
     Disambiguate a whole corpus of XML files through the cached,
     parallel runtime (:mod:`repro.runtime`): JSONL results to a file or
-    stdout, optional metrics report (``--metrics``), optional cProfile
-    hot-frame summary (``--profile``), packed index by default
-    (``--dict-index`` for the dict-keyed one).
+    stdout, optional metrics report (``--metrics-json``), optional
+    cProfile hot-frame summary (``--profile``), packed index by default
+    (``--dict-index`` for the dict-keyed one), exact pruning and sphere
+    memoization on by default (``--no-prune``/``--no-memo``).
 ``audit FILE``
     Print the ambiguity-degree ranking of the file's nodes — which
     nodes are worth disambiguating, before spending any effort.
@@ -88,8 +89,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="documents per worker task (default: auto)")
     batch.add_argument("--out", default=None,
                        help="write JSONL results here (default: stdout)")
-    batch.add_argument("--metrics", default=None, metavar="PATH",
-                       help="write a JSON metrics report to PATH")
+    batch.add_argument("--metrics-json", "--metrics", dest="metrics_json",
+                       default=None, metavar="PATH",
+                       help="write the per-stage counter/timer/cache "
+                            "snapshot (including memo and pruning "
+                            "counters) as JSON to PATH for trend "
+                            "tracking across runs")
+    batch.add_argument("--no-memo", action="store_true",
+                       help="disable cross-document sphere memoization "
+                            "(results are bit-identical either way)")
+    batch.add_argument("--no-prune", action="store_true",
+                       help="disable exact candidate pruning (chosen "
+                            "senses and scores are identical either "
+                            "way; pruning omits provably-losing "
+                            "candidates from per-node score tables)")
     batch.add_argument("--no-index", action="store_true",
                        help="disable the precomputed index and caches "
                             "(uncached baseline)")
@@ -185,6 +198,9 @@ def _make_config(args: argparse.Namespace) -> XSDFConfig:
         similarity_weights=weights,
         include_values=not args.structure_only,
         strip_target_dimension=args.strip_target_dimension,
+        # Batch-only flags; the disambiguate parser keeps the defaults.
+        prune=not getattr(args, "no_prune", False),
+        memo=not getattr(args, "no_memo", False),
     )
 
 
@@ -260,8 +276,8 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         records = executor.run_to_jsonl(documents, out)
     if profiler is not None:
         profiler.disable()
-    if args.metrics:
-        metrics.write_json(args.metrics)
+    if args.metrics_json:
+        metrics.write_json(args.metrics_json)
 
     failures = [r for r in records if not r.ok]
     report = metrics.report()
@@ -273,6 +289,22 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         f"{len(records)} documents, {len(failures)} failed, "
         f"{rate:.1f} docs/s"
     )
+    counters = report.get("counters", {})
+    caches = report.get("caches", {})
+    # Serial runs surface memo traffic through the registered LRU;
+    # parallel runs through the merged worker counters.
+    memo_hits = counters.get("memo_hits", 0) or caches.get(
+        "sphere_memo", {}
+    ).get("hits", 0)
+    memo_misses = counters.get("memo_misses", 0) or caches.get(
+        "sphere_memo", {}
+    ).get("misses", 0)
+    pruned = counters.get("candidates_pruned", 0)
+    if memo_hits or memo_misses or pruned:
+        summary += (
+            f", memo {int(memo_hits)}/{int(memo_hits + memo_misses)} hits"
+            f", {int(pruned)} candidates pruned"
+        )
     stream = sys.stderr if not args.out else out
     stream.write(summary + "\n")
     for record in failures:

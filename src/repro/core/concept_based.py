@@ -43,6 +43,9 @@ class ConceptBasedScorer:
         self._network = network
         self._similarity = similarity
         self._sense_cache = sense_cache
+        # Memo for the pruning upper bound's best-sense term, keyed like
+        # sense_cache entries; bounds recur exactly as scores do.
+        self._bound_cache: dict[tuple[Candidate, tuple[str, ...]], float] = {}
 
     def _candidate_similarity(self, candidate: Candidate, sense_id: str) -> float:
         """``Sim((s_p, s_q), s_j)`` — the average over candidate parts."""
@@ -87,6 +90,89 @@ class ConceptBasedScorer:
             return 0.0
         return total / len(sphere)
 
+    def context_inventory(
+        self,
+        sphere: Sphere,
+        vector: dict[str, float] | None = None,
+    ) -> list[tuple[tuple[str, ...], float]]:
+        """The per-member ``(sense-ids, weight)`` list scoring folds over.
+
+        Built once per sphere (in member order — the accumulation order
+        every score follows) and shared between :meth:`score_one`,
+        :meth:`upper_bound_one`, and :meth:`score_all`.  ``vector`` lets
+        callers supply the sphere's context vector when they already
+        hold it (it is read, never mutated).
+        """
+        weights = vector if vector is not None else context_vector(sphere)
+        context: list[tuple[tuple[str, ...], float]] = []
+        for member in sphere:
+            sense_ids = tuple(context_sense_ids(member.node, self._network))
+            if sense_ids:
+                context.append((sense_ids, weights[member.node.label]))
+        return context
+
+    def score_one(
+        self,
+        candidate: Candidate,
+        context: list[tuple[tuple[str, ...], float]],
+        size: int,
+    ) -> float:
+        """Exact Definition 8 score over a prebuilt context inventory.
+
+        The accumulation is term-for-term the loop :meth:`score_all`
+        runs, so scores are bit-identical whether a candidate is scored
+        in a batch or alone (exact pruning depends on this).
+        """
+        total = 0.0
+        for sense_ids, label_weight in context:
+            total += (
+                self._best_sense_similarity(candidate, sense_ids)
+                * label_weight
+            )
+        return total / size if size else 0.0
+
+    def _best_sense_bound(
+        self,
+        candidate: Candidate,
+        sense_ids: tuple[str, ...],
+        upper_bound: ConceptSimilarity,
+    ) -> float:
+        """Upper bound on ``Max_j Sim(candidate, s_j)`` (memoized)."""
+        key = (candidate, sense_ids)
+        best = self._bound_cache.get(key)
+        if best is None:
+            best = max(
+                sum(upper_bound(part, sense_id) for part in candidate)
+                / len(candidate)
+                for sense_id in sense_ids
+            )
+            self._bound_cache[key] = best
+        return best
+
+    def upper_bound_one(
+        self,
+        candidate: Candidate,
+        context: list[tuple[tuple[str, ...], float]],
+        size: int,
+        upper_bound: ConceptSimilarity,
+    ) -> float:
+        """Float upper bound on :meth:`score_one` for exact pruning.
+
+        Mirrors :meth:`score_one`'s accumulation with every pairwise
+        similarity replaced by ``upper_bound`` (a pointwise float
+        dominator, e.g. :meth:`repro.similarity.combined
+        .CombinedSimilarity.upper_bound`).  Because IEEE rounding is
+        monotone and the op sequence is identical, the result dominates
+        the exact score in float arithmetic — no epsilon needed.
+        """
+        total = 0.0
+        for sense_ids, label_weight in context:
+            total += (
+                self._best_sense_bound(candidate, sense_ids, upper_bound)
+                * label_weight
+            )
+        return total / size if size else 0.0
+
     def score_all(
         self,
         candidates: list[Candidate],
@@ -101,20 +187,9 @@ class ConceptBasedScorer:
         the sphere's context vector pass it as ``vector`` (it is read,
         never mutated) so it is not re-derived per scorer.
         """
-        weights = vector if vector is not None else context_vector(sphere)
-        context: list[tuple[tuple[str, ...], float]] = []
-        for member in sphere:
-            sense_ids = tuple(context_sense_ids(member.node, self._network))
-            if sense_ids:
-                context.append((sense_ids, weights[member.node.label]))
+        context = self.context_inventory(sphere, vector)
         size = len(sphere)
-        scores: dict[Candidate, float] = {}
-        for candidate in candidates:
-            total = 0.0
-            for sense_ids, label_weight in context:
-                total += (
-                    self._best_sense_similarity(candidate, sense_ids)
-                    * label_weight
-                )
-            scores[candidate] = total / size if size else 0.0
-        return scores
+        return {
+            candidate: self.score_one(candidate, context, size)
+            for candidate in candidates
+        }

@@ -83,6 +83,18 @@ class XSDFConfig:
         before comparing them, removing a self-word bias that favors
         senses with few semantic neighbors.  Dramatically improves the
         context-based process — see the target-dimension ablation.
+    prune:
+        Exact candidate pruning (default on): run candidates
+        best-upper-bound-first and stop once the running best provably
+        beats every remaining bound.  The chosen sense and its scores
+        are bit-identical to the exhaustive loop; only provably-losing
+        candidates are skipped (their entries are then absent from the
+        per-candidate ``scores`` breakdown).
+    memo:
+        Cross-document sphere memoization (default on): identical
+        disambiguation situations (target + sphere + config + network)
+        replay their memoized outcome instead of recomputing it.
+        Results are bit-identical; see :mod:`repro.runtime.memo`.
     """
 
     ambiguity_weights: AmbiguityWeights = field(default_factory=AmbiguityWeights)
@@ -96,6 +108,8 @@ class XSDFConfig:
     include_values: bool = True
     strip_target_dimension: bool = False
     distance_policy: object | None = None
+    prune: bool = True
+    memo: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ambiguity_threshold <= 1.0:

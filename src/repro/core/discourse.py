@@ -17,6 +17,12 @@ untouched.
 
 This is an extension beyond the paper; the discourse ablation benchmark
 quantifies its effect per group.
+
+Voting reads the per-candidate ``scores`` tables, so it composes best
+with ``XSDFConfig(prune=False)``: exact candidate pruning (on by
+default) omits provably-losing candidates from ``scores``, which leaves
+each node's *chosen* sense untouched but shrinks the vote mass
+minority senses can accumulate.
 """
 
 from __future__ import annotations

@@ -73,6 +73,14 @@ class XSDF:
         Optional memo for the concept-based scorer's best-sense term
         (``Max_j Sim(candidate, s_j)`` per context sense inventory);
         scores are unchanged, repeated context labels get cheaper.
+    sphere_memo:
+        Optional :class:`repro.runtime.memo.SphereMemo` replaying whole
+        disambiguation outcomes for repeated (target, sphere, config,
+        network) situations.  By default one is created when
+        ``config.memo`` is on and no custom ``similarity`` callable was
+        supplied (a custom callable cannot be fingerprinted into the
+        memo key, so memoization is skipped for safety).  Replayed
+        results are bit-identical to fresh computation.
     metrics:
         Optional :class:`repro.runtime.metrics.MetricsRegistry`.  When
         set, the pipeline records per-stage latency (parse, select,
@@ -88,6 +96,7 @@ class XSDF:
         index=None,
         similarity_cache=None,
         sense_cache=None,
+        sphere_memo=None,
         metrics=None,
     ):
         self.network = network
@@ -97,6 +106,7 @@ class XSDF:
         self.sense_cache = sense_cache
         self.metrics = metrics
         self.pipeline = LinguisticPipeline(known=network.has_word)
+        user_supplied_similarity = similarity is not None
         if similarity is None:
             needs_ic = self.config.similarity_weights.node > 0
             if index is not None:
@@ -110,6 +120,27 @@ class XSDF:
                 index=index,
                 cache=similarity_cache,
             )
+        self._similarity = similarity
+        # Exact pruning needs the combined measure's upper_bound(); any
+        # other similarity callable falls back to exhaustive scoring.
+        self._prune = self.config.prune and isinstance(
+            similarity, CombinedSimilarity
+        )
+        if (
+            sphere_memo is None
+            and self.config.memo
+            and not user_supplied_similarity
+        ):
+            from ..runtime.memo import SphereMemo
+
+            sphere_memo = SphereMemo(self.config, network.fingerprint())
+        self.sphere_memo = sphere_memo
+        #: Cumulative exact-pruning counters (pruned candidates were
+        #: *provably* losing; evaluated ones were scored exactly).
+        self.prune_stats = {
+            "candidates_evaluated": 0,
+            "candidates_pruned": 0,
+        }
         self._concept_scorer = ConceptBasedScorer(
             network, similarity, sense_cache=sense_cache
         )
@@ -213,8 +244,8 @@ class XSDF:
                 tree, node, self.config.sphere_radius,
                 policy=self._distance_policy,
             )
-            concept_scores, context_scores, combined = self._score(
-                candidates, sphere
+            concept_scores, context_scores, combined, chosen = (
+                self._score_memoized(candidates, sphere)
             )
         else:
             with m.timer("sphere"):
@@ -223,10 +254,9 @@ class XSDF:
                     policy=self._distance_policy,
                 )
             with m.timer("score"):
-                concept_scores, context_scores, combined = self._score(
-                    candidates, sphere
+                concept_scores, context_scores, combined, chosen = (
+                    self._score_memoized(candidates, sphere)
                 )
-        chosen = self._pick(combined)
         return SenseAssignment(
             node_index=node.index,
             label=node.label,
@@ -240,14 +270,69 @@ class XSDF:
             scores=combined,
         )
 
+    def _score_memoized(self, candidates: list[Candidate], sphere):
+        """:meth:`_score`, replayed from the sphere memo when possible.
+
+        The memo key (:func:`repro.runtime.memo.sphere_signature`)
+        covers the complete input of the scoring function — frozen
+        config and network fingerprints, the target, and the ordered
+        member sequence — so replayed entries are bit-identical to
+        fresh computation.
+        """
+        memo = self.sphere_memo
+        if memo is None:
+            return self._score(candidates, sphere)
+        signature = memo.signature(sphere)
+        entry = memo.get(signature)
+        m = self.metrics
+        if entry is not None:
+            if m is not None:
+                m.count("memo_hits")
+            chosen, combined_items, concept_items, context_items = entry
+            # Fresh dicts per assignment: SenseAssignment exposes the
+            # scores mapping, so callers must not share one instance.
+            return (
+                dict(concept_items),
+                dict(context_items),
+                dict(combined_items),
+                chosen,
+            )
+        if m is not None:
+            m.count("memo_misses")
+        concept_scores, context_scores, combined, chosen = self._score(
+            candidates, sphere
+        )
+        memo.put(
+            signature,
+            (
+                chosen,
+                tuple(combined.items()),
+                tuple(concept_scores.items()),
+                tuple(context_scores.items()),
+            ),
+        )
+        return concept_scores, context_scores, combined, chosen
+
     def _score(self, candidates: list[Candidate], sphere):
-        """Per-candidate concept, context, and final scores (Eq. 13)."""
+        """Per-candidate concept, context, and final scores (Eq. 13).
+
+        Returns ``(concept_scores, context_scores, combined, chosen)``.
+        With pruning active, ``combined`` (and ``concept_scores``)
+        contain only the candidates that were actually evaluated —
+        every skipped candidate was *provably* below the winner.
+        """
         approach = self.config.approach
-        concept_scores: dict[Candidate, float] = {}
-        context_scores: dict[Candidate, float] = {}
         # Both scorers weight by the same Definition 7 vector; derive it
         # once per sphere instead of once per scorer.
         vector = context_vector(sphere)
+        if (
+            self._prune
+            and approach is not DisambiguationApproach.CONTEXT_BASED
+            and len(candidates) > 1
+        ):
+            return self._score_pruned(candidates, sphere, vector)
+        concept_scores: dict[Candidate, float] = {}
+        context_scores: dict[Candidate, float] = {}
         if approach in (
             DisambiguationApproach.CONCEPT_BASED,
             DisambiguationApproach.COMBINED,
@@ -275,7 +360,102 @@ class XSDF:
                 )
                 for candidate in candidates
             }
-        return concept_scores, context_scores, combined
+        self.prune_stats["candidates_evaluated"] += len(candidates)
+        if self.metrics is not None:
+            self.metrics.count("candidates_evaluated", len(candidates))
+        return concept_scores, context_scores, combined, self._pick(combined)
+
+    def _score_pruned(
+        self,
+        candidates: list[Candidate],
+        sphere,
+        vector: dict[str, float],
+    ):
+        """Best-bound-first scoring with an exact early stop.
+
+        Candidates are evaluated in decreasing order of a float upper
+        bound on their final score (the cheap context-based component is
+        computed exactly for all candidates; only the expensive
+        concept-based sum is bounded).  Once the running best provably
+        dominates every remaining bound under :meth:`_pick`'s
+        ``(score, sense-rank)`` order, the rest are skipped.  Because
+        the bound dominates the true score *in float arithmetic* (see
+        :meth:`ConceptBasedScorer.upper_bound_one`) and the evaluated
+        scores use the identical operation sequence as the exhaustive
+        path, the chosen sense and all reported scores are
+        bit-identical to exhaustive scoring.
+        """
+        approach = self.config.approach
+        scorer = self._concept_scorer
+        context = scorer.context_inventory(sphere, vector)
+        size = len(sphere)
+        combined_approach = approach is DisambiguationApproach.COMBINED
+        if combined_approach:
+            w_concept, w_context = self.config.normalized_approach_weights
+            context_scores = self._context_scorer.score_all(
+                candidates, sphere, vector=vector
+            )
+        else:
+            w_concept, w_context = 1.0, 0.0
+            context_scores = {}
+        upper = self._similarity.upper_bound
+        ranked = []
+        for rank, candidate in enumerate(candidates):
+            concept_ub = scorer.upper_bound_one(
+                candidate, context, size, upper
+            )
+            if combined_approach:
+                bound = (
+                    w_concept * concept_ub
+                    + w_context * context_scores[candidate]
+                )
+            else:
+                bound = concept_ub
+            ranked.append((bound, rank, candidate))
+        # Descending bound, ascending sense rank on equal bounds, so the
+        # break below can never skip a candidate that _pick would take.
+        ranked.sort(key=lambda item: (-item[0], item[1]))
+        concept_scores: dict[Candidate, float] = {}
+        combined: dict[Candidate, float] = {}
+        best: Candidate | None = None
+        best_score = float("-inf")
+        best_rank = -1
+        evaluated = 0
+        for bound, rank, candidate in ranked:
+            # A remaining candidate can only beat (best_score,
+            # best_rank) in _pick's order if its bound exceeds the best
+            # score, or ties it with an earlier sense rank.  The sort
+            # order makes every later candidate skippable too.
+            if bound < best_score or (
+                bound == best_score and rank > best_rank
+            ):
+                break
+            concept = scorer.score_one(candidate, context, size)
+            concept_scores[candidate] = concept
+            if combined_approach:
+                score = (
+                    w_concept * concept
+                    + w_context * context_scores[candidate]
+                )
+            else:
+                score = concept
+            combined[candidate] = score
+            evaluated += 1
+            if score > best_score or (
+                score == best_score and rank < best_rank
+            ):
+                best = candidate
+                best_score = score
+                best_rank = rank
+        stats = self.prune_stats
+        stats["candidates_evaluated"] += evaluated
+        stats["candidates_pruned"] += len(candidates) - evaluated
+        m = self.metrics
+        if m is not None:
+            m.count("candidates_evaluated", evaluated)
+            m.count("candidates_pruned", len(candidates) - evaluated)
+        assert best is not None
+        return concept_scores, context_scores, combined, best
 
     @staticmethod
     def _pick(scores: dict[Candidate, float]) -> Candidate:

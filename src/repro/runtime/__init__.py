@@ -13,6 +13,10 @@ scale cheap and observable without changing a single score:
   kernels and a compact binary codec (cheap to ship to pool workers);
 * :mod:`~repro.runtime.cache` — :class:`LRUCache`, a bounded pairwise
   memo with hit/miss/eviction counters;
+* :mod:`~repro.runtime.memo` — :class:`SphereMemo`, a bounded LRU of
+  whole disambiguation outcomes keyed by a canonical sphere signature
+  (frozen config + network fingerprints, target, ordered members), so
+  repeated situations replay bit-identically across documents;
 * :mod:`~repro.runtime.executor` — :class:`BatchExecutor`, a
   multiprocessing fan-out with serial fallback and deterministic,
   input-ordered results;
@@ -33,6 +37,7 @@ Typical use::
 from .cache import LRUCache
 from .executor import BatchDocument, BatchExecutor, BatchRecord
 from .index import SemanticIndex
+from .memo import SphereMemo, config_fingerprint, sphere_signature
 from .metrics import MetricsRegistry, StageTimer
 from .pack import PackedIC, PackedIndex, PackedIndexError
 
@@ -46,5 +51,8 @@ __all__ = [
     "PackedIndex",
     "PackedIndexError",
     "SemanticIndex",
+    "SphereMemo",
     "StageTimer",
+    "config_fingerprint",
+    "sphere_signature",
 ]

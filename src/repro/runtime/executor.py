@@ -68,15 +68,18 @@ class BatchRecord:
     ``result`` is the JSON-ready ``DisambiguationResult.to_dict()``
     payload on success and ``None`` on failure, with ``error`` carrying
     the exception text (one bad document must not sink the batch).
-    ``elapsed_s`` is observability-only and deliberately excluded from
-    the JSONL rendering, which must be byte-identical between serial
-    and parallel (and cached and uncached) runs of the same input.
+    ``elapsed_s`` and ``worker_stats`` (the producing worker's
+    cumulative memo/prune counter snapshot, parallel runs only) are
+    observability-only and deliberately excluded from the JSONL
+    rendering, which must be byte-identical between serial and parallel
+    (and cached and uncached) runs of the same input.
     """
 
     name: str
     result: dict | None
     error: str | None
     elapsed_s: float
+    worker_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -130,9 +133,34 @@ def _init_worker(
 
 def _run_one(task: tuple[str, str]) -> BatchRecord:
     assert _WORKER_XSDF is not None, "worker pool was not initialized"
-    return _disambiguate_one(
+    record = _disambiguate_one(
         _WORKER_XSDF, task[0], task[1], _WORKER_DOC_CACHE
     )
+    record.worker_stats = _stats_snapshot(_WORKER_XSDF)
+    return record
+
+
+def _stats_snapshot(xsdf: XSDF) -> dict:
+    """This worker's cumulative memo/prune counters, pid-tagged.
+
+    Counters are monotone over a worker's lifetime, so the parent can
+    recover per-worker totals by taking the elementwise max of the
+    snapshots each pid produced, then summing across pids.
+    """
+    import os
+
+    stats = {
+        "pid": os.getpid(),
+        "candidates_evaluated": xsdf.prune_stats["candidates_evaluated"],
+        "candidates_pruned": xsdf.prune_stats["candidates_pruned"],
+    }
+    memo = xsdf.sphere_memo
+    if memo is not None:
+        memo_stats = memo.stats()
+        stats["memo_hits"] = memo_stats["hits"]
+        stats["memo_misses"] = memo_stats["misses"]
+        stats["memo_evictions"] = memo_stats["evictions"]
+    return stats
 
 
 def _build_xsdf(
@@ -229,8 +257,11 @@ class BatchExecutor:
     metrics:
         Optional :class:`MetricsRegistry`.  The serial path threads it
         through :class:`XSDF` for full per-stage latency; the parallel
-        path records batch-level counters/timers only (worker-process
-        internals are not merged back).
+        path records batch-level counters/timers plus the merged
+        per-worker memo/prune counters (``memo_hits``, ``memo_misses``,
+        ``memo_evictions``, ``candidates_evaluated``,
+        ``candidates_pruned``) — other worker-process internals are not
+        merged back.
     """
 
     def __init__(
@@ -321,10 +352,15 @@ class BatchExecutor:
             )
             if self.metrics is not None:
                 self._serial_xsdf.metrics = self.metrics
+                sphere_memo = self._serial_xsdf.sphere_memo
                 for name, cache in (
                     ("similarity_pairs", self._serial_xsdf.similarity_cache),
                     ("sense_scores", self._serial_xsdf.sense_cache),
                     ("documents", self._doc_cache),
+                    (
+                        "sphere_memo",
+                        sphere_memo.cache if sphere_memo is not None else None,
+                    ),
                 ):
                     if isinstance(cache, LRUCache):
                         self.metrics.register_cache(name, cache)
@@ -392,4 +428,30 @@ class BatchExecutor:
             pool.join()
         if records is None:
             return self._run_serial(docs)
+        if self.metrics is not None:
+            self._merge_worker_stats(records)
         return records
+
+    def _merge_worker_stats(self, records: Sequence[BatchRecord]) -> None:
+        """Fold worker memo/prune snapshots into the parent's counters.
+
+        Each record carries its worker's *cumulative* counters at
+        production time; the per-worker total is the elementwise max of
+        that pid's snapshots, and the batch total the sum across pids.
+        """
+        per_pid: dict[int, dict[str, float]] = {}
+        for record in records:
+            stats = record.worker_stats
+            if not stats:
+                continue
+            bucket = per_pid.setdefault(stats["pid"], {})
+            for key, value in stats.items():
+                if key != "pid" and value > bucket.get(key, 0):
+                    bucket[key] = value
+        totals: dict[str, float] = {}
+        for bucket in per_pid.values():
+            for key, value in bucket.items():
+                totals[key] = totals.get(key, 0) + value
+        for key, value in totals.items():
+            if value:
+                self.metrics.count(key, value)

@@ -357,6 +357,7 @@ class PackedIndex:
         self._closures: list[dict[int, int] | None] = [None] * n
         self._bags: list[list[int] | None] = [None] * n
         self._bag_sets: list[frozenset[int] | None] = [None] * n
+        self._bag_counts: list[dict[int, int] | None] = [None] * n
         self._pair_memo: dict[
             tuple[int, int], tuple[int, int, int, int] | None
         ] = {}
@@ -488,6 +489,60 @@ class PackedIndex:
             bag_set = frozenset(self._bag(slot))
             self._bag_sets[slot] = bag_set
         return bag_set
+
+    def _bag_count(self, slot: int) -> dict[int, int]:
+        """Token-id multiplicity map of one gloss bag (memoized)."""
+        counts = self._bag_counts[slot]
+        if counts is None:
+            counts = {}
+            for token in self._bag(slot):
+                counts[token] = counts.get(token, 0) + 1
+            self._bag_counts[slot] = counts
+        return counts
+
+    def lesk_upper_bound(self, a: str, b: str) -> float:
+        """Cheap exact upper bound on :meth:`lesk_similarity`.
+
+        Let ``m`` be the multiset-intersection size of the two token
+        bags (``sum_t min(count_a(t), count_b(t))``).  Every maximal
+        common run the greedy overlap removes is made of matched
+        tokens, and runs are removed from both sides, so the removed
+        lengths sum to at most ``m``; the raw score ``sum len_k**2``
+        is therefore at most ``(sum len_k)**2 <= m**2``.  In floats:
+        ``raw`` is an exactly-represented integer ``<= m**2``,
+        ``sqrt`` is correctly rounded and ``m**2`` is a perfect
+        square, so ``fl(sqrt(raw)) <= m`` exactly; division and
+        ``min`` are monotone.  Hence ``min(1, m/shorter)`` bounds the
+        true similarity in *float* arithmetic, which is what exact
+        pruning requires.
+        """
+        if self._gloss_off is None:
+            raise RuntimeError(
+                "index was packed with include_gloss=False; "
+                "gloss kernels are unavailable"
+            )
+        ia = self._intern(a)
+        ib = self._intern(b)
+        if ia == ib:
+            return 1.0
+        bag_a = self._bag(ia)
+        bag_b = self._bag(ib)
+        if not bag_a or not bag_b:
+            return 0.0
+        if self._bag_set(ia).isdisjoint(self._bag_set(ib)):
+            return 0.0
+        counts_a = self._bag_count(ia)
+        counts_b = self._bag_count(ib)
+        if len(counts_a) > len(counts_b):
+            counts_a, counts_b = counts_b, counts_a
+        other_get = counts_b.get
+        m = 0
+        for token, count in counts_a.items():
+            other = other_get(token)
+            if other is not None:
+                m += count if count < other else other
+        shorter = min(len(bag_a), len(bag_b))
+        return min(1.0, m / shorter)
 
     def lesk_similarity(self, a: str, b: str) -> float:
         """Normalized extended-Lesk gloss overlap over interned tokens.

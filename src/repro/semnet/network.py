@@ -18,6 +18,7 @@ to special-case direction.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from typing import Iterable, Iterator
 
@@ -40,6 +41,7 @@ class SemanticNetwork:
         self._max_polysemy: int | None = None
         self._depth_cache: dict[str, int] = {}
         self._cumfreq_cache: dict[str, float] | None = None
+        self._fingerprint: str | None = None
 
     # -- construction -------------------------------------------------------
 
@@ -73,6 +75,7 @@ class SemanticNetwork:
         self._max_polysemy = None
         self._depth_cache.clear()
         self._cumfreq_cache = None
+        self._fingerprint = None
 
     # -- basic lookups ------------------------------------------------------------
 
@@ -129,6 +132,7 @@ class SemanticNetwork:
                 f"sense order for {word!r} must permute {sorted(current)}"
             )
         self._by_word[word] = list(ordered_ids)
+        self._fingerprint = None
 
     @property
     def max_polysemy(self) -> int:
@@ -297,6 +301,7 @@ class SemanticNetwork:
         """Set the corpus occurrence count of one concept (``SN-bar``)."""
         self.concept(concept_id).frequency = float(frequency)
         self._cumfreq_cache = None
+        self._fingerprint = None
 
     def cumulative_frequency(self, concept_id: str) -> float:
         """Frequency of the concept plus all IS-A descendants.
@@ -338,6 +343,40 @@ class SemanticNetwork:
         return sum(concept.frequency for concept in self._concepts.values())
 
     # -- misc -------------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content digest of the network, stable across processes.
+
+        Hashes every input the disambiguation pipeline reads: concept
+        ids, synonym words, glosses, POS tags, frequencies, the
+        per-word sense *ranking* (``set_sense_order`` changes it without
+        adding content), and every typed edge — all in sorted order so
+        the digest is independent of construction order and
+        ``PYTHONHASHSEED``.  Memoization layers that key results across
+        documents (:mod:`repro.runtime.memo`) fold this digest into
+        their keys so a mutated network can never serve stale entries;
+        the digest is cached and recomputed only after mutation.
+        """
+        if self._fingerprint is not None:
+            return self._fingerprint
+        hasher = hashlib.sha256()
+        update = hasher.update
+        for cid in sorted(self._concepts):
+            concept = self._concepts[cid]
+            update(repr((
+                cid, concept.words, concept.gloss, concept.pos,
+                concept.frequency,
+            )).encode("utf-8"))
+        for word in sorted(self._by_word):
+            update(repr((word, tuple(self._by_word[word]))).encode("utf-8"))
+        for source in sorted(self._edges):
+            edge_map = self._edges[source]
+            for relation in sorted(edge_map, key=lambda r: r.value):
+                update(repr(
+                    (source, relation.value, tuple(edge_map[relation]))
+                ).encode("utf-8"))
+        self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def stats(self) -> dict[str, float]:
         """Summary statistics (useful in docs/tests/benchmarks)."""

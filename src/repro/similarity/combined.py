@@ -98,6 +98,10 @@ class CombinedSimilarity:
             network, index=index
         )
         self._cache: PairCache = cache if cache is not None else {}
+        # Duck-typed: measures exposing upper_bound() enable the cheap
+        # gloss bound; others fall back to the trivial bound 1.0.
+        self._gloss_upper = getattr(self._gloss, "upper_bound", None)
+        self._bound_cache: dict[tuple[str, str], float] = {}
 
     def __call__(self, a: str, b: str) -> float:
         if a == b:
@@ -116,6 +120,39 @@ class CombinedSimilarity:
             score += w.gloss * self._gloss(a, b)
         score = max(0.0, min(1.0, score))
         self._cache[key] = score
+        return score
+
+    def upper_bound(self, a: str, b: str) -> float:
+        """An exact float upper bound on ``self(a, b)``, cheaply.
+
+        The edge and node components are computed exactly (both reduce
+        to the memoized LCS lookup); only the gloss component — the
+        expensive overlap DP — is replaced by its multiset bound (or by
+        the trivial bound 1.0 when the gloss measure exposes none).
+        The accumulation mirrors :meth:`__call__` term for term, so by
+        monotonicity of IEEE rounding the result dominates the true
+        score in *float* arithmetic — the property exact candidate
+        pruning (:mod:`repro.core`) relies on.
+        """
+        if a == b:
+            return 1.0
+        key = (a, b) if a <= b else (b, a)
+        cached = self._bound_cache.get(key)
+        if cached is not None:
+            return cached
+        w = self.weights
+        score = 0.0
+        if w.edge:
+            score += w.edge * self._edge(a, b)
+        if w.node:
+            score += w.node * self._node(a, b)
+        if w.gloss:
+            if self._gloss_upper is not None:
+                score += w.gloss * self._gloss_upper(a, b)
+            else:
+                score += w.gloss * 1.0
+        score = max(0.0, min(1.0, score))
+        self._bound_cache[key] = score
         return score
 
     def cache_size(self) -> int:

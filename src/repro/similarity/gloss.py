@@ -117,6 +117,7 @@ class ExtendedLeskSimilarity:
             else None
         )
         self._token_cache: dict[str, list[str]] = {}
+        self._count_cache: dict[str, dict[str, int]] = {}
 
     def _extended_gloss(self, concept_id: str) -> list[str]:
         if self._index is not None:
@@ -149,3 +150,48 @@ class ExtendedLeskSimilarity:
         if shorter <= 0:
             return 0.0
         return min(1.0, (raw ** 0.5) / shorter)
+
+    def _token_counts(self, concept_id: str) -> dict[str, int]:
+        cached = self._count_cache.get(concept_id)
+        if cached is not None:
+            return cached
+        counts: dict[str, int] = {}
+        for token in self._extended_gloss(concept_id):
+            counts[token] = counts.get(token, 0) + 1
+        self._count_cache[concept_id] = counts
+        return counts
+
+    def upper_bound(self, a: str, b: str) -> float:
+        """Cheap exact upper bound on ``self(a, b)`` for pruning.
+
+        The greedy overlap only ever matches tokens the two bags share,
+        and removes matched runs from both sides, so the removed
+        lengths sum to at most the multiset-intersection size ``m``;
+        the raw score (a sum of squared run lengths) is then at most
+        ``m**2``, and ``min(1, m/shorter)`` dominates the normalized
+        score — exactly, in float arithmetic, because ``m**2`` is a
+        perfect square and ``sqrt``/division/``min`` are monotone
+        (see :meth:`repro.runtime.pack.PackedIndex.lesk_upper_bound`).
+        """
+        if a == b:
+            return 1.0
+        if self._packed is not None:
+            return self._packed.lesk_upper_bound(a, b)
+        counts_a = self._token_counts(a)
+        counts_b = self._token_counts(b)
+        if not counts_a or not counts_b:
+            return 0.0
+        shorter = min(
+            len(self._extended_gloss(a)), len(self._extended_gloss(b))
+        )
+        if shorter <= 0:
+            return 0.0
+        if len(counts_a) > len(counts_b):
+            counts_a, counts_b = counts_b, counts_a
+        other_get = counts_b.get
+        m = 0
+        for token, count in counts_a.items():
+            other = other_get(token)
+            if other is not None:
+                m += count if count < other else other
+        return min(1.0, m / shorter)

@@ -130,11 +130,25 @@ class TestResultTypes:
         assert 0.0 < result.coverage <= 1.0
 
     def test_margin(self, lexicon, figure1_xml):
-        xsdf = XSDF(lexicon, XSDFConfig())
+        # prune=False keeps the full per-candidate score table; under
+        # the default pruning, provably-losing candidates are omitted
+        # from `scores` so margins are computed over a subset.
+        xsdf = XSDF(lexicon, XSDFConfig(prune=False))
         result = xsdf.disambiguate_document(figure1_xml)
         ambiguous = [a for a in result.assignments if len(a.scores) > 1]
         assert ambiguous
         assert all(a.margin >= 0 for a in ambiguous)
+
+    def test_pruned_scores_are_margin_safe(self, lexicon, figure1_xml):
+        # With pruning on (default), the chosen sense and margin stay
+        # well-defined: margin over the evaluated subset is an upper
+        # bound on the exhaustive margin, and never negative.
+        result = XSDF(lexicon, XSDFConfig()).disambiguate_document(
+            figure1_xml
+        )
+        assert result.assignments
+        assert all(a.margin >= 0 for a in result.assignments)
+        assert all(a.chosen in a.scores for a in result.assignments)
 
 
 class TestSemanticOutput:

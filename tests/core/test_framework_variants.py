@@ -90,10 +90,13 @@ class TestExtensionStacking:
         """strip + distance policy + discourse post-processing compose."""
         from repro.core.distances import DensityWeightedDistance
 
+        # prune=False: discourse voting needs the full per-candidate
+        # score tables (see repro.core.discourse module docs).
         xsdf = XSDF(lexicon, XSDFConfig(
             sphere_radius=2,
             strip_target_dimension=True,
             distance_policy=DensityWeightedDistance(penalty=0.5),
+            prune=False,
         ))
         result = xsdf.disambiguate_document(figure1_xml)
         fixed = enforce_one_sense_per_discourse(result)

@@ -1,0 +1,149 @@
+"""Property-based exact-pruning parity on random synthetic networks.
+
+The fixed-corpus parity suite (``tests/runtime/test_memo.py``) pins
+exhaustive == pruned on the curated lexicon; these properties assert
+the same contract where hypothesis chooses the semantic network shape,
+the document shape, and the similarity measure — including the
+totalized ``(score, sense-rank)`` tie-break, which synthetic networks
+exercise heavily (structurally identical senses produce exact score
+ties).  Every one of the eight measures runs mounted in its
+:class:`CombinedSimilarity` slot, the configuration under which the
+pruning upper bound engages.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DisambiguationApproach, XSDFConfig
+from repro.core.framework import XSDF
+from repro.semnet.generator import GeneratorConfig, generate_network
+from repro.semnet.ic import InformationContent
+from repro.similarity.combined import CombinedSimilarity, SimilarityWeights
+from repro.similarity.edge import LeacockChodorowSimilarity, PathSimilarity
+from repro.similarity.node import JiangConrathSimilarity, ResnikSimilarity
+
+#: (network, ic) per generator shape — hypothesis revisits shapes and
+#: network construction dominates runtime.
+_NETWORK_CACHE: dict[tuple, tuple] = {}
+
+network_shapes = st.tuples(
+    st.integers(min_value=0, max_value=499),     # generator seed
+    st.sampled_from([40, 90]),                   # concepts
+    st.sampled_from([2, 4]),                     # branching
+    st.sampled_from([1.5, 3.0]),                 # mean polysemy
+)
+
+
+def _network_ic(shape):
+    if shape not in _NETWORK_CACHE:
+        if len(_NETWORK_CACHE) > 32:
+            _NETWORK_CACHE.clear()
+        seed, n_concepts, branching, polysemy = shape
+        network = generate_network(GeneratorConfig(
+            n_concepts=n_concepts,
+            branching=branching,
+            mean_polysemy=polysemy,
+            seed=seed,
+        ))
+        _NETWORK_CACHE[shape] = (network, InformationContent(network))
+    return _NETWORK_CACHE[shape]
+
+
+def _random_document(network, seed: int) -> str:
+    """A small random XML document over the network's vocabulary."""
+    rng = random.Random(seed)
+    words = sorted(network.words())
+
+    def element(depth: int) -> str:
+        tag = rng.choice(words)
+        n_children = rng.randint(0, 3) if depth < 3 else 0
+        body = "".join(element(depth + 1) for _ in range(n_children))
+        if not body and rng.random() < 0.5:
+            body = rng.choice(words)
+        return f"<{tag}>{body}</{tag}>"
+
+    root = rng.choice(words)
+    body = "".join(element(1) for _ in range(rng.randint(2, 4)))
+    return f"<{root}>{body}</{root}>"
+
+
+def _measure_suite(network, ic):
+    """All eight measures, each in its CombinedSimilarity slot."""
+    edge_only = SimilarityWeights(1, 0, 0)
+    node_only = SimilarityWeights(0, 1, 0)
+    gloss_only = SimilarityWeights(0, 0, 1)
+    return [
+        ("wu-palmer", edge_only,
+         CombinedSimilarity(network, weights=edge_only, ic=ic)),
+        ("path", edge_only,
+         CombinedSimilarity(network, weights=edge_only, ic=ic,
+                            edge_measure=PathSimilarity(network))),
+        ("leacock-chodorow", edge_only,
+         CombinedSimilarity(
+             network, weights=edge_only, ic=ic,
+             edge_measure=LeacockChodorowSimilarity(network))),
+        ("lin", node_only,
+         CombinedSimilarity(network, weights=node_only, ic=ic)),
+        ("resnik", node_only,
+         CombinedSimilarity(network, weights=node_only, ic=ic,
+                            node_measure=ResnikSimilarity(network, ic=ic))),
+        ("jiang-conrath", node_only,
+         CombinedSimilarity(
+             network, weights=node_only, ic=ic,
+             node_measure=JiangConrathSimilarity(network, ic=ic))),
+        ("lesk", gloss_only,
+         CombinedSimilarity(network, weights=gloss_only, ic=ic)),
+        ("combined", SimilarityWeights(),
+         CombinedSimilarity(network, ic=ic)),
+    ]
+
+
+class TestPrunedArgmaxProperty:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        shape=network_shapes,
+        doc_seed=st.integers(0, 2**16),
+        approach=st.sampled_from([
+            DisambiguationApproach.CONCEPT_BASED,
+            DisambiguationApproach.COMBINED,
+        ]),
+    )
+    def test_pruned_argmax_equals_exhaustive(self, shape, doc_seed, approach):
+        """Chosen sense, tie-break, and reported scores must ``==``."""
+        network, ic = _network_ic(shape)
+        xml = _random_document(network, doc_seed)
+        for measure, weights, similarity in _measure_suite(network, ic):
+            base_cfg = XSDFConfig(
+                approach=approach, similarity_weights=weights,
+                prune=False, memo=False,
+            )
+            fast_cfg = XSDFConfig(
+                approach=approach, similarity_weights=weights,
+                prune=True, memo=False,
+            )
+            expected = XSDF(
+                network, base_cfg, similarity=similarity
+            ).disambiguate_document(xml)
+            pruned = XSDF(
+                network, fast_cfg, similarity=similarity
+            ).disambiguate_document(xml)
+            assert len(expected.assignments) == len(pruned.assignments)
+            for a, b in zip(expected.assignments, pruned.assignments):
+                context = (
+                    f"measure={measure} approach={approach.value} "
+                    f"shape={shape} doc_seed={doc_seed} node={a.node_index}"
+                )
+                assert a.chosen == b.chosen, context
+                assert a.score == b.score, context
+                assert a.concept_score == b.concept_score, context
+                assert a.context_score == b.context_score, context
+                for candidate, score in b.scores.items():
+                    assert a.scores[candidate] == score, context

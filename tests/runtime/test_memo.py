@@ -1,0 +1,324 @@
+"""Sphere memoization + exact pruning: signatures, parity, determinism.
+
+Three batteries:
+
+* :class:`TestNetworkFingerprint` / :class:`TestConfigFingerprint` /
+  :class:`TestSphereSignature` / :class:`TestSphereMemo` — the memo
+  key machinery (frozen digests, ordered-member signatures, LRU
+  behavior, mutation invalidation);
+* :class:`TestMemoBitIdentity` — memoized replay is bit-identical to
+  fresh computation and hands out fresh score dicts;
+* :class:`TestThreeWayParity` — the acceptance parity suite: for all
+  eight similarity measures (each mounted in its
+  :class:`CombinedSimilarity` slot so pruning engages), exhaustive ==
+  pruned == pruned+memo on real corpus documents;
+* :class:`TestBatchDeterminism` — batch JSONL output is byte-identical
+  regardless of document order and worker count.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import XSDFConfig
+from repro.core.framework import XSDF
+from repro.core.sphere import Sphere, build_sphere
+from repro.runtime import (
+    BatchExecutor,
+    SphereMemo,
+    config_fingerprint,
+    sphere_signature,
+)
+from repro.runtime.memo import DEFAULT_MEMO_SIZE
+from repro.semnet.generator import GeneratorConfig, generate_network
+from repro.semnet.ic import InformationContent
+from repro.similarity.combined import CombinedSimilarity, SimilarityWeights
+from repro.similarity.edge import (
+    LeacockChodorowSimilarity,
+    PathSimilarity,
+)
+from repro.similarity.node import (
+    JiangConrathSimilarity,
+    ResnikSimilarity,
+)
+
+SMALL_XML = (
+    "<films><picture><cast><star>Stewart</star><star>Kelly</star></cast>"
+    "<plot>spies</plot></picture></films>"
+)
+
+
+def _fresh_network():
+    return generate_network(
+        GeneratorConfig(n_concepts=60, branching=3, mean_polysemy=2.0, seed=9)
+    )
+
+
+def _sphere_of(lexicon, config=None, label="star"):
+    xsdf = XSDF(lexicon, config or XSDFConfig())
+    tree = xsdf.build_tree(SMALL_XML)
+    node = next(n for n in tree if n.label == label)
+    return build_sphere(tree, node, (config or XSDFConfig()).sphere_radius)
+
+
+class TestNetworkFingerprint:
+    def test_stable_and_cached(self, lexicon):
+        assert lexicon.fingerprint() == lexicon.fingerprint()
+
+    def test_equal_content_equal_fingerprint(self):
+        assert _fresh_network().fingerprint() == _fresh_network().fingerprint()
+
+    def test_frequency_mutation_changes_fingerprint(self):
+        network = _fresh_network()
+        before = network.fingerprint()
+        concept = next(iter(network)).id
+        network.set_frequency(concept, 1234.0)
+        assert network.fingerprint() != before
+
+    def test_sense_order_mutation_changes_fingerprint(self):
+        network = _fresh_network()
+        word = next(
+            w for w in sorted(network.words()) if network.polysemy(w) > 1
+        )
+        before = network.fingerprint()
+        network.set_sense_order(
+            word, [s.id for s in network.senses(word)][::-1]
+        )
+        assert network.fingerprint() != before
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_share_a_digest(self):
+        assert config_fingerprint(XSDFConfig()) == config_fingerprint(
+            XSDFConfig()
+        )
+
+    def test_scoring_fields_change_the_digest(self):
+        base = config_fingerprint(XSDFConfig())
+        assert config_fingerprint(XSDFConfig(sphere_radius=3)) != base
+        assert config_fingerprint(XSDFConfig(concept_weight=0.7)) != base
+        assert (
+            config_fingerprint(
+                XSDFConfig(similarity_weights=SimilarityWeights(1, 0, 0))
+            )
+            != base
+        )
+
+    def test_prune_and_memo_flags_do_not_change_scores_or_digest(self):
+        # prune/memo cannot change any score, so two configs differing
+        # only in them may share memo entries.
+        assert config_fingerprint(
+            XSDFConfig(prune=False, memo=False)
+        ) == config_fingerprint(XSDFConfig())
+
+
+class TestSphereSignature:
+    def test_deterministic_for_equal_situations(self, lexicon):
+        fp = lexicon.fingerprint()
+        cfg = config_fingerprint(XSDFConfig())
+        a = sphere_signature(_sphere_of(lexicon), cfg, fp)
+        b = sphere_signature(_sphere_of(lexicon), cfg, fp)
+        assert a == b
+
+    def test_config_and_network_fingerprints_are_folded_in(self, lexicon):
+        sphere = _sphere_of(lexicon)
+        fp = lexicon.fingerprint()
+        base = sphere_signature(sphere, config_fingerprint(XSDFConfig()), fp)
+        other_cfg = sphere_signature(
+            sphere, config_fingerprint(XSDFConfig(sphere_radius=3)), fp
+        )
+        other_net = sphere_signature(
+            sphere, config_fingerprint(XSDFConfig()), "0" * 64
+        )
+        assert base != other_cfg
+        assert base != other_net
+
+    def test_member_order_matters(self, lexicon):
+        # Float accumulation follows sphere order, so the signature must
+        # distinguish two spheres with equal member multisets but
+        # different orders (see the repro.runtime.memo module docs).
+        sphere = _sphere_of(lexicon)
+        assert len(sphere.members) > 1
+        reordered = Sphere(
+            center=sphere.center,
+            radius=sphere.radius,
+            members=list(reversed(sphere.members)),
+        )
+        cfg = config_fingerprint(XSDFConfig())
+        fp = lexicon.fingerprint()
+        assert sphere_signature(sphere, cfg, fp) != sphere_signature(
+            reordered, cfg, fp
+        )
+
+
+class TestSphereMemo:
+    def test_roundtrip_and_stats(self, lexicon):
+        memo = SphereMemo(XSDFConfig(), lexicon.fingerprint())
+        sphere = _sphere_of(lexicon)
+        signature = memo.signature(sphere)
+        assert memo.get(signature) is None
+        entry = (("star.n.01",), ((("star.n.01",), 0.5),), (), ())
+        memo.put(signature, entry)
+        assert memo.get(signature) == entry
+        assert len(memo) == 1
+        stats = memo.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["maxsize"] == DEFAULT_MEMO_SIZE
+
+    def test_lru_eviction(self, lexicon):
+        memo = SphereMemo(XSDFConfig(), lexicon.fingerprint(), maxsize=1)
+        memo.put(b"a", (("x",), (), (), ()))
+        memo.put(b"b", (("y",), (), (), ()))
+        assert memo.get(b"a") is None
+        assert memo.get(b"b") == (("y",), (), (), ())
+        assert memo.stats()["evictions"] == 1
+
+
+class TestMemoBitIdentity:
+    def test_replayed_document_is_bit_identical(self, lexicon):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        assert xsdf.sphere_memo is not None
+        first = xsdf.disambiguate_document(SMALL_XML)
+        hits_before = xsdf.sphere_memo.stats()["hits"]
+        second = xsdf.disambiguate_document(SMALL_XML)
+        assert xsdf.sphere_memo.stats()["hits"] > hits_before
+        assert len(first.assignments) == len(second.assignments)
+        for a, b in zip(first.assignments, second.assignments):
+            assert (a.chosen, a.score, a.concept_score, a.context_score) == (
+                b.chosen, b.score, b.concept_score, b.context_score
+            )
+            assert a.scores == b.scores
+
+    def test_replay_hands_out_fresh_dicts(self, lexicon):
+        xsdf = XSDF(lexicon, XSDFConfig())
+        first = xsdf.disambiguate_document(SMALL_XML)
+        first.assignments[0].scores.clear()  # abuse the exposed mapping
+        second = xsdf.disambiguate_document(SMALL_XML)
+        assert second.assignments[0].scores  # memo entry unharmed
+
+    def test_custom_similarity_disables_auto_memo(self, lexicon):
+        xsdf = XSDF(lexicon, XSDFConfig(), similarity=lambda a, b: 0.5)
+        assert xsdf.sphere_memo is None
+
+    def test_memo_off_by_config(self, lexicon):
+        assert XSDF(lexicon, XSDFConfig(memo=False)).sphere_memo is None
+
+
+def _measure_suite(network, ic, index=None):
+    """All eight measures, each mounted in its CombinedSimilarity slot.
+
+    Mounting keeps exact pruning engaged for every measure: the edge
+    slot carries Wu-Palmer / Path / Leacock-Chodorow, the node slot
+    Lin / Resnik / Jiang-Conrath, the gloss slot extended Lesk, plus
+    the paper's uniform combination.
+    """
+    edge_only = SimilarityWeights(1, 0, 0)
+    node_only = SimilarityWeights(0, 1, 0)
+    gloss_only = SimilarityWeights(0, 0, 1)
+    uniform = SimilarityWeights()
+    kw = {"ic": ic, "index": index}
+    return [
+        ("wu-palmer", edge_only, CombinedSimilarity(
+            network, weights=edge_only, **kw)),
+        ("path", edge_only, CombinedSimilarity(
+            network, weights=edge_only,
+            edge_measure=PathSimilarity(network, index=index), **kw)),
+        ("leacock-chodorow", edge_only, CombinedSimilarity(
+            network, weights=edge_only,
+            edge_measure=LeacockChodorowSimilarity(network, index=index),
+            **kw)),
+        ("lin", node_only, CombinedSimilarity(
+            network, weights=node_only, **kw)),
+        ("resnik", node_only, CombinedSimilarity(
+            network, weights=node_only,
+            node_measure=ResnikSimilarity(network, ic=ic, index=index),
+            **kw)),
+        ("jiang-conrath", node_only, CombinedSimilarity(
+            network, weights=node_only,
+            node_measure=JiangConrathSimilarity(network, ic=ic, index=index),
+            **kw)),
+        ("lesk", gloss_only, CombinedSimilarity(
+            network, weights=gloss_only, **kw)),
+        ("combined", uniform, CombinedSimilarity(
+            network, weights=uniform, **kw)),
+    ]
+
+
+def _assert_assignments_match(exhaustive, other, measure, doc):
+    assert len(exhaustive.assignments) == len(other.assignments)
+    for a, b in zip(exhaustive.assignments, other.assignments):
+        context = f"measure={measure} doc={doc} node={a.node_index}"
+        assert a.chosen == b.chosen, context
+        assert a.score == b.score, context
+        assert a.concept_score == b.concept_score, context
+        assert a.context_score == b.context_score, context
+        assert a.ambiguity == b.ambiguity, context
+        # Pruned tables are subsets with exact values.
+        for candidate, score in b.scores.items():
+            assert a.scores[candidate] == score, context
+
+
+class TestThreeWayParity:
+    @pytest.fixture(scope="class")
+    def parity_docs(self, corpus):
+        return sorted(corpus.documents, key=lambda d: len(d.xml))[:3]
+
+    def test_exhaustive_equals_pruned_equals_memoized(
+        self, lexicon, parity_docs
+    ):
+        ic = InformationContent(lexicon)
+        for measure, weights, similarity in _measure_suite(lexicon, ic):
+            base_cfg = XSDFConfig(
+                similarity_weights=weights, prune=False, memo=False
+            )
+            fast_cfg = XSDFConfig(
+                similarity_weights=weights, prune=True, memo=False
+            )
+            exhaustive = XSDF(lexicon, base_cfg, similarity=similarity)
+            pruned = XSDF(lexicon, fast_cfg, similarity=similarity)
+            memoized = XSDF(
+                lexicon, fast_cfg, similarity=similarity,
+                sphere_memo=SphereMemo(fast_cfg, lexicon.fingerprint()),
+            )
+            for doc in parity_docs:
+                expected = exhaustive.disambiguate_document(doc.xml)
+                assert expected.assignments, (measure, doc.name)
+                _assert_assignments_match(
+                    expected, pruned.disambiguate_document(doc.xml),
+                    measure, doc.name,
+                )
+                # Twice through the memoized instance: the second pass
+                # replays every sphere from the memo.
+                _assert_assignments_match(
+                    expected, memoized.disambiguate_document(doc.xml),
+                    measure, doc.name,
+                )
+                _assert_assignments_match(
+                    expected, memoized.disambiguate_document(doc.xml),
+                    measure, doc.name,
+                )
+            assert memoized.sphere_memo.stats()["hits"] > 0, measure
+
+
+class TestBatchDeterminism:
+    def test_output_invariant_under_doc_order_and_workers(
+        self, lexicon, corpus
+    ):
+        docs = [
+            (d.name, d.xml) for d in corpus.by_dataset("shakespeare")[:6]
+        ]
+        baseline = {
+            r.name: r.to_json_line()
+            for r in BatchExecutor(lexicon, XSDFConfig(), workers=1).run(docs)
+        }
+        assert len(baseline) == len(docs)
+        for seed, workers in ((1, 1), (2, 2), (3, 3)):
+            shuffled = list(docs)
+            random.Random(seed).shuffle(shuffled)
+            records = BatchExecutor(
+                lexicon, XSDFConfig(), workers=workers
+            ).run(shuffled)
+            assert {r.name: r.to_json_line() for r in records} == baseline
