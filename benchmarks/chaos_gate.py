@@ -1,0 +1,108 @@
+"""CI chaos gate: fixed-seed fault injection, zero result divergence.
+
+Runs the test corpus through :class:`repro.runtime.BatchExecutor` twice
+— once fault-free, once under a fixed-seed :class:`FaultInjector`
+schedule that exercises every recovery path (flaky-then-recover
+retries, a permanent fault, corrupted packed payloads for every
+worker) — and gates on the hard exactness contract:
+
+* every document that *succeeds* under injected faults must produce a
+  JSONL line **byte-identical** to the fault-free run;
+* exactly the scheduled permanent casualty fails, with a structured
+  outcome (``stage="inject"``, not retried);
+* the retried and degraded paths actually fired (otherwise the gate
+  would pass vacuously).
+
+Exit code 0 on success, 1 with a divergence report otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import XSDFConfig
+from repro.datasets import generate_test_corpus
+from repro.runtime import BatchExecutor, FaultInjector, FaultSpec, MetricsRegistry
+from repro.semnet.lexicon import default_lexicon
+
+#: Fixed chaos seed — the schedule (and therefore the gate) is fully
+#: deterministic; bump only together with the expectations below.
+CHAOS_SEED = 42
+
+
+def main() -> int:
+    lexicon = default_lexicon()
+    corpus = generate_test_corpus()
+    docs = []
+    for dataset in corpus.datasets():
+        docs.append(corpus.by_dataset(dataset)[0])
+        if len(docs) == 8:
+            break
+    batch = [(d.name, d.xml) for d in docs]
+    names = [name for name, _ in batch]
+    flaky_name, permanent_name = names[1], names[4]
+
+    baseline = {
+        r.name: r.to_json_line()
+        for r in BatchExecutor(lexicon, XSDFConfig(), workers=1).run(batch)
+    }
+
+    metrics = MetricsRegistry()
+    executor = BatchExecutor(
+        lexicon,
+        XSDFConfig(),
+        workers=2,
+        backoff_base=0.0,
+        metrics=metrics,
+        injector=FaultInjector(CHAOS_SEED, [
+            FaultSpec.flaky(match=flaky_name, fail_attempts=1),
+            FaultSpec.raising(match=permanent_name, transient=False),
+            FaultSpec.corrupt_packed(),
+        ]),
+    )
+    records = executor.run(batch)
+
+    problems: list[str] = []
+    if [r.name for r in records] != names:
+        problems.append("records came back out of input order")
+    for record in records:
+        if record.name == permanent_name:
+            if record.ok:
+                problems.append(
+                    f"{record.name}: scheduled permanent fault did not fire"
+                )
+            elif record.outcome is None or record.outcome.stage != "inject":
+                problems.append(
+                    f"{record.name}: casualty lacks a structured outcome"
+                )
+            continue
+        if not record.ok:
+            problems.append(f"{record.name}: unexpected failure {record.error}")
+        elif record.to_json_line() != baseline[record.name]:
+            problems.append(
+                f"{record.name}: DIVERGED from the fault-free run"
+            )
+
+    counters = metrics.report()["counters"]
+    if not counters.get("outcome_retried"):
+        problems.append("flaky-then-recover path never fired")
+    if not counters.get("degrade_packed_decode"):
+        problems.append("corrupt-packed degradation never fired")
+
+    survivors = sum(1 for r in records if r.ok)
+    if problems:
+        print(f"chaos gate FAILED (seed {CHAOS_SEED}):", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"chaos gate passed (seed {CHAOS_SEED}): {survivors}/{len(batch)} "
+        f"survivors bit-identical, {int(counters['retries'])} retries, "
+        f"{int(counters['degrade_packed_decode'])} worker degradations, "
+        f"1 structured casualty"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,11 @@ Commands
     stdout, optional metrics report (``--metrics-json``), optional
     cProfile hot-frame summary (``--profile``), packed index by default
     (``--dict-index`` for the dict-keyed one), exact pruning and sphere
-    memoization on by default (``--no-prune``/``--no-memo``).
+    memoization on by default (``--no-prune``/``--no-memo``).  Failure
+    policy via ``--on-error={fail,skip,quarantine}`` (abort with exit 2
+    / record and continue / divert failed documents to a sidecar JSONL)
+    with ``--max-retries`` and ``--doc-timeout`` controlling the
+    resilience layer.
 ``audit FILE``
     Print the ambiguity-degree ranking of the file's nodes — which
     nodes are worth disambiguating, before spending any effort.
@@ -128,6 +132,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the context-vector bias fix (extension)")
     batch.add_argument("--structure-only", action="store_true",
                        help="ignore text values (structure-only mode)")
+    batch.add_argument("--on-error", choices=("fail", "skip", "quarantine"),
+                       default="skip",
+                       help="failure policy: fail = abort at the first "
+                            "finally-failed document (exit 2, partial "
+                            "results still written); skip = record the "
+                            "failure and continue (default, exit 1 if "
+                            "any failed); quarantine = divert failed "
+                            "documents to a sidecar JSONL (exit 0)")
+    batch.add_argument("--max-retries", type=int, default=2,
+                       help="re-dispatch budget for transient per-"
+                            "document faults (default 2; permanent "
+                            "errors are never retried)")
+    batch.add_argument("--doc-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-document wall-clock budget; a "
+                            "straggler's worker pool is terminated and "
+                            "the document re-dispatched (parallel runs "
+                            "only)")
+    batch.add_argument("--quarantine", default=None, metavar="PATH",
+                       help="sidecar JSONL for quarantined documents "
+                            "(default quarantine.jsonl; implies "
+                            "nothing unless --on-error=quarantine)")
 
     audit = sub.add_parser("audit", help="rank nodes by ambiguity degree")
     audit.add_argument("file", help="path to the XML document")
@@ -235,8 +261,11 @@ def _cmd_disambiguate(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace, out) -> int:
+    import json as jsonlib
+
     from .runtime.executor import DEFAULT_CACHE_SIZE, BatchExecutor
     from .runtime.metrics import MetricsRegistry
+    from .runtime.resilience import BatchAbortError
 
     paths: list[str] = []
     for pattern in args.patterns:
@@ -260,6 +289,9 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
                 else DEFAULT_CACHE_SIZE
             ),
             metrics=metrics,
+            max_retries=args.max_retries,
+            doc_timeout=args.doc_timeout,
+            on_error=args.on_error,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -269,17 +301,46 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
 
         profiler = cProfile.Profile()
         profiler.enable()
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            records = executor.run_to_jsonl(documents, handle)
-    else:
-        records = executor.run_to_jsonl(documents, out)
+    aborted: BatchAbortError | None = None
+    try:
+        records = executor.run(documents)
+    except BatchAbortError as exc:
+        # Partial results are still written; the exit code reports the
+        # abort.
+        aborted = exc
+        records = exc.records
     if profiler is not None:
         profiler.disable()
     if args.metrics_json:
         metrics.write_json(args.metrics_json)
 
     failures = [r for r in records if not r.ok]
+    quarantined: list = []
+    emitted = records
+    quarantine_path = None
+    if args.on_error == "quarantine" and failures:
+        # Failed documents go to the sidecar; the main JSONL keeps only
+        # survivors (whose lines stay byte-identical to a clean run).
+        quarantined = failures
+        emitted = [r for r in records if r.ok]
+        quarantine_path = args.quarantine or "quarantine.jsonl"
+        with open(quarantine_path, "w", encoding="utf-8") as handle:
+            for record in quarantined:
+                payload = record.to_dict()
+                if record.outcome is not None:
+                    payload["outcome"] = record.outcome.to_dict()
+                handle.write(jsonlib.dumps(payload, sort_keys=True))
+                handle.write("\n")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for record in emitted:
+                handle.write(record.to_json_line())
+                handle.write("\n")
+    else:
+        for record in emitted:
+            out.write(record.to_json_line())
+            out.write("\n")
+
     report = metrics.report()
     # Rate from the executor's own batch timer: the per-document
     # "documents" counter lives in the workers under --workers > 1.
@@ -305,12 +366,36 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
             f", memo {int(memo_hits)}/{int(memo_hits + memo_misses)} hits"
             f", {int(pruned)} candidates pruned"
         )
+    retried = int(counters.get("outcome_retried", 0))
+    degradations = int(sum(
+        value for key, value in counters.items()
+        if key.startswith("degrade_")
+    ))
+    if retried:
+        summary += f", {retried} retried"
+    if degradations:
+        summary += f", {degradations} degradations"
+    if quarantined:
+        summary += f", {len(quarantined)} quarantined -> {quarantine_path}"
     stream = sys.stderr if not args.out else out
     stream.write(summary + "\n")
     for record in failures:
-        stream.write(f"  FAILED {record.name}: {record.error}\n")
+        outcome = record.outcome
+        detail = (
+            f" [stage={outcome.stage or 'pipeline'}, "
+            f"attempts={outcome.attempts}]"
+            if outcome is not None else ""
+        )
+        status = "QUARANTINED" if args.on_error == "quarantine" else "FAILED"
+        stream.write(f"  {status} {record.name}: {record.error}{detail}\n")
+    if aborted is not None:
+        stream.write(f"  ABORTED (--on-error=fail): {aborted}\n")
     if profiler is not None:
         stream.write(_profile_summary(profiler))
+    if aborted is not None:
+        return 2
+    if args.on_error == "quarantine":
+        return 0
     return 1 if failures else 0
 
 

@@ -25,6 +25,9 @@ public-api          public API needs docstrings (and, in
 memo-key-purity     sphere-signature builders must fold frozen
                     fingerprint digests into memo keys, never live
                     config/network attribute reads
+silent-degrade      fallback/except branches in ``repro.runtime`` must
+                    re-raise or emit a MetricsRegistry signal, or carry
+                    an explicit pragma
 ==================  ========================================================
 
 Rules are heuristic by design — stdlib ``ast`` has no type or data-flow
@@ -949,6 +952,76 @@ class MemoKeyPurityRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# silent-degrade
+# ---------------------------------------------------------------------------
+
+
+class SilentDegradeRule(Rule):
+    """Fallback branches in ``repro.runtime`` must be observable.
+
+    The resilience contract is that the runtime may degrade (serial
+    fallback, index rung down, memo off) but never *silently*: every
+    ``except`` branch that handles a failure must either re-raise or
+    emit a :class:`~repro.runtime.metrics.MetricsRegistry` signal
+    (``count`` / ``observe`` / ``event``) on its way to the fallback.
+    Handlers catching pure lookup-miss exceptions (``KeyError``,
+    ``IndexError``, ``StopIteration``) are control flow, not degrades,
+    and stay silent; anything else without a raise or an emit needs an
+    explicit ``# lint: disable=silent-degrade`` pragma on the
+    ``except`` line, which makes the reviewer look at it.
+    """
+
+    id = "silent-degrade"
+    description = (
+        "except/fallback branches in repro.runtime must re-raise or emit "
+        "a MetricsRegistry signal (count/observe/event), or carry an "
+        "explicit '# lint: disable=silent-degrade' pragma"
+    )
+    scope = ("repro/runtime/",)
+
+    #: Lookup-miss exceptions: absence handling, not failure handling.
+    _LOOKUP_MISSES = frozenset({"KeyError", "IndexError", "StopIteration"})
+
+    #: MetricsRegistry emission methods that make a fallback observable.
+    _EMITTERS = frozenset({"count", "observe", "event"})
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: LintContext) -> None:
+        """Flag handlers that reach a fallback with no raise and no emit."""
+        caught = self._caught_names(node.type)
+        if caught and caught <= self._LOOKUP_MISSES:
+            return
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr in self._EMITTERS
+            ):
+                return
+        ctx.report(
+            self.id, node,
+            "this except branch degrades silently; re-raise, emit a "
+            "MetricsRegistry count/observe/event, or annotate the "
+            "deliberate silence with '# lint: disable=silent-degrade'",
+        )
+
+    def _caught_names(self, type_node: ast.AST | None) -> set[str]:
+        """Exception class names this handler catches (empty if unknown)."""
+        if isinstance(type_node, ast.Name):
+            return {type_node.id}
+        if isinstance(type_node, ast.Attribute):
+            return {type_node.attr}
+        if isinstance(type_node, ast.Tuple):
+            names: set[str] = set()
+            for element in type_node.elts:
+                names |= self._caught_names(element)
+            return names
+        return set()
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -966,6 +1039,7 @@ RULE_CLASSES: dict[str, type[Rule]] = {
         MutableDefaultRule,
         PublicApiRule,
         MemoKeyPurityRule,
+        SilentDegradeRule,
     )
 }
 

@@ -21,8 +21,17 @@ scale cheap and observable without changing a single score:
   multiprocessing fan-out with serial fallback and deterministic,
   input-ordered results;
 * :mod:`~repro.runtime.metrics` — :class:`MetricsRegistry`, per-stage
-  latency timers and counters with JSON report export, zero-overhead
-  when off.
+  latency timers, counters, and structured events with JSON report
+  export, zero-overhead when off;
+* :mod:`~repro.runtime.resilience` — :class:`DocOutcome`,
+  :class:`RetryPolicy`, :class:`CircuitBreaker`,
+  :class:`BatchAbortError`: per-document fault isolation with bounded
+  retry, per-document timeouts, and a breaker-guarded serial fallback;
+* :mod:`~repro.runtime.faults` — :class:`FaultInjector` and
+  :class:`FaultSpec`, deterministic seeded fault schedules
+  (raise-in-worker, slow-worker, corrupt-packed-bytes,
+  flaky-then-recover) that exercise every recovery path; surviving
+  documents stay bit-identical to a fault-free run.
 
 Typical use::
 
@@ -36,20 +45,42 @@ Typical use::
 
 from .cache import LRUCache
 from .executor import BatchDocument, BatchExecutor, BatchRecord
+from .faults import FaultInjector, FaultSpec, InjectedFault
 from .index import SemanticIndex
 from .memo import SphereMemo, config_fingerprint, sphere_signature
 from .metrics import MetricsRegistry, StageTimer
-from .pack import PackedIC, PackedIndex, PackedIndexError
+from .pack import (
+    PackedIC,
+    PackedIndex,
+    PackedIndexCRCError,
+    PackedIndexError,
+    PackedIndexTruncatedError,
+)
+from .resilience import (
+    BatchAbortError,
+    CircuitBreaker,
+    DocOutcome,
+    RetryPolicy,
+)
 
 __all__ = [
+    "BatchAbortError",
     "BatchDocument",
     "BatchExecutor",
     "BatchRecord",
+    "CircuitBreaker",
+    "DocOutcome",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
     "LRUCache",
     "MetricsRegistry",
     "PackedIC",
     "PackedIndex",
+    "PackedIndexCRCError",
     "PackedIndexError",
+    "PackedIndexTruncatedError",
+    "RetryPolicy",
     "SemanticIndex",
     "SphereMemo",
     "StageTimer",

@@ -21,6 +21,18 @@ built **once in the parent** and shipped to workers as a
 compact binary codec, a fraction of the network pickle — so worker
 initialization decodes a buffer instead of re-walking the taxonomy and
 re-stemming every gloss.
+
+Failure is a first-class outcome, not an exception.  Every document
+comes back with a structured :class:`~repro.runtime.resilience
+.DocOutcome` (``ok`` / ``retried`` / ``degraded`` / ``failed`` with the
+typed error, attempt count, and stage); transient faults are retried
+with exponential backoff; a per-document wall-clock timeout kills and
+re-dispatches stragglers; and a circuit breaker trips the pool to the
+serial fallback after N consecutive pool-machinery failures — each
+transition recorded in the :class:`MetricsRegistry`, never silent.  A
+seeded :class:`~repro.runtime.faults.FaultInjector` can be plugged in
+to exercise all of these paths deterministically; documents that
+succeed under injected faults are bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -34,10 +46,23 @@ from typing import IO, Iterable, Sequence
 from ..core.config import XSDFConfig
 from ..core.framework import XSDF
 from ..semnet.network import SemanticNetwork
+from ..xmltree.errors import XMLError
 from .cache import LRUCache
+from .faults import FaultInjector, InjectedFault
 from .index import SemanticIndex
 from .metrics import MetricsRegistry
-from .pack import PackedIndex
+from .pack import PackedIndex, PackedIndexError
+from .resilience import (
+    ON_ERROR_POLICIES,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RETRIED,
+    BatchAbortError,
+    CircuitBreaker,
+    DocOutcome,
+    RetryPolicy,
+)
 
 #: Default bound for the per-process pairwise/sense similarity caches.
 DEFAULT_CACHE_SIZE = 65536
@@ -68,11 +93,13 @@ class BatchRecord:
     ``result`` is the JSON-ready ``DisambiguationResult.to_dict()``
     payload on success and ``None`` on failure, with ``error`` carrying
     the exception text (one bad document must not sink the batch).
-    ``elapsed_s`` and ``worker_stats`` (the producing worker's
-    cumulative memo/prune counter snapshot, parallel runs only) are
+    ``elapsed_s``, ``worker_stats`` (the producing worker's cumulative
+    memo/prune/degrade counter snapshot, parallel runs only) and
+    ``outcome`` (the structured :class:`DocOutcome`) are
     observability-only and deliberately excluded from the JSONL
     rendering, which must be byte-identical between serial and parallel
-    (and cached and uncached) runs of the same input.
+    (and cached and uncached, faulted and fault-free) runs of the same
+    input.
     """
 
     name: str
@@ -80,6 +107,7 @@ class BatchRecord:
     error: str | None
     elapsed_s: float
     worker_stats: dict | None = None
+    outcome: DocOutcome | None = None
 
     @property
     def ok(self) -> bool:
@@ -104,44 +132,68 @@ class BatchRecord:
 #
 # Module-level state + functions so they are picklable by Pool.  Each
 # worker builds its XSDF (and document-result cache) once in the
-# initializer; tasks then carry only (name, xml) payloads.
+# initializer; tasks then carry only (name, xml, attempt) payloads.
 
 _WORKER_XSDF: XSDF | None = None
 _WORKER_DOC_CACHE: LRUCache | None = None
+_WORKER_INJECTOR: FaultInjector | None = None
 
 
 def _init_worker(
     network: SemanticNetwork,
     config: XSDFConfig,
-    index: "PackedIndex | SemanticIndex | None",
+    index: "PackedIndex | SemanticIndex | bytes | None",
     cache_size: int | None,
+    injector: FaultInjector | None = None,
 ) -> None:
     """Install this worker process's XSDF + caches (pool initializer).
 
     ``index`` arrives pre-built from the parent — for a
     :class:`PackedIndex` the pickle payload is its compact codec
-    buffer, so initialization is a decode, not an index rebuild.
+    buffer, so initialization is a decode, not an index rebuild.  It
+    may also arrive as raw codec ``bytes`` (the chaos path): a payload
+    that fails to decode degrades this worker to a locally built
+    :class:`SemanticIndex` — one rung down the ladder — instead of
+    killing the pool, and the degradation is surfaced through the
+    worker's stats snapshot.
     """
     # Per-process worker state is the one sanctioned module-global
     # mutation: it is written once per process, before any task runs.
-    global _WORKER_XSDF, _WORKER_DOC_CACHE  # lint: disable=cache-purity
+    global _WORKER_XSDF, _WORKER_DOC_CACHE, _WORKER_INJECTOR  # lint: disable=cache-purity
+    decode_degraded = False
+    if isinstance(index, (bytes, bytearray)):
+        try:
+            index = PackedIndex.from_bytes(bytes(index))
+        except PackedIndexError:  # lint: disable=silent-degrade  # surfaced via degrade_stats snapshot below
+            index = SemanticIndex(network)
+            decode_degraded = True
     _WORKER_XSDF = _build_xsdf(network, config, index, cache_size)
+    if decode_degraded:
+        _WORKER_XSDF.degrade_stats["packed_decode"] += 1
     _WORKER_DOC_CACHE = (
         LRUCache(maxsize=DOC_CACHE_SIZE) if index is not None else None
     )
+    _WORKER_INJECTOR = injector
 
 
-def _run_one(task: tuple[str, str]) -> BatchRecord:
+def _run_chunk(
+    tasks: list[tuple[str, str, int]]
+) -> list[BatchRecord]:
+    """Disambiguate one chunk of ``(name, xml, attempt)`` tasks."""
     assert _WORKER_XSDF is not None, "worker pool was not initialized"
-    record = _disambiguate_one(
-        _WORKER_XSDF, task[0], task[1], _WORKER_DOC_CACHE
-    )
-    record.worker_stats = _stats_snapshot(_WORKER_XSDF)
-    return record
+    records = []
+    for name, xml, attempt in tasks:
+        record = _disambiguate_one(
+            _WORKER_XSDF, name, xml, _WORKER_DOC_CACHE,
+            injector=_WORKER_INJECTOR, attempt=attempt,
+        )
+        record.worker_stats = _stats_snapshot(_WORKER_XSDF)
+        records.append(record)
+    return records
 
 
 def _stats_snapshot(xsdf: XSDF) -> dict:
-    """This worker's cumulative memo/prune counters, pid-tagged.
+    """This worker's cumulative memo/prune/degrade counters, pid-tagged.
 
     Counters are monotone over a worker's lifetime, so the parent can
     recover per-worker totals by taking the elementwise max of the
@@ -160,6 +212,9 @@ def _stats_snapshot(xsdf: XSDF) -> dict:
         stats["memo_hits"] = memo_stats["hits"]
         stats["memo_misses"] = memo_stats["misses"]
         stats["memo_evictions"] = memo_stats["evictions"]
+    for key, value in xsdf.degrade_stats.items():
+        if value:
+            stats[f"degrade_{key}"] = value
     return stats
 
 
@@ -180,44 +235,109 @@ def _build_xsdf(
     )
 
 
+def _classify_stage(exc: BaseException) -> str:
+    """Map an exception to the pipeline stage it indicts."""
+    if isinstance(exc, InjectedFault):
+        return "inject"
+    if isinstance(exc, XMLError):
+        return "parse"
+    if isinstance(exc, PackedIndexError):
+        return "index"
+    return "pipeline"
+
+
 def _disambiguate_one(
-    xsdf: XSDF, name: str, xml: str, doc_cache: LRUCache | None
+    xsdf: XSDF,
+    name: str,
+    xml: str,
+    doc_cache: LRUCache | None,
+    injector: FaultInjector | None = None,
+    attempt: int = 1,
 ) -> BatchRecord:
     """Disambiguate one document, serving repeats from the result cache.
 
     The cache key is the document *text* digest: disambiguation is a
     pure function of (network, config, text), so an identical document
     seen again — the common shape of production traffic — costs one
-    hash instead of a full pipeline run.
+    hash instead of a full pipeline run.  Injected faults fire *before*
+    the cache lookup (they are keyed by document name, the cache by
+    text) and are never cached, so a retry re-runs the real pipeline.
     """
     start = time.perf_counter()
-    key = hashlib.sha256(xml.encode("utf-8")).hexdigest() \
-        if doc_cache is not None else None
-    if key is not None:
-        cached = doc_cache.get(key)
-        if cached is not None:
-            return BatchRecord(
-                name=name,
-                result=cached[0],
-                error=cached[1],
-                elapsed_s=time.perf_counter() - start,
-            )
+    degrade_before = dict(xsdf.degrade_stats)
+    result: dict | None = None
+    error: str | None = None
+    error_type = ""
+    stage = ""
+    transient = False
+    cacheable = doc_cache is not None
     try:
-        result = xsdf.disambiguate_document(xml).to_dict()
-        error = None
-    except Exception as exc:  # lint: disable=broad-except  # isolation boundary
-        result = None
+        if injector is not None:
+            injector.before_document(name, attempt)
+        key = (
+            hashlib.sha256(xml.encode("utf-8")).hexdigest()
+            if doc_cache is not None else None
+        )
+        cached = doc_cache.get(key) if key is not None else None
+        if cached is not None:
+            result, error = cached
+            cacheable = False
+            if error is not None:
+                error_type = error.split(":", 1)[0]
+                stage = "pipeline"
+        else:
+            result = xsdf.disambiguate_document(xml).to_dict()
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except InjectedFault as exc:  # lint: disable=silent-degrade  # surfaced as a DocOutcome by the caller
         error = f"{type(exc).__name__}: {exc}"
-    if key is not None:
+        error_type = type(exc).__name__
+        stage = "inject"
+        transient = exc.transient
+        cacheable = False  # name-keyed fault, text-keyed cache
+        key = None
+    except Exception as exc:  # lint: disable=broad-except,silent-degrade  # isolation boundary -> DocOutcome
+        error = f"{type(exc).__name__}: {exc}"
+        error_type = type(exc).__name__
+        stage = _classify_stage(exc)
+    if cacheable and key is not None:
         # The document cache is this function's explicit output store,
         # not incidental state: writing it is the point.
         doc_cache[key] = (result, error)  # lint: disable=cache-purity
+    degradations = tuple(
+        k for k, v in xsdf.degrade_stats.items()
+        if v > degrade_before.get(k, 0)
+    )
+    if error is None:
+        status = STATUS_DEGRADED if degradations else STATUS_OK
+    else:
+        status = STATUS_FAILED
+    outcome = DocOutcome(
+        name=name,
+        status=status,
+        attempts=attempt,
+        stage=stage,
+        error_type=error_type,
+        error=error or "",
+        transient=transient,
+        degradations=degradations,
+    )
     return BatchRecord(
         name=name,
         result=result,
         error=error,
         elapsed_s=time.perf_counter() - start,
+        outcome=outcome,
     )
+
+
+def _shutdown_pool(pool, terminate: bool = False) -> None:
+    """Close (or hard-terminate) a pool and reap its workers."""
+    if terminate and hasattr(pool, "terminate"):
+        pool.terminate()
+    else:
+        pool.close()
+    pool.join()
 
 
 class BatchExecutor:
@@ -232,13 +352,16 @@ class BatchExecutor:
     workers:
         Process count; ``<= 1`` runs serially in-process.  Pool
         creation failures (platforms without working
-        ``multiprocessing``) *and* mid-batch ``pool.map`` failures
-        (worker crashes, pickling errors) degrade to the serial path
-        instead of erroring.
+        ``multiprocessing``) and mid-batch pool-machinery failures
+        (worker crashes, pickling errors) are counted by the circuit
+        breaker and, once it trips, drain the rest of the batch on the
+        serial path — output is identical either way, and every
+        transition is recorded in the metrics registry.
     chunk_size:
         Documents per pool task; ``None`` picks ``ceil(n / (4 *
         workers))`` — large enough to amortize dispatch, small enough to
-        load-balance.
+        load-balance.  Forced to 1 while ``doc_timeout`` is set so the
+        timeout has per-document granularity.
     use_index:
         Build a semantic index + bounded LRU similarity cache (on by
         default — this is the runtime's raison d'être; disable to
@@ -258,10 +381,40 @@ class BatchExecutor:
         Optional :class:`MetricsRegistry`.  The serial path threads it
         through :class:`XSDF` for full per-stage latency; the parallel
         path records batch-level counters/timers plus the merged
-        per-worker memo/prune counters (``memo_hits``, ``memo_misses``,
-        ``memo_evictions``, ``candidates_evaluated``,
-        ``candidates_pruned``) — other worker-process internals are not
-        merged back.
+        per-worker memo/prune/degrade counters — other worker-process
+        internals are not merged back.  Resilience counters
+        (``outcome_*``, ``retries``, ``doc_timeouts``,
+        ``breaker_trips``) and structured events (``fault``,
+        ``doc_failed``, ``doc_timeout``, ``pool_fault``,
+        ``breaker_tripped``) land here too.
+    max_retries:
+        Re-dispatch budget for *transient* faults per document (a
+        document runs at most ``max_retries + 1`` times).  Permanent
+        errors (parse failures, deterministic pipeline bugs) are never
+        retried.
+    doc_timeout:
+        Per-document wall-clock budget in seconds (parallel path only;
+        the serial path cannot kill a straggler in-process).  A chunk
+        that exceeds it has its pool terminated and its documents
+        re-dispatched with a bumped attempt count, becoming ``failed``
+        with ``stage="timeout"`` once retries are exhausted.
+    backoff_base:
+        First retry delay; doubles per attempt, capped at 2 s.  Pass
+        ``0.0`` (tests do) to retry instantly.
+    breaker_threshold:
+        Consecutive pool-machinery failures before the circuit breaker
+        trips to the serial fallback.
+    on_error:
+        ``"skip"`` (default) records failures and carries on;
+        ``"fail"`` raises :class:`BatchAbortError` (carrying the
+        records so far) at the first final failure; ``"quarantine"``
+        behaves like ``skip`` — routing failed records to a sidecar is
+        the CLI's job.
+    injector:
+        Optional :class:`FaultInjector`; its schedules fire in the
+        parent's serial path and in every worker (it ships through the
+        pool initializer), and may corrupt the packed payload shipped
+        to workers.
     """
 
     def __init__(
@@ -274,6 +427,12 @@ class BatchExecutor:
         packed: bool = True,
         cache_size: int | None = DEFAULT_CACHE_SIZE,
         metrics: MetricsRegistry | None = None,
+        max_retries: int = 2,
+        doc_timeout: float | None = None,
+        backoff_base: float = 0.05,
+        breaker_threshold: int = 3,
+        on_error: str = "skip",
+        injector: FaultInjector | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -281,6 +440,12 @@ class BatchExecutor:
             raise ValueError("chunk_size must be >= 1")
         if cache_size is not None and cache_size < 1:
             raise ValueError("cache_size must be >= 1 (or None for unbounded)")
+        if doc_timeout is not None and doc_timeout <= 0:
+            raise ValueError("doc_timeout must be > 0 (or None for no limit)")
+        if on_error not in ON_ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+            )
         self.network = network
         self.config = config or XSDFConfig()
         self.workers = workers
@@ -289,6 +454,13 @@ class BatchExecutor:
         self.packed = packed
         self.cache_size = cache_size
         self.metrics = metrics
+        self.retry = RetryPolicy(
+            max_retries=max_retries, backoff_base=backoff_base
+        )
+        self.doc_timeout = doc_timeout
+        self.breaker_threshold = breaker_threshold
+        self.on_error = on_error
+        self.injector = injector
         self._index: "PackedIndex | SemanticIndex | None" = None
         self._serial_xsdf: XSDF | None = None
         self._doc_cache: LRUCache | None = (
@@ -311,7 +483,13 @@ class BatchExecutor:
     def run(
         self, documents: Iterable[BatchDocument | tuple[str, str]]
     ) -> list[BatchRecord]:
-        """Disambiguate every document; records come back in input order."""
+        """Disambiguate every document; records come back in input order.
+
+        Under ``on_error="fail"`` a document whose retries are
+        exhausted raises :class:`BatchAbortError` (carrying the records
+        completed so far); otherwise failures come back as records with
+        ``ok=False`` and a structured ``outcome``.
+        """
         docs = [
             doc if isinstance(doc, BatchDocument) else BatchDocument(*doc)
             for doc in documents
@@ -342,6 +520,74 @@ class BatchExecutor:
             handle.write("\n")
         return records
 
+    # -- outcome plumbing ----------------------------------------------------
+
+    def _finalize(self, record: BatchRecord, attempt: int) -> BatchRecord:
+        """Stamp the final outcome status and emit its metrics."""
+        outcome = record.outcome
+        if outcome is None:
+            outcome = record.outcome = DocOutcome(  # lint: disable=cache-purity  # record is this method's out-param
+                name=record.name,
+                status=STATUS_OK if record.ok else STATUS_FAILED,
+            )
+        outcome.attempts = attempt
+        if record.ok and attempt > 1:
+            outcome.status = STATUS_RETRIED
+        m = self.metrics
+        if m is not None:
+            m.count(f"outcome_{outcome.status}")
+            if not record.ok:
+                m.event(
+                    "doc_failed",
+                    doc=outcome.name,
+                    error_type=outcome.error_type,
+                    stage=outcome.stage,
+                    attempts=attempt,
+                )
+        return record
+
+    def _note_retry(self, outcome: DocOutcome, attempt: int) -> None:
+        """Record one transient fault that earned a re-dispatch."""
+        m = self.metrics
+        if m is not None:
+            m.count("retries")
+            m.event(
+                "fault",
+                doc=outcome.name,
+                error_type=outcome.error_type,
+                stage=outcome.stage,
+                attempt=attempt,
+            )
+
+    def _abort(
+        self, record: BatchRecord, results: "list[BatchRecord | None]"
+    ) -> BatchAbortError:
+        """The ``on_error="fail"`` abort, carrying the records so far."""
+        return BatchAbortError(
+            f"document {record.name!r} failed: {record.error}",
+            [r for r in results if r is not None],
+        )
+
+    def _fail_record(
+        self, doc: BatchDocument, attempt: int, stage: str, error: str
+    ) -> BatchRecord:
+        """A synthesized failure record (timeout / pool casualties)."""
+        return BatchRecord(
+            name=doc.name,
+            result=None,
+            error=error,
+            elapsed_s=0.0,
+            outcome=DocOutcome(
+                name=doc.name,
+                status=STATUS_FAILED,
+                attempts=attempt,
+                stage=stage,
+                error_type=error.split(":", 1)[0],
+                error=error,
+                transient=True,
+            ),
+        )
+
     # -- serial path ---------------------------------------------------------
 
     def _serial(self) -> XSDF:
@@ -366,12 +612,37 @@ class BatchExecutor:
                         self.metrics.register_cache(name, cache)
         return self._serial_xsdf
 
+    def _attempt_serial(
+        self, xsdf: XSDF, doc: BatchDocument, first_attempt: int = 1
+    ) -> BatchRecord:
+        """One document through the serial path, with the retry loop."""
+        attempt = first_attempt
+        while True:
+            record = _disambiguate_one(
+                xsdf, doc.name, doc.xml, self._doc_cache,
+                injector=self.injector, attempt=attempt,
+            )
+            outcome = record.outcome
+            assert outcome is not None
+            if record.ok or not (
+                outcome.transient and self.retry.allows(attempt)
+            ):
+                return self._finalize(record, attempt)
+            self._note_retry(outcome, attempt)
+            delay = self.retry.delay(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
+
     def _run_serial(self, docs: Sequence[BatchDocument]) -> list[BatchRecord]:
         xsdf = self._serial()
-        return [
-            _disambiguate_one(xsdf, doc.name, doc.xml, self._doc_cache)
-            for doc in docs
-        ]
+        records: list[BatchRecord | None] = []
+        for doc in docs:
+            record = self._attempt_serial(xsdf, doc)
+            records.append(record)
+            if self.on_error == "fail" and not record.ok:
+                raise self._abort(record, records)
+        return [r for r in records if r is not None]
 
     # -- parallel path -------------------------------------------------------
 
@@ -394,43 +665,287 @@ class BatchExecutor:
         byte_cap = max(1, TARGET_CHUNK_BYTES // mean_doc_bytes)
         return min(count_chunk, byte_cap)
 
-    def _run_parallel(self, docs: Sequence[BatchDocument]) -> list[BatchRecord]:
+    def _ship_index(self) -> "PackedIndex | SemanticIndex | bytes | None":
+        """The index payload shipped to workers (chaos may corrupt it)."""
         index = self._ensure_index()
+        injector = self.injector
+        if (
+            injector is not None
+            and injector.corrupts_packed
+            and isinstance(index, PackedIndex)
+        ):
+            return injector.corrupt_bytes(index.to_bytes())
+        return index
+
+    def _make_pool(self, ship):
+        """A fresh worker pool, or None when the platform refuses one."""
         try:
             import multiprocessing
 
-            pool = multiprocessing.Pool(
+            return multiprocessing.Pool(
                 processes=self.workers,
                 initializer=_init_worker,
                 initargs=(
-                    self.network, self.config, index, self.cache_size,
+                    self.network, self.config, ship, self.cache_size,
+                    self.injector,
                 ),
             )
-        except (ImportError, OSError, ValueError):
-            # No usable multiprocessing on this platform — degrade
-            # gracefully; output is identical either way.
-            return self._run_serial(docs)
-        chunk = self.chunk_size or self._auto_chunk(docs)
-        tasks = [(doc.name, doc.xml) for doc in docs]
-        records: list[BatchRecord] | None
+        except (ImportError, OSError, ValueError) as exc:
+            # No usable multiprocessing on this platform — the breaker
+            # counts it and eventually drains the batch serially.
+            if self.metrics is not None:
+                m = self.metrics
+                m.event("pool_fault", kind="create", error=str(exc))
+            return None
+
+    def _run_parallel(self, docs: Sequence[BatchDocument]) -> list[BatchRecord]:
+        ship = self._ship_index()
+        m = self.metrics
+        breaker = CircuitBreaker(self.breaker_threshold)
+        results: list[BatchRecord | None] = [None] * len(docs)
+        pending: list[tuple[int, int]] = [(i, 1) for i in range(len(docs))]
+        pool = None
         try:
-            # Pool.map preserves task order, giving input-ordered merge.
-            records = pool.map(_run_one, tasks, chunksize=chunk)
-        except Exception:  # lint: disable=broad-except  # isolation boundary
-            # A mid-batch failure (worker crash, PicklingError, pool
-            # torn down under us) must not sink the run: per-document
-            # errors are already isolated inside _disambiguate_one, so
-            # anything surfacing here is pool machinery — redo the
-            # batch on the serial path, whose output is identical.
-            records = None
+            while pending:
+                if breaker.tripped:
+                    if m is not None:
+                        m.count("breaker_trips")
+                        m.event("breaker_tripped", remaining=len(pending))
+                    self._drain_serial(docs, pending, results)
+                    pending = []
+                    break
+                if pool is None:
+                    pool = self._make_pool(ship)
+                    if pool is None:
+                        breaker.record_failure()
+                        continue
+                pending, pool_ok = self._collect_wave(
+                    pool, docs, pending, results, breaker
+                )
+                if not pool_ok:
+                    _shutdown_pool(pool, terminate=True)
+                    pool = None
+                if pending:
+                    # Back off before the retry wave (retries only reach
+                    # here with attempt >= 2; pool-failure requeues keep
+                    # attempt 1 and a zero delay).
+                    delay = self.retry.delay(
+                        max(att for _, att in pending) - 1
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+        except BaseException:  # lint: disable=broad-except  # teardown boundary: terminates the pool then re-raises
+            # Satellite contract: KeyboardInterrupt/SystemExit (and the
+            # on_error="fail" abort) must tear the pool down hard, not
+            # hang in close/join behind a straggling worker.
+            if pool is not None:
+                _shutdown_pool(pool, terminate=True)
+                pool = None
+            raise
         finally:
-            pool.close()
-            pool.join()
-        if records is None:
-            return self._run_serial(docs)
-        if self.metrics is not None:
+            if pool is not None:
+                _shutdown_pool(pool)
+        records = [r for r in results if r is not None]
+        assert len(records) == len(docs), "lost a batch document"
+        if m is not None:
             self._merge_worker_stats(records)
         return records
+
+    def _collect_wave(
+        self,
+        pool,
+        docs: Sequence[BatchDocument],
+        wave: list[tuple[int, int]],
+        results: "list[BatchRecord | None]",
+        breaker: CircuitBreaker,
+    ) -> tuple[list[tuple[int, int]], bool]:
+        """Dispatch one wave of ``(doc index, attempt)`` entries.
+
+        Returns ``(requeue, pool_ok)``: the entries needing another
+        wave, and whether the pool survived (a timeout or machinery
+        failure poisons it — the caller terminates and rebuilds).
+        """
+        import multiprocessing
+
+        m = self.metrics
+        wave_docs = [docs[i] for i, _ in wave]
+        if self.doc_timeout is not None:
+            chunk = 1  # per-document timeout needs per-document tasks
+        else:
+            chunk = self.chunk_size or self._auto_chunk(wave_docs)
+        groups = [wave[j:j + chunk] for j in range(0, len(wave), chunk)]
+        requeue: list[tuple[int, int]] = []
+        try:
+            handles = [
+                pool.apply_async(
+                    _run_chunk,
+                    ([
+                        (docs[i].name, docs[i].xml, att)
+                        for i, att in group
+                    ],),
+                )
+                for group in groups
+            ]
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:  # lint: disable=broad-except  # pool machinery boundary
+            # Submission itself failed (pool torn down, pickling error):
+            # nothing ran, so requeue the whole wave at the same attempt
+            # and let the breaker decide when to stop trusting pools.
+            breaker.record_failure()
+            if m is not None:
+                m.event("pool_fault", kind="submit", error=str(exc))
+            return list(wave), False
+        collected = 0
+        for pos, (group, handle) in enumerate(zip(groups, handles)):
+            timeout = (
+                None if self.doc_timeout is None
+                else self.doc_timeout * len(group)
+            )
+            try:
+                records = handle.get(timeout)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except multiprocessing.TimeoutError:
+                breaker.record_failure()
+                if m is not None:
+                    m.count("doc_timeouts")
+                    m.event(
+                        "doc_timeout",
+                        docs=[docs[i].name for i, _ in group],
+                        attempt=group[0][1],
+                    )
+                requeue.extend(
+                    self._requeue_timed_out(group, docs, results)
+                )
+                requeue.extend(
+                    self._salvage(
+                        groups[pos + 1:], handles[pos + 1:], docs,
+                        results, requeue, breaker,
+                    )
+                )
+                return requeue, False
+            except Exception as exc:  # lint: disable=broad-except  # pool machinery boundary
+                breaker.record_failure()
+                if m is not None:
+                    m.event("pool_fault", kind="collect", error=str(exc))
+                requeue.extend(group)
+                requeue.extend(
+                    self._salvage(
+                        groups[pos + 1:], handles[pos + 1:], docs,
+                        results, requeue, breaker,
+                    )
+                )
+                return requeue, False
+            else:
+                breaker.record_success()
+                collected += 1
+                self._dispose_chunk(group, records, results, requeue)
+        return requeue, True
+
+    def _salvage(
+        self,
+        groups: list[list[tuple[int, int]]],
+        handles: list,
+        docs: Sequence[BatchDocument],
+        results: "list[BatchRecord | None]",
+        requeue: list[tuple[int, int]],
+        breaker: CircuitBreaker,
+    ) -> list[tuple[int, int]]:
+        """Harvest already-finished chunks before killing a poisoned pool.
+
+        Ready results are disposed normally; everything still in flight
+        is requeued at its current attempt (those documents did nothing
+        wrong — the straggler did).
+        """
+        extra: list[tuple[int, int]] = []
+        for group, handle in zip(groups, handles):
+            if not handle.ready():
+                extra.extend(group)
+                continue
+            try:
+                records = handle.get(0)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # lint: disable=broad-except  # pool machinery boundary
+                breaker.record_failure()
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "pool_fault", kind="collect", error=str(exc)
+                    )
+                extra.extend(group)
+                continue
+            self._dispose_chunk(group, records, results, requeue)
+        return extra
+
+    def _requeue_timed_out(
+        self,
+        group: list[tuple[int, int]],
+        docs: Sequence[BatchDocument],
+        results: "list[BatchRecord | None]",
+    ) -> list[tuple[int, int]]:
+        """Re-dispatch a timed-out chunk, or fail it out of retries."""
+        out: list[tuple[int, int]] = []
+        for i, attempt in group:
+            if self.retry.allows(attempt):
+                record = self._fail_record(
+                    docs[i], attempt, "timeout",
+                    f"TimeoutError: exceeded doc_timeout="
+                    f"{self.doc_timeout}s",
+                )
+                assert record.outcome is not None
+                self._note_retry(record.outcome, attempt)
+                out.append((i, attempt + 1))
+            else:
+                record = self._finalize(
+                    self._fail_record(
+                        docs[i], attempt, "timeout",
+                        f"TimeoutError: exceeded doc_timeout="
+                        f"{self.doc_timeout}s after {attempt} attempts",
+                    ),
+                    attempt,
+                )
+                results[i] = record  # lint: disable=cache-purity  # results is the wave scheduler's out-param
+                if self.on_error == "fail":
+                    raise self._abort(record, results)
+        return out
+
+    def _dispose_chunk(
+        self,
+        group: list[tuple[int, int]],
+        records: list[BatchRecord],
+        results: "list[BatchRecord | None]",
+        requeue: list[tuple[int, int]],
+    ) -> None:
+        """Route one chunk's records: final, retryable, or abort."""
+        for (i, attempt), record in zip(group, records):
+            outcome = record.outcome
+            if (
+                not record.ok
+                and outcome is not None
+                and outcome.transient
+                and self.retry.allows(attempt)
+            ):
+                self._note_retry(outcome, attempt)
+                requeue.append((i, attempt + 1))  # lint: disable=cache-purity  # requeue is the wave scheduler's out-param
+                continue
+            results[i] = self._finalize(record, attempt)  # lint: disable=cache-purity  # results is the wave scheduler's out-param
+            if self.on_error == "fail" and not record.ok:
+                raise self._abort(record, results)
+
+    def _drain_serial(
+        self,
+        docs: Sequence[BatchDocument],
+        pending: list[tuple[int, int]],
+        results: "list[BatchRecord | None]",
+    ) -> None:
+        """Finish the remaining documents in the parent (breaker open)."""
+        xsdf = self._serial()
+        for i, attempt in sorted(pending):
+            record = self._attempt_serial(xsdf, docs[i], first_attempt=attempt)
+            results[i] = record  # lint: disable=cache-purity  # results is the wave scheduler's out-param
+            if self.on_error == "fail" and not record.ok:
+                raise self._abort(record, results)
 
     def _merge_worker_stats(self, records: Sequence[BatchRecord]) -> None:
         """Fold worker memo/prune snapshots into the parent's counters.

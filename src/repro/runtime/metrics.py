@@ -60,10 +60,15 @@ class MetricsRegistry:
     aggregation happens only in :meth:`report`.
     """
 
+    #: Cap on retained structured events; older runs never grow unbounded.
+    MAX_EVENTS = 256
+
     def __init__(self):
         self._counters: dict[str, float] = {}
         self._timers: dict[str, StageTimer] = {}
         self._caches: dict[str, "LRUCache"] = {}
+        self._events: list[dict] = []
+        self._events_dropped = 0
         self._started = time.perf_counter()
 
     # -- counters ------------------------------------------------------------
@@ -75,6 +80,28 @@ class MetricsRegistry:
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never touched)."""
         return self._counters.get(name, 0.0)
+
+    # -- events --------------------------------------------------------------
+
+    def event(self, name: str, **fields) -> None:
+        """Record one structured event (degradation, fault, retry, ...).
+
+        Events are the audit trail of the resilience layer: every
+        fallback, retry, and ladder rung emits one so "it silently
+        degraded" can never happen again (the ``silent-degrade`` lint
+        rule enforces this).  The list is capped at :data:`MAX_EVENTS`;
+        overflow is counted, not silently discarded.
+        """
+        if len(self._events) >= self.MAX_EVENTS:
+            self._events_dropped += 1
+            return
+        self._events.append({"event": name, **fields})
+
+    def events(self, name: str | None = None) -> list[dict]:
+        """Recorded events, optionally filtered by event name."""
+        if name is None:
+            return list(self._events)
+        return [e for e in self._events if e["event"] == name]
 
     # -- timers --------------------------------------------------------------
 
@@ -121,6 +148,8 @@ class MetricsRegistry:
         return {
             "elapsed_s": round(elapsed, 6),
             "counters": dict(self._counters),
+            "events": [dict(e) for e in self._events],
+            "events_dropped": self._events_dropped,
             "stages": {
                 name: timer.stats() for name, timer in self._timers.items()
             },

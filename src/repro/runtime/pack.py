@@ -60,6 +60,24 @@ class PackedIndexError(ValueError):
     """Raised when a packed-index buffer is truncated or corrupted."""
 
 
+class PackedIndexTruncatedError(PackedIndexError):
+    """The buffer ends before the header/body it declares.
+
+    Actionable: the payload was cut short in transit or on disk —
+    re-ship or re-serialize it; the bytes that *are* present are intact.
+    """
+
+
+class PackedIndexCRCError(PackedIndexError):
+    """The body checksum (or compressed stream) does not match.
+
+    Actionable: the payload is the right length but its content was
+    altered — a corrupt write, a bad copy, or injected chaos; rebuild
+    the index from the network (the degradation ladder does this
+    automatically one rung down).
+    """
+
+
 def _encode_strings(items: Iterable[str]) -> bytes:
     """NUL-join a string table (ids/tokens must not contain NUL)."""
     table = tuple(items)
@@ -300,7 +318,7 @@ class PackedIndex:
         if include_ic and n:
             try:
                 ic = index.ic
-            except ValueError:
+            except ValueError:  # lint: disable=silent-degrade  # no frequency mass -> IC table omitted by design
                 ic = None  # no frequency mass (only when smoothing == 0)
             if ic is not None:
                 ic_values = array("d", (ic.ic(cid) for cid in ids))
@@ -706,8 +724,12 @@ class PackedIndex:
     def from_bytes(cls, data: bytes) -> "PackedIndex":
         """Decode a :meth:`to_bytes` buffer into a ready-to-query index.
 
-        Raises :class:`PackedIndexError` on bad magic, unsupported
-        version, truncation, or checksum mismatch.
+        Raises a typed :class:`PackedIndexError`:
+        :class:`PackedIndexTruncatedError` when the buffer is shorter
+        than the header or the body it declares,
+        :class:`PackedIndexCRCError` when the checksum or compressed
+        stream is corrupt, and the base class for bad magic,
+        unsupported versions, and inconsistent tables.
         """
         packed = cls.__new__(cls)
         packed._decode(data)
@@ -718,7 +740,9 @@ class PackedIndex:
         start = time.perf_counter()
         header_size = len(_MAGIC) + struct.calcsize("<HBII")
         if len(data) < header_size:
-            raise PackedIndexError("buffer shorter than the packed header")
+            raise PackedIndexTruncatedError(
+                "buffer shorter than the packed header"
+            )
         if data[: len(_MAGIC)] != _MAGIC:
             raise PackedIndexError("not a packed-index buffer (bad magic)")
         version, byteorder, crc, body_len = struct.unpack_from(
@@ -730,17 +754,17 @@ class PackedIndex:
             )
         packed_body = data[header_size:]
         if len(packed_body) < body_len:
-            raise PackedIndexError(
+            raise PackedIndexTruncatedError(
                 f"buffer truncated: header declares {body_len} body bytes, "
                 f"{len(packed_body)} present"
             )
         packed_body = packed_body[:body_len]
         if zlib.crc32(packed_body) != crc:
-            raise PackedIndexError("buffer corrupted (checksum mismatch)")
+            raise PackedIndexCRCError("buffer corrupted (checksum mismatch)")
         try:
             body = zlib.decompress(packed_body)
         except zlib.error as exc:
-            raise PackedIndexError(f"buffer corrupted: {exc}") from None
+            raise PackedIndexCRCError(f"buffer corrupted: {exc}") from None
         sections: list[bytes] = []
         offset = 0
         while offset < len(body):

@@ -605,6 +605,86 @@ class TestMemoKeyPurity:
         ) == []
 
 
+class TestSilentDegrade:
+    def test_fires_on_silent_fallback_in_runtime_scope(self, lint):
+        findings = lint(
+            """\
+            def decode(blob, network):
+                try:
+                    return unpack(blob)
+                except DecodeError:
+                    return rebuild(network)
+            """,
+            rules=["silent-degrade"], path=RUNTIME_PATH,
+        )
+        (finding,) = findings
+        assert finding.rule == "silent-degrade"
+        assert "degrades silently" in finding.message
+
+    def test_silent_when_the_handler_reraises(self, lint):
+        assert lint(
+            """\
+            def decode(blob):
+                try:
+                    return unpack(blob)
+                except DecodeError:
+                    raise
+            """,
+            rules=["silent-degrade"], path=RUNTIME_PATH,
+        ) == []
+
+    def test_silent_when_the_fallback_emits_a_metric(self, lint):
+        assert lint(
+            """\
+            def decode(blob, network, metrics):
+                try:
+                    return unpack(blob)
+                except DecodeError as exc:
+                    metrics.event("pool_fault", error=str(exc))
+                    return rebuild(network)
+            """,
+            rules=["silent-degrade"], path=RUNTIME_PATH,
+        ) == []
+
+    def test_silent_on_lookup_miss_handlers(self, lint):
+        """Absence handling (KeyError & friends) is not a degrade."""
+        assert lint(
+            """\
+            def lookup(cache, key):
+                try:
+                    return cache[key]
+                except (KeyError, IndexError):
+                    return None
+            """,
+            rules=["silent-degrade"], path=RUNTIME_PATH,
+        ) == []
+
+    def test_annotated_deliberate_silence_is_sanctioned(self, lint):
+        assert lint(
+            """\
+            def decode(blob, network):
+                try:
+                    return unpack(blob)
+                except DecodeError:  # lint: disable=silent-degrade  # surfaced via worker stats
+                    return rebuild(network)
+            """,
+            rules=["silent-degrade"], path=RUNTIME_PATH,
+        ) == []
+
+    def test_silent_outside_runtime_scope(self, lint):
+        """The rule polices the runtime package, not the whole tree."""
+        assert lint(
+            """\
+            def decode(blob, network):
+                try:
+                    return unpack(blob)
+                except DecodeError:
+                    return rebuild(network)
+            """,
+            rules=["silent-degrade"], path=CORE_PATH,
+        ) == []
+
+
 class TestFullRuleSetOnCleanCode:
     def test_idiomatic_snippet_is_clean_under_every_rule(self, lint,
                                                          design_root):

@@ -84,3 +84,38 @@ class TestXSDFInstrumentation:
             lexicon, XSDFConfig(), metrics=MetricsRegistry()
         ).disambiguate_document(figure1_xml)
         assert plain.to_dict() == timed.to_dict()
+
+
+class TestEvents:
+    def test_event_records_structured_fields(self):
+        m = MetricsRegistry()
+        m.event("fault", doc="a", stage="inject")
+        m.event("doc_failed", doc="b")
+        assert m.events() == [
+            {"event": "fault", "doc": "a", "stage": "inject"},
+            {"event": "doc_failed", "doc": "b"},
+        ]
+        assert m.events("fault") == [
+            {"event": "fault", "doc": "a", "stage": "inject"}
+        ]
+        assert m.events("nothing") == []
+
+    def test_event_buffer_is_bounded(self):
+        m = MetricsRegistry()
+        for i in range(MetricsRegistry.MAX_EVENTS + 5):
+            m.event("tick", i=i)
+        report = m.report()
+        assert len(report["events"]) == MetricsRegistry.MAX_EVENTS
+        assert report["events_dropped"] == 5
+
+    def test_report_includes_events(self):
+        m = MetricsRegistry()
+        m.event("breaker_tripped", remaining=3)
+        report = m.report()
+        assert report["events"] == [
+            {"event": "breaker_tripped", "remaining": 3}
+        ]
+        assert report["events_dropped"] == 0
+        # And the JSON rendering carries them too.
+        assert json.loads(m.to_json())["events"][0]["event"] == \
+            "breaker_tripped"

@@ -22,7 +22,13 @@ import random
 
 import pytest
 
-from repro.runtime import PackedIndex, PackedIndexError, SemanticIndex
+from repro.runtime import (
+    PackedIndex,
+    PackedIndexCRCError,
+    PackedIndexError,
+    PackedIndexTruncatedError,
+    SemanticIndex,
+)
 from repro.semnet.generator import GeneratorConfig, generate_network
 from repro.semnet.network import UnknownConceptError
 from repro.similarity.gloss import ExtendedLeskSimilarity
@@ -144,11 +150,28 @@ class TestCodec:
             with pytest.raises(PackedIndexError):
                 PackedIndex.from_bytes(blob[:cut])
 
+    def test_truncation_raises_the_typed_subclass(self, packed_lexicon):
+        """Truncation is distinguishable from corruption (typed errors)."""
+        blob = packed_lexicon.to_bytes()
+        for cut in (0, 10, len(blob) - 1):
+            with pytest.raises(PackedIndexTruncatedError):
+                PackedIndex.from_bytes(blob[:cut])
+        # The subclass is still the umbrella PackedIndexError, so
+        # existing except clauses keep working.
+        assert issubclass(PackedIndexTruncatedError, PackedIndexError)
+
     def test_corrupted_body_raises(self, packed_lexicon):
         blob = bytearray(packed_lexicon.to_bytes())
         blob[len(blob) // 2] ^= 0xFF
         with pytest.raises(PackedIndexError):
             PackedIndex.from_bytes(bytes(blob))
+
+    def test_corruption_raises_the_crc_subclass(self, packed_lexicon):
+        blob = bytearray(packed_lexicon.to_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(PackedIndexCRCError):
+            PackedIndex.from_bytes(bytes(blob))
+        assert issubclass(PackedIndexCRCError, PackedIndexError)
 
     def test_foreign_magic_and_version_raise(self, packed_lexicon):
         blob = packed_lexicon.to_bytes()

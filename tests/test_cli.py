@@ -247,3 +247,126 @@ class TestValidate:
         code, output = run(["validate", str(path)])
         assert code == 1
         assert "isa-cycle" in output
+
+
+class TestBatchResilience:
+    """xmltree recovery end to end: one malformed document is isolated
+    by ``--on-error`` policy while the survivors' JSONL stays
+    byte-identical to a clean run."""
+
+    def _write_corpus(self, tmp_path, figure1_xml):
+        for i in range(2):
+            (tmp_path / f"good-{i}.xml").write_text(
+                figure1_xml, encoding="utf-8"
+            )
+        (tmp_path / "broken.xml").write_text(
+            "<unclosed><tag>", encoding="utf-8"
+        )
+
+    def _clean_lines(self, tmp_path, figure1_xml):
+        clean_dir = tmp_path / "clean"
+        clean_dir.mkdir()
+        for i in range(2):
+            (clean_dir / f"good-{i}.xml").write_text(
+                figure1_xml, encoding="utf-8"
+            )
+        out_path = tmp_path / "clean.jsonl"
+        code, _ = run([
+            "batch", str(clean_dir / "*.xml"), "--out", str(out_path),
+        ])
+        assert code == 0
+        lines = out_path.read_text().splitlines()
+        # Survivor comparisons key on the basename-invariant payload.
+        return [line.replace(str(clean_dir), str(tmp_path)) for line in lines]
+
+    def test_on_error_skip_isolates_the_parse_failure(
+        self, tmp_path, figure1_xml
+    ):
+        self._write_corpus(tmp_path, figure1_xml)
+        out_path = tmp_path / "results.jsonl"
+        code, output = run([
+            "batch", str(tmp_path / "good-*.xml"), str(tmp_path / "broken.xml"),
+            "--on-error", "skip", "--out", str(out_path),
+        ])
+        assert code == 1
+        assert "1 failed" in output
+        assert "FAILED" in output and "stage=parse" in output
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 3  # skip keeps the failure in the JSONL
+        assert self._clean_lines(tmp_path, figure1_xml) == [
+            line for line in lines if '"ok": true' in line
+        ]
+
+    def test_on_error_quarantine_sidecars_the_failure(
+        self, tmp_path, figure1_xml
+    ):
+        import json
+
+        self._write_corpus(tmp_path, figure1_xml)
+        out_path = tmp_path / "results.jsonl"
+        sidecar = tmp_path / "bad.jsonl"
+        code, output = run([
+            "batch", str(tmp_path / "good-*.xml"), str(tmp_path / "broken.xml"),
+            "--on-error", "quarantine", "--quarantine", str(sidecar),
+            "--out", str(out_path),
+        ])
+        assert code == 0  # quarantine is a success policy
+        assert "QUARANTINED" in output
+        assert "1 quarantined" in output
+        survivors = out_path.read_text().splitlines()
+        assert len(survivors) == 2
+        assert all('"ok": true' in line for line in survivors)
+        assert self._clean_lines(tmp_path, figure1_xml) == survivors
+        (entry,) = [
+            json.loads(line) for line in sidecar.read_text().splitlines()
+        ]
+        assert entry["ok"] is False
+        assert entry["outcome"]["status"] == "failed"
+        assert entry["outcome"]["stage"] == "parse"
+
+    def test_on_error_fail_aborts_with_exit_code_2(
+        self, tmp_path, figure1_xml
+    ):
+        self._write_corpus(tmp_path, figure1_xml)
+        out_path = tmp_path / "results.jsonl"
+        code, output = run([
+            "batch", str(tmp_path / "broken.xml"), str(tmp_path / "good-*.xml"),
+            "--on-error", "fail", "--out", str(out_path),
+        ])
+        assert code == 2
+        assert "ABORTED (--on-error=fail)" in output
+        # Partial results (up to the abort) are still written.
+        assert len(out_path.read_text().splitlines()) >= 1
+
+    def test_resilience_flags_are_validated(self, tmp_path, figure1_xml):
+        (tmp_path / "doc.xml").write_text(figure1_xml, encoding="utf-8")
+        with pytest.raises(SystemExit):
+            run([
+                "batch", str(tmp_path / "doc.xml"),
+                "--doc-timeout", "0",
+            ])
+        with pytest.raises(SystemExit):
+            run([
+                "batch", str(tmp_path / "doc.xml"),
+                "--on-error", "explode",
+            ])
+
+    def test_metrics_json_carries_resilience_counters(
+        self, tmp_path, figure1_xml
+    ):
+        import json
+
+        self._write_corpus(tmp_path, figure1_xml)
+        metrics_path = tmp_path / "metrics.json"
+        out_path = tmp_path / "results.jsonl"
+        code, _ = run([
+            "batch", str(tmp_path / "*.xml"),
+            "--out", str(out_path), "--metrics", str(metrics_path),
+        ])
+        assert code == 1
+        report = json.loads(metrics_path.read_text())
+        assert report["counters"]["outcome_failed"] == 1
+        assert report["counters"]["outcome_ok"] == 2
+        events = [e for e in report["events"] if e["event"] == "doc_failed"]
+        assert len(events) == 1
+        assert events[0]["stage"] == "parse"
