@@ -1,0 +1,107 @@
+"""Daemon smoke: boot ``repro serve``, drive it, drain it, require exit 0.
+
+CI's ``server`` job runs this end-to-end against the real process
+boundary (the in-process battery in ``tests/server`` cannot prove the
+exit code): start the daemon on an ephemeral port, wait for the stderr
+announce line, check ``/healthz``, stream one NDJSON disambiguation,
+read ``/metrics``, then SIGTERM and require a clean exit — the
+graceful-drain contract.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import socket
+import subprocess
+import sys
+
+XML = "<library><book><title>bank</title></book></library>"
+
+
+def http(address: tuple[str, int], payload: bytes) -> bytes:
+    """One raw HTTP round-trip; returns the full response bytes."""
+    with socket.create_connection(address, timeout=30) as sock:
+        sock.sendall(payload)
+        data = b""
+        while chunk := sock.recv(4096):
+            data += chunk
+    return data
+
+
+def require(condition: bool, message: str) -> None:
+    """Fail the smoke loudly."""
+    if not condition:
+        raise SystemExit(f"server smoke FAILED: {message}")
+
+
+def main() -> int:
+    """Run the smoke; returns 0 on success."""
+    root = pathlib.Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(root / "src")]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stderr=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        announce = proc.stderr.readline()
+        require("repro-serve listening on" in announce,
+                f"unexpected announce line: {announce!r}")
+        host, port_text = announce.strip().rsplit(" ", 1)[1].rsplit(":", 1)
+        address = (host, int(port_text))
+
+        health = http(
+            address, b"GET /healthz HTTP/1.1\r\nHost: smoke\r\n\r\n"
+        )
+        status_line = health.split(b"\r\n")[0]
+        require(status_line == b"HTTP/1.1 200 OK",
+                f"healthz answered {status_line!r}")
+        payload = json.loads(health.partition(b"\r\n\r\n")[2])
+        require(payload["ready"] is True, "healthz reports not ready")
+        print(f"healthz ok: index {payload['index']['fingerprint'][:12]}..., "
+              f"{payload['index']['concepts']} concepts")
+
+        body = json.dumps({"xml": XML, "name": "smoke"}).encode("utf-8")
+        response = http(address, (
+            f"POST /v1/disambiguate HTTP/1.1\r\nHost: smoke\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("ascii") + body)
+        status_line = response.split(b"\r\n")[0]
+        require(status_line == b"HTTP/1.1 200 OK",
+                f"disambiguate answered {status_line!r}")
+        require(b'"envelope"' in response and b'"status": "ok"' in response,
+                "NDJSON stream is missing the ok envelope line")
+        print("disambiguate ok: NDJSON stream with ok envelope")
+
+        metrics = http(
+            address, b"GET /metrics HTTP/1.1\r\nHost: smoke\r\n\r\n"
+        )
+        snapshot = json.loads(metrics.partition(b"\r\n\r\n")[2])
+        require(snapshot["counters"].get("documents_served") == 1,
+                "metrics did not count the served document")
+        print("metrics ok: documents_served=1")
+
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        require(code == 0, f"SIGTERM drain exited {code}, expected 0")
+        print("drain ok: SIGTERM -> exit 0")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

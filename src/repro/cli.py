@@ -17,6 +17,15 @@ Commands
     / record and continue / divert failed documents to a sidecar JSONL)
     with ``--max-retries`` and ``--doc-timeout`` controlling the
     resilience layer.
+``serve``
+    Run the long-lived disambiguation daemon (:mod:`repro.server`):
+    the network loads and the packed index builds once, then
+    ``POST /v1/disambiguate`` streams NDJSON annotations byte-identical
+    to ``repro batch`` while the caches stay warm across requests.
+    ``GET /healthz`` and ``GET /metrics`` expose readiness and the live
+    metrics snapshot; ``--rate-limit``/``--max-concurrency``/
+    ``--request-timeout`` bound admission, and SIGTERM drains
+    gracefully (finish in-flight, refuse new connections, exit 0).
 ``audit FILE``
     Print the ambiguity-degree ranking of the file's nodes — which
     nodes are worth disambiguating, before spending any effort.
@@ -155,6 +164,77 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default quarantine.jsonl; implies "
                             "nothing unless --on-error=quarantine)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived disambiguation HTTP daemon",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="bind port (default 8750; 0 binds an "
+                            "ephemeral port, announced on stderr)")
+    serve.add_argument("--network", default=None, metavar="PATH",
+                       help="serve a repro-semnet JSON network instead "
+                            "of the bundled lexicon")
+    serve.add_argument("--max-concurrency", type=int, default=8,
+                       help="disambiguation requests admitted at once; "
+                            "excess requests get 503 + Retry-After "
+                            "(default 8)")
+    serve.add_argument("--rate-limit", type=float, default=0.0,
+                       metavar="PER_S",
+                       help="per-client token-bucket refill rate in "
+                            "requests/s; over-budget clients get 429 + "
+                            "Retry-After (default 0 = unlimited)")
+    serve.add_argument("--burst", type=int, default=8,
+                       help="token-bucket burst capacity per client "
+                            "(default 8)")
+    serve.add_argument("--max-body-bytes", type=int, default=None,
+                       help="largest accepted request body; bigger "
+                            "bodies get 413 (default 1 MiB)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock budget; over-budget "
+                            "requests get a 504 timeout envelope "
+                            "(default: unbounded)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="how long a SIGTERM drain waits for "
+                            "in-flight requests before cancelling "
+                            "stragglers (default 10)")
+    serve.add_argument("--metrics-json", "--metrics", dest="metrics_json",
+                       default=None, metavar="PATH",
+                       help="flush the final metrics snapshot here on "
+                            "shutdown (live snapshot: GET /metrics)")
+    serve.add_argument("--dict-index", action="store_true",
+                       help="use the dict-keyed SemanticIndex instead of "
+                            "the packed flat-array index (same scores)")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       help="bound for the similarity caches "
+                            "(default 65536)")
+    serve.add_argument("--no-memo", action="store_true",
+                       help="disable cross-document sphere memoization "
+                            "in the default session")
+    serve.add_argument("--no-prune", action="store_true",
+                       help="disable exact candidate pruning in the "
+                            "default session")
+    serve.add_argument("--radius", type=int, default=2,
+                       help="default sphere context radius d "
+                            "(overridable per request)")
+    serve.add_argument("--approach", choices=sorted(_APPROACHES),
+                       default="combined",
+                       help="default disambiguation process "
+                            "(overridable per request)")
+    serve.add_argument("--threshold", type=float, default=0.0,
+                       help="default ambiguity threshold Thresh_Amb")
+    serve.add_argument("--weights", metavar="EDGE,NODE,GLOSS", default=None,
+                       help="default similarity weight mix, e.g. 1,1,1")
+    serve.add_argument("--strip-target-dimension", action="store_true",
+                       help="enable the context-vector bias fix by "
+                            "default (extension)")
+    serve.add_argument("--structure-only", action="store_true",
+                       help="ignore text values by default "
+                            "(structure-only mode)")
+
     audit = sub.add_parser("audit", help="rank nodes by ambiguity degree")
     audit.add_argument("file", help="path to the XML document")
     audit.add_argument("--top", type=int, default=15,
@@ -264,7 +344,7 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
     import json as jsonlib
 
     from .runtime.executor import DEFAULT_CACHE_SIZE, BatchExecutor
-    from .runtime.metrics import MetricsRegistry
+    from .runtime.metrics import MetricsRegistry, batch_summary
     from .runtime.resilience import BatchAbortError
 
     paths: list[str] = []
@@ -341,40 +421,7 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
             out.write(record.to_json_line())
             out.write("\n")
 
-    report = metrics.report()
-    # Rate from the executor's own batch timer: the per-document
-    # "documents" counter lives in the workers under --workers > 1.
-    batch = report["stages"].get("batch", {})
-    rate = len(records) / batch["total_s"] if batch.get("total_s") else 0.0
-    summary = (
-        f"{len(records)} documents, {len(failures)} failed, "
-        f"{rate:.1f} docs/s"
-    )
-    counters = report.get("counters", {})
-    caches = report.get("caches", {})
-    # Serial runs surface memo traffic through the registered LRU;
-    # parallel runs through the merged worker counters.
-    memo_hits = counters.get("memo_hits", 0) or caches.get(
-        "sphere_memo", {}
-    ).get("hits", 0)
-    memo_misses = counters.get("memo_misses", 0) or caches.get(
-        "sphere_memo", {}
-    ).get("misses", 0)
-    pruned = counters.get("candidates_pruned", 0)
-    if memo_hits or memo_misses or pruned:
-        summary += (
-            f", memo {int(memo_hits)}/{int(memo_hits + memo_misses)} hits"
-            f", {int(pruned)} candidates pruned"
-        )
-    retried = int(counters.get("outcome_retried", 0))
-    degradations = int(sum(
-        value for key, value in counters.items()
-        if key.startswith("degrade_")
-    ))
-    if retried:
-        summary += f", {retried} retried"
-    if degradations:
-        summary += f", {degradations} degradations"
+    summary = batch_summary(metrics.report(), len(records), len(failures))
     if quarantined:
         summary += f", {len(quarantined)} quarantined -> {quarantine_path}"
     stream = sys.stderr if not args.out else out
@@ -424,6 +471,49 @@ def _profile_summary(profiler, top: int = 15) -> str:
         + "\n".join(lines)
         + "\n"
     )
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from .runtime.executor import DEFAULT_CACHE_SIZE
+    from .server import ReproServer, ServerApp, ServerConfig
+    from .server.lifecycle import announce_to_stderr
+    from .server.protocol import DEFAULT_MAX_BODY_BYTES
+
+    if args.network:
+        from .semnet.io import NetworkFormatError, load_network
+
+        try:
+            network = load_network(args.network)
+        except NetworkFormatError as exc:
+            raise SystemExit(f"unreadable network: {exc}")
+    else:
+        network = default_lexicon()
+    try:
+        server_config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            rate_limit=args.rate_limit,
+            burst=args.burst,
+            max_body_bytes=(
+                args.max_body_bytes if args.max_body_bytes is not None
+                else DEFAULT_MAX_BODY_BYTES
+            ),
+            request_timeout=args.request_timeout,
+            drain_timeout=args.drain_timeout,
+            metrics_json=args.metrics_json,
+            packed=not args.dict_index,
+            cache_size=(
+                args.cache_size if args.cache_size is not None
+                else DEFAULT_CACHE_SIZE
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    app = ServerApp(
+        network, config=_make_config(args), server_config=server_config
+    )
+    return ReproServer(app).serve(announce=announce_to_stderr)
 
 
 def _cmd_audit(args: argparse.Namespace, out) -> int:
@@ -565,6 +655,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     handlers = {
         "disambiguate": _cmd_disambiguate,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "audit": _cmd_audit,
         "lexicon": _cmd_lexicon,
         "match": _cmd_match,

@@ -28,6 +28,9 @@ memo-key-purity     sphere-signature builders must fold frozen
 silent-degrade      fallback/except branches in ``repro.runtime`` must
                     re-raise or emit a MetricsRegistry signal, or carry
                     an explicit pragma
+handler-envelope    except branches in ``repro.server`` must re-raise or
+                    produce a typed error envelope, or carry an explicit
+                    pragma
 ==================  ========================================================
 
 Rules are heuristic by design — stdlib ``ast`` has no type or data-flow
@@ -1022,6 +1025,78 @@ class SilentDegradeRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# handler-envelope
+# ---------------------------------------------------------------------------
+
+
+class HandlerEnvelopeRule(Rule):
+    """Server except branches must answer with a typed error envelope.
+
+    The service contract mirrors the batch pipeline's resilience
+    contract at the HTTP boundary: a request never just drops — every
+    ``except`` branch in :mod:`repro.server` must either re-raise (the
+    connection-level isolation boundary turns it into a 500 envelope)
+    or call something that produces/writes an envelope (any call whose
+    name mentions ``envelope``).  Handlers catching pure lookup-miss
+    exceptions (``KeyError``, ``IndexError``, ``StopIteration``) are
+    control flow and stay silent; teardown paths where the peer is
+    already gone carry an explicit ``# lint: disable=handler-envelope``
+    pragma on the ``except`` line, which makes the reviewer look at
+    them.
+    """
+
+    id = "handler-envelope"
+    description = (
+        "except branches in repro.server must re-raise or produce a "
+        "typed error envelope (a call naming 'envelope'), or carry an "
+        "explicit '# lint: disable=handler-envelope' pragma"
+    )
+    scope = ("repro/server/",)
+
+    #: Lookup-miss exceptions: absence handling, not failure handling.
+    _LOOKUP_MISSES = frozenset({"KeyError", "IndexError", "StopIteration"})
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: LintContext) -> None:
+        """Flag handlers that swallow a failure without answering it."""
+        caught = self._caught_names(node.type)
+        if caught and caught <= self._LOOKUP_MISSES:
+            return
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Raise):
+                return
+            if isinstance(inner, ast.Call) and \
+                    self._is_envelope_call(inner.func):
+                return
+        ctx.report(
+            self.id, node,
+            "this except branch drops the request without a typed error "
+            "envelope; re-raise, call an envelope writer, or annotate a "
+            "teardown path with '# lint: disable=handler-envelope'",
+        )
+
+    def _is_envelope_call(self, func: ast.AST) -> bool:
+        if isinstance(func, ast.Name):
+            return "envelope" in func.id.lower()
+        if isinstance(func, ast.Attribute):
+            return "envelope" in func.attr.lower()
+        return False
+
+    def _caught_names(self, type_node: ast.AST | None) -> set[str]:
+        """Exception class names this handler catches (empty if unknown)."""
+        if isinstance(type_node, ast.Name):
+            return {type_node.id}
+        if isinstance(type_node, ast.Attribute):
+            return {type_node.attr}
+        if isinstance(type_node, ast.Tuple):
+            names: set[str] = set()
+            for element in type_node.elts:
+                names |= self._caught_names(element)
+            return names
+        return set()
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -1040,6 +1115,7 @@ RULE_CLASSES: dict[str, type[Rule]] = {
         PublicApiRule,
         MemoKeyPurityRule,
         SilentDegradeRule,
+        HandlerEnvelopeRule,
     )
 }
 

@@ -48,7 +48,7 @@ from .executor import BatchDocument, BatchExecutor, BatchRecord
 from .faults import FaultInjector, FaultSpec, InjectedFault
 from .index import SemanticIndex
 from .memo import SphereMemo, config_fingerprint, sphere_signature
-from .metrics import MetricsRegistry, StageTimer
+from .metrics import MetricsRegistry, StageTimer, batch_summary
 from .pack import (
     PackedIC,
     PackedIndex,
@@ -84,6 +84,7 @@ __all__ = [
     "SemanticIndex",
     "SphereMemo",
     "StageTimer",
+    "batch_summary",
     "config_fingerprint",
     "sphere_signature",
 ]

@@ -415,6 +415,13 @@ class BatchExecutor:
         parent's serial path and in every worker (it ships through the
         pool initializer), and may corrupt the packed payload shipped
         to workers.
+    index:
+        Optional pre-built :class:`PackedIndex` / :class:`SemanticIndex`
+        over ``network``.  Long-lived callers (the ``repro serve``
+        session pool) build the index once and share it across many
+        executors — per-configuration caches stay private while the
+        heavyweight taxonomy tables are never rebuilt.  Ignored when
+        ``use_index`` is False.
     """
 
     def __init__(
@@ -433,6 +440,7 @@ class BatchExecutor:
         breaker_threshold: int = 3,
         on_error: str = "skip",
         injector: FaultInjector | None = None,
+        index: "PackedIndex | SemanticIndex | None" = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -461,7 +469,9 @@ class BatchExecutor:
         self.breaker_threshold = breaker_threshold
         self.on_error = on_error
         self.injector = injector
-        self._index: "PackedIndex | SemanticIndex | None" = None
+        self._index: "PackedIndex | SemanticIndex | None" = (
+            index if use_index else None
+        )
         self._serial_xsdf: XSDF | None = None
         self._doc_cache: LRUCache | None = (
             LRUCache(maxsize=DOC_CACHE_SIZE) if use_index else None
@@ -477,6 +487,26 @@ class BatchExecutor:
             else:
                 self._index = SemanticIndex(self.network)
         return self._index
+
+    @property
+    def index(self) -> "PackedIndex | SemanticIndex | None":
+        """The executor's shared index, built on first access.
+
+        Exposed so sibling executors (the server's per-configuration
+        session pool) can reuse one already-built index via the
+        ``index=`` constructor parameter instead of rebuilding it.
+        """
+        return self._ensure_index()
+
+    def warm(self) -> None:
+        """Eagerly build the index and the serial pipeline.
+
+        A resident caller (the ``repro serve`` daemon) pays the whole
+        build cost at startup instead of on the first request, and the
+        metrics registry sees the cache gauges before any document
+        arrives.
+        """
+        self._serial()
 
     # -- public API ----------------------------------------------------------
 

@@ -136,31 +136,46 @@ class MetricsRegistry:
 
     # -- reporting -----------------------------------------------------------
 
-    def report(self) -> dict:
-        """JSON-ready snapshot of everything observed so far.
+    def snapshot(self) -> dict:
+        """JSON-ready snapshot of everything observed so far, safe for
+        concurrent readers.
 
         ``throughput.docs_per_s`` is derived from the ``documents``
         counter over the registry's lifetime — the number a capacity
-        plan actually needs.
+        plan actually needs.  Every container is copied through an
+        atomic ``.copy()``/``list(...)`` before iteration, so a reader
+        on another thread (the server answering ``GET /metrics`` while
+        its scoring thread observes timers) never races a concurrent
+        insert into a ``RuntimeError``.  Values are read without a
+        lock: a snapshot is a consistent *shape*, and individual
+        counters are monotone, so the worst case is a reading one
+        observation stale.
         """
         elapsed = time.perf_counter() - self._started
-        docs = self._counters.get("documents", 0.0)
+        counters = self._counters.copy()
+        docs = counters.get("documents", 0.0)
         return {
             "elapsed_s": round(elapsed, 6),
-            "counters": dict(self._counters),
-            "events": [dict(e) for e in self._events],
+            "counters": counters,
+            "events": [dict(e) for e in list(self._events)],
             "events_dropped": self._events_dropped,
             "stages": {
-                name: timer.stats() for name, timer in self._timers.items()
+                name: timer.stats()
+                for name, timer in list(self._timers.items())
             },
             "caches": {
-                name: cache.stats() for name, cache in self._caches.items()
+                name: cache.stats()
+                for name, cache in list(self._caches.items())
             },
             "throughput": {
                 "documents": docs,
                 "docs_per_s": round(docs / elapsed, 6) if elapsed > 0 else 0.0,
             },
         }
+
+    def report(self) -> dict:
+        """Alias of :meth:`snapshot` (the report is the snapshot)."""
+        return self.snapshot()
 
     def to_json(self, indent: int = 1) -> str:
         """The report serialized as JSON text."""
@@ -171,3 +186,47 @@ class MetricsRegistry:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
             handle.write("\n")
+
+
+def batch_summary(report: dict, n_records: int, n_failures: int) -> str:
+    """The one-line human summary of a batch/serve metrics report.
+
+    Shared by ``repro batch`` (its end-of-run stderr line) and the
+    server's logs so the two surfaces describe a run in one vocabulary:
+    document/failure counts, throughput from the ``batch`` stage timer,
+    memo traffic (serial runs surface it through the registered LRU,
+    parallel runs through the merged worker counters), pruning, retry,
+    and degradation counts.  Pure function of the report snapshot —
+    callers append surface-specific suffixes (quarantine paths, ...)
+    themselves.
+    """
+    batch = report.get("stages", {}).get("batch", {})
+    rate = n_records / batch["total_s"] if batch.get("total_s") else 0.0
+    summary = (
+        f"{n_records} documents, {n_failures} failed, "
+        f"{rate:.1f} docs/s"
+    )
+    counters = report.get("counters", {})
+    caches = report.get("caches", {})
+    memo_hits = counters.get("memo_hits", 0) or caches.get(
+        "sphere_memo", {}
+    ).get("hits", 0)
+    memo_misses = counters.get("memo_misses", 0) or caches.get(
+        "sphere_memo", {}
+    ).get("misses", 0)
+    pruned = counters.get("candidates_pruned", 0)
+    if memo_hits or memo_misses or pruned:
+        summary += (
+            f", memo {int(memo_hits)}/{int(memo_hits + memo_misses)} hits"
+            f", {int(pruned)} candidates pruned"
+        )
+    retried = int(counters.get("outcome_retried", 0))
+    degradations = int(sum(
+        value for key, value in counters.items()
+        if key.startswith("degrade_")
+    ))
+    if retried:
+        summary += f", {retried} retried"
+    if degradations:
+        summary += f", {degradations} degradations"
+    return summary

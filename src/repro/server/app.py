@@ -1,0 +1,471 @@
+"""The disambiguation service application: routing, sessions, streaming.
+
+:class:`ServerApp` is the long-lived core the daemon keeps warm.  At
+startup it loads the semantic network once, builds one shared
+:class:`~repro.runtime.pack.PackedIndex`, and wraps the default
+configuration in a resident :class:`~repro.runtime.executor
+.BatchExecutor` *session* — which is exactly the serial batch path, so
+the pair/sense/document LRUs, the :class:`~repro.runtime.memo
+.SphereMemo`, and the metrics registry all survive across requests
+instead of dying with a process.  A request's NDJSON record line is
+therefore **byte-identical** to the ``repro batch`` JSONL line for the
+same (name, document, config) — the test battery pins this under both
+cold and warm caches.
+
+Per-request ``config`` overrides get their own bounded session pool
+keyed by :func:`~repro.runtime.memo.config_fingerprint`; every session
+shares the one packed index (no rebuild, ever) but owns its caches,
+because cache keys are only sound within one frozen configuration.
+
+Scoring is CPU-bound and runs on a single dedicated worker thread: the
+event loop stays free to accept connections, answer ``/healthz`` and
+``/metrics``, and enforce limits while a document scores, and the
+single thread serializes cache access exactly like the serial batch
+path (concurrent clients are deterministic by construction).  Like the
+PR-5 serial path, a request timeout cannot kill the scoring thread —
+the client gets its ``stage="timeout"`` envelope immediately and the
+straggler's work is discarded on completion.
+
+Endpoints
+---------
+``POST /v1/disambiguate``
+    NDJSON stream: one ``{"annotation": ...}`` line per resolved node,
+    then the batch-identical record line, then the ``DocOutcome``
+    envelope line.
+``GET /healthz``
+    Readiness + index fingerprint + uptime.
+``GET /metrics``
+    The full :class:`~repro.runtime.metrics.MetricsRegistry` snapshot,
+    same schema as ``repro batch --metrics-json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .. import __version__
+from ..core.config import XSDFConfig
+from ..runtime.executor import (
+    DEFAULT_CACHE_SIZE,
+    BatchExecutor,
+    BatchRecord,
+)
+from ..runtime.memo import config_fingerprint
+from ..runtime.metrics import MetricsRegistry
+from ..runtime.resilience import STATUS_FAILED, DocOutcome
+from ..semnet.network import SemanticNetwork
+from .envelopes import (
+    EnvelopeError,
+    apply_overrides,
+    envelope_payload,
+    parse_disambiguation_request,
+)
+from .protocol import (
+    DEFAULT_MAX_BODY_BYTES,
+    ChunkedNDJSONWriter,
+    HTTPRequest,
+    write_json_response,
+)
+from .ratelimit import RateLimiter
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Operational knobs of the daemon (the pipeline knobs live in
+    :class:`~repro.core.config.XSDFConfig`)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8750
+    max_concurrency: int = 8
+    rate_limit: float = 0.0
+    burst: int = 8
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    request_timeout: float | None = None
+    drain_timeout: float = 10.0
+    metrics_json: str | None = None
+    max_sessions: int = 8
+    packed: bool = True
+    cache_size: int = DEFAULT_CACHE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.rate_limit < 0:
+            raise ValueError("rate_limit must be >= 0")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0 (or None)")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+
+
+def run_one_document(session: BatchExecutor, name: str,
+                     xml: str) -> BatchRecord:
+    """Score one document through a resident session (worker thread).
+
+    This is the whole bit-identity argument: the server calls the same
+    ``BatchExecutor.run`` the CLI batch path calls, on the same
+    resident caches, so the resulting record renders the same JSONL
+    line.
+    """
+    return session.run([(name, xml)])[0]
+
+
+class ServerApp:
+    """Everything the daemon keeps hot, plus the request handlers."""
+
+    def __init__(
+        self,
+        network: SemanticNetwork,
+        config: XSDFConfig | None = None,
+        server_config: ServerConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.network = network
+        self.config = config or XSDFConfig()
+        self.server_config = server_config or ServerConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.limiter = RateLimiter(
+            self.server_config.rate_limit, self.server_config.burst
+        )
+        self._started = time.monotonic()
+        self._inflight = 0
+        self._draining = False
+        self._index = None
+        self._sessions: "OrderedDict[str, BatchExecutor]" = OrderedDict()
+        self._default_fingerprint: str | None = None
+        self._scoring_pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Build the shared index and the default session, eagerly.
+
+        Called once before the listener opens so the first request pays
+        no index-build latency and ``/healthz`` can report readiness
+        truthfully.
+        """
+        if self._scoring_pool is None:
+            self._scoring_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-score"
+            )
+        if self._default_fingerprint is None:
+            with self.metrics.timer("server_warmup"):
+                session = self._make_session(self.config, default=True)
+                session.warm()
+                self._index = session.index
+                fingerprint = config_fingerprint(self.config)
+                self._sessions[fingerprint] = session
+                self._default_fingerprint = fingerprint
+
+    @property
+    def ready(self) -> bool:
+        """Whether the index + default session have been built."""
+        return self._default_fingerprint is not None
+
+    @property
+    def draining(self) -> bool:
+        """Whether the daemon has stopped admitting new work."""
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        """Disambiguation requests currently admitted."""
+        return self._inflight
+
+    def begin_drain(self) -> None:
+        """Refuse new disambiguation work (in-flight requests finish)."""
+        self._draining = True
+        self.metrics.count("server_drains")
+        self.metrics.event("server_drain", inflight=self._inflight)
+
+    def close(self) -> None:
+        """Release the scoring thread and flush metrics, if configured."""
+        if self._scoring_pool is not None:
+            self._scoring_pool.shutdown(wait=False, cancel_futures=True)
+            self._scoring_pool = None
+        if self.server_config.metrics_json:
+            self.metrics.write_json(self.server_config.metrics_json)
+
+    # -- sessions ------------------------------------------------------------
+
+    def _make_session(self, config: XSDFConfig,
+                      default: bool = False) -> BatchExecutor:
+        # Only the default session is wired into the registry: cache
+        # gauges are registered by fixed name, and the resident session
+        # is the one whose warmth the operator is tracking.  Override
+        # sessions still run, they just are not individually gauged.
+        return BatchExecutor(
+            self.network,
+            config,
+            workers=1,
+            packed=self.server_config.packed,
+            cache_size=self.server_config.cache_size,
+            metrics=self.metrics if default else None,
+            index=self._index,
+        )
+
+    def session_for(self, config: XSDFConfig) -> BatchExecutor:
+        """The resident session for this configuration (LRU-bounded).
+
+        The default configuration's session is pinned; override
+        sessions are created on demand, share the packed index, and are
+        evicted least-recently-used beyond ``max_sessions``.
+        """
+        fingerprint = config_fingerprint(config)
+        session = self._sessions.get(fingerprint)
+        if session is not None:
+            self._sessions.move_to_end(fingerprint)
+            return session
+        session = self._make_session(config)
+        self._sessions[fingerprint] = session
+        self.metrics.count("server_sessions_created")
+        while len(self._sessions) > self.server_config.max_sessions:
+            oldest = next(iter(self._sessions))
+            if oldest == self._default_fingerprint:
+                self._sessions.move_to_end(oldest, last=True)
+                oldest = next(iter(self._sessions))
+            del self._sessions[oldest]
+            self.metrics.count("server_sessions_evicted")
+        return session
+
+    # -- routing -------------------------------------------------------------
+
+    async def handle(self, request: HTTPRequest,
+                     writer: asyncio.StreamWriter,
+                     admitted: bool = True) -> None:
+        """Dispatch one parsed request and write its full response.
+
+        ``admitted`` is whether the connection was accepted before a
+        drain began: pre-drain connections get to finish their one
+        request whole (the drain contract), post-drain ones are
+        refused with 503.
+        """
+        self.metrics.count("http_requests")
+        if request.path == "/healthz":
+            await self._handle_healthz(request, writer)
+        elif request.path == "/metrics":
+            await self._handle_metrics(request, writer)
+        elif request.path == "/v1/disambiguate":
+            await self._handle_disambiguate(request, writer, admitted)
+        else:
+            await self._write_envelope(
+                writer, 404, self._routing_outcome(
+                    request, f"no such endpoint: {request.path}",
+                ),
+            )
+
+    async def _require_method(self, request: HTTPRequest,
+                              writer: asyncio.StreamWriter,
+                              method: str) -> bool:
+        if request.method == method:
+            return True
+        await self._write_envelope(
+            writer, 405, self._routing_outcome(
+                request, f"{request.path} only accepts {method}",
+            ),
+            extra_headers=[("Allow", method)],
+        )
+        return False
+
+    def _routing_outcome(self, request: HTTPRequest,
+                         message: str) -> DocOutcome:
+        return DocOutcome(
+            name=request.path,
+            status=STATUS_FAILED,
+            stage="routing",
+            error_type="RoutingError",
+            error=message,
+        )
+
+    # -- operational endpoints -----------------------------------------------
+
+    async def _handle_healthz(self, request: HTTPRequest,
+                              writer: asyncio.StreamWriter) -> None:
+        if not await self._require_method(request, writer, "GET"):
+            return
+        payload = {
+            "status": "draining" if self._draining else "ok",
+            "ready": self.ready,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "version": __version__,
+            "index": {
+                "fingerprint": self.network.fingerprint(),
+                "kind": "packed" if self.server_config.packed else "dict",
+                "concepts": len(self.network),
+            },
+            "config_fingerprint": self._default_fingerprint,
+            "inflight": self._inflight,
+            "sessions": len(self._sessions),
+            "rate_limiter": self.limiter.stats(),
+        }
+        status = 200 if self.ready and not self._draining else 503
+        await write_json_response(writer, status, payload)
+        self.metrics.count(f"http_{status}")
+
+    async def _handle_metrics(self, request: HTTPRequest,
+                              writer: asyncio.StreamWriter) -> None:
+        if not await self._require_method(request, writer, "GET"):
+            return
+        # Same schema as `repro batch --metrics-json`: one consumer-side
+        # parser serves both the CLI artifact and the live endpoint.
+        await write_json_response(writer, 200, self.metrics.snapshot())
+        self.metrics.count("http_200")
+
+    # -- disambiguation ------------------------------------------------------
+
+    async def _handle_disambiguate(self, request: HTTPRequest,
+                                   writer: asyncio.StreamWriter,
+                                   admitted: bool = True) -> None:
+        if not await self._require_method(request, writer, "POST"):
+            return
+        if self._draining and not admitted:
+            self.metrics.count("admission_rejected")
+            await self._write_envelope(
+                writer, 503, self._admission_outcome(
+                    "Draining", "server is draining; not accepting work"
+                ),
+                extra_headers=[("Retry-After", "1")],
+            )
+            return
+        wait = self.limiter.admit(request.client)
+        if wait > 0:
+            self.metrics.count("rate_limited")
+            await self._write_envelope(
+                writer, 429, self._admission_outcome(
+                    "RateLimited",
+                    f"client {request.client or 'unknown'} is over its "
+                    f"{self.limiter.rate}/s budget",
+                ),
+                extra_headers=[("Retry-After", str(math.ceil(wait)))],
+            )
+            return
+        if self._inflight >= self.server_config.max_concurrency:
+            self.metrics.count("admission_rejected")
+            await self._write_envelope(
+                writer, 503, self._admission_outcome(
+                    "Overloaded",
+                    f"admission queue is full "
+                    f"({self.server_config.max_concurrency} in flight)",
+                ),
+                extra_headers=[("Retry-After", "1")],
+            )
+            return
+        try:
+            envelope = parse_disambiguation_request(request)
+            config = apply_overrides(
+                self.config, envelope.overrides, name=envelope.name
+            )
+        except EnvelopeError as exc:
+            self.metrics.count("envelope_rejected")
+            await self._write_envelope(writer, exc.status, exc.outcome)
+            return
+        session = self.session_for(config)
+        self._inflight += 1
+        try:
+            record = await self._score(session, envelope.name, envelope.xml)
+        except (asyncio.TimeoutError, TimeoutError):
+            self.metrics.count("request_timeouts")
+            self.metrics.event(
+                "request_timeout", doc=envelope.name,
+                timeout_s=self.server_config.request_timeout,
+            )
+            await self._stream_envelope_only(
+                writer, 504, DocOutcome(
+                    name=envelope.name,
+                    status=STATUS_FAILED,
+                    stage="timeout",
+                    error_type="TimeoutError",
+                    error=(
+                        "TimeoutError: exceeded request_timeout="
+                        f"{self.server_config.request_timeout}s"
+                    ),
+                ),
+            )
+            return
+        finally:
+            self._inflight -= 1
+        await self._stream_record(writer, record)
+
+    async def _score(self, session: BatchExecutor, name: str,
+                     xml: str) -> BatchRecord:
+        """Run one document on the scoring thread (optionally bounded)."""
+        assert self._scoring_pool is not None, "warm_up() was not called"
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._scoring_pool, run_one_document, session, name, xml
+        )
+        timeout = self.server_config.request_timeout
+        if timeout is None:
+            return await future
+        return await asyncio.wait_for(future, timeout)
+
+    async def _stream_record(self, writer: asyncio.StreamWriter,
+                             record: BatchRecord) -> None:
+        """The NDJSON success/failure stream for one scored document.
+
+        Lines, in order: one ``{"annotation": ..., "doc": ..., "seq":
+        ...}`` per resolved node (none for failures), then the record
+        line **exactly as `repro batch` would write it** (byte
+        identity), then the ``DocOutcome`` envelope line.
+        """
+        status = 200 if record.ok else 422
+        stream = ChunkedNDJSONWriter(writer)
+        await stream.start(status)
+        if record.result is not None:
+            for seq, annotation in enumerate(record.result["assignments"]):
+                await stream.write_line({
+                    "annotation": annotation,
+                    "doc": record.name,
+                    "seq": seq,
+                })
+        await stream.write_raw_line(record.to_json_line().encode("utf-8"))
+        outcome = record.outcome or DocOutcome(name=record.name)
+        await stream.write_line(envelope_payload(outcome))
+        await stream.finish()
+        self.metrics.count(f"http_{status}")
+        self.metrics.count("documents_served")
+
+    async def _stream_envelope_only(self, writer: asyncio.StreamWriter,
+                                    status: int,
+                                    outcome: DocOutcome) -> None:
+        """An NDJSON response holding only the error envelope line."""
+        stream = ChunkedNDJSONWriter(writer)
+        await stream.start(status)
+        await stream.write_line(envelope_payload(outcome))
+        await stream.finish()
+        self.metrics.count(f"http_{status}")
+
+    def _admission_outcome(self, error_type: str,
+                           message: str) -> DocOutcome:
+        return DocOutcome(
+            name="request",
+            status=STATUS_FAILED,
+            stage="admission",
+            error_type=error_type,
+            error=message,
+        )
+
+    async def _write_envelope(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        outcome: DocOutcome,
+        extra_headers: list[tuple[str, str]] | None = None,
+    ) -> None:
+        """One fixed-length JSON error-envelope response."""
+        await write_json_response(
+            writer, status, envelope_payload(outcome),
+            extra_headers=extra_headers,
+        )
+        self.metrics.count(f"http_{status}")

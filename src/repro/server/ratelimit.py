@@ -1,0 +1,108 @@
+"""Per-client token-bucket rate limiting for the disambiguation service.
+
+Each client (keyed by peer address) owns a :class:`TokenBucket` of
+``burst`` capacity refilled at ``rate`` tokens per second; a request
+costs one token, and an empty bucket yields the number of seconds until
+the next token — which the server surfaces as ``429`` +
+``Retry-After``.  The limiter state is bounded: least-recently-seen
+clients are evicted once :attr:`RateLimiter.max_clients` distinct peers
+have been tracked, so a scan of the address space cannot grow server
+memory.
+
+The clock is injected (defaulting to ``time.monotonic``) so the test
+battery drives the refill logic deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self.updated = now
+
+    def acquire(self, now: float) -> float:
+        """Spend one token; returns 0.0 if admitted, else seconds to wait.
+
+        The wait is how long until one full token has accrued — the
+        ``Retry-After`` a well-behaved client should honor.
+        """
+        if now > self.updated:
+            self.tokens = min(
+                float(self.burst), self.tokens + (now - self.updated) * self.rate
+            )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Bounded per-client token buckets; ``rate <= 0`` disables limiting."""
+
+    #: Cap on distinct tracked clients (LRU-evicted beyond this).
+    max_clients = 1024
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether limiting is active (``rate > 0``)."""
+        return self.rate > 0
+
+    def admit(self, client: str) -> float:
+        """Charge one request to ``client``; 0.0 = admitted, else wait.
+
+        A positive return is the ``Retry-After`` budget in seconds
+        (never rounded down to 0 — a throttled client must always be
+        told to wait at least something).
+        """
+        if not self.enabled:
+            self.admitted += 1
+            return 0.0
+        now = self.clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        wait = bucket.acquire(now)
+        if wait <= 0.0:
+            self.admitted += 1
+            return 0.0
+        self.rejected += 1
+        return max(wait, 1e-3)
+
+    def stats(self) -> dict:
+        """JSON-ready admitted/rejected/tracked-client counters."""
+        return {
+            "enabled": self.enabled,
+            "rate_per_s": self.rate,
+            "burst": self.burst,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "clients": len(self._buckets),
+        }

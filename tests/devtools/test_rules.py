@@ -11,6 +11,7 @@ from repro.devtools import LintEngine, all_rules
 SIM_PATH = "src/repro/similarity/snippet.py"
 RUNTIME_PATH = "src/repro/runtime/snippet.py"
 CORE_PATH = "src/repro/core/snippet.py"
+SERVER_PATH = "src/repro/server/snippet.py"
 
 
 def rules_of(findings):
@@ -682,6 +683,97 @@ class TestSilentDegrade:
                     return rebuild(network)
             """,
             rules=["silent-degrade"], path=CORE_PATH,
+        ) == []
+
+
+class TestHandlerEnvelope:
+    def test_fires_on_swallowed_request_failure(self, lint):
+        findings = lint(
+            """\
+            async def handle(request, writer):
+                try:
+                    await dispatch(request, writer)
+                except ValueError:
+                    pass
+            """,
+            rules=["handler-envelope"], path=SERVER_PATH,
+        )
+        (finding,) = findings
+        assert finding.rule == "handler-envelope"
+        assert "envelope" in finding.message
+
+    def test_silent_when_the_handler_reraises(self, lint):
+        assert lint(
+            """\
+            async def handle(request, writer):
+                try:
+                    await dispatch(request, writer)
+                except ValueError as exc:
+                    raise ProtocolError(400, str(exc))
+            """,
+            rules=["handler-envelope"], path=SERVER_PATH,
+        ) == []
+
+    def test_silent_when_the_handler_writes_an_envelope(self, lint):
+        assert lint(
+            """\
+            async def handle(request, writer):
+                try:
+                    await dispatch(request, writer)
+                except ValueError as exc:
+                    await write_error_envelope(writer, exc)
+            """,
+            rules=["handler-envelope"], path=SERVER_PATH,
+        ) == []
+
+    def test_silent_when_an_envelope_method_is_called(self, lint):
+        assert lint(
+            """\
+            async def handle(self, request, writer):
+                try:
+                    await self.dispatch(request, writer)
+                except ValueError as exc:
+                    await self._write_envelope(writer, 400, exc)
+            """,
+            rules=["handler-envelope"], path=SERVER_PATH,
+        ) == []
+
+    def test_silent_on_lookup_miss_handlers(self, lint):
+        """Absence handling (KeyError & friends) is control flow."""
+        assert lint(
+            """\
+            def session_for(sessions, fingerprint):
+                try:
+                    return sessions[fingerprint]
+                except KeyError:
+                    return None
+            """,
+            rules=["handler-envelope"], path=SERVER_PATH,
+        ) == []
+
+    def test_annotated_teardown_silence_is_sanctioned(self, lint):
+        assert lint(
+            """\
+            async def teardown(writer):
+                try:
+                    await writer.wait_closed()
+                except OSError:  # lint: disable=handler-envelope  # peer already gone
+                    pass
+            """,
+            rules=["handler-envelope"], path=SERVER_PATH,
+        ) == []
+
+    def test_silent_outside_server_scope(self, lint):
+        """The rule polices the server package, not the whole tree."""
+        assert lint(
+            """\
+            def decode(blob):
+                try:
+                    return unpack(blob)
+                except ValueError:
+                    return None
+            """,
+            rules=["handler-envelope"], path=CORE_PATH,
         ) == []
 
 

@@ -1,0 +1,68 @@
+"""Served records must be byte-identical to ``repro batch`` output.
+
+This is the service's core contract: a daemon answer is always
+reproducible by a batch run on the same input and configuration.  The
+test runs the real CLI batch path over a small corpus, then serves the
+same documents through a live server — cold caches first, then warm —
+and compares the NDJSON record line against the batch JSONL line,
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+from repro.cli import main
+
+from .conftest import disambiguate, request, running
+
+SECOND_XML = """<?xml version="1.0"?>
+<library>
+  <book>
+    <title>bank</title>
+    <author>Stewart</author>
+    <subject>mystery</subject>
+  </book>
+</library>
+"""
+
+
+def batch_lines(tmp_path, documents):
+    """``{name: jsonl_line}`` from a real ``repro batch`` run."""
+    for name, xml in documents:
+        (tmp_path / name).write_text(xml, encoding="utf-8")
+    out = io.StringIO()
+    code = main(["batch", str(tmp_path / "*.xml")], out=out)
+    assert code == 0
+    lines = {}
+    for line in out.getvalue().splitlines():
+        lines[json.loads(line)["name"]] = line.encode("utf-8")
+    return lines
+
+
+def test_served_records_match_batch_cold_and_warm(
+    make_app, tmp_path, figure1_xml
+):
+    documents = [("films.xml", figure1_xml), ("books.xml", SECOND_XML)]
+    expected = batch_lines(tmp_path, documents)
+
+    async def go():
+        served: list[tuple[str, str, bytes]] = []
+        async with running(make_app()) as server:
+            for phase in ("cold", "warm"):
+                for name, xml in documents:
+                    response = await request(server, disambiguate(
+                        xml, name=str(tmp_path / name)
+                    ))
+                    assert response.status == 200
+                    served.append(
+                        (phase, name, response.body.split(b"\n")[-3])
+                    )
+        return served
+
+    for phase, name, record_line in asyncio.run(go()):
+        assert record_line == expected[str(tmp_path / name)], (
+            f"{name} diverged from the batch line under {phase} caches"
+        )

@@ -1,0 +1,194 @@
+"""Unit tests of the from-scratch HTTP/1.1 wire layer.
+
+``read_request`` is fed a pre-loaded ``asyncio.StreamReader`` directly
+— no socket needed — so every malformed-input branch and limit is
+exercised byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    ChunkedNDJSONWriter,
+    ProtocolError,
+    read_request,
+    render_headers,
+    write_json_response,
+)
+
+
+def parse(data: bytes, **kwargs):
+    async def go():
+        # StreamReader must be built inside the running loop.
+        reader = asyncio.StreamReader()
+        if data:
+            reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class SinkWriter:
+    """A StreamWriter stand-in that just buffers what it is given."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self.data.extend(data)
+
+    async def drain(self) -> None:
+        pass
+
+
+class TestReadRequest:
+    def test_parses_method_path_headers_and_body(self):
+        request = parse(
+            b"POST /v1/disambiguate HTTP/1.1\r\n"
+            b"Host: example\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 4\r\n"
+            b"\r\n"
+            b"body",
+            client="10.0.0.9",
+        )
+        assert request.method == "POST"
+        assert request.path == "/v1/disambiguate"
+        assert request.version == "HTTP/1.1"
+        assert request.body == b"body"
+        assert request.client == "10.0.0.9"
+        # Headers are case-insensitive: stored lowercase, read any-case.
+        assert request.headers["content-type"] == "application/json"
+        assert request.header("CONTENT-TYPE") == "application/json"
+
+    def test_query_string_is_stripped_from_the_path(self):
+        request = parse(b"GET /healthz?verbose=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/healthz"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_unsupported_protocol_version_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"GET /healthz SPDY/3\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_header_without_colon_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"GET / HTTP/1.1\r\nnocolonhere\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_truncated_headers_are_400(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"GET / HTTP/1.1\r\nHost: x\r\n")
+        assert err.value.status == 400
+
+    def test_header_budget_is_431(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(
+                b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 64 + b"\r\n\r\n",
+                max_header_bytes=32,
+            )
+        assert err.value.status == 431
+
+    def test_oversized_body_is_413_before_buffering(self):
+        # The declared length alone triggers the refusal — the body
+        # bytes are never read (here they do not even exist).
+        with pytest.raises(ProtocolError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n",
+                max_body_bytes=128,
+            )
+        assert err.value.status == 413
+
+    def test_chunked_request_body_is_501(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert err.value.status == 501
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n")
+        assert err.value.status == 400
+        with pytest.raises(ProtocolError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        with pytest.raises(ProtocolError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+        assert err.value.status == 400
+
+
+class TestResponses:
+    def test_render_headers_shape(self):
+        data = render_headers(200, [("Content-Type", "application/json")])
+        assert data.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert data.endswith(b"\r\n\r\n")
+
+    def test_json_response_is_sorted_and_newline_terminated(self):
+        writer = SinkWriter()
+        asyncio.run(write_json_response(writer, 200, {"b": 1, "a": 2}))
+        head, _, body = bytes(writer.data).partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: " + str(len(body)).encode() in head
+        assert body.endswith(b"\n")
+        assert json.loads(body) == {"a": 2, "b": 1}
+        # Canonical key order survives serialization.
+        assert body.index(b'"a"') < body.index(b'"b"')
+
+
+class TestChunkedNDJSON:
+    def run_stream(self, status, lines):
+        writer = SinkWriter()
+
+        async def go():
+            stream = ChunkedNDJSONWriter(writer)
+            await stream.start(status)
+            for line in lines:
+                await stream.write_line(line)
+            await stream.finish()
+
+        asyncio.run(go())
+        return bytes(writer.data)
+
+    def test_one_chunk_per_line(self):
+        data = self.run_stream(200, [{"seq": 0}, {"seq": 1}])
+        head, _, rest = data.partition(b"\r\n\r\n")
+        assert b"Transfer-Encoding: chunked" in head
+        chunks = []
+        while rest:
+            size_text, _, rest = rest.partition(b"\r\n")
+            size = int(size_text, 16)
+            if size == 0:
+                break
+            chunks.append(rest[:size])
+            rest = rest[size + 2:]
+        # Exactly one complete, newline-terminated JSON document per
+        # chunk — the incremental-client promise.
+        assert [json.loads(c) for c in chunks] == [{"seq": 0}, {"seq": 1}]
+        assert all(c.endswith(b"\n") for c in chunks)
+        assert data.endswith(b"0\r\n\r\n")
+
+    def test_status_is_frozen_after_start(self):
+        writer = SinkWriter()
+
+        async def go():
+            stream = ChunkedNDJSONWriter(writer)
+            await stream.start(422)
+            await stream.start(200)  # idempotent: the 422 already left
+
+        asyncio.run(go())
+        assert bytes(writer.data).startswith(b"HTTP/1.1 422 ")

@@ -1,0 +1,96 @@
+"""Token-bucket rate limiter tests, driven by an injected fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refusal_with_wait(self):
+        bucket = TokenBucket(rate=1.0, burst=2, now=0.0)
+        assert bucket.acquire(0.0) == 0.0
+        assert bucket.acquire(0.0) == 0.0
+        wait = bucket.acquire(0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_tokens_refill_with_time(self):
+        bucket = TokenBucket(rate=2.0, burst=1, now=0.0)
+        assert bucket.acquire(0.0) == 0.0
+        assert bucket.acquire(0.0) > 0.0
+        # 2 tokens/s: after half a second one full token has accrued.
+        assert bucket.acquire(0.5) == 0.0
+
+    def test_refill_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2, now=0.0)
+        bucket.acquire(0.0)
+        bucket.acquire(0.0)
+        # A long idle stretch accrues back to burst capacity, not more.
+        assert bucket.acquire(60.0) == 0.0
+        assert bucket.acquire(60.0) == 0.0
+        assert bucket.acquire(60.0) > 0.0
+
+
+class TestRateLimiter:
+    def test_disabled_when_rate_is_zero(self):
+        limiter = RateLimiter(0.0, burst=1)
+        for _ in range(50):
+            assert limiter.admit("10.0.0.1") == 0.0
+        assert limiter.stats()["enabled"] is False
+        assert limiter.stats()["admitted"] == 50
+
+    def test_throttles_per_client(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1, clock=clock)
+        assert limiter.admit("a") == 0.0
+        assert limiter.admit("a") > 0.0
+        # A different client owns a fresh bucket.
+        assert limiter.admit("b") == 0.0
+        clock.advance(1.0)
+        assert limiter.admit("a") == 0.0
+
+    def test_wait_has_a_floor(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1e6, burst=1, clock=clock)
+        limiter.admit("a")
+        # Even at absurd refill rates a throttled client is told to
+        # wait a nonzero amount.
+        assert limiter.admit("a") >= 1e-3
+
+    def test_client_map_is_lru_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1, clock=clock)
+        limiter.max_clients = 4
+        for i in range(10):
+            limiter.admit(f"client-{i}")
+        assert limiter.stats()["clients"] == 4
+        # The oldest client was evicted: it gets a fresh burst even
+        # though its old bucket was empty.
+        assert limiter.admit("client-0") == 0.0
+
+    def test_stats_count_rejections(self):
+        clock = FakeClock()
+        limiter = RateLimiter(1.0, burst=1, clock=clock)
+        limiter.admit("a")
+        limiter.admit("a")
+        stats = limiter.stats()
+        assert stats["admitted"] == 1
+        assert stats["rejected"] == 1
+
+    def test_burst_is_validated(self):
+        with pytest.raises(ValueError):
+            RateLimiter(1.0, burst=0)
