@@ -1,0 +1,76 @@
+"""Incremental analysis cache: blake2b content hashes + import graph.
+
+One JSON document per cache file::
+
+    {
+      "version": 1,
+      "signature": "<engine version | rule ids | catalogue hash>",
+      "modules": {
+        "<path key>": {
+          "hash":     "<blake2b of the file bytes>",
+          "name":     "<dotted module name>",
+          "imports":  ["<raw dotted import targets>", ...],
+          "findings": [{rule, path, line, col, message}, ...]
+        }, ...
+      }
+    }
+
+The signature folds in everything that can change a finding besides
+the file itself: the engine version, the active rule IDs, and the
+DESIGN.md/PAPER.md citation catalogue.  A signature mismatch discards
+the whole cache — cheap, and it makes staleness impossible by
+construction.
+
+Soundness of per-module reuse rests on one invariant the engine keeps:
+a module's findings depend only on that module and the modules it
+transitively imports.  Editing one file therefore dirties exactly the
+file plus its transitive importers, which is what
+:meth:`repro.devtools.model.ProjectModel.transitive_importers`
+computes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+CACHE_FORMAT_VERSION = 1
+
+
+class AnalysisCache:
+    """Load/store per-module lint results keyed by content hash."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def load(self, signature: str) -> dict[str, dict]:
+        """Cached module entries, or ``{}`` on miss/mismatch/corruption."""
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(data, dict) or \
+                data.get("version") != CACHE_FORMAT_VERSION or \
+                data.get("signature") != signature:
+            return {}
+        modules = data.get("modules")
+        return modules if isinstance(modules, dict) else {}
+
+    def save(self, signature: str, modules: dict[str, dict]) -> None:
+        """Persist the entries; failures are silent (a cache is advisory)."""
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "signature": signature,
+            "modules": modules,
+        }
+        try:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            tmp.replace(self.path)
+        except OSError:
+            pass
+
+
+__all__ = ["AnalysisCache", "CACHE_FORMAT_VERSION"]

@@ -1,0 +1,104 @@
+"""Checked-in finding baselines: adopt a rule before the tree is clean.
+
+A baseline file records the findings a tree is *known* to have, so a
+new rule can gate CI immediately — existing debt is acknowledged in a
+reviewed file while anything new fails the build.  One JSON document::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "...", "path": "...", "message": "..."},
+        ...
+      ]
+    }
+
+Matching deliberately ignores line and column: moving code around must
+not churn the baseline, while a *new* violation (different message or
+file) still fires.  Entries are sorted on write so diffs review well.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .engine import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """The baseline's entries; raises ``ValueError`` on a bad document.
+
+    A missing or malformed baseline is a configuration error, not an
+    empty baseline — silently treating it as empty would fail CI with
+    every baselined finding at once and point the blame at the code.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or \
+            data.get("version") != BASELINE_FORMAT_VERSION or \
+            not isinstance(data.get("entries"), list):
+        raise ValueError(
+            f"baseline {path} must be "
+            f'{{"version": {BASELINE_FORMAT_VERSION}, "entries": [...]}}'
+        )
+    for entry in data["entries"]:
+        if not isinstance(entry, dict) or \
+                not {"rule", "path", "message"} <= set(entry):
+            raise ValueError(
+                f"baseline {path}: every entry needs rule/path/message"
+            )
+    return data["entries"]
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Write the findings as a fresh baseline document."""
+    entries = sorted(
+        (
+            {"message": f.message, "path": f.path, "rule": f.rule}
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["message"]),
+    )
+    payload = {"version": BASELINE_FORMAT_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[dict]
+) -> list[Finding]:
+    """The findings not covered by the baseline.
+
+    Each baseline entry absorbs at most as many findings as it was
+    recorded for — the match key is ``(rule, path, message)``, so a
+    *second* identical violation in the same file is still new.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        key = (entry["rule"], entry["path"], entry["message"])
+        budget[key] = budget.get(key, 0) + 1
+    fresh: list[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh
+
+
+__all__ = [
+    "BASELINE_FORMAT_VERSION",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+]

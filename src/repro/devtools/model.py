@@ -1,0 +1,403 @@
+"""Project model: modules, symbols, imports — one parse pass.
+
+reprolint v2 analyzes a *project*, not a stream of independent files.
+:class:`ProjectModel` is the shared substrate every rule consults:
+
+* one :class:`ModuleInfo` per file — source, AST, comments, a blake2b
+  content hash, the module's dotted name, its top-level symbol table,
+  and its import bindings;
+* one :class:`FunctionInfo` per function — with the function's local
+  node list (descendants without entering nested scopes) computed once
+  and shared by every rule, where v1 had each rule re-walk every
+  function it visited;
+* the import graph between the run's modules, with the transitive-
+  importer closure the incremental cache uses for invalidation.
+
+Everything here is stdlib ``ast`` + ``tokenize`` + ``hashlib``, like
+the rest of devtools.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)
+
+
+def local_nodes(fn: ast.AST) -> list[ast.AST]:
+    """All descendant nodes of ``fn`` without entering nested scopes."""
+    out: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if not isinstance(node, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def arg_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    """Positional/keyword/star parameter names, in declaration order."""
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def content_hash(data: bytes) -> str:
+    """blake2b digest of a module's bytes — the cache invalidation key."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+def collect_comments(source: str) -> list[tuple[int, str]]:
+    """All ``(line, text)`` comment tokens of a source string."""
+    comments: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse already surfaced (or will surface) the problem.
+        pass
+    return comments
+
+
+def module_name_for_path(path: str | Path, root: Path) -> str:
+    """Dotted module name of ``path`` relative to the project root.
+
+    ``src/repro/runtime/pack.py`` becomes ``repro.runtime.pack`` (the
+    ``src`` layout prefix is dropped); packages collapse their
+    ``__init__``; paths outside the root fall back to the file stem so
+    scratch files still get a usable name.
+    """
+    p = Path(path)
+    try:
+        rel = p.resolve().relative_to(root.resolve())
+    except (ValueError, OSError):
+        return p.stem
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else p.stem
+
+
+def parse_payload(item: tuple[str, str]) -> tuple:
+    """Parse one ``(path, source)`` pair into pickling-friendly parts.
+
+    Module-level so ``multiprocessing`` can ship it to parse workers;
+    returns ``(path, tree_or_None, error_or_None, comments)`` where the
+    error is a ``(line, col, message)`` triple.
+    """
+    path, source = item
+    try:
+        tree = ast.parse(source, filename=path)
+        error = None
+    except SyntaxError as exc:
+        tree = None
+        error = (exc.lineno or 1, (exc.offset or 1) - 1,
+                 f"cannot parse: {exc.msg}")
+    return path, tree, error, collect_comments(source)
+
+
+class FunctionInfo:
+    """One function scope: node, qualified name, cached local walks."""
+
+    __slots__ = ("node", "qualname", "class_name", "_local_nodes",
+                 "_arg_names")
+
+    def __init__(self, node, qualname: str, class_name: str | None):
+        self.node = node
+        self.qualname = qualname
+        self.class_name = class_name
+        self._local_nodes: list[ast.AST] | None = None
+        self._arg_names: list[str] | None = None
+
+    @property
+    def local_nodes(self) -> list[ast.AST]:
+        """Cached body walk — computed once, shared by every rule."""
+        if self._local_nodes is None:
+            self._local_nodes = local_nodes(self.node)
+        return self._local_nodes
+
+    @property
+    def arg_names(self) -> list[str]:
+        """Cached parameter-name list."""
+        if self._arg_names is None:
+            self._arg_names = arg_names(self.node)
+        return self._arg_names
+
+
+class ModuleInfo:
+    """Everything the engine knows about one file after one parse."""
+
+    def __init__(
+        self,
+        path: str,
+        name: str,
+        source: str,
+        tree: ast.Module | None,
+        comments: list[tuple[int, str]],
+        digest: str,
+        parse_error: tuple[int, int, str] | None = None,
+    ):
+        self.path = path
+        self.name = name
+        self.source = source
+        self.tree = tree
+        self.comments = comments
+        self.content_hash = digest
+        self.parse_error = parse_error
+        self.functions: dict[str, FunctionInfo] = {}
+        self._by_node: dict[int, FunctionInfo] = {}
+        self.classes: dict[str, ast.ClassDef] = {}
+        self.class_methods: dict[str, dict[str, FunctionInfo]] = {}
+        self.class_bases: dict[str, list[str]] = {}
+        self.top_assigns: dict[str, ast.expr] = {}
+        self.import_targets: list[str] = []
+        self.bindings: dict[str, tuple] = {}
+        self._parents: dict[int, ast.AST] = {}
+        self.first_code_line: int | None = None
+        if tree is not None:
+            self._populate(tree)
+
+    # -- construction --------------------------------------------------------
+
+    def _populate(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            for child in ast.iter_child_nodes(node):
+                self._parents[id(child)] = node
+        self._index_scope(tree, prefix="", class_name=None)
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self.top_assigns[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                    and isinstance(stmt.target, ast.Name):
+                self.top_assigns[stmt.target.id] = stmt.value
+        self._index_imports(tree)
+        self.first_code_line = self._find_first_code_line(tree)
+
+    def _index_scope(self, scope, prefix: str, class_name: str | None) -> None:
+        for stmt in ast.iter_child_nodes(scope):
+            if isinstance(stmt, _FUNCTION_NODES):
+                qual = f"{prefix}{stmt.name}"
+                info = FunctionInfo(stmt, qual, class_name)
+                self.functions[qual] = info
+                self._by_node[id(stmt)] = info
+                if class_name is not None and prefix == f"{class_name}.":
+                    self.class_methods.setdefault(class_name, {})[
+                        stmt.name] = info
+                self._index_scope(stmt, prefix=f"{qual}.", class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}{stmt.name}"
+                if prefix == "":
+                    self.classes[stmt.name] = stmt
+                    self.class_methods.setdefault(stmt.name, {})
+                    self.class_bases[stmt.name] = [
+                        base.id if isinstance(base, ast.Name) else base.attr
+                        for base in stmt.bases
+                        if isinstance(base, (ast.Name, ast.Attribute))
+                    ]
+                self._index_scope(stmt, prefix=f"{qual}.",
+                                  class_name=stmt.name if prefix == ""
+                                  else class_name)
+
+    def _index_imports(self, tree: ast.Module) -> None:
+        package = self.name.rsplit(".", 1)[0] if "." in self.name else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_targets.append(alias.name)
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.bindings.setdefault(bound, ("module", target))
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_relative(node, package)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    sub = f"{base}.{alias.name}" if base else alias.name
+                    self.import_targets.append(sub)
+                    self.bindings.setdefault(
+                        alias.asname or alias.name,
+                        ("symbol", base, alias.name),
+                    )
+                if base:
+                    self.import_targets.append(base)
+
+    def _resolve_relative(self, node: ast.ImportFrom,
+                          package: str) -> str | None:
+        if node.level == 0:
+            return node.module or ""
+        parts = self.name.split(".")
+        if node.level > len(parts):
+            return None
+        base_parts = parts[: len(parts) - node.level]
+        if node.module:
+            base_parts += node.module.split(".")
+        return ".".join(base_parts)
+
+    def _find_first_code_line(self, tree: ast.Module) -> int | None:
+        for i, stmt in enumerate(tree.body):
+            if i == 0 and isinstance(stmt, ast.Expr) and \
+                    isinstance(stmt.value, ast.Constant) and \
+                    isinstance(stmt.value.value, str):
+                continue  # the module docstring
+            return stmt.lineno
+        return None
+
+    # -- queries -------------------------------------------------------------
+
+    def function_at(self, node: ast.AST) -> FunctionInfo | None:
+        """The :class:`FunctionInfo` owning this def node, if indexed."""
+        return self._by_node.get(id(node))
+
+    def parent_of(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (None for the module itself)."""
+        return self._parents.get(id(node))
+
+    def module_nodes(self) -> list[ast.AST]:
+        """Module-level statements walked without entering scopes."""
+        if self.tree is None:
+            return []
+        return local_nodes(self.tree)
+
+
+def build_module(
+    path: str,
+    source: str,
+    root: Path,
+    *,
+    tree: ast.Module | None = None,
+    comments: list[tuple[int, str]] | None = None,
+    parse_error: tuple[int, int, str] | None = None,
+    digest: str | None = None,
+    parsed: bool = False,
+) -> ModuleInfo:
+    """Parse (unless pre-parsed) and index one module."""
+    if not parsed:
+        _, tree, parse_error, comments = parse_payload((path, source))
+    return ModuleInfo(
+        path=path,
+        name=module_name_for_path(path, root),
+        source=source,
+        tree=tree,
+        comments=comments if comments is not None else [],
+        digest=digest if digest is not None
+        else content_hash(source.encode("utf-8")),
+        parse_error=parse_error,
+    )
+
+
+def resolve_targets(targets: Iterable[str],
+                    known_names: Sequence[str] | set[str]) -> set[str]:
+    """Map raw dotted import targets onto the run's module names.
+
+    A target matches the longest known prefix of itself, so
+    ``import repro.runtime.pack`` links to ``repro.runtime.pack`` when
+    that module is in the run and to ``repro.runtime`` (its package)
+    otherwise.
+    """
+    known = set(known_names)
+    resolved: set[str] = set()
+    for target in targets:
+        parts = target.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in known:
+                resolved.add(candidate)
+                break
+    return resolved
+
+
+class ProjectModel:
+    """The modules of one lint run plus their import graph."""
+
+    def __init__(self, root: Path):
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_path: dict[str, ModuleInfo] = {}
+        self.imports_of: dict[str, set[str]] = {}
+        self.importers_of: dict[str, set[str]] = {}
+        self._callgraph = None
+        self._exceptions = None
+        self._purity = None
+
+    def add_module(self, info: ModuleInfo) -> None:
+        """Register a parsed module (last one wins on name collision)."""
+        self.modules[info.name] = info
+        self._by_path[info.path] = info
+
+    def finalize(self) -> None:
+        """Resolve import edges now that the module set is complete."""
+        names = set(self.modules)
+        self.imports_of = {}
+        self.importers_of = {name: set() for name in names}
+        for name, info in self.modules.items():
+            edges = resolve_targets(info.import_targets, names)
+            edges.discard(name)
+            self.imports_of[name] = edges
+            for target in edges:
+                self.importers_of.setdefault(target, set()).add(name)
+
+    def module_for_path(self, path: str) -> ModuleInfo | None:
+        """The module registered under this path string, if any."""
+        return self._by_path.get(path)
+
+    def transitive_importers(self, seeds: Iterable[str]) -> set[str]:
+        """Seeds plus every module that (transitively) imports them."""
+        return self._closure(seeds, self.importers_of)
+
+    def transitive_imports(self, seeds: Iterable[str]) -> set[str]:
+        """Seeds plus every module they (transitively) import."""
+        return self._closure(seeds, self.imports_of)
+
+    def _closure(self, seeds: Iterable[str],
+                 edges: dict[str, set[str]]) -> set[str]:
+        out = set(seed for seed in seeds if seed in self.modules)
+        stack = list(out)
+        while stack:
+            current = stack.pop()
+            for nxt in edges.get(current, ()):
+                if nxt not in out:
+                    out.add(nxt)
+                    stack.append(nxt)
+        return out
+
+    # -- lazy analyses -------------------------------------------------------
+
+    @property
+    def callgraph(self):
+        """The conservative project call graph (built on first use)."""
+        if self._callgraph is None:
+            from .callgraph import CallGraph
+            self._callgraph = CallGraph(self)
+        return self._callgraph
+
+    def exception_summaries(self) -> dict[str, frozenset[str]]:
+        """Typed-error escape summaries per function (built on first use)."""
+        if self._exceptions is None:
+            from .dataflow import exception_summaries
+            self._exceptions = exception_summaries(self, self.callgraph)
+        return self._exceptions
+
+    def purity(self) -> dict[str, str]:
+        """Purity verdicts per function (built on first use)."""
+        if self._purity is None:
+            from .dataflow import infer_purity
+            self._purity = infer_purity(self, self.callgraph)
+        return self._purity

@@ -6,13 +6,18 @@ reprolint has exactly one suppression syntax (the tree previously mixed
 * ``code  # lint: disable=rule-a,rule-b`` silences those rules on that
   physical line only — the line a finding is anchored to is the
   reported node's ``lineno``;
-* ``# lint: disable-file=rule-a`` anywhere in the file silences the
-  rules for the whole file.
+* ``# lint: disable-file=rule-a`` in the file *header* (before the
+  first non-docstring statement) silences the rules for the whole
+  file.  A disable-file pragma buried mid-file is a hard error and
+  suppresses nothing: file-wide suppressions must be visible where a
+  reviewer reads the file header.
 
 Unknown rule IDs inside a pragma are hard errors, not silent no-ops: a
 typo in a suppression must never suppress nothing while looking like it
-suppressed something.  Errors surface as findings under the reserved
-``pragma`` rule ID, which itself cannot be disabled.
+suppressed something — and when one ID of a multi-ID pragma is bad,
+the error names that ID while the valid IDs still apply.  Errors
+surface as findings under the reserved ``pragma`` rule ID, which
+itself cannot be disabled.
 """
 
 from __future__ import annotations
@@ -56,11 +61,15 @@ class PragmaIndex:
         cls,
         comments: list[tuple[int, str]],
         known_rule_ids: frozenset[str] | set[str],
+        first_code_line: int | None = None,
     ) -> "PragmaIndex":
         """Build the index from ``(line, comment_text)`` pairs.
 
         ``known_rule_ids`` is the registry's ID set; anything else in a
-        disable list is recorded as a :class:`PragmaError`.
+        disable list is recorded as a :class:`PragmaError`.  When
+        ``first_code_line`` is given (the line of the module's first
+        non-docstring statement), a ``disable-file`` pragma after it is
+        a hard error and is not applied.
         """
         index = cls()
         for line, text in comments:
@@ -97,6 +106,17 @@ class PragmaIndex:
                     ))
                     continue
                 accepted.add(rule_id)
+            if kind == "disable-file" and first_code_line is not None \
+                    and line > first_code_line:
+                index.errors.append(PragmaError(
+                    line,
+                    f"'# lint: disable-file=...' on line {line} is not at "
+                    "the top of the module (the first statement is on "
+                    f"line {first_code_line}); move the pragma into the "
+                    "file header — file-wide suppressions must be visible "
+                    "where the file is introduced",
+                ))
+                continue
             if accepted:
                 if kind == "disable-file":
                     index.file_wide.update(accepted)

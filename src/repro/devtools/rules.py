@@ -31,12 +31,27 @@ silent-degrade      fallback/except branches in ``repro.runtime`` must
 handler-envelope    except branches in ``repro.server`` must re-raise or
                     produce a typed error envelope, or carry an explicit
                     pragma
+determinism-flow    set-typed values must not flow into float
+                    accumulation, ordered output, or memo keys
+                    (project rule, :mod:`repro.devtools.flowrules`)
+worker-boundary     values crossing a pool submit boundary must pickle
+                    and must not close over mutable parent state
+exception-flow      typed repro errors caught in runtime/server must
+                    reach a DocOutcome/envelope/metrics outcome along
+                    the call graph
+resource-lifecycle  pools, sockets, files and mmaps must be closed via
+                    ``with``/``finally`` (or ownership transferred)
 ==================  ========================================================
 
-Rules are heuristic by design — stdlib ``ast`` has no type or data-flow
-information — but each is tuned so the merged tree lints clean and a
-genuine violation of the contract it guards cannot slip through the
-common door (see the per-rule fixture battery in ``tests/devtools``).
+Rules are heuristic by design — stdlib ``ast`` has no type
+information — but since v2 they share the project model
+(:mod:`repro.devtools.model`): function-local walks are computed once
+per function, and the four flow rules (defined in
+:mod:`repro.devtools.flowrules`) additionally consult the import
+graph, call graph, and dataflow summaries.  Each rule is tuned so the
+merged tree lints clean and a genuine violation of the contract it
+guards cannot slip through the common door (see the per-rule fixture
+battery in ``tests/devtools``).
 """
 
 from __future__ import annotations
@@ -45,33 +60,13 @@ import ast
 import re
 from pathlib import Path
 
+from .dataflow import (
+    MUTATOR_METHODS as _MUTATOR_METHODS,
+    submitted_callables,
+)
 from .engine import LintContext, Rule
 
 _FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda, ast.ClassDef)
-
-
-def _local_nodes(fn: ast.AST) -> list[ast.AST]:
-    """All descendant nodes of ``fn`` without entering nested scopes."""
-    out: list[ast.AST] = []
-    stack = list(ast.iter_child_nodes(fn))
-    while stack:
-        node = stack.pop()
-        out.append(node)
-        if not isinstance(node, _SCOPE_NODES):
-            stack.extend(ast.iter_child_nodes(node))
-    return out
-
-
-def _arg_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
-    """Positional/keyword/star parameter names, in declaration order."""
-    args = fn.args
-    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
-    if args.vararg:
-        names.append(args.vararg.arg)
-    if args.kwarg:
-        names.append(args.kwarg.arg)
-    return names
 
 
 # ---------------------------------------------------------------------------
@@ -114,7 +109,7 @@ class IndexParityRule(Rule):
         index_names = (
             {"index"} if self._has_optional_index_param(fn) else set()
         )
-        nodes = _local_nodes(fn)
+        nodes = ctx.local_nodes(fn)
         # Direct aliases of the index (``index = self._index``) join the
         # tracked set so guards on the alias count.
         for node in nodes:
@@ -141,7 +136,7 @@ class IndexParityRule(Rule):
                 "plain network walk as the other branch",
             )
             return
-        if not self._has_fallback(fn, index_names):
+        if not self._has_fallback(fn, index_names, ctx):
             ctx.report(
                 self.id, first,
                 "index None-guard has no fallback branch: keep the plain "
@@ -198,9 +193,10 @@ class IndexParityRule(Rule):
                 return "isnot" if isinstance(node.ops[0], ast.IsNot) else "is"
         return None
 
-    def _has_fallback(self, fn, index_names: set[str]) -> bool:
+    def _has_fallback(self, fn, index_names: set[str],
+                      ctx: LintContext) -> bool:
         guard_ifs = []
-        for node in _local_nodes(fn):
+        for node in ctx.local_nodes(fn):
             if isinstance(node, (ast.If, ast.IfExp)):
                 for sub in ast.walk(node.test):
                     kind = self._none_compare_kind(sub, index_names)
@@ -233,11 +229,6 @@ class IndexParityRule(Rule):
 # cache-purity
 # ---------------------------------------------------------------------------
 
-_MUTATOR_METHODS = frozenset({
-    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
-    "sort", "reverse", "add", "discard", "update", "setdefault",
-})
-
 
 class CachePurityRule(Rule):
     """No parameter or module-global mutation in cache-reachable code.
@@ -267,10 +258,11 @@ class CachePurityRule(Rule):
         self._check(fn, ctx)
 
     def _check(self, fn, ctx: LintContext) -> None:
-        nodes = _local_nodes(fn)
+        nodes = ctx.local_nodes(fn)
         self._check_globals(fn, nodes, ctx)
         params = {
-            name for name in _arg_names(fn) if name not in ("self", "cls")
+            name for name in ctx.arg_names(fn)
+            if name not in ("self", "cls")
         }
         if not params:
             return
@@ -461,13 +453,6 @@ class DeterminismRule(Rule):
 # picklable-submit
 # ---------------------------------------------------------------------------
 
-_SUBMIT_METHODS = frozenset({
-    "map", "map_async", "imap", "imap_unordered", "starmap",
-    "starmap_async", "apply", "apply_async", "submit",
-})
-_SUBMIT_KEYWORDS = frozenset({"initializer", "callback"})
-_POOL_RECEIVER = re.compile(r"pool|executor", re.IGNORECASE)
-
 
 class PicklableSubmitRule(Rule):
     """Pool submission points only accept picklable callables.
@@ -488,7 +473,7 @@ class PicklableSubmitRule(Rule):
 
     def visit_Call(self, node: ast.Call, ctx: LintContext) -> None:
         """Flag lambdas handed to a submission call."""
-        for candidate in self._submitted_callables(node):
+        for candidate in submitted_callables(node):
             if isinstance(candidate, ast.Lambda):
                 ctx.report(
                     self.id, candidate,
@@ -505,7 +490,7 @@ class PicklableSubmitRule(Rule):
         self._check_nested(fn, ctx)
 
     def _check_nested(self, fn, ctx: LintContext) -> None:
-        nodes = _local_nodes(fn)
+        nodes = ctx.local_nodes(fn)
         nested = {
             node.name for node in nodes if isinstance(node, _FUNCTION_NODES)
         }
@@ -514,7 +499,7 @@ class PicklableSubmitRule(Rule):
         for node in nodes:
             if not isinstance(node, ast.Call):
                 continue
-            for candidate in self._submitted_callables(node):
+            for candidate in submitted_callables(node):
                 if isinstance(candidate, ast.Name) and \
                         candidate.id in nested:
                     ctx.report(
@@ -524,26 +509,9 @@ class PicklableSubmitRule(Rule):
                         "functions do not pickle — move it to module level",
                     )
 
-    def _submitted_callables(self, node: ast.Call) -> list[ast.AST]:
-        out: list[ast.AST] = []
-        if isinstance(node.func, ast.Attribute) and \
-                node.func.attr in _SUBMIT_METHODS and node.args and \
-                self._is_pool_receiver(node.func.value):
-            out.append(node.args[0])
-        for keyword in node.keywords:
-            if keyword.arg in _SUBMIT_KEYWORDS:
-                out.append(keyword.value)
-        return out
-
-    def _is_pool_receiver(self, receiver: ast.AST) -> bool:
-        # `pool.map(...)` / `self._executor.submit(...)` — but not
-        # `strategy.map(...)` (hypothesis) or other fluent APIs.  The
-        # receiver must *name* a pool for the heuristic to engage.
-        if isinstance(receiver, ast.Name):
-            return bool(_POOL_RECEIVER.search(receiver.id))
-        if isinstance(receiver, ast.Attribute):
-            return bool(_POOL_RECEIVER.search(receiver.attr))
-        return False
+    # Submission-point detection (what counts as a pool receiver and a
+    # submitted callable) is shared with the worker-boundary rule — see
+    # :func:`repro.devtools.dataflow.submitted_callables`.
 
 
 # ---------------------------------------------------------------------------
@@ -928,7 +896,7 @@ class MemoKeyPurityRule(Rule):
         name = fn.name.lower()
         if "signature" not in name or "fingerprint" in name:
             return
-        for node in _local_nodes(fn):
+        for node in ctx.local_nodes(fn):
             if not isinstance(node, ast.Attribute) or \
                     not isinstance(node.ctx, ast.Load):
                 continue
@@ -1100,6 +1068,13 @@ class HandlerEnvelopeRule(Rule):
 # registry
 # ---------------------------------------------------------------------------
 
+from .flowrules import (  # noqa: E402 — registry import, after Rule defs
+    DeterminismFlowRule,
+    ExceptionFlowRule,
+    ResourceLifecycleRule,
+    WorkerBoundaryRule,
+)
+
 #: Stable rule registry: ID -> class.  IDs are part of the suppression
 #: and CI contract — never renumber or rename, only add.
 RULE_CLASSES: dict[str, type[Rule]] = {
@@ -1116,6 +1091,10 @@ RULE_CLASSES: dict[str, type[Rule]] = {
         MemoKeyPurityRule,
         SilentDegradeRule,
         HandlerEnvelopeRule,
+        DeterminismFlowRule,
+        WorkerBoundaryRule,
+        ExceptionFlowRule,
+        ResourceLifecycleRule,
     )
 }
 

@@ -1,0 +1,196 @@
+"""Incremental cache soundness and parallel-parse parity.
+
+The contract under test: with a cache, editing one module re-analyzes
+*exactly* that module plus its transitive importers, a warm no-change
+run re-parses nothing, findings are identical with and without the
+cache (and regardless of ``jobs``), and a signature change discards
+the whole cache.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools import AnalysisCache, LintEngine, all_rules
+
+
+def _write_chain(tmp_path):
+    """a <- b <- c import chain plus an independent d (with a finding)."""
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text(textwrap.dedent(
+        """\
+        def helper(x):
+            return x + 1
+        """
+    ), encoding="utf-8")
+    (pkg / "b.py").write_text(textwrap.dedent(
+        """\
+        from repro.core.a import helper
+
+
+        def twice(x):
+            return helper(helper(x))
+        """
+    ), encoding="utf-8")
+    (pkg / "c.py").write_text(textwrap.dedent(
+        """\
+        from repro.core.b import twice
+
+
+        def quad(x):
+            return twice(twice(x))
+        """
+    ), encoding="utf-8")
+    (pkg / "d.py").write_text(textwrap.dedent(
+        """\
+        def shrug(x):
+            try:
+                return x.value
+            except Exception:
+                return None
+        """
+    ), encoding="utf-8")
+    return pkg
+
+
+def _engine(tmp_path, rules=("broad-except", "mutable-default")):
+    return LintEngine(all_rules(list(rules)), project_root=tmp_path)
+
+
+class TestCacheSoundness:
+    def test_cold_run_analyzes_everything(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        engine = _engine(tmp_path)
+        findings = engine.lint_paths([pkg], cache=cache)
+        assert len(engine.last_run.analyzed) == 4
+        assert engine.last_run.reused == 0
+        assert [f.rule for f in findings] == ["broad-except"]
+
+    def test_warm_run_reuses_everything_and_parses_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cold = _engine(tmp_path).lint_paths([pkg], cache=cache)
+
+        # The warm run must not even parse: a parse call is a bug.
+        import repro.devtools.engine as engine_mod
+
+        def _explode(item):
+            raise AssertionError(f"warm run parsed {item[0]}")
+
+        monkeypatch.setattr(engine_mod, "parse_payload", _explode)
+        engine = _engine(tmp_path)
+        warm = engine.lint_paths([pkg], cache=cache)
+        assert engine.last_run.analyzed == []
+        assert engine.last_run.reused == 4
+        assert warm == cold
+
+    def test_editing_one_module_dirties_exactly_its_importers(
+        self, tmp_path
+    ):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        _engine(tmp_path).lint_paths([pkg], cache=cache)
+
+        # Edit a.py: b and c import it (transitively), d does not.
+        (pkg / "a.py").write_text(textwrap.dedent(
+            """\
+            def helper(x):
+                return x + 2
+            """
+        ), encoding="utf-8")
+        engine = _engine(tmp_path)
+        engine.lint_paths([pkg], cache=cache)
+        analyzed = {p.rsplit("/", 1)[-1] for p in engine.last_run.analyzed}
+        assert analyzed == {"a.py", "b.py", "c.py"}
+        assert engine.last_run.reused == 1
+
+    def test_editing_a_leaf_dirties_only_itself(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        _engine(tmp_path).lint_paths([pkg], cache=cache)
+
+        (pkg / "c.py").write_text(
+            (pkg / "c.py").read_text(encoding="utf-8") + "\n\nX = 1\n",
+            encoding="utf-8",
+        )
+        engine = _engine(tmp_path)
+        engine.lint_paths([pkg], cache=cache)
+        analyzed = {p.rsplit("/", 1)[-1] for p in engine.last_run.analyzed}
+        assert analyzed == {"c.py"}
+        assert engine.last_run.reused == 3
+
+    def test_cached_findings_survive_the_round_trip(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        cold = _engine(tmp_path).lint_paths([pkg], cache=cache)
+        (pkg / "a.py").write_text("Y = 2\n", encoding="utf-8")
+        warm = _engine(tmp_path).lint_paths([pkg], cache=cache)
+        # d.py's broad-except finding comes out of the cache unchanged.
+        assert [f.to_dict() for f in warm] == [f.to_dict() for f in cold]
+
+    def test_rule_set_change_discards_the_cache(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        _engine(tmp_path).lint_paths([pkg], cache=cache)
+        engine = _engine(tmp_path, rules=("broad-except",))
+        engine.lint_paths([pkg], cache=cache)
+        assert len(engine.last_run.analyzed) == 4
+        assert engine.last_run.reused == 0
+
+    def test_corrupt_cache_is_a_cold_run_not_a_crash(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{not json", encoding="utf-8")
+        engine = _engine(tmp_path)
+        findings = engine.lint_paths([pkg], cache=AnalysisCache(cache_path))
+        assert len(engine.last_run.analyzed) == 4
+        assert [f.rule for f in findings] == ["broad-except"]
+        # And the run repaired the file.
+        assert json.loads(cache_path.read_text(encoding="utf-8"))["version"]
+
+
+class TestChangedMode:
+    def test_changed_restricts_to_the_importer_closure(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        cache = AnalysisCache(tmp_path / "cache.json")
+        _engine(tmp_path).lint_paths([pkg], cache=cache)
+        engine = _engine(tmp_path)
+        engine.lint_paths([pkg], cache=cache, changed=[pkg / "a.py"])
+        analyzed = {p.rsplit("/", 1)[-1] for p in engine.last_run.analyzed}
+        assert analyzed == {"a.py", "b.py", "c.py"}
+
+    def test_changed_without_cache_skips_clean_unrelated_files(
+        self, tmp_path
+    ):
+        pkg = _write_chain(tmp_path)
+        engine = _engine(tmp_path)
+        findings = engine.lint_paths([pkg], changed=[pkg / "a.py"])
+        analyzed = {p.rsplit("/", 1)[-1] for p in engine.last_run.analyzed}
+        assert analyzed == {"a.py", "b.py", "c.py"}
+        # d.py (with its finding) is out of scope for this run.
+        assert findings == []
+
+
+class TestJobsParity:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_findings_identical_across_job_counts(self, tmp_path, jobs):
+        pkg = _write_chain(tmp_path)
+        serial = _engine(tmp_path).lint_paths([pkg], jobs=1)
+        parallel = _engine(tmp_path).lint_paths([pkg], jobs=jobs)
+        assert [f.to_dict() for f in parallel] == \
+            [f.to_dict() for f in serial]
+
+    def test_parallel_parse_with_project_rules(self, tmp_path):
+        pkg = _write_chain(tmp_path)
+        rules = ("exception-flow", "worker-boundary", "broad-except")
+        serial = _engine(tmp_path, rules=rules).lint_paths([pkg], jobs=1)
+        parallel = _engine(tmp_path, rules=rules).lint_paths([pkg], jobs=2)
+        assert [f.to_dict() for f in parallel] == \
+            [f.to_dict() for f in serial]

@@ -1,0 +1,266 @@
+"""The project model substrate: names, imports, call graph, dataflow."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.dataflow import Definitions, is_set_valued
+from repro.devtools.model import (
+    ProjectModel,
+    build_module,
+    module_name_for_path,
+    resolve_targets,
+)
+
+
+def _module(model_root, path, source):
+    return build_module(path, textwrap.dedent(source), model_root)
+
+
+def _model(tmp_path, **sources):
+    """Build a model from ``{dotted_tail: source}`` under src/repro/."""
+    model = ProjectModel(tmp_path)
+    for tail, source in sources.items():
+        path = str(tmp_path / "src" / "repro" /
+                   Path(tail.replace(".", "/") + ".py"))
+        model.add_module(_module(tmp_path, path, source))
+    model.finalize()
+    return model
+
+
+class TestModuleNames:
+    def test_src_prefix_is_dropped(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "runtime" / "pack.py"
+        assert module_name_for_path(path, tmp_path) == "repro.runtime.pack"
+
+    def test_package_init_collapses(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "server" / "__init__.py"
+        assert module_name_for_path(path, tmp_path) == "repro.server"
+
+    def test_outside_root_falls_back_to_stem(self, tmp_path):
+        assert module_name_for_path("/elsewhere/scratch.py",
+                                    tmp_path) == "scratch"
+
+
+class TestImportGraph:
+    def test_longest_prefix_resolution(self):
+        known = {"repro.runtime", "repro.runtime.pack"}
+        assert resolve_targets(["repro.runtime.pack.PackedIndex"],
+                               known) == {"repro.runtime.pack"}
+        assert resolve_targets(["repro.runtime.misc"],
+                               known) == {"repro.runtime"}
+
+    def test_transitive_closures(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.a": "A = 1\n",
+                "core.b": "from repro.core.a import A\n",
+                "core.c": "from repro.core.b import A\n",
+                "core.d": "D = 4\n",
+            },
+        )
+        importers = model.transitive_importers(["repro.core.a"])
+        assert importers == {"repro.core.a", "repro.core.b", "repro.core.c"}
+        imports = model.transitive_imports(["repro.core.c"])
+        assert imports == {"repro.core.c", "repro.core.b", "repro.core.a"}
+
+    def test_relative_imports_resolve(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.a": "A = 1\n",
+                "core.b": "from .a import A\n",
+            },
+        )
+        assert model.imports_of["repro.core.b"] == {"repro.core.a"}
+
+
+class TestCallGraph:
+    def test_resolves_module_functions_and_methods(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.a": """\
+                def helper(x):
+                    return x
+
+
+                class Walker:
+                    def step(self):
+                        return self._inner()
+
+                    def _inner(self):
+                        return helper(1)
+                """,
+            },
+        )
+        graph = model.callgraph
+        assert graph.callees("repro.core.a:Walker.step") == \
+            frozenset({"repro.core.a:Walker._inner"})
+        assert graph.callees("repro.core.a:Walker._inner") == \
+            frozenset({"repro.core.a:helper"})
+        assert "repro.core.a:helper" in \
+            graph.reachable("repro.core.a:Walker.step")
+
+    def test_resolves_cross_module_imports(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.a": """\
+                def helper(x):
+                    return x
+                """,
+                "core.b": """\
+                from repro.core.a import helper
+
+
+                def caller():
+                    return helper(2)
+                """,
+            },
+        )
+        assert model.callgraph.callees("repro.core.b:caller") == \
+            frozenset({"repro.core.a:helper"})
+
+    def test_resolves_local_instance_methods(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.a": """\
+                class Engine:
+                    def run(self):
+                        return 1
+
+
+                def main():
+                    engine = Engine()
+                    return engine.run()
+                """,
+            },
+        )
+        assert "repro.core.a:Engine.run" in \
+            model.callgraph.callees("repro.core.a:main")
+
+    def test_base_class_method_lookup(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.base": """\
+                class Base:
+                    def shared(self):
+                        return 0
+                """,
+                "core.sub": """\
+                from repro.core.base import Base
+
+
+                class Sub(Base):
+                    def go(self):
+                        return self.shared()
+                """,
+            },
+        )
+        assert model.callgraph.callees("repro.core.sub:Sub.go") == \
+            frozenset({"repro.core.base:Base.shared"})
+
+
+class TestDataflow:
+    def test_reaching_definitions_are_line_ordered(self):
+        import ast
+
+        tree = ast.parse(textwrap.dedent(
+            """\
+            x = {1}
+            x = [1]
+            y = x
+            """
+        ))
+        defs = Definitions.from_nodes(list(ast.walk(tree)))
+        assert isinstance(defs.reaching("x", 1), ast.Set)
+        assert isinstance(defs.reaching("x", 3), ast.List)
+        assert defs.reaching("missing", 3) is None
+
+    def test_set_valuedness_follows_names_and_operators(self):
+        import ast
+
+        tree = ast.parse(textwrap.dedent(
+            """\
+            a = set(xs)
+            b = a | {1}
+            c = b.union(other)
+            d = list(xs)
+            """
+        ))
+        defs = Definitions.from_nodes(list(ast.walk(tree)))
+        line = 10
+        name = lambda n: ast.copy_location(  # noqa: E731
+            ast.Name(id=n, ctx=ast.Load()),
+            ast.parse("x", mode="eval").body,
+        )
+        for n, expected in (("a", True), ("b", True), ("c", True),
+                            ("d", False)):
+            node = name(n)
+            node.lineno = line
+            assert is_set_valued(node, defs) is expected, n
+
+    def test_exception_summaries_fold_through_callees(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "runtime.err": """\
+                class PackError(Exception):
+                    pass
+
+
+                def inner():
+                    raise PackError("boom")
+
+
+                def outer():
+                    return inner()
+
+
+                def guarded():
+                    try:
+                        return inner()
+                    except PackError:
+                        return None
+                """,
+            },
+        )
+        summaries = model.exception_summaries()
+        assert summaries["repro.runtime.err:inner"] == \
+            frozenset({"PackError"})
+        assert summaries["repro.runtime.err:outer"] == \
+            frozenset({"PackError"})
+        assert summaries["repro.runtime.err:guarded"] == frozenset()
+
+    def test_purity_fixpoint(self, tmp_path):
+        model = _model(
+            tmp_path,
+            **{
+                "core.p": """\
+                def pure(x):
+                    return x + 1
+
+
+                def also_pure(x):
+                    return pure(x)
+
+
+                def impure(acc, x):
+                    acc.append(x)
+
+
+                def tainted(acc, x):
+                    impure(acc, x)
+                """,
+            },
+        )
+        purity = model.purity()
+        assert purity["repro.core.p:pure"] == "pure"
+        assert purity["repro.core.p:also_pure"] == "pure"
+        assert purity["repro.core.p:impure"] == "impure"
+        assert purity["repro.core.p:tainted"] == "impure"

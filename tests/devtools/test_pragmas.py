@@ -123,3 +123,87 @@ class TestPragmasThroughEngine:
         rules = {f.rule for f in findings}
         # The typo'd suppression suppresses nothing AND is itself flagged.
         assert rules == {PRAGMA_RULE_ID, "broad-except"}
+
+
+class TestPragmaEdgeCases:
+    """The v2 hardening: disable-file placement and multi-ID errors."""
+
+    def test_disable_file_below_the_header_is_a_hard_error(self, lint):
+        findings = lint(
+            """\
+            import os
+
+            # lint: disable-file=broad-except
+            try:
+                pass
+            except Exception:
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        rules = [f.rule for f in findings]
+        # The buried pragma suppresses nothing AND is itself flagged.
+        assert PRAGMA_RULE_ID in rules
+        assert "broad-except" in rules
+        error = next(f for f in findings if f.rule == PRAGMA_RULE_ID)
+        assert error.line == 3
+        assert "line 3" in error.message
+        assert "first statement is on line 1" in error.message
+
+    def test_disable_file_in_the_header_still_works(self, lint):
+        # Between the docstring and the first statement is the header.
+        findings = lint(
+            """\
+            '''Module docstring.'''
+            # lint: disable-file=broad-except
+            try:
+                pass
+            except Exception:
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        assert findings == []
+
+    def test_multi_id_pragma_names_the_unknown_id(self, lint):
+        findings = lint(
+            """\
+            try:
+                pass
+            except Exception:  # lint: disable=broad-except,nosuchrule
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        # The one bad ID is named; the valid ID still applies.
+        assert [f.rule for f in findings] == [PRAGMA_RULE_ID]
+        assert "'nosuchrule'" in findings[0].message
+        assert "broad-except" not in [f.rule for f in findings]
+
+    def test_multi_id_disable_file_with_unknown_id(self, lint):
+        findings = lint(
+            """\
+            # lint: disable-file=broad-except,bogus-rule
+            try:
+                pass
+            except Exception:
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        assert [f.rule for f in findings] == [PRAGMA_RULE_ID]
+        assert "'bogus-rule'" in findings[0].message
+
+    def test_pragma_for_inactive_registry_rule_is_legitimate(self, lint):
+        # A --rules subset run must not flag pragmas for other
+        # registered rules (the suppression contract is registry-wide).
+        findings = lint(
+            """\
+            try:
+                pass
+            except Exception:  # lint: disable=broad-except,silent-degrade
+                pass
+            """,
+            rules=["broad-except"],
+        )
+        assert findings == []
