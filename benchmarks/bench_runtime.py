@@ -10,10 +10,15 @@ Four workloads over the generated collection:
   flat-array :class:`PackedIndex` kernels vs the dict-backed
   ``SemanticIndex``, index build excluded from the timed region.  The
   packed kernels must be bit-identical and at least 1.3x faster.
-* **unique documents** — one pass over distinct documents, serial
-  executor vs ``workers=2``.  Parallel output must stay byte-identical
-  to serial; the speedup assertion only applies on multi-core hosts
-  (smoke runs tolerate down to 0.9x to absorb pool start-up noise).
+* **unique documents** — three disjoint document sets with the same
+  dataset mix through a serial executor and a ``workers=2`` persistent
+  pool: the first set is the *cold* batch (pool spawn + shared-memory
+  publish inside the timed region), the other two are *steady-state*
+  probes on the warm pool.  Output must stay byte-identical to serial,
+  the warm pool must be strictly faster than the cold batch, and the
+  speedup gate is ≥1.8x (≥1.4x smoke) on multi-core hosts or the
+  ≥0.98x serial floor where the anti-oversubscription clamp routes
+  ``workers=2`` serially (1-CPU hosts).
 * **prune + memo** — the repeated-structure corpus (the ``shakespeare``
   dataset in structure-only mode, where thousands of nodes across
   documents present the identical disambiguation situation) with exact
@@ -37,11 +42,13 @@ import pytest
 from conftest import print_table
 
 from repro.core import XSDF, XSDFConfig
-from repro.runtime import BatchExecutor, MetricsRegistry
+from repro.runtime import BatchExecutor, MetricsRegistry, auto_workers
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 N_DOCS = 4 if SMOKE else 10          # distinct documents per workload
 REPEATS = 3 if SMOKE else 8          # copies of each in the repeated load
+_GATE_REPS_MIN = 3                   # parallel gate: sample floor ...
+_GATE_REPS_MAX = 10                  # ... and noise-retry ceiling
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 
 _RESULTS: dict = {}
@@ -175,48 +182,184 @@ def test_packed_vs_dict_single_core(benchmark, network, corpus):
     assert speedup >= floor, f"packed kernels only x{speedup:.2f}"
 
 
-def test_parallel_batch_throughput(benchmark, network, corpus):
-    """Serial vs 2-worker executor on distinct documents."""
-    config = XSDFConfig()
-    docs = _distinct_documents(corpus, N_DOCS)
+def _disjoint_doc_sets(corpus, n: int, k: int):
+    """``k`` disjoint document lists with the same dataset mix.
 
-    def run():
-        timings = {}
-        outputs = {}
-        for workers in (1, 2):
-            executor = BatchExecutor(network, config, workers=workers)
+    Slot ``i`` of every set draws from the same dataset bucket, so the
+    sets are timing-comparable; the documents themselves never repeat
+    across sets, so the executor's doc-result cache cannot serve one
+    set from another and quietly turn a throughput measurement into a
+    cache measurement.
+    """
+    per_dataset = [corpus.by_dataset(name) for name in corpus.datasets()]
+    sets: list[list[tuple[str, str]]] = [[] for _ in range(k)]
+    for i in range(n):
+        bucket = per_dataset[i % len(per_dataset)]
+        base = (i // len(per_dataset)) * k
+        for j, docs in enumerate(sets):
+            doc = bucket[(base + j) % len(bucket)]
+            docs.append((f"{doc.name}#{j}.{i}", doc.xml))
+    return sets
+
+
+def test_parallel_batch_throughput(benchmark, network, corpus):
+    """Serial vs persistent-pool executor: spin-up and steady state.
+
+    Three disjoint document sets with the same dataset mix: the first
+    is the *warm-up/cold* batch, the other two are *steady* probes.
+    The gated serial-vs-``workers=2`` comparison interleaves the two
+    executors batch-by-batch with fresh executors per repetition
+    (shared prebuilt index, so only document work is timed) and takes
+    the minimum steady-batch time on each side — on this corpus a
+    single 4-doc batch jitters by 30%+ under scheduler noise, and a
+    min-of-many estimator is what makes a 0.98x floor between two
+    same-code serial runs enforceable.  Sampling is adaptive: at least
+    ``_GATE_REPS_MIN`` repetitions, continuing up to ``_GATE_REPS_MAX``
+    while the gate is still below its floor (a real regression keeps
+    failing; a noise burst gets outvoted by more samples).
+
+    The real pool's spin-up cost is measured in a separate
+    ``oversubscribe=True`` pass (cold batch pays pool spawn + shm
+    publish inside its timed region; the probes run on the warm pool)
+    so the recorded pool/shm figures stay honest even on 1-CPU hosts
+    where the default executor's anti-oversubscription clamp routes
+    ``workers=2`` serially.
+    """
+    config = XSDFConfig()
+    cold_docs, probe_a, probe_b = _disjoint_doc_sets(corpus, N_DOCS, 3)
+
+    def timed_batches(executor):
+        timings = []
+        outputs = []
+        for batch in (cold_docs, probe_a, probe_b):
             start = time.perf_counter()
-            records = executor.run(docs)
-            timings[workers] = time.perf_counter() - start
-            outputs[workers] = [r.to_json_line() for r in records]
+            records = executor.run(batch)
+            timings.append(time.perf_counter() - start)
+            outputs.append([r.to_json_line() for r in records])
         return timings, outputs
 
-    timings, outputs = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert outputs[1] == outputs[2]  # byte-identical merge
-    speedup = timings[1] / timings[2]
+    gate_floor = (1.4 if SMOKE else 1.8) if auto_workers() >= 2 else 0.98
+
+    def run():
+        prototype = BatchExecutor(network, config, workers=1)
+        prototype._ensure_index()  # one build, shared by every executor
+
+        def fresh(workers, **kwargs):
+            executor = BatchExecutor(network, config, workers=workers,
+                                     **kwargs)
+            executor._index = prototype._index
+            return executor
+
+        effective = fresh(2).effective_workers
+        outputs = []
+        serial_steady, serial_total = [], []
+        parallel_steady, parallel_total = [], []
+        for rep in range(_GATE_REPS_MAX):
+            serial = fresh(1)
+            parallel = fresh(2)
+            st, pt = [], []
+            so, po = [], []
+            # Interleave batch-by-batch so a host load burst hits both
+            # executors instead of silently skewing one side, and
+            # alternate which side runs first per rep — the second
+            # runner of a pair is measurably (~2-3%) slower on this
+            # interpreter, which would otherwise bias the gate.
+            for batch in (cold_docs, probe_a, probe_b):
+                legs = [(serial, st, so), (parallel, pt, po)]
+                if rep % 2:
+                    legs.reverse()
+                for executor, timings, lines in legs:
+                    start = time.perf_counter()
+                    records = executor.run(batch)
+                    timings.append(time.perf_counter() - start)
+                    lines.append([r.to_json_line() for r in records])
+            parallel.close()
+            outputs.append((so, po))
+            serial_steady.extend(st[1:])
+            serial_total.append(sum(st))
+            parallel_steady.extend(pt[1:])
+            parallel_total.append(sum(pt))
+            if (rep + 1 >= _GATE_REPS_MIN
+                    and min(serial_steady) / min(parallel_steady)
+                    >= gate_floor):
+                break
+
+        # The dedicated pool pass: on a clamped (1-CPU) host this is
+        # the only place the real pool runs; on multi-core hosts
+        # oversubscribe is a no-op and it simply measures spin-up.
+        pool = fresh(2, oversubscribe=True)
+        pool_t, pool_out = timed_batches(pool)
+        pool_stats = pool.runtime_stats()
+        pool.close()
+        return (serial_steady, serial_total, parallel_steady,
+                parallel_total, outputs, pool_t, pool_out, pool_stats,
+                effective)
+
+    (serial_steady, serial_total, parallel_steady, parallel_total,
+     outputs, pool_t, pool_out, pool_stats, effective) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    clamped = effective < 2
+    baseline = outputs[0][0]
+    for serial_out, parallel_out in outputs:
+        assert serial_out == baseline
+        assert parallel_out == baseline  # byte-identical merge
+    assert pool_out == baseline          # the real pool too
+    # The pool genuinely persisted: batches 2 and 3 reused it warm.
+    assert pool_stats["pool_reuse_count"] >= 2
+    assert pool_stats["shm_bytes"] > 0
+    assert pool_stats["worker_respawns"] == 0
+
+    pool_cold_s, pool_steady_s = pool_t[0], min(pool_t[1], pool_t[2])
+    n_total = 3 * N_DOCS
+    reps = len(serial_total)
+    speedup = min(serial_steady) / min(parallel_steady)
+    total_speedup = min(serial_total) / min(parallel_total)
+    spinup_dps = N_DOCS / pool_cold_s
+    steady_dps = N_DOCS / pool_steady_s
     rows = [
-        [f"workers={w}", f"{len(docs) / timings[w]:.2f}",
-         f"x{timings[1] / timings[w]:.1f}"]
-        for w in (1, 2)
+        ["serial (workers=1)", f"{N_DOCS / min(serial_steady):.2f}", "-"],
+        [f"workers=2 ({'clamped' if clamped else 'pool'})",
+         f"{N_DOCS / min(parallel_steady):.2f}", f"x{speedup:.1f}"],
+        ["pool spin-up (cold batch)", f"{spinup_dps:.2f}", "-"],
+        ["pool steady (warm batch)", f"{steady_dps:.2f}",
+         f"x{pool_cold_s / pool_steady_s:.1f} vs cold"],
     ]
     print_table(
-        f"Runtime: parallel batch over {len(docs)} distinct docs",
-        ["executor", "docs/s", "speedup"],
+        f"Runtime: parallel batch, 3x{N_DOCS} disjoint docs, "
+        f"best of {reps} reps",
+        ["executor", "steady docs/s", "speedup"],
         rows,
     )
     _RESULTS["parallel_batch"] = {
-        "n_documents": len(docs),
-        "serial_docs_per_s": round(len(docs) / timings[1], 3),
-        "parallel_docs_per_s": round(len(docs) / timings[2], 3),
+        "n_documents": n_total,
+        "gate_reps": reps,
+        "workers_requested": 2,
+        "workers_effective": effective,
+        "workers_clamped": clamped,
+        "serial_docs_per_s": round(N_DOCS / min(serial_steady), 3),
+        "parallel_docs_per_s": round(N_DOCS / min(parallel_steady), 3),
         "speedup": round(speedup, 2),
+        "total_speedup": round(total_speedup, 2),
+        "pool_oversubscribed_probe": clamped,
+        "spinup_docs_per_s": round(spinup_dps, 3),
+        "steady_docs_per_s": round(steady_dps, 3),
+        "pool_reuse_count": pool_stats["pool_reuse_count"],
+        "shm_bytes": pool_stats["shm_bytes"],
     }
-    # A single-core host serializes the pool; only assert where the
-    # hardware can deliver a win.  Smoke workloads are small enough
-    # that pool start-up noise dominates, so they only guard against a
-    # real regression (parallel must stay within 0.9x of serial).
-    if (os.cpu_count() or 1) >= 2:
-        floor = 0.9 if SMOKE else 1.05
-        assert speedup >= floor, f"2 workers only x{speedup:.2f}"
+    # Steady state (warm pool, best of two probes) must strictly beat
+    # the cold batch that paid for pool spawn + shm publish.
+    assert pool_steady_s < pool_cold_s, (
+        f"warm pool ({steady_dps:.2f} docs/s) no faster than "
+        f"spin-up ({spinup_dps:.2f} docs/s)"
+    )
+    # Multi-core hosts must show a genuine pool win; on a 1-CPU host
+    # the anti-oversubscription clamp routes workers=2 through the
+    # serial path, so parallel must track serial to within measurement
+    # noise — the documented 0.98x floor.
+    assert speedup >= gate_floor, (
+        f"workers=2 only x{speedup:.2f} (floor {gate_floor})"
+    )
 
 
 def test_prune_memo_speedup(benchmark, network, corpus):

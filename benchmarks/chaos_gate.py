@@ -13,6 +13,11 @@ worker) — and gates on the hard exactness contract:
 * the retried and degraded paths actually fired (otherwise the gate
   would pass vacuously).
 
+The faulted batch then runs a **second time on the same executor** —
+the persistent pool stays warm between batches — and the gate asserts
+byte-identity again plus ``pool_reuse_count >= 1``, so chaos coverage
+extends to the warm-pool steady state, not just spin-up.
+
 Exit code 0 on success, 1 with a divergence report otherwise.
 """
 
@@ -54,6 +59,7 @@ def main() -> int:
         workers=2,
         backoff_base=0.0,
         metrics=metrics,
+        oversubscribe=True,  # the gate must exercise the real pool
         injector=FaultInjector(CHAOS_SEED, [
             FaultSpec.flaky(match=flaky_name, fail_attempts=1),
             FaultSpec.raising(match=permanent_name, transient=False),
@@ -61,6 +67,12 @@ def main() -> int:
         ]),
     )
     records = executor.run(batch)
+    # Round 2, same executor: the chaos schedule replays identically on
+    # the warm persistent pool (the injector is stateless, so the same
+    # faults fire), covering the steady state the server actually runs.
+    warm_records = executor.run(batch)
+    runtime_stats = executor.runtime_stats()
+    executor.close()
 
     problems: list[str] = []
     if [r.name for r in records] != names:
@@ -83,6 +95,25 @@ def main() -> int:
                 f"{record.name}: DIVERGED from the fault-free run"
             )
 
+    # Warm round: the same schedule on the same (now warm) pool.  The
+    # injector fires before the doc cache, so the permanent casualty
+    # must fail again, and every survivor must still match baseline.
+    for record in warm_records:
+        if record.name == permanent_name:
+            if record.ok:
+                problems.append(
+                    f"{record.name}: permanent fault missed the warm pool"
+                )
+            continue
+        if not record.ok:
+            problems.append(
+                f"{record.name}: unexpected warm-pool failure {record.error}"
+            )
+        elif record.to_json_line() != baseline[record.name]:
+            problems.append(f"{record.name}: DIVERGED on the warm pool")
+    if runtime_stats.get("pool_reuse_count", 0) < 1:
+        problems.append("second batch did not reuse the warm pool")
+
     counters = metrics.report()["counters"]
     if not counters.get("outcome_retried"):
         problems.append("flaky-then-recover path never fired")
@@ -99,7 +130,8 @@ def main() -> int:
         f"chaos gate passed (seed {CHAOS_SEED}): {survivors}/{len(batch)} "
         f"survivors bit-identical, {int(counters['retries'])} retries, "
         f"{int(counters['degrade_packed_decode'])} worker degradations, "
-        f"1 structured casualty"
+        f"1 structured casualty; warm-pool replay "
+        f"(reuse={runtime_stats['pool_reuse_count']}) bit-identical too"
     )
     return 0
 

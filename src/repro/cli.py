@@ -62,6 +62,21 @@ _APPROACHES = {
 }
 
 
+def _workers_arg(value: str) -> int:
+    """Argparse type for ``--workers``: an integer or ``auto``.
+
+    Range validation (``>= 1``) stays with the consumer so ``--workers
+    0`` keeps its historical "workers must be >= 1" error instead of an
+    argparse usage message.
+    """
+    from .runtime.pool import parse_workers
+
+    try:
+        return parse_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -96,8 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("patterns", nargs="+", metavar="GLOB",
                        help="file paths or glob patterns of XML documents")
-    batch.add_argument("--workers", type=int, default=1,
-                       help="worker processes (1 = serial, default)")
+    batch.add_argument("--workers", type=_workers_arg, default=1,
+                       metavar="N|auto",
+                       help="worker processes (1 = serial, default; "
+                            "'auto' = one per CPU usable by this "
+                            "process, affinity-aware)")
     batch.add_argument("--chunk-size", type=int, default=None,
                        help="documents per worker task (default: auto)")
     batch.add_argument("--out", default=None,
@@ -176,6 +194,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--network", default=None, metavar="PATH",
                        help="serve a repro-semnet JSON network instead "
                             "of the bundled lexicon")
+    serve.add_argument("--workers", type=_workers_arg, default=1,
+                       metavar="N|auto",
+                       help="worker processes per session's batch "
+                            "executor (1 = serial, default; 'auto' = "
+                            "one per usable CPU); pools persist "
+                            "across requests")
     serve.add_argument("--max-concurrency", type=int, default=8,
                        help="disambiguation requests admitted at once; "
                             "excess requests get 503 + Retry-After "
@@ -407,6 +431,10 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         # abort.
         aborted = exc
         records = exc.records
+    finally:
+        # One batch per CLI process: drain the persistent pool and
+        # unlink the shared index segment before writing results.
+        executor.close()
     if profiler is not None:
         profiler.disable()
     if args.metrics_json:
@@ -525,6 +553,7 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                 args.cache_size if args.cache_size is not None
                 else DEFAULT_CACHE_SIZE
             ),
+            workers=args.workers,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))

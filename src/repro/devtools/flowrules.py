@@ -532,6 +532,7 @@ _ACQUIRERS = frozenset({
     "open", "mmap", "socket", "socketpair", "create_connection",
     "Pool", "ProcessPoolExecutor", "ThreadPoolExecutor",
     "TemporaryFile", "NamedTemporaryFile", "SpooledTemporaryFile",
+    "SharedMemory",
 })
 
 #: Method names that release (or begin releasing) a resource.

@@ -18,8 +18,14 @@ scale cheap and observable without changing a single score:
   (frozen config + network fingerprints, target, ordered members), so
   repeated situations replay bit-identically across documents;
 * :mod:`~repro.runtime.executor` — :class:`BatchExecutor`, a
-  multiprocessing fan-out with serial fallback and deterministic,
-  input-ordered results;
+  pipelined multiprocessing fan-out with serial fallback and
+  deterministic, input-ordered results;
+* :mod:`~repro.runtime.pool` — :class:`PersistentPool` and
+  :class:`SharedIndexSegment`: the long-lived worker runtime (spawn
+  once, serve many batches) and the reference-counted shared-memory
+  segment workers attach the packed index from zero-copy, plus the
+  ``--workers auto`` helpers :func:`auto_workers` /
+  :func:`parse_workers`;
 * :mod:`~repro.runtime.metrics` — :class:`MetricsRegistry`, per-stage
   latency timers, counters, and structured events with JSON report
   export, zero-overhead when off;
@@ -56,6 +62,13 @@ from .pack import (
     PackedIndexError,
     PackedIndexTruncatedError,
 )
+from .pool import (
+    PersistentPool,
+    SharedIndexHandle,
+    SharedIndexSegment,
+    auto_workers,
+    parse_workers,
+)
 from .resilience import (
     BatchAbortError,
     CircuitBreaker,
@@ -80,11 +93,16 @@ __all__ = [
     "PackedIndexCRCError",
     "PackedIndexError",
     "PackedIndexTruncatedError",
+    "PersistentPool",
     "RetryPolicy",
     "SemanticIndex",
+    "SharedIndexHandle",
+    "SharedIndexSegment",
     "SphereMemo",
     "StageTimer",
+    "auto_workers",
     "batch_summary",
     "config_fingerprint",
+    "parse_workers",
     "sphere_signature",
 ]

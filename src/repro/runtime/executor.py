@@ -13,14 +13,19 @@ order**, and because the indexed/cached similarity paths are
 bit-identical to the uncached ones, parallel output is byte-identical
 to serial output for the same input (the test suite pins this).
 
-Workers are initialized once per process with the pickled network +
-config (documents are the only per-task payload), so pool startup cost
-is paid per worker, not per document.  The semantic index itself is
-built **once in the parent** and shipped to workers as a
-:class:`repro.runtime.pack.PackedIndex` — whose pickled form is the
-compact binary codec, a fraction of the network pickle — so worker
-initialization decodes a buffer instead of re-walking the taxonomy and
-re-stemming every gloss.
+The parallel path is a **persistent runtime**
+(:mod:`repro.runtime.pool`): workers are spawned once per executor and
+reused across batches, keeping their session state (attached index,
+warm sphere memo, document cache) between batches, so spin-up cost is
+paid once, not per batch.  The semantic index is built **once in the
+parent**, published once into a ``multiprocessing.shared_memory``
+segment, and attached **zero-copy** in every worker — only document
+payloads cross the pool boundary.  Within a batch, chunks flow through
+a bounded-queue pipeline that overlaps submission with result
+collection instead of running submit-all/collect-all barriers.
+``close()`` (or the GC finalizer) terminates workers and unlinks the
+segment; platforms without shared memory fall back to shipping the
+compact codec buffer through the pool initializer.
 
 Failure is a first-class outcome, not an exception.  Every document
 comes back with a structured :class:`~repro.runtime.resilience
@@ -40,6 +45,8 @@ from __future__ import annotations
 import hashlib
 import json
 import time
+import weakref
+from collections import deque
 from dataclasses import dataclass
 from typing import IO, Iterable, Sequence
 
@@ -52,8 +59,19 @@ from .faults import FaultInjector, InjectedFault
 from .index import SemanticIndex
 from .metrics import MetricsRegistry
 from .pack import PackedIndex, PackedIndexError
+from .pool import (
+    PersistentPool,
+    SharedIndexHandle,
+    SharedIndexSegment,
+    auto_workers,
+)
 from .resilience import (
     ON_ERROR_POLICIES,
+    STAGE_INDEX,
+    STAGE_INJECT,
+    STAGE_PARSE,
+    STAGE_PIPELINE,
+    STAGE_TIMEOUT,
     STATUS_DEGRADED,
     STATUS_FAILED,
     STATUS_OK,
@@ -137,31 +155,47 @@ class BatchRecord:
 _WORKER_XSDF: XSDF | None = None
 _WORKER_DOC_CACHE: LRUCache | None = None
 _WORKER_INJECTOR: FaultInjector | None = None
+_WORKER_GENERATION: int = 0
 
 
 def _init_worker(
     network: SemanticNetwork,
     config: XSDFConfig,
-    index: "PackedIndex | SemanticIndex | bytes | None",
+    index: "SharedIndexHandle | PackedIndex | SemanticIndex | bytes | None",
     cache_size: int | None,
     injector: FaultInjector | None = None,
+    generation: int = 0,
 ) -> None:
     """Install this worker process's XSDF + caches (pool initializer).
 
-    ``index`` arrives pre-built from the parent — for a
-    :class:`PackedIndex` the pickle payload is its compact codec
-    buffer, so initialization is a decode, not an index rebuild.  It
-    may also arrive as raw codec ``bytes`` (the chaos path): a payload
-    that fails to decode degrades this worker to a locally built
-    :class:`SemanticIndex` — one rung down the ladder — instead of
-    killing the pool, and the degradation is surfaced through the
-    worker's stats snapshot.
+    ``index`` arrives pre-built from the parent.  The fast path is a
+    :class:`~repro.runtime.pool.SharedIndexHandle`: the parent
+    published the packed tables into shared memory once, and this
+    worker attaches **zero-copy** by name — no payload pickling, no
+    decode, the CSR tables are memoryview casts over the segment.  A
+    :class:`PackedIndex` pickles as its compact codec buffer (the
+    no-shared-memory fallback), and raw codec ``bytes`` are the chaos
+    path.  Any payload that fails to attach or decode degrades this
+    worker to a locally built :class:`SemanticIndex` — one rung down
+    the ladder — instead of killing the pool, and the degradation is
+    surfaced through the worker's stats snapshot.
+
+    ``generation`` is the persistent pool's spawn counter: snapshots
+    are tagged with it so the parent's stats merge stays monotone
+    across respawns (a recycled pid in a new generation is a new
+    worker, not a counter reset).
     """
     # Per-process worker state is the one sanctioned module-global
     # mutation: it is written once per process, before any task runs.
-    global _WORKER_XSDF, _WORKER_DOC_CACHE, _WORKER_INJECTOR  # lint: disable=cache-purity
+    global _WORKER_XSDF, _WORKER_DOC_CACHE, _WORKER_INJECTOR, _WORKER_GENERATION  # lint: disable=cache-purity
     decode_degraded = False
-    if isinstance(index, (bytes, bytearray)):
+    if isinstance(index, SharedIndexHandle):
+        try:
+            index = PackedIndex.from_shared(index.name)
+        except (PackedIndexError, OSError, ValueError):  # lint: disable=silent-degrade  # surfaced via degrade_stats snapshot below
+            index = SemanticIndex(network)
+            decode_degraded = True
+    elif isinstance(index, (bytes, bytearray)):
         try:
             index = PackedIndex.from_bytes(bytes(index))
         except PackedIndexError:  # lint: disable=silent-degrade  # surfaced via degrade_stats snapshot below
@@ -174,6 +208,7 @@ def _init_worker(
         LRUCache(maxsize=DOC_CACHE_SIZE) if index is not None else None
     )
     _WORKER_INJECTOR = injector
+    _WORKER_GENERATION = generation
 
 
 def _run_chunk(
@@ -197,12 +232,15 @@ def _stats_snapshot(xsdf: XSDF) -> dict:
 
     Counters are monotone over a worker's lifetime, so the parent can
     recover per-worker totals by taking the elementwise max of the
-    snapshots each pid produced, then summing across pids.
+    snapshots each ``(generation, pid)`` produced, then summing the
+    *deltas* since its merge watermarks across workers — workers
+    persist across batches, so plain per-batch sums would double-count.
     """
     import os
 
     stats = {
         "pid": os.getpid(),
+        "gen": _WORKER_GENERATION,
         "candidates_evaluated": xsdf.prune_stats["candidates_evaluated"],
         "candidates_pruned": xsdf.prune_stats["candidates_pruned"],
     }
@@ -238,12 +276,12 @@ def _build_xsdf(
 def _classify_stage(exc: BaseException) -> str:
     """Map an exception to the pipeline stage it indicts."""
     if isinstance(exc, InjectedFault):
-        return "inject"
+        return STAGE_INJECT
     if isinstance(exc, XMLError):
-        return "parse"
+        return STAGE_PARSE
     if isinstance(exc, PackedIndexError):
-        return "index"
-    return "pipeline"
+        return STAGE_INDEX
+    return STAGE_PIPELINE
 
 
 def _disambiguate_one(
@@ -284,7 +322,7 @@ def _disambiguate_one(
             cacheable = False
             if error is not None:
                 error_type = error.split(":", 1)[0]
-                stage = "pipeline"
+                stage = STAGE_PIPELINE
         else:
             result = xsdf.disambiguate_document(xml).to_dict()
     except (KeyboardInterrupt, SystemExit):
@@ -292,7 +330,7 @@ def _disambiguate_one(
     except InjectedFault as exc:  # lint: disable=silent-degrade  # surfaced as a DocOutcome by the caller
         error = f"{type(exc).__name__}: {exc}"
         error_type = type(exc).__name__
-        stage = "inject"
+        stage = STAGE_INJECT
         transient = exc.transient
         cacheable = False  # name-keyed fault, text-keyed cache
         key = None
@@ -331,13 +369,21 @@ def _disambiguate_one(
     )
 
 
-def _shutdown_pool(pool, terminate: bool = False) -> None:
-    """Close (or hard-terminate) a pool and reap its workers."""
-    if terminate and hasattr(pool, "terminate"):
-        pool.terminate()
-    else:
-        pool.close()
-    pool.join()
+def _release_parallel_state(
+    pool: PersistentPool | None, segment: SharedIndexSegment | None
+) -> None:
+    """Tear down an executor's persistent pool + shared segment.
+
+    Registered as a ``weakref.finalize`` callback (so a dropped
+    executor cannot leak workers or a ``/dev/shm`` entry even without
+    an explicit ``close()``) and invoked directly by
+    :meth:`BatchExecutor.close`.  Module-level on purpose: a finalizer
+    must not hold a reference back to the executor it guards.
+    """
+    if pool is not None:
+        pool.close(terminate=True)
+    if segment is not None:
+        segment.release()
 
 
 class BatchExecutor:
@@ -350,7 +396,13 @@ class BatchExecutor:
     config:
         Pipeline parameters (defaults follow the paper).
     workers:
-        Process count; ``<= 1`` runs serially in-process.  Pool
+        Process count; ``<= 1`` runs serially in-process.  Counts
+        above the host's *usable* CPUs (``auto_workers()``: affinity
+        mask aware) are clamped unless ``oversubscribe=True`` — on a
+        1-CPU host ``workers=2`` would pay fork + IPC + context
+        switching for zero parallelism, so the executor serves such
+        batches serially instead (output is identical; a
+        ``workers_clamped`` event records the decision).  Pool
         creation failures (platforms without working
         ``multiprocessing``) and mid-batch pool-machinery failures
         (worker crashes, pickling errors) are counted by the circuit
@@ -422,6 +474,11 @@ class BatchExecutor:
         executors — per-configuration caches stay private while the
         heavyweight taxonomy tables are never rebuilt.  Ignored when
         ``use_index`` is False.
+    oversubscribe:
+        Run the requested ``workers`` even beyond the usable-CPU count
+        (default False).  The pool-lifecycle tests, the chaos gate,
+        and the bench's honesty measurements use this to exercise the
+        real pool machinery on single-CPU hosts.
     """
 
     def __init__(
@@ -441,6 +498,7 @@ class BatchExecutor:
         on_error: str = "skip",
         injector: FaultInjector | None = None,
         index: "PackedIndex | SemanticIndex | None" = None,
+        oversubscribe: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -457,6 +515,7 @@ class BatchExecutor:
         self.network = network
         self.config = config or XSDFConfig()
         self.workers = workers
+        self.oversubscribe = oversubscribe
         self.chunk_size = chunk_size
         self.use_index = use_index
         self.packed = packed
@@ -476,6 +535,12 @@ class BatchExecutor:
         self._doc_cache: LRUCache | None = (
             LRUCache(maxsize=DOC_CACHE_SIZE) if use_index else None
         )
+        # Persistent parallel runtime: pool + shared segment are built
+        # once on the first parallel batch and reused until close().
+        self._pool: PersistentPool | None = None
+        self._segment: SharedIndexSegment | None = None
+        self._finalizer: "weakref.finalize | None" = None
+        self._stat_marks: dict[tuple[int, int], dict[str, float]] = {}
 
     def _ensure_index(self) -> "PackedIndex | SemanticIndex | None":
         """The shared per-executor index, built lazily exactly once."""
@@ -508,6 +573,67 @@ class BatchExecutor:
         """
         self._serial()
 
+    def close(self) -> None:
+        """Release the persistent pool and shared-memory segment.
+
+        Terminates workers and unlinks the published ``/dev/shm``
+        segment.  Idempotent, and the executor stays usable: the
+        serial path is untouched, and a later parallel batch simply
+        republishes and respawns a fresh runtime.  Executors also
+        carry a GC finalizer doing the same teardown, so a dropped
+        executor cannot leak — ``close()`` just makes it deterministic
+        (the server calls it on session eviction and drain).
+        """
+        finalizer = self._finalizer
+        if finalizer is not None:
+            finalizer()  # runs _release_parallel_state exactly once
+            self._finalizer = None
+        self._pool = None
+        self._segment = None
+
+    def __enter__(self) -> "BatchExecutor":
+        """Context-manager entry (returns self)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: deterministic :meth:`close`."""
+        self.close()
+
+    @property
+    def effective_workers(self) -> int:
+        """The parallelism actually used for a batch.
+
+        The requested ``workers`` clamped to the host's usable-CPU
+        count (:func:`~repro.runtime.pool.auto_workers`, affinity-mask
+        aware) — oversubscribing processes onto fewer CPUs costs
+        fork/IPC/context-switch overhead and can win nothing.  With
+        ``oversubscribe=True`` the request is honored verbatim.
+        """
+        if self.oversubscribe:
+            return self.workers
+        return min(self.workers, auto_workers())
+
+    def runtime_stats(self) -> dict[str, int]:
+        """Persistent-runtime counters (pool reuse, spawns, shm size).
+
+        The bench honesty fields: ``pool_reuse_count`` proves warm
+        batches really reused the pool, ``shm_bytes`` is the published
+        shared-index payload size (0 when the byte-shipping fallback
+        ran), ``generation``/``worker_respawns`` count spawns.
+        """
+        stats = (
+            self._pool.stats() if self._pool is not None
+            else {
+                "workers": self.effective_workers,
+                "generation": 0,
+                "pool_reuse_count": 0,
+                "worker_respawns": 0,
+                "alive": 0,
+            }
+        )
+        stats["shm_bytes"] = self._segment.size if self._segment else 0
+        return stats
+
     # -- public API ----------------------------------------------------------
 
     def run(
@@ -529,7 +655,14 @@ class BatchExecutor:
             m.count("batches")
             m.count("batch_documents", len(docs))
         start = time.perf_counter()
-        if self.workers <= 1 or len(docs) <= 1:
+        effective = self.effective_workers
+        if m is not None and effective < self.workers:
+            m.event(
+                "workers_clamped",
+                requested=self.workers,
+                effective=effective,
+            )
+        if effective <= 1 or len(docs) <= 1:
             records = self._run_serial(docs)
         else:
             records = self._run_parallel(docs)
@@ -686,7 +819,7 @@ class BatchExecutor:
         count-only formula would serialize most of the batch into a
         single task and lose both balance and failure granularity.
         """
-        count_chunk = max(1, -(-len(docs) // (4 * self.workers)))
+        count_chunk = max(1, -(-len(docs) // (4 * self.effective_workers)))
         if count_chunk == 1:
             return 1
         mean_doc_bytes = max(
@@ -695,46 +828,76 @@ class BatchExecutor:
         byte_cap = max(1, TARGET_CHUNK_BYTES // mean_doc_bytes)
         return min(count_chunk, byte_cap)
 
-    def _ship_index(self) -> "PackedIndex | SemanticIndex | bytes | None":
-        """The index payload shipped to workers (chaos may corrupt it)."""
+    def _ship_index(self) -> (
+        "SharedIndexHandle | PackedIndex | SemanticIndex | bytes | None"
+    ):
+        """The index payload shipped to workers (chaos may corrupt it).
+
+        A :class:`PackedIndex` is published **once** into a
+        shared-memory segment (owned by this executor until
+        :meth:`close`); what crosses the pool boundary is a tiny
+        :class:`SharedIndexHandle` and workers attach zero-copy.
+        Platforms without working shared memory fall back to shipping
+        the index itself (its pickle is the compact codec buffer).  A
+        ``corrupt-packed`` chaos schedule corrupts whichever payload
+        ships, so attach/decode fails with a typed error and workers
+        degrade one ladder rung — same semantics on both paths.
+        """
         index = self._ensure_index()
         injector = self.injector
-        if (
+        corrupting = (
             injector is not None
             and injector.corrupts_packed
             and isinstance(index, PackedIndex)
-        ):
-            return injector.corrupt_bytes(index.to_bytes())
-        return index
+        )
+        if not isinstance(index, PackedIndex):
+            return index
+        payload = index.to_shared_payload()
+        if corrupting:
+            payload = injector.corrupt_bytes(payload)
+        segment = SharedIndexSegment.publish(payload, metrics=self.metrics)
+        if segment is None:
+            if corrupting:
+                return injector.corrupt_bytes(index.to_bytes())
+            return index
+        self._segment = segment
+        if self.metrics is not None:
+            self.metrics.gauge("shm_bytes", segment.size)
+        return segment.handle
 
-    def _make_pool(self, ship):
-        """A fresh worker pool, or None when the platform refuses one."""
-        try:
-            import multiprocessing
+    def _runtime(self) -> PersistentPool:
+        """This executor's persistent pool runtime, created once.
 
-            return multiprocessing.Pool(
-                processes=self.workers,
+        The shared segment is published and the pool object built on
+        the first parallel batch; both live until :meth:`close` (or the
+        GC finalizer registered here).  Workers themselves are spawned
+        lazily by ``PersistentPool.ensure`` and survive across batches
+        with their session state (attached index, warm sphere memo,
+        document cache) intact.
+        """
+        if self._pool is None:
+            ship = self._ship_index()
+            self._pool = PersistentPool(
+                processes=self.effective_workers,
                 initializer=_init_worker,
                 initargs=(
                     self.network, self.config, ship, self.cache_size,
                     self.injector,
                 ),
+                metrics=self.metrics,
             )
-        except (ImportError, OSError, ValueError) as exc:
-            # No usable multiprocessing on this platform — the breaker
-            # counts it and eventually drains the batch serially.
-            if self.metrics is not None:
-                m = self.metrics
-                m.event("pool_fault", kind="create", error=str(exc))
-            return None
+            self._finalizer = weakref.finalize(
+                self, _release_parallel_state, self._pool, self._segment
+            )
+        return self._pool
 
     def _run_parallel(self, docs: Sequence[BatchDocument]) -> list[BatchRecord]:
-        ship = self._ship_index()
         m = self.metrics
         breaker = CircuitBreaker(self.breaker_threshold)
         results: list[BatchRecord | None] = [None] * len(docs)
         pending: list[tuple[int, int]] = [(i, 1) for i in range(len(docs))]
-        pool = None
+        runtime = self._runtime()
+        runtime.note_batch()
         try:
             while pending:
                 if breaker.tripped:
@@ -744,17 +907,15 @@ class BatchExecutor:
                     self._drain_serial(docs, pending, results)
                     pending = []
                     break
+                pool = runtime.ensure()
                 if pool is None:
-                    pool = self._make_pool(ship)
-                    if pool is None:
-                        breaker.record_failure()
-                        continue
+                    breaker.record_failure()
+                    continue
                 pending, pool_ok = self._collect_wave(
                     pool, docs, pending, results, breaker
                 )
                 if not pool_ok:
-                    _shutdown_pool(pool, terminate=True)
-                    pool = None
+                    runtime.restart()
                 if pending:
                     # Back off before the retry wave (retries only reach
                     # here with attempt >= 2; pool-failure requeues keep
@@ -764,22 +925,31 @@ class BatchExecutor:
                     )
                     if delay > 0:
                         time.sleep(delay)
-        except BaseException:  # lint: disable=broad-except  # teardown boundary: terminates the pool then re-raises
+        except BaseException:  # lint: disable=broad-except  # teardown boundary: parks the pool then re-raises
             # Satellite contract: KeyboardInterrupt/SystemExit (and the
-            # on_error="fail" abort) must tear the pool down hard, not
-            # hang in close/join behind a straggling worker.
-            if pool is not None:
-                _shutdown_pool(pool, terminate=True)
-                pool = None
+            # on_error="fail" abort) must not leave workers stuck on
+            # in-flight tasks.  The inner pool is hard-terminated; the
+            # runtime (and its published segment) stays, so the next
+            # batch respawns workers against the same shared index.
+            runtime.restart()
             raise
-        finally:
-            if pool is not None:
-                _shutdown_pool(pool)
         records = [r for r in results if r is not None]
         assert len(records) == len(docs), "lost a batch document"
         if m is not None:
             self._merge_worker_stats(records)
         return records
+
+    def _pipeline_depth(self) -> int:
+        """Chunks kept in flight by the bounded-queue pipeline.
+
+        Two per worker keeps every worker busy while the parent
+        disposes the head chunk (submit overlaps collection); the
+        floor of 4 keeps small pools pipelined too.  Bounding the
+        queue (instead of submitting the whole wave up front) caps
+        parent-side memory and lets a straggler or machinery fault
+        surface before the tail is serialized.
+        """
+        return max(4, 2 * self.effective_workers)
 
     def _collect_wave(
         self,
@@ -789,11 +959,19 @@ class BatchExecutor:
         results: "list[BatchRecord | None]",
         breaker: CircuitBreaker,
     ) -> tuple[list[tuple[int, int]], bool]:
-        """Dispatch one wave of ``(doc index, attempt)`` entries.
+        """Pipeline one wave of ``(doc index, attempt)`` entries.
 
-        Returns ``(requeue, pool_ok)``: the entries needing another
-        wave, and whether the pool survived (a timeout or machinery
-        failure poisons it — the caller terminates and rebuilds).
+        The wave runs as a bounded-queue pipeline: up to
+        :meth:`_pipeline_depth` chunks are in flight, the head chunk is
+        collected (and disposed — finalized or requeued) while later
+        chunks execute and the tail is still being submitted.  Returns
+        ``(requeue, pool_ok)``: the entries needing another wave, and
+        whether the pool survived (a timeout or machinery failure
+        poisons it — the caller terminates and respawns via the
+        persistent runtime).  On any failure the chunks already in
+        flight are salvaged: finished results are kept, unfinished and
+        unsubmitted entries are blamelessly requeued at their current
+        attempt.
         """
         import multiprocessing
 
@@ -804,30 +982,50 @@ class BatchExecutor:
         else:
             chunk = self.chunk_size or self._auto_chunk(wave_docs)
         groups = [wave[j:j + chunk] for j in range(0, len(wave), chunk)]
+        depth = self._pipeline_depth()
         requeue: list[tuple[int, int]] = []
-        try:
-            handles = [
-                pool.apply_async(
-                    _run_chunk,
-                    ([
-                        (docs[i].name, docs[i].xml, att)
-                        for i, att in group
-                    ],),
-                )
-                for group in groups
-            ]
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as exc:  # lint: disable=broad-except  # pool machinery boundary
-            # Submission itself failed (pool torn down, pickling error):
-            # nothing ran, so requeue the whole wave at the same attempt
-            # and let the breaker decide when to stop trusting pools.
-            breaker.record_failure()
-            if m is not None:
-                m.event("pool_fault", kind="submit", error=str(exc))
-            return list(wave), False
-        collected = 0
-        for pos, (group, handle) in enumerate(zip(groups, handles)):
+        inflight: deque[tuple[list[tuple[int, int]], object]] = deque()
+        next_up = 0
+
+        def _salvage_rest() -> list[tuple[int, int]]:
+            """Harvest in-flight chunks, requeue the unsubmitted tail."""
+            extra = self._salvage(
+                [group for group, _ in inflight],
+                [handle for _, handle in inflight],
+                docs, results, requeue, breaker,
+            )
+            for group in groups[next_up:]:
+                extra.extend(group)
+            return extra
+
+        while next_up < len(groups) or inflight:
+            while next_up < len(groups) and len(inflight) < depth:
+                group = groups[next_up]
+                try:
+                    handle = pool.apply_async(
+                        _run_chunk,
+                        ([
+                            (docs[i].name, docs[i].xml, att)
+                            for i, att in group
+                        ],),
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:  # lint: disable=broad-except  # pool machinery boundary
+                    # Submission failed (pool torn down, pickling
+                    # error): this chunk never ran.  Requeue it with
+                    # everything unfinished at the same attempt and let
+                    # the breaker decide when to stop trusting pools.
+                    breaker.record_failure()
+                    if m is not None:
+                        m.event("pool_fault", kind="submit", error=str(exc))
+                    requeue.extend(group)
+                    next_up += 1
+                    requeue.extend(_salvage_rest())
+                    return requeue, False
+                inflight.append((group, handle))
+                next_up += 1
+            group, handle = inflight.popleft()
             timeout = (
                 None if self.doc_timeout is None
                 else self.doc_timeout * len(group)
@@ -848,28 +1046,17 @@ class BatchExecutor:
                 requeue.extend(
                     self._requeue_timed_out(group, docs, results)
                 )
-                requeue.extend(
-                    self._salvage(
-                        groups[pos + 1:], handles[pos + 1:], docs,
-                        results, requeue, breaker,
-                    )
-                )
+                requeue.extend(_salvage_rest())
                 return requeue, False
             except Exception as exc:  # lint: disable=broad-except  # pool machinery boundary
                 breaker.record_failure()
                 if m is not None:
                     m.event("pool_fault", kind="collect", error=str(exc))
                 requeue.extend(group)
-                requeue.extend(
-                    self._salvage(
-                        groups[pos + 1:], handles[pos + 1:], docs,
-                        results, requeue, breaker,
-                    )
-                )
+                requeue.extend(_salvage_rest())
                 return requeue, False
             else:
                 breaker.record_success()
-                collected += 1
                 self._dispose_chunk(group, records, results, requeue)
         return requeue, True
 
@@ -919,7 +1106,7 @@ class BatchExecutor:
         for i, attempt in group:
             if self.retry.allows(attempt):
                 record = self._fail_record(
-                    docs[i], attempt, "timeout",
+                    docs[i], attempt, STAGE_TIMEOUT,
                     f"TimeoutError: exceeded doc_timeout="
                     f"{self.doc_timeout}s",
                 )
@@ -929,7 +1116,7 @@ class BatchExecutor:
             else:
                 record = self._finalize(
                     self._fail_record(
-                        docs[i], attempt, "timeout",
+                        docs[i], attempt, STAGE_TIMEOUT,
                         f"TimeoutError: exceeded doc_timeout="
                         f"{self.doc_timeout}s after {attempt} attempts",
                     ),
@@ -982,21 +1169,30 @@ class BatchExecutor:
 
         Each record carries its worker's *cumulative* counters at
         production time; the per-worker total is the elementwise max of
-        that pid's snapshots, and the batch total the sum across pids.
+        that worker's snapshots.  Workers are keyed by ``(generation,
+        pid)`` and persist across batches on the warm pool, so what
+        lands in the registry is the **delta** above the executor's
+        per-worker watermarks from earlier batches — a plain per-batch
+        sum of cumulative counters would double-count every reuse.
         """
-        per_pid: dict[int, dict[str, float]] = {}
+        per_worker: dict[tuple[int, int], dict[str, float]] = {}
         for record in records:
             stats = record.worker_stats
             if not stats:
                 continue
-            bucket = per_pid.setdefault(stats["pid"], {})
-            for key, value in stats.items():
-                if key != "pid" and value > bucket.get(key, 0):
-                    bucket[key] = value
+            key = (stats.get("gen", 0), stats["pid"])
+            bucket = per_worker.setdefault(key, {})
+            for name, value in stats.items():
+                if name not in ("pid", "gen") and value > bucket.get(name, 0):
+                    bucket[name] = value
         totals: dict[str, float] = {}
-        for bucket in per_pid.values():
-            for key, value in bucket.items():
-                totals[key] = totals.get(key, 0) + value
-        for key, value in totals.items():
+        for key, bucket in per_worker.items():
+            marks = self._stat_marks.setdefault(key, {})
+            for name, value in bucket.items():
+                delta = value - marks.get(name, 0)
+                if delta > 0:
+                    totals[name] = totals.get(name, 0) + delta
+                    marks[name] = value
+        for name, value in totals.items():
             if value:
-                self.metrics.count(key, value)
+                self.metrics.count(name, value)

@@ -18,9 +18,16 @@ Fault kinds:
 * ``slow`` — sleep ``delay_s`` before the document runs, to trip the
   executor's per-document wall-clock timeout.
 * ``corrupt-packed`` — deterministically flip a byte in the packed
-  ``RXPK`` payload shipped to workers, so decode fails with a typed
+  payload shipped to workers (``RXPK`` bytes or the shared ``RXPS``
+  segment), so decode fails with a typed
   :class:`~repro.runtime.pack.PackedIndexError` and the worker degrades
   one rung down the ladder.
+* ``exit`` — kill the worker process mid-document with ``os._exit``
+  (the SIGKILL-shaped crash no ``except`` can catch), to exercise the
+  persistent pool's respawn-and-requeue path.  In the parent process
+  (serial drain, in-process test doubles) it raises a transient
+  :class:`InjectedFault` instead — crashing the caller would take the
+  test harness down with it.
 
 The module also ships two tiny test doubles (:class:`FaultyKernel`,
 :class:`BrokenMemo`) used by the ladder unit tests to fault a packed
@@ -32,11 +39,12 @@ from __future__ import annotations
 import dataclasses
 import fnmatch
 import hashlib
+import os
 import time
 from typing import Any
 
 #: Valid ``FaultSpec.kind`` values.
-FAULT_KINDS = ("raise", "slow", "corrupt-packed")
+FAULT_KINDS = ("raise", "slow", "corrupt-packed", "exit")
 
 
 class InjectedFault(RuntimeError):
@@ -130,6 +138,21 @@ class FaultSpec:
         """Flip a byte in the packed index payload shipped to workers."""
         return cls(kind="corrupt-packed", rate=rate)
 
+    @classmethod
+    def exiting(
+        cls,
+        match: str = "*",
+        rate: float = 1.0,
+        max_attempt: int | None = 1,
+    ) -> "FaultSpec":
+        """Hard-kill the worker running matching documents.
+
+        Defaults to ``max_attempt=1`` — crash-then-recover — so the
+        blamelessly requeued document succeeds on its second attempt in
+        the respawned pool instead of assassinating every generation.
+        """
+        return cls(kind="exit", match=match, rate=rate, max_attempt=max_attempt)
+
 
 class FaultInjector:
     """Seeded, stateless fault schedule shared by executor and workers.
@@ -175,6 +198,16 @@ class FaultInjector:
                 raise InjectedFault(
                     f"injected fault for {name!r} (attempt {attempt}, "
                     f"seed {self.seed}, spec {spec_index})",
+                    transient=spec.transient,
+                )
+            if spec.kind == "exit":
+                import multiprocessing
+
+                if multiprocessing.parent_process() is not None:
+                    os._exit(17)  # a real crash: no finally, no atexit
+                raise InjectedFault(
+                    f"injected exit for {name!r} demoted to raise in the "
+                    f"parent process (attempt {attempt}, seed {self.seed})",
                     transient=spec.transient,
                 )
             if spec.kind == "slow" and spec.delay_s > 0:

@@ -38,12 +38,13 @@ re-walking the whole network::
 
 from __future__ import annotations
 
+import os
 import struct
 import sys
 import time
 import zlib
 from array import array
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..semnet.ic import InformationContent
 from ..semnet.network import SemanticNetwork, UnknownConceptError
@@ -51,6 +52,16 @@ from .index import SemanticIndex
 
 _MAGIC = b"RXPK"
 _VERSION = 1
+
+#: Shared-memory layout magic.  Unlike the ``RXPK`` pickle codec the
+#: shared form is **uncompressed and 8-byte aligned** so attached
+#: processes can serve the CSR tables directly as ``memoryview`` casts
+#: over the segment — zero decode, zero copy.
+_SHARED_MAGIC = b"RXPS"
+
+#: Shared header: magic, version, byteorder flag, pad, CRC-32 of the
+#: body, body length.  16 bytes, so the body starts 8-byte aligned.
+_SHARED_HEADER = struct.Struct("<4sHBxII")
 
 #: Sentinel distinguishing "no memo entry" from a memoized ``None``.
 _MISSING = object()
@@ -93,10 +104,18 @@ def _decode_strings(blob: bytes) -> tuple[str, ...]:
     return tuple(blob.decode("utf-8").split("\x00"))
 
 
-def _pack_array(arr: array) -> bytes:
+def _typecode_of(arr: "array | memoryview") -> str:
+    """The element typecode of a flat table (array or memoryview)."""
+    code = getattr(arr, "typecode", None)
+    if code is None:
+        code = arr.format  # a cast memoryview over a shared segment
+    return code
+
+
+def _pack_array(arr: "array | memoryview") -> bytes:
     """Typecode byte + item count + raw buffer for one flat table."""
     return (
-        arr.typecode.encode("ascii")
+        _typecode_of(arr).encode("ascii")
         + struct.pack("<I", len(arr))
         + arr.tobytes()
     )
@@ -125,6 +144,111 @@ def _unpack_array(blob: bytes, swap: bool) -> array:
 def _index_typecode(n: int) -> str:
     """Smallest unsigned array typecode that can hold ids ``< n``."""
     return "H" if n <= 0xFFFF else "I"
+
+
+def _pad8(blob: bytes) -> bytes:
+    """``blob`` zero-padded to a multiple of 8 bytes."""
+    remainder = len(blob) % 8
+    return blob if remainder == 0 else blob + b"\x00" * (8 - remainder)
+
+
+def _shared_array_section(arr: "array | memoryview") -> bytes:
+    """One shared-layout array payload: typecode, pad, count, raw data.
+
+    The 8-byte prologue keeps the raw element data 8-aligned inside an
+    8-aligned section, so ``memoryview.cast`` over the attached segment
+    serves even ``"d"`` tables without copying.
+    """
+    return (
+        _typecode_of(arr).encode("ascii")
+        + b"\x00\x00\x00"
+        + struct.pack("<I", len(arr))
+        + arr.tobytes()
+    )
+
+
+def _shared_array_view(section: memoryview) -> memoryview:
+    """Zero-copy typed view over one shared-layout array payload."""
+    if len(section) < 8:
+        raise PackedIndexTruncatedError("shared array section truncated")
+    typecode = bytes(section[:1]).decode("ascii")
+    (count,) = struct.unpack_from("<I", section, 4)
+    try:
+        itemsize = array(typecode).itemsize
+    except ValueError as exc:
+        raise PackedIndexError(
+            f"shared array section malformed: {exc}"
+        ) from None
+    data = section[8 : 8 + count * itemsize]
+    if len(data) != count * itemsize:
+        raise PackedIndexTruncatedError(
+            f"shared array section declares {count} items, "
+            f"holds {len(data) // max(1, itemsize)}"
+        )
+    return data.cast(typecode)
+
+
+class _SharedAttachment:
+    """Owns one worker-side attachment to a published shared segment.
+
+    Wraps the raw ``mmap`` adopted out of a ``SharedMemory`` object
+    instead of the object itself: ``SharedMemory.__del__`` insists on
+    closing its mmap even while table views still point into it, which
+    raises ``BufferError`` whenever the garbage collector tears the
+    index and its owner down in the wrong order.  A bare ``mmap``'s
+    mapping is reference-counted through the exported views, so
+    teardown in *any* order is safe, and the attachment fd can be
+    closed eagerly (POSIX mappings survive their fd).
+    """
+
+    __slots__ = ("name", "_mmap")
+
+    def __init__(self, name: str, mmap_obj: Any):
+        self.name = name
+        self._mmap = mmap_obj
+
+    @classmethod
+    def adopt(cls, shm: Any) -> Any:
+        """Take ownership of ``shm``'s mapping, neutering its __del__.
+
+        Returns the attachment owner to thread through
+        :meth:`PackedIndex.from_shared_buffer`; falls back to ``shm``
+        itself on Python builds whose ``SharedMemory`` lacks the
+        private ``_mmap``/``_buf``/``_fd`` slots this relies on.
+        """
+        mmap_obj = getattr(shm, "_mmap", None)
+        if mmap_obj is None:
+            return shm
+        buf = getattr(shm, "_buf", None)
+        if buf is not None:
+            buf.release()
+        # Neutering the wrapper is the whole point of adoption: its
+        # __del__ must find nothing left to close.
+        shm._buf = None  # lint: disable=cache-purity
+        shm._mmap = None  # lint: disable=cache-purity
+        fd = getattr(shm, "_fd", -1)
+        if fd >= 0:
+            os.close(fd)
+            shm._fd = -1  # lint: disable=cache-purity
+        return cls(shm.name, mmap_obj)
+
+    @property
+    def buf(self) -> memoryview:
+        """A fresh view over the adopted mapping."""
+        return memoryview(self._mmap)
+
+    def close(self) -> None:
+        """Release the mapping once no table views are exported.
+
+        A still-exported view (a caller kept a table slice alive past
+        ``release_shared``) makes ``mmap.close`` raise ``BufferError``;
+        the mapping is then reclaimed by refcount when the last view
+        dies, so swallowing it leaks nothing.
+        """
+        try:
+            self._mmap.close()
+        except BufferError:  # lint: disable=silent-degrade  # refcount reclaims the mapping when the last view dies
+            pass
 
 
 class PackedIC:
@@ -342,19 +466,26 @@ class PackedIndex:
     def _install_tables(
         self,
         ids: tuple[str, ...],
-        depths: array,
-        anc_off: array,
-        anc_cid: array,
-        anc_dist: array,
+        depths: "array | memoryview",
+        anc_off: "array | memoryview",
+        anc_cid: "array | memoryview",
+        anc_dist: "array | memoryview",
         tokens: tuple[str, ...],
-        gloss_off: array | None,
-        gloss_tok: array | None,
-        ic_values: array | None,
+        gloss_off: "array | memoryview | None",
+        gloss_tok: "array | memoryview | None",
+        ic_values: "array | memoryview | None",
         max_ic: float,
         max_taxonomy_depth: int,
         ic_smoothing: float,
     ) -> None:
-        """Set serialized tables and (re)initialize derived lazy state."""
+        """Set serialized tables and (re)initialize derived lazy state.
+
+        Tables may be ``array`` objects (the codec path) or typed
+        ``memoryview`` casts over an attached shared-memory segment
+        (the zero-copy path) — every kernel consumes them through the
+        common slice/``tolist`` surface.
+        """
+        self._shared_owner: object | None = None
         self._ids = ids
         self._id_of = {cid: i for i, cid in enumerate(ids)}
         self._depths = depths.tolist()
@@ -831,6 +962,263 @@ class PackedIndex:
             ic_smoothing=smoothing,
         )
         self.build_seconds = time.perf_counter() - start
+
+    # -- shared-memory layout -------------------------------------------------
+
+    def to_shared_payload(self) -> bytes:
+        """Serialize every table to the uncompressed shared layout.
+
+        Unlike :meth:`to_bytes` (zlib-compressed, decode-on-attach)
+        this layout is built for :meth:`from_shared_buffer`: sections
+        are 8-byte aligned and raw, so an attached process serves the
+        CSR tables as ``memoryview`` casts straight over the segment.
+        The header carries a CRC-32 of the whole body, verified once at
+        attach time, so a corrupted segment fails with the same typed
+        errors as a corrupted codec buffer.
+        """
+        flags = (1 if self._gloss_off is not None else 0) | (
+            2 if self._ic_values is not None else 0
+        )
+        meta = struct.pack(
+            "<IIBdd",
+            len(self._ids),
+            self.max_taxonomy_depth,
+            flags,
+            self._ic_smoothing,
+            self._max_ic,
+        )
+        empty = array("I")
+        sections = [
+            meta,
+            _encode_strings(self._ids),
+            _shared_array_section(array("I", self._depths)),
+            _shared_array_section(self._anc_off),
+            _shared_array_section(self._anc_cid),
+            _shared_array_section(self._anc_dist),
+            _encode_strings(self._tokens),
+            _shared_array_section(self._gloss_off
+                                  if self._gloss_off is not None else empty),
+            _shared_array_section(self._gloss_tok
+                                  if self._gloss_tok is not None else empty),
+            _shared_array_section(self._ic_values
+                                  if self._ic_values is not None
+                                  else array("d")),
+        ]
+        body = b"".join(
+            _pad8(struct.pack("<II", len(section), 0) + section)
+            for section in sections
+        )
+        header = _SHARED_HEADER.pack(
+            _SHARED_MAGIC,
+            _VERSION,
+            0 if sys.byteorder == "little" else 1,
+            zlib.crc32(body),
+            len(body),
+        )
+        return header + body
+
+    @classmethod
+    def from_shared_buffer(
+        cls, buf: "memoryview | bytes", owner: object | None = None
+    ) -> "PackedIndex":
+        """Attach zero-copy to a :meth:`to_shared_payload` buffer.
+
+        The flat tables become typed ``memoryview`` casts over ``buf``
+        — no table is decoded or copied.  ``owner`` (typically the
+        ``SharedMemory`` object backing ``buf``) is kept referenced for
+        the index's lifetime so the mapping cannot be closed while
+        kernels still read through it; :meth:`release_shared` detaches.
+        Raises the same typed :class:`PackedIndexError` family as
+        :meth:`from_bytes` on truncated or corrupted segments.
+        """
+        packed = cls.__new__(cls)
+        packed._attach_shared(memoryview(buf), owner)
+        return packed
+
+    def _attach_shared(self, mv: memoryview, owner: object | None) -> None:
+        """Populate this instance with views over one shared buffer."""
+        start = time.perf_counter()
+        mv = mv.cast("B")
+        if len(mv) < _SHARED_HEADER.size:
+            raise PackedIndexTruncatedError(
+                "buffer shorter than the shared packed header"
+            )
+        magic, version, byteorder, crc, body_len = _SHARED_HEADER.unpack_from(
+            mv, 0
+        )
+        if magic != _SHARED_MAGIC:
+            raise PackedIndexError(
+                "not a shared packed-index buffer (bad magic)"
+            )
+        if version != _VERSION:
+            raise PackedIndexError(
+                f"unsupported shared packed-index version {version}"
+            )
+        if byteorder != (0 if sys.byteorder == "little" else 1):
+            # Shared memory never crosses hosts, so a byte-order
+            # mismatch is corruption, not a portability case.
+            raise PackedIndexError(
+                "shared packed-index buffer has a foreign byte order"
+            )
+        if _SHARED_HEADER.size + body_len > len(mv):
+            raise PackedIndexTruncatedError(
+                f"buffer truncated: header declares {body_len} body bytes, "
+                f"{len(mv) - _SHARED_HEADER.size} present"
+            )
+        body = mv[_SHARED_HEADER.size : _SHARED_HEADER.size + body_len]
+        if zlib.crc32(body) != crc:
+            raise PackedIndexCRCError(
+                "shared buffer corrupted (checksum mismatch)"
+            )
+        sections: list[memoryview] = []
+        offset = 0
+        while offset < body_len:
+            if offset + 8 > body_len:
+                raise PackedIndexError("section length truncated")
+            (length,) = struct.unpack_from("<I", body, offset)
+            offset += 8
+            if offset + length > body_len:
+                raise PackedIndexError("section payload truncated")
+            sections.append(body[offset : offset + length])
+            offset += (length + 7) & ~7
+        if len(sections) != 10:
+            raise PackedIndexError(
+                f"expected 10 sections, found {len(sections)}"
+            )
+        try:
+            n, max_depth, flags, smoothing, max_ic = struct.unpack(
+                "<IIBdd", sections[0]
+            )
+        except struct.error as exc:
+            raise PackedIndexError(f"meta section malformed: {exc}") from None
+        ids = _decode_strings(bytes(sections[1]))
+        if len(ids) != n:
+            raise PackedIndexError(
+                f"id table declares {n} concepts, holds {len(ids)}"
+            )
+        depths = _shared_array_view(sections[2])
+        anc_off = _shared_array_view(sections[3])
+        anc_cid = _shared_array_view(sections[4])
+        anc_dist = _shared_array_view(sections[5])
+        if len(anc_off) != n + 1 or len(depths) != n:
+            raise PackedIndexError("taxonomy tables inconsistent")
+        if len(anc_cid) != len(anc_dist) or (
+            n and anc_off[-1] != len(anc_cid)
+        ):
+            raise PackedIndexError("ancestor tables inconsistent")
+        tokens = _decode_strings(bytes(sections[6]))
+        gloss_off = gloss_tok = None
+        if flags & 1:
+            gloss_off = _shared_array_view(sections[7])
+            gloss_tok = _shared_array_view(sections[8])
+            if len(gloss_off) != n + 1 or (
+                n and gloss_off[-1] != len(gloss_tok)
+            ):
+                raise PackedIndexError("gloss tables inconsistent")
+        ic_values = None
+        if flags & 2:
+            ic_values = _shared_array_view(sections[9])
+            if len(ic_values) != n:
+                raise PackedIndexError("IC table inconsistent")
+        self._install_tables(
+            ids=ids,
+            depths=depths,
+            anc_off=anc_off,
+            anc_cid=anc_cid,
+            anc_dist=anc_dist,
+            tokens=tokens,
+            gloss_off=gloss_off,
+            gloss_tok=gloss_tok,
+            ic_values=ic_values,
+            max_ic=max_ic,
+            max_taxonomy_depth=max_depth,
+            ic_smoothing=smoothing,
+        )
+        self._shared_owner = owner
+        self.build_seconds = time.perf_counter() - start
+
+    @classmethod
+    def from_shared(cls, name: str) -> "PackedIndex":
+        """Attach to a published shared-memory segment by name.
+
+        This is the worker-side entry point of the zero-copy shipping
+        path: the parent publishes :meth:`to_shared_payload` into a
+        ``multiprocessing.shared_memory`` segment once, and every
+        worker attaches by name instead of decoding a pickled payload.
+        The returned index owns its attachment (the ``SharedMemory``
+        object rides along as the buffer owner); the *segment* stays
+        owned by the publisher.  Raises ``FileNotFoundError`` when no
+        such segment exists and the typed :class:`PackedIndexError`
+        family when its content is corrupt.
+        """
+        import multiprocessing
+        from multiprocessing import resource_tracker, shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        # Attaching registered the segment with a resource tracker as if
+        # we owned it; the publisher owns the unlink.  Whether to
+        # deregister the borrow depends on *whose* tracker that was:
+        # fork children inherit the publisher's tracker process, so the
+        # register was an idempotent re-add of the publisher's own entry
+        # and unregistering here would delete it (the publisher's later
+        # unlink then KeyErrors inside the tracker).  Spawn children run
+        # their own tracker, which really would unlink a segment it does
+        # not own at exit — there the borrow must be deregistered.
+        try:
+            start_method = multiprocessing.get_start_method(allow_none=True)
+        except (ValueError, RuntimeError):  # lint: disable=silent-degrade  # exotic context; treat as unknown method
+            start_method = None
+        borrowed_tracker = (
+            multiprocessing.parent_process() is not None
+            and start_method != "fork"
+        )
+        if borrowed_tracker:
+            unregister = getattr(resource_tracker, "unregister", None)
+            if unregister is not None:
+                unregister(getattr(shm, "_name", None) or shm.name,
+                           "shared_memory")
+        owner = _SharedAttachment.adopt(shm)
+        try:
+            return cls.from_shared_buffer(owner.buf, owner=owner)
+        except BaseException:  # lint: disable=broad-except  # close-and-reraise cleanup, not a handler
+            close = getattr(owner, "close", None)
+            if close is not None:
+                close()
+            raise
+
+    def release_shared(self) -> None:
+        """Detach from the shared segment backing this index, if any.
+
+        The flat tables are materialized into private ``array`` copies
+        (the index stays fully usable) and the attachment is closed.
+        Safe to call on non-shared indexes (a no-op); idempotent.
+        """
+        owner = self._shared_owner
+        if owner is None:
+            return
+
+        def _materialize(view: "memoryview | None") -> "array | None":
+            if view is None or isinstance(view, array):
+                return view
+            arr = array(_typecode_of(view))
+            arr.frombytes(view.tobytes())
+            return arr
+
+        self._anc_off = _materialize(self._anc_off)
+        self._anc_cid = _materialize(self._anc_cid)
+        self._anc_dist = _materialize(self._anc_dist)
+        self._gloss_off = _materialize(self._gloss_off)
+        self._gloss_tok = _materialize(self._gloss_tok)
+        self._ic_values = _materialize(self._ic_values)
+        self._shared_owner = None
+        close = getattr(owner, "close", None)
+        if close is not None:
+            close()
+
+    @property
+    def is_shared(self) -> bool:
+        """True while this index reads through a shared-memory segment."""
+        return self._shared_owner is not None
 
     def __getstate__(self) -> dict[str, bytes]:
         """Pickle as the compact codec buffer, not the object graph."""

@@ -1,0 +1,293 @@
+"""Persistent worker-pool runtime: spawn once, serve many batches.
+
+Before this module the :class:`~repro.runtime.executor.BatchExecutor`
+created a fresh ``multiprocessing.Pool`` per batch: every batch paid
+worker fork + initializer cost (network unpickle, packed-index decode,
+cold caches) and re-shipped the packed index to every worker.  The
+persistent runtime splits that fixed cost out of the per-batch path:
+
+* :class:`SharedIndexSegment` — the packed index's shared layout
+  (:meth:`repro.runtime.pack.PackedIndex.to_shared_payload`) published
+  **once** into ``multiprocessing.shared_memory``; workers attach
+  zero-copy by name and serve the CSR tables as ``memoryview`` casts
+  over the segment.  Reference-counted: the segment is unlinked when
+  the last owner releases it, so ``/dev/shm`` never leaks.
+* :class:`PersistentPool` — a long-lived worker pool created once per
+  executor and reused across batches.  Workers keep their session
+  state (attached index, warm :class:`~repro.runtime.memo.SphereMemo`,
+  document cache) between batches, so steady-state batches pay only
+  document payloads across the process boundary.  A poisoned pool
+  (straggler kill, worker crash, machinery fault) is terminated and
+  respawned with a bumped *generation* — the executor's stats merge
+  uses the generation to keep per-worker counters monotone.
+
+Both degrade gracefully: platforms without ``multiprocessing`` or
+POSIX shared memory fall back to the byte-shipping path (the executor
+handles ``publish`` / ``ensure`` returning ``None``), and output stays
+byte-identical either way.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .metrics import MetricsRegistry
+
+
+def auto_workers() -> int:
+    """The worker count ``--workers auto`` resolves to.
+
+    Prefers ``os.process_cpu_count()`` (Python 3.13+: CPUs usable by
+    *this process*), then ``os.sched_getaffinity(0)`` (the affinity
+    mask on platforms that pin processes — a container limited to 2 of
+    64 cores gets 2, not 64), then ``os.cpu_count()``.  Never less
+    than 1.
+    """
+    process_cpus = getattr(os, "process_cpu_count", None)
+    if process_cpus is not None:
+        return max(1, process_cpus() or 1)
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # lint: disable=silent-degrade  # platform stubs the syscall; fall through to cpu_count
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def parse_workers(value: "int | str") -> int:
+    """Parse a ``--workers`` value: an integer or the literal ``auto``.
+
+    Returns the integer as-is (range validation stays with the
+    consumer — :class:`~repro.runtime.executor.BatchExecutor` and
+    ``ServerConfig`` both reject ``< 1`` with their own clean error),
+    and raises ``ValueError`` for anything that is neither an integer
+    nor ``auto``.
+    """
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return auto_workers()
+        try:
+            return int(text)
+        except ValueError:
+            raise ValueError(
+                f"workers must be an integer or 'auto', got {value!r}"
+            ) from None
+    return int(value)
+
+
+@dataclass(frozen=True)
+class SharedIndexHandle:
+    """The tiny picklable ticket a worker needs to attach an index.
+
+    Shipped through the pool initializer instead of the packed payload
+    itself: ``name`` addresses the published segment, ``size`` is the
+    payload length (observability — the segment knows its own size).
+    """
+
+    name: str
+    size: int
+
+
+class SharedIndexSegment:
+    """A reference-counted shared-memory segment holding one payload.
+
+    Created by :meth:`publish` with one reference owned by the
+    publisher.  Long-lived co-owners (a second executor sharing the
+    segment) take :meth:`acquire` / :meth:`release` pairs; the last
+    release closes **and unlinks** the segment, so a drained runtime
+    leaves no ``/dev/shm`` entry behind.  Workers are *not* co-owners:
+    they borrow the mapping via
+    :meth:`~repro.runtime.pack.PackedIndex.from_shared` and the OS
+    reclaims their attachment when they exit.
+    """
+
+    def __init__(self, shm: Any, size: int):
+        self._shm = shm
+        self.size = size
+        self._refs = 1
+        self._released = False
+
+    @classmethod
+    def publish(
+        cls, payload: bytes, metrics: MetricsRegistry | None = None
+    ) -> "SharedIndexSegment | None":
+        """Publish ``payload`` into a fresh segment.
+
+        Returns ``None`` (with a ``pool_fault`` event) on platforms
+        without working POSIX shared memory — the caller falls back to
+        shipping bytes through the pool initializer.
+        """
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload))
+            )
+        except (ImportError, OSError, ValueError) as exc:
+            if metrics is not None:
+                metrics.event("pool_fault", kind="shm_publish", error=str(exc))
+            return None
+        shm.buf[: len(payload)] = payload
+        return cls(shm, len(payload))
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach by."""
+        return self._shm.name
+
+    @property
+    def handle(self) -> SharedIndexHandle:
+        """The picklable attach ticket for this segment."""
+        return SharedIndexHandle(name=self._shm.name, size=self.size)
+
+    @property
+    def released(self) -> bool:
+        """True once the segment has been closed and unlinked."""
+        return self._released
+
+    def acquire(self) -> "SharedIndexSegment":
+        """Add one co-owner reference; returns self for chaining."""
+        if self._released:
+            raise ValueError("shared index segment is already released")
+        self._refs += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; the last one closes and unlinks.
+
+        Idempotent past zero: releasing an already-released segment is
+        a no-op, so teardown paths can overlap (explicit ``close()``
+        racing the garbage-collection finalizer) without double-free.
+        """
+        if self._released:
+            return
+        self._refs -= 1
+        if self._refs > 0:
+            return
+        self._released = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # lint: disable=silent-degrade  # already unlinked by the OS/tracker; nothing leaks
+            pass
+
+
+def shutdown_pool(pool: Any, terminate: bool = False) -> None:
+    """Close (or hard-terminate) a raw pool and reap its workers."""
+    if terminate and hasattr(pool, "terminate"):
+        pool.terminate()
+    else:
+        pool.close()
+    pool.join()
+
+
+class PersistentPool:
+    """A long-lived ``multiprocessing.Pool`` reused across batches.
+
+    The inner pool is spawned lazily by :meth:`ensure` and survives
+    between batches; :meth:`restart` tears a poisoned pool down so the
+    next :meth:`ensure` respawns it one *generation* up.  Initializer
+    arguments are extended with the generation number so workers can
+    tag their counter snapshots (the executor keys its merge
+    watermarks on ``(generation, pid)``).
+
+    Observability: ``generation`` counts spawns, ``reuse_count``
+    counts batches served on an already-warm pool, ``respawns`` counts
+    replacement spawns after a poisoning, all mirrored into the
+    metrics registry (``pool_spawns`` / ``pool_reuses`` /
+    ``worker_respawns``).
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        initializer: Callable[..., None],
+        initargs: tuple = (),
+        metrics: MetricsRegistry | None = None,
+    ):
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self.metrics = metrics
+        self._pool: Any = None
+        self.generation = 0
+        self.reuse_count = 0
+        self.respawns = 0
+
+    @property
+    def alive(self) -> bool:
+        """True while an inner pool is spawned and trusted."""
+        return self._pool is not None
+
+    def note_batch(self) -> None:
+        """Record one batch arriving; a warm pool counts as a reuse."""
+        if self._pool is not None:
+            self.reuse_count += 1
+            if self.metrics is not None:
+                self.metrics.count("pool_reuses")
+
+    def ensure(self) -> Any:
+        """The live inner pool, spawning one if needed.
+
+        Returns ``None`` (with a ``pool_fault`` event) when the
+        platform refuses to create a pool — the executor's circuit
+        breaker counts it and eventually drains serially.
+        """
+        if self._pool is not None:
+            return self._pool
+        self.generation += 1
+        try:
+            import multiprocessing
+
+            pool = multiprocessing.Pool(
+                processes=self.processes,
+                initializer=self._initializer,
+                initargs=(*self._initargs, self.generation),
+            )
+        except (ImportError, OSError, ValueError) as exc:
+            if self.metrics is not None:
+                self.metrics.event("pool_fault", kind="create", error=str(exc))
+            return None
+        self._pool = pool
+        if self.metrics is not None:
+            self.metrics.count("pool_spawns")
+        return pool
+
+    def restart(self) -> None:
+        """Hard-terminate a poisoned inner pool; ensure() respawns it.
+
+        Worker session state (warm memo, doc cache) dies with the
+        workers — correctness never depended on it — while the shared
+        index segment stays published, so the respawned generation
+        re-attaches instead of re-shipping.
+        """
+        if self._pool is None:
+            return
+        shutdown_pool(self._pool, terminate=True)
+        self._pool = None
+        self.respawns += 1
+        if self.metrics is not None:
+            self.metrics.count("worker_respawns")
+
+    def close(self, terminate: bool = False) -> None:
+        """Shut the inner pool down for good (drain or terminate)."""
+        if self._pool is None:
+            return
+        shutdown_pool(self._pool, terminate=terminate)
+        self._pool = None
+
+    def stats(self) -> dict[str, int]:
+        """Spawn/reuse counters for bench honesty and health reports."""
+        return {
+            "workers": self.processes,
+            "generation": self.generation,
+            "pool_reuse_count": self.reuse_count,
+            "worker_respawns": self.respawns,
+            "alive": int(self.alive),
+        }

@@ -33,6 +33,16 @@ STATUS_FAILED = "failed"
 #: Valid ``on_error`` batch policies.
 ON_ERROR_POLICIES = ("fail", "skip", "quarantine")
 
+#: ``DocOutcome.stage`` values the runtime assigns to final errors —
+#: shared constants so the executor, the server's envelope mapping, and
+#: the tests name stages without scattering string literals.
+STAGE_PARSE = "parse"
+STAGE_INJECT = "inject"
+STAGE_INDEX = "index"
+STAGE_TIMEOUT = "timeout"
+STAGE_POOL = "pool"
+STAGE_PIPELINE = "pipeline"
+
 
 @dataclasses.dataclass
 class DocOutcome:

@@ -91,10 +91,13 @@ class ServerConfig:
     max_sessions: int = 8
     packed: bool = True
     cache_size: int = DEFAULT_CACHE_SIZE
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
         if self.rate_limit < 0:
             raise ValueError("rate_limit must be >= 0")
         if self.burst < 1:
@@ -190,10 +193,19 @@ class ServerApp:
         self.metrics.event("server_drain", inflight=self._inflight)
 
     def close(self) -> None:
-        """Release the scoring thread and flush metrics, if configured."""
+        """Release scoring thread, sessions' runtimes, and metrics.
+
+        Every resident session drains its persistent pool and drops its
+        shared-segment reference here, so a SIGTERM drain leaves no
+        worker processes or ``/dev/shm`` entries behind.
+        """
         if self._scoring_pool is not None:
             self._scoring_pool.shutdown(wait=False, cancel_futures=True)
             self._scoring_pool = None
+        while self._sessions:
+            _, session = self._sessions.popitem()
+            session.close()
+        self._default_fingerprint = None
         if self.server_config.metrics_json:
             self.metrics.write_json(self.server_config.metrics_json)
 
@@ -205,10 +217,12 @@ class ServerApp:
         # gauges are registered by fixed name, and the resident session
         # is the one whose warmth the operator is tracking.  Override
         # sessions still run, they just are not individually gauged.
+        # ``workers > 1`` sessions own a persistent worker pool + shared
+        # index segment, reused across every request they serve.
         return BatchExecutor(
             self.network,
             config,
-            workers=1,
+            workers=self.server_config.workers,
             packed=self.server_config.packed,
             cache_size=self.server_config.cache_size,
             metrics=self.metrics if default else None,
@@ -235,7 +249,9 @@ class ServerApp:
             if oldest == self._default_fingerprint:
                 self._sessions.move_to_end(oldest, last=True)
                 oldest = next(iter(self._sessions))
-            del self._sessions[oldest]
+            # Eviction must release runtime resources (persistent pool,
+            # shared segment refcount), not just drop the reference.
+            self._sessions.pop(oldest).close()
             self.metrics.count("server_sessions_evicted")
         return session
 

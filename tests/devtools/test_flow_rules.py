@@ -516,6 +516,32 @@ class TestResourceLifecycle:
         )
         assert len(_ids(findings, "resource-lifecycle")) == 1
 
+    def test_fires_on_leaked_shared_memory(self, lint):
+        findings = lint(
+            """\
+            def attach(name):
+                shm = SharedMemory(name=name)
+                return bytes(shm.buf)
+            """,
+            rules=["resource-lifecycle"],
+        )
+        assert len(_ids(findings, "resource-lifecycle")) == 1
+        assert "'shm'" in findings[0].message
+
+    def test_silent_on_closed_shared_memory(self, lint):
+        findings = lint(
+            """\
+            def attach(name):
+                shm = SharedMemory(name=name)
+                try:
+                    return bytes(shm.buf)
+                finally:
+                    shm.close()
+            """,
+            rules=["resource-lifecycle"],
+        )
+        assert findings == []
+
     def test_silent_with_context_manager(self, lint):
         findings = lint(
             """\

@@ -65,7 +65,8 @@ class TestParallelDeterminism:
         docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:6]]
         serial = BatchExecutor(lexicon, XSDFConfig(), workers=1)
         parallel = BatchExecutor(
-            lexicon, XSDFConfig(), workers=2, chunk_size=1
+            lexicon, XSDFConfig(), workers=2, chunk_size=1,
+            oversubscribe=True,  # exercise the real pool on 1-CPU hosts
         )
         serial_out = io.StringIO()
         parallel_out = io.StringIO()
@@ -76,7 +77,9 @@ class TestParallelDeterminism:
     def test_results_in_input_order(self, lexicon, corpus):
         docs = [(d.name, d.xml) for d in _one_doc_per_dataset(corpus)[:5]]
         reversed_docs = list(reversed(docs))
-        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
         records = executor.run(reversed_docs)
         assert [r.name for r in records] == [name for name, _ in reversed_docs]
 
@@ -89,7 +92,8 @@ class TestParallelDeterminism:
         for workers in (1, 2):
             for packed in (False, True):
                 executor = BatchExecutor(
-                    lexicon, XSDFConfig(), workers=workers, packed=packed
+                    lexicon, XSDFConfig(), workers=workers, packed=packed,
+                    oversubscribe=True,
                 )
                 out = io.StringIO()
                 executor.run_to_jsonl(docs, out)
@@ -113,13 +117,17 @@ class TestParallelDeterminism:
 
 class TestAdaptiveChunking:
     def test_counts_dominate_for_small_documents(self, lexicon):
-        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
         docs = [BatchDocument(f"d{i}", "<a/>") for i in range(80)]
         # ceil(80 / (4*2)) = 10, far below the byte cap for tiny docs.
         assert executor._auto_chunk(docs) == 10
 
     def test_byte_cap_shrinks_chunks_for_large_documents(self, lexicon):
-        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
         big = "<a>" + "x" * (2 * executor_module.TARGET_CHUNK_BYTES) + "</a>"
         docs = [BatchDocument(f"d{i}", big) for i in range(80)]
         assert executor._auto_chunk(docs) == 1
@@ -151,7 +159,9 @@ class TestPoolFailureDegrade:
         import multiprocessing
 
         monkeypatch.setattr(multiprocessing, "Pool", _ExplodingPool)
-        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
         docs = [("a", figure1_xml), ("b", figure1_xml)]
         records = executor.run(docs)
         assert [r.name for r in records] == ["a", "b"]
@@ -170,7 +180,9 @@ class TestPoolFailureDegrade:
             raise OSError("no process spawning here")
 
         monkeypatch.setattr(multiprocessing, "Pool", _no_pool)
-        executor = BatchExecutor(lexicon, XSDFConfig(), workers=2)
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
         records = executor.run([("a", figure1_xml), ("b", figure1_xml)])
         assert all(r.ok for r in records)
 

@@ -1,0 +1,271 @@
+"""Persistent pool runtime: lifecycle, shm hygiene, crash recovery.
+
+The contracts pinned here are the PR-8 tentpole's:
+
+* a second batch on the same executor **reuses** the warm pool (no
+  respawn, no republish);
+* a worker hard-killed mid-document (``os._exit``, the crash no
+  ``except`` can catch) triggers respawn-and-requeue and the batch
+  still completes with byte-identical survivors;
+* ``close()`` unlinks the published shared-memory segment — no leaked
+  ``/dev/shm`` entries;
+* serial and persistent-pool output are byte-identical even across
+  ``PYTHONHASHSEED`` variation (subprocess-checked, since the hash
+  seed is frozen at interpreter start).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import XSDFConfig
+from repro.runtime import (
+    BatchExecutor,
+    FaultInjector,
+    FaultSpec,
+    MetricsRegistry,
+    PackedIndex,
+    SharedIndexSegment,
+    auto_workers,
+    parse_workers,
+)
+
+
+class TestWorkerCountHelpers:
+    def test_auto_workers_is_a_positive_int(self):
+        count = auto_workers()
+        assert isinstance(count, int)
+        assert count >= 1
+
+    def test_auto_workers_respects_affinity_mask(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 3}, raising=False
+        )
+        assert auto_workers() == 2
+
+    def test_parse_workers_accepts_auto_and_integers(self):
+        assert parse_workers("auto") == auto_workers()
+        assert parse_workers(" AUTO ") == auto_workers()
+        assert parse_workers("3") == 3
+        assert parse_workers(4) == 4
+        # Range validation stays with the consumer: 0 parses fine and
+        # must be rejected by BatchExecutor with its historical error.
+        assert parse_workers("0") == 0
+
+    def test_parse_workers_rejects_garbage(self):
+        with pytest.raises(ValueError, match="integer or 'auto'"):
+            parse_workers("banana")
+
+    def test_executor_still_rejects_nonpositive_workers(self, lexicon):
+        with pytest.raises(ValueError, match="workers"):
+            BatchExecutor(lexicon, workers=parse_workers("0"))
+
+
+class TestSharedIndexSegment:
+    def test_publish_attach_release_roundtrip(self, lexicon):
+        payload = PackedIndex(lexicon).to_shared_payload()
+        segment = SharedIndexSegment.publish(payload)
+        assert segment is not None
+        assert segment.size == len(payload)
+        attached = PackedIndex.from_shared(segment.name)
+        assert attached.is_shared
+        attached.release_shared()
+        assert not attached.is_shared
+        segment.release()
+        assert segment.released
+
+    def test_last_release_unlinks_the_segment(self, lexicon):
+        from multiprocessing import shared_memory
+
+        payload = PackedIndex(lexicon).to_shared_payload()
+        segment = SharedIndexSegment.publish(payload)
+        assert segment is not None
+        name = segment.name
+        segment.acquire()  # a second co-owner
+        segment.release()  # publisher leaves; co-owner keeps it alive
+        assert not segment.released
+        PackedIndex.from_shared(name).release_shared()  # still attachable
+        segment.release()  # last co-owner leaves -> unlink
+        assert segment.released
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_release_is_idempotent_and_acquire_after_release_fails(
+        self, lexicon
+    ):
+        segment = SharedIndexSegment.publish(b"payload")
+        assert segment is not None
+        segment.release()
+        segment.release()  # no double-unlink
+        with pytest.raises(ValueError):
+            segment.acquire()
+
+
+class TestWarmPoolReuse:
+    def test_second_batch_reuses_the_pool(self, lexicon, figure1_xml):
+        metrics = MetricsRegistry()
+        docs = [(f"doc-{i}", figure1_xml) for i in range(4)]
+        with BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, metrics=metrics,
+            oversubscribe=True,  # exercise the real pool on 1-CPU hosts
+        ) as executor:
+            first = [r.to_json_line() for r in executor.run(docs)]
+            stats = executor.runtime_stats()
+            assert stats["alive"] == 1
+            assert stats["generation"] == 1
+            assert stats["pool_reuse_count"] == 0
+            assert stats["shm_bytes"] > 0
+            second = [r.to_json_line() for r in executor.run(docs)]
+            stats = executor.runtime_stats()
+            # Same generation: the warm pool served the second batch;
+            # nothing was respawned or republished.
+            assert stats["generation"] == 1
+            assert stats["pool_reuse_count"] == 1
+            assert stats["worker_respawns"] == 0
+            assert first == second
+        assert metrics.counter("pool_spawns") == 1
+        assert metrics.counter("pool_reuses") == 1
+
+    def test_close_is_idempotent_and_executor_stays_usable(
+        self, lexicon, figure1_xml
+    ):
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
+        docs = [(f"doc-{i}", figure1_xml) for i in range(3)]
+        baseline = [r.to_json_line() for r in executor.run(docs)]
+        executor.close()
+        executor.close()
+        # The serial path (and a fresh parallel runtime) still works.
+        again = [r.to_json_line() for r in executor.run(docs)]
+        assert again == baseline
+        executor.close()
+
+
+class TestShmHygiene:
+    def test_close_unlinks_the_published_segment(self, lexicon, figure1_xml):
+        from multiprocessing import shared_memory
+
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=2, oversubscribe=True
+        )
+        executor.run([(f"doc-{i}", figure1_xml) for i in range(3)])
+        segment = executor._segment
+        assert segment is not None and not segment.released
+        name = segment.name
+        shared_memory.SharedMemory(name=name).close()  # exists while open
+        executor.close()
+        assert segment.released
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestWorkerCrashRecovery:
+    def test_worker_exit_respawns_and_requeues(self, lexicon, figure1_xml):
+        """A hard worker crash must not lose or re-blame documents."""
+        injector = FaultInjector(
+            seed=42, specs=[FaultSpec.exiting(match="victim", max_attempt=1)]
+        )
+        metrics = MetricsRegistry()
+        with BatchExecutor(
+            lexicon,
+            XSDFConfig(),
+            workers=2,
+            metrics=metrics,
+            injector=injector,
+            doc_timeout=1.0,
+            backoff_base=0.0,
+            oversubscribe=True,
+        ) as executor:
+            docs = [(f"doc-{i}", figure1_xml) for i in range(3)]
+            docs.insert(1, ("victim", figure1_xml))
+            records = executor.run(docs)
+            assert [r.name for r in records] == [name for name, _ in docs]
+            assert all(r.ok for r in records), [r.error for r in records]
+            by_name = {r.name: r for r in records}
+            victim = by_name["victim"].outcome
+            assert victim is not None
+            assert victim.status == "retried"
+            assert victim.attempts >= 2
+            # Bystanders are blameless: they succeeded on attempt 1.
+            for name, _ in docs:
+                if name == "victim":
+                    continue
+                outcome = by_name[name].outcome
+                assert outcome is not None and outcome.attempts == 1
+            stats = executor.runtime_stats()
+            assert stats["worker_respawns"] >= 1
+            assert stats["generation"] >= 2
+            # Survivors are byte-identical to an untouched serial run.
+            serial = BatchExecutor(lexicon, XSDFConfig(), workers=1)
+            assert [r.to_json_line() for r in records] == [
+                r.to_json_line() for r in serial.run(docs)
+            ]
+        assert metrics.counter("worker_respawns") >= 1
+
+    def test_exit_fault_demotes_to_raise_in_parent(self, lexicon, figure1_xml):
+        """Serial runs survive an ``exit`` schedule (no process suicide)."""
+        injector = FaultInjector(
+            seed=7, specs=[FaultSpec.exiting(match="victim", max_attempt=1)]
+        )
+        executor = BatchExecutor(
+            lexicon, XSDFConfig(), workers=1, injector=injector,
+            backoff_base=0.0,
+        )
+        records = executor.run([("victim", figure1_xml)])
+        assert records[0].ok
+        assert records[0].outcome is not None
+        assert records[0].outcome.status == "retried"
+
+
+_HASHSEED_SCRIPT = """
+import sys
+from repro import XSDFConfig
+from repro.runtime import BatchExecutor
+from repro.semnet import default_lexicon
+from tests.conftest import FIGURE1_XML
+
+workers = int(sys.argv[1])
+with BatchExecutor(
+    default_lexicon(), XSDFConfig(), workers=workers, oversubscribe=True
+) as executor:
+    docs = [(f"doc-{i}", FIGURE1_XML) for i in range(3)]
+    for record in executor.run(docs):
+        sys.stdout.write(record.to_json_line() + "\\n")
+"""
+
+
+@pytest.mark.slow
+class TestHashSeedIndependence:
+    def test_serial_equals_pool_across_hash_seeds(self):
+        """{workers 1, 2} x {PYTHONHASHSEED 0, 345} -> one output.
+
+        Hash randomization is frozen at interpreter start, so the only
+        honest way to vary it is fresh subprocesses.
+        """
+        outputs = set()
+        for workers in (1, 2):
+            for seed in ("0", "345"):
+                env = dict(os.environ)
+                env["PYTHONHASHSEED"] = seed
+                env["PYTHONPATH"] = os.pathsep.join(
+                    p for p in ("src", env.get("PYTHONPATH", "")) if p
+                )
+                proc = subprocess.run(
+                    [sys.executable, "-c", _HASHSEED_SCRIPT, str(workers)],
+                    capture_output=True,
+                    text=True,
+                    env=env,
+                    timeout=300,
+                    cwd=os.path.dirname(
+                        os.path.dirname(os.path.dirname(__file__))
+                    ),
+                )
+                assert proc.returncode == 0, proc.stderr
+                outputs.add(proc.stdout)
+        assert len(outputs) == 1

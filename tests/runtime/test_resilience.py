@@ -217,7 +217,7 @@ class TestChaosParity:
         metrics = MetricsRegistry()
         executor = BatchExecutor(
             lexicon, XSDFConfig(), workers=2, backoff_base=0.0,
-            metrics=metrics,
+            metrics=metrics, oversubscribe=True,
             injector=FaultInjector(42, [
                 FaultSpec.flaky(match=names[1], fail_attempts=1),
                 FaultSpec.raising(match=names[3], transient=False),
@@ -244,6 +244,7 @@ class TestChaosParity:
         metrics = MetricsRegistry()
         executor = BatchExecutor(
             lexicon, XSDFConfig(), workers=2, metrics=metrics,
+            oversubscribe=True,  # exercise the real pool on 1-CPU hosts
             injector=FaultInjector(7, [FaultSpec.corrupt_packed()]),
         )
         records = executor.run(docs)
@@ -281,7 +282,7 @@ class TestCircuitBreakerPath:
         metrics = MetricsRegistry()
         executor = BatchExecutor(
             lexicon, XSDFConfig(), workers=2, metrics=metrics,
-            breaker_threshold=3,
+            breaker_threshold=3, oversubscribe=True,
         )
         docs = [("a", figure1_xml), ("b", figure1_xml)]
         records = executor.run(docs)
@@ -306,7 +307,7 @@ class TestDocTimeout:
         metrics = MetricsRegistry()
         executor = BatchExecutor(
             lexicon, XSDFConfig(), workers=2, backoff_base=0.0,
-            doc_timeout=0.75, metrics=metrics,
+            doc_timeout=0.75, metrics=metrics, oversubscribe=True,
             injector=FaultInjector(0, [
                 # Slow-then-recover: only the first dispatch stalls.
                 FaultSpec.slow(match=slow_name, delay_s=30.0, max_attempt=1),
@@ -327,7 +328,7 @@ class TestDocTimeout:
         slow_name = docs[1][0]
         executor = BatchExecutor(
             lexicon, XSDFConfig(), workers=2, backoff_base=0.0,
-            doc_timeout=0.75, max_retries=0,
+            doc_timeout=0.75, max_retries=0, oversubscribe=True,
             injector=FaultInjector(0, [
                 FaultSpec.slow(match=slow_name, delay_s=30.0),
             ]),
