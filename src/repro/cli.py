@@ -26,6 +26,14 @@ Commands
     metrics snapshot; ``--rate-limit``/``--max-concurrency``/
     ``--request-timeout`` bound admission, and SIGTERM drains
     gracefully (finish in-flight, refuse new connections, exit 0).
+``pack SHARD``
+    Write a network's packed index to an on-disk ``RXPD`` shard
+    (:mod:`repro.runtime.store`): ``batch``/``serve`` then attach it
+    read-only via ``mmap`` — no index build, no decode, and every
+    attaching process shares the same physical pages through the OS
+    page cache.  Pack the bundled lexicon, a ``--network`` JSON file,
+    or a ``--synthetic N`` generated taxonomy; ``--verify`` re-opens
+    the shard and checks the full body CRC.
 ``audit FILE``
     Print the ambiguity-degree ranking of the file's nodes — which
     nodes are worth disambiguating, before spending any effort.
@@ -181,6 +189,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sidecar JSONL for quarantined documents "
                             "(default quarantine.jsonl; implies "
                             "nothing unless --on-error=quarantine)")
+    batch.add_argument("--network", default=None, metavar="PATH",
+                       help="disambiguate against a repro-semnet JSON "
+                            "network instead of the bundled lexicon")
+    batch.add_argument("--shard", default=None, metavar="RXPD",
+                       help="attach the packed index from this RXPD "
+                            "shard via mmap instead of building it "
+                            "(requires --network; fingerprint-checked)")
+    batch.add_argument("--registry", default=None, metavar="TOML",
+                       help="a registry.toml manifest of domain "
+                            "networks/shards (mutually exclusive with "
+                            "--network/--shard)")
+    batch.add_argument("--domain", default=None,
+                       help="pin the registry domain to serve from "
+                            "(default: coverage-routed over the "
+                            "manifest's default + fallback domains)")
+
+    pack = sub.add_parser(
+        "pack",
+        help="write a network's packed index to an RXPD shard file",
+    )
+    pack.add_argument("out", metavar="SHARD",
+                      help="output shard path (conventionally .rxpd)")
+    pack.add_argument("--network", default=None, metavar="PATH",
+                      help="pack this repro-semnet JSON network "
+                           "(default: the bundled lexicon)")
+    pack.add_argument("--synthetic", type=int, default=None, metavar="N",
+                      help="pack an N-concept generated synthetic "
+                           "network instead")
+    pack.add_argument("--seed", type=int, default=7,
+                      help="synthetic generation seed (default 7)")
+    pack.add_argument("--gloss-style", choices=("sphere", "local"),
+                      default="local",
+                      help="synthetic gloss synthesis: radius-2 "
+                           "neighborhood sampling or the O(1) local "
+                           "fast path (default local; --synthetic only)")
+    pack.add_argument("--no-fingerprint", action="store_true",
+                      help="skip stamping the source network's "
+                           "fingerprint into the shard header")
+    pack.add_argument("--verify", action="store_true",
+                      help="re-open the shard and deep-verify the "
+                           "body CRC after writing")
 
     serve = sub.add_parser(
         "serve",
@@ -258,6 +307,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--structure-only", action="store_true",
                        help="ignore text values by default "
                             "(structure-only mode)")
+    serve.add_argument("--shard", default=None, metavar="RXPD",
+                       help="attach the served index from this RXPD "
+                            "shard via mmap instead of building it "
+                            "(fingerprint-checked against the served "
+                            "network)")
+    serve.add_argument("--registry", default=None, metavar="TOML",
+                       help="serve every domain of a registry.toml "
+                            "manifest; requests pick one with the "
+                            "envelope's 'domain' key (mutually "
+                            "exclusive with --network/--shard)")
 
     audit = sub.add_parser("audit", help="rank nodes by ambiguity degree")
     audit.add_argument("file", help="path to the XML document")
@@ -360,6 +419,15 @@ def _read(path: str) -> str:
         raise SystemExit(f"cannot read {path}: {exc}")
 
 
+def _load_network(path: str):
+    from .semnet.io import NetworkFormatError, load_network
+
+    try:
+        return load_network(path)
+    except NetworkFormatError as exc:
+        raise SystemExit(f"unreadable network: {exc}")
+
+
 def _cmd_disambiguate(args: argparse.Namespace, out) -> int:
     network = default_lexicon()
     xsdf = XSDF(network, _make_config(args))
@@ -397,10 +465,13 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         paths.extend(matches)
     documents = [(path, _read(path)) for path in paths]
 
+    network, prebuilt_index, registry, domain_note = _resolve_batch_index(
+        args, documents
+    )
     metrics = MetricsRegistry()
     try:
         executor = BatchExecutor(
-            default_lexicon(),
+            network,
             _make_config(args),
             workers=args.workers,
             chunk_size=args.chunk_size,
@@ -414,6 +485,7 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
             max_retries=args.max_retries,
             doc_timeout=args.doc_timeout,
             on_error=args.on_error,
+            index=prebuilt_index,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -432,9 +504,18 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         aborted = exc
         records = exc.records
     finally:
+        # Snapshot the index backing before teardown: closing the
+        # registry releases its mmap attachments (materializing the
+        # tables to heap), which would misreport the run itself.
+        index_backing = (
+            getattr(executor.index, "backing", "heap")
+            if not args.no_index else None
+        )
         # One batch per CLI process: drain the persistent pool and
         # unlink the shared index segment before writing results.
         executor.close()
+        if registry is not None:
+            registry.close()
     if profiler is not None:
         profiler.disable()
     if args.metrics_json:
@@ -468,6 +549,12 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
             out.write("\n")
 
     summary = batch_summary(metrics.report(), len(records), len(failures))
+    if index_backing is not None:
+        # Where the index tables physically lived during the run:
+        # "mmap" proves the zero-copy shard attach actually happened,
+        # "heap" that the index was (re)built in this process.
+        summary += f", index={index_backing}"
+    summary += domain_note
     if quarantined:
         summary += f", {len(quarantined)} quarantined -> {quarantine_path}"
     stream = sys.stderr if not args.out else out
@@ -490,6 +577,109 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
     if args.on_error == "quarantine":
         return 0
     return 1 if failures else 0
+
+
+def _resolve_batch_index(args: argparse.Namespace, documents):
+    """The (network, prebuilt index, registry, summary note) for a batch.
+
+    Four sources, in priority order: a registry manifest (domain pinned
+    or coverage-routed over the batch's combined vocabulary), an RXPD
+    shard attached over an explicit network, a bare network JSON, or
+    the bundled lexicon.  Shard fingerprints are always checked against
+    the network so a stale shard fails loudly instead of scoring wrong.
+    """
+    if args.registry and (args.network or args.shard):
+        raise SystemExit(
+            "--registry is mutually exclusive with --network/--shard"
+        )
+    if args.domain and not args.registry:
+        raise SystemExit("--domain requires --registry")
+    if args.shard and not args.network:
+        raise SystemExit(
+            "--shard requires --network (the shard's source network)"
+        )
+    if (args.shard or args.registry) and (args.dict_index or args.no_index):
+        raise SystemExit(
+            "--shard/--registry already provide a packed index; "
+            "drop --dict-index/--no-index"
+        )
+    if args.registry:
+        from .runtime.store import NetworkRegistry, RegistryError
+
+        try:
+            registry = NetworkRegistry.load(args.registry)
+            if args.domain:
+                registry.entry(args.domain)  # unknown domains fail here
+                domain, coverage = args.domain, None
+            else:
+                domain, coverage = registry.route(
+                    "\n".join(xml for _, xml in documents)
+                )
+            attached = registry.attach(domain)
+        except RegistryError as exc:
+            raise SystemExit(str(exc))
+        note = f", domain={domain}"
+        if coverage is not None:
+            note += f" (coverage {coverage:.2f})"
+        return attached.network, attached.index, registry, note
+    if args.shard:
+        from .runtime.pack import PackedIndex, PackedIndexError
+
+        network = _load_network(args.network)
+        try:
+            index = PackedIndex.from_mmap(
+                args.shard, expect_fingerprint=network.fingerprint()
+            )
+        except (PackedIndexError, OSError) as exc:
+            raise SystemExit(f"cannot attach shard {args.shard}: {exc}")
+        return network, index, None, ""
+    if args.network:
+        return _load_network(args.network), None, None, ""
+    return default_lexicon(), None, None, ""
+
+
+def _cmd_pack(args: argparse.Namespace, out) -> int:
+    import time as timelib
+
+    from .runtime.pack import PackedIndex
+    from .runtime.store import verify_shard, write_shard
+
+    if args.network and args.synthetic:
+        raise SystemExit("--network and --synthetic are mutually exclusive")
+    if args.synthetic is not None:
+        from .semnet.generator import GeneratorConfig, generate_network
+
+        try:
+            network = generate_network(GeneratorConfig(
+                n_concepts=args.synthetic,
+                seed=args.seed,
+                gloss_style=args.gloss_style,
+            ))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    elif args.network:
+        network = _load_network(args.network)
+    else:
+        network = default_lexicon()
+    start = timelib.perf_counter()
+    index = PackedIndex(network)
+    fingerprint = None if args.no_fingerprint else network.fingerprint()
+    try:
+        info = write_shard(index, args.out, fingerprint=fingerprint)
+    except OSError as exc:
+        raise SystemExit(f"cannot write shard {args.out}: {exc}")
+    elapsed = timelib.perf_counter() - start
+    out.write(
+        f"packed {info['concepts']} concepts -> {info['path']} "
+        f"({info['shard_bytes']} bytes, {elapsed:.2f}s)\n"
+    )
+    if args.verify:
+        stats = verify_shard(args.out)
+        out.write(
+            f"verified: body CRC ok, {stats['ancestor_entries']} closure "
+            f"entries, fingerprint {stats['fingerprint'] or 'unstamped'}\n"
+        )
+    return 0
 
 
 def _profile_summary(profiler, top: int = 15) -> str:
@@ -525,13 +715,12 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     from .server.lifecycle import announce_to_stderr
     from .server.protocol import DEFAULT_MAX_BODY_BYTES
 
+    if args.registry and (args.network or args.shard):
+        raise SystemExit(
+            "--registry is mutually exclusive with --network/--shard"
+        )
     if args.network:
-        from .semnet.io import NetworkFormatError, load_network
-
-        try:
-            network = load_network(args.network)
-        except NetworkFormatError as exc:
-            raise SystemExit(f"unreadable network: {exc}")
+        network = _load_network(args.network)
     else:
         network = default_lexicon()
     try:
@@ -554,6 +743,8 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
                 else DEFAULT_CACHE_SIZE
             ),
             workers=args.workers,
+            shard=args.shard,
+            registry=args.registry,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -781,6 +972,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     handlers = {
         "disambiguate": _cmd_disambiguate,
         "batch": _cmd_batch,
+        "pack": _cmd_pack,
         "serve": _cmd_serve,
         "audit": _cmd_audit,
         "lexicon": _cmd_lexicon,

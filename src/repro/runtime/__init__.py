@@ -26,6 +26,12 @@ scale cheap and observable without changing a single score:
   segment workers attach the packed index from zero-copy, plus the
   ``--workers auto`` helpers :func:`auto_workers` /
   :func:`parse_workers`;
+* :mod:`~repro.runtime.store` — the on-disk ``RXPD`` shard format
+  (:func:`write_shard` / :meth:`PackedIndex.from_mmap`): packed tables
+  memory-mapped straight from disk, pages shared across *separate*
+  processes via the OS page cache, plus :class:`NetworkRegistry`, the
+  domain -> (network, shard) manifest with LRU attachment and
+  coverage-based cross-network fallback routing;
 * :mod:`~repro.runtime.metrics` — :class:`MetricsRegistry`, per-stage
   latency timers, counters, and structured events with JSON report
   export, zero-overhead when off;
@@ -75,6 +81,15 @@ from .resilience import (
     DocOutcome,
     RetryPolicy,
 )
+from .store import (
+    MmapIndexHandle,
+    NetworkRegistry,
+    RegistryEntry,
+    RegistryError,
+    read_shard_header,
+    verify_shard,
+    write_shard,
+)
 
 __all__ = [
     "BatchAbortError",
@@ -88,12 +103,16 @@ __all__ = [
     "InjectedFault",
     "LRUCache",
     "MetricsRegistry",
+    "MmapIndexHandle",
+    "NetworkRegistry",
     "PackedIC",
     "PackedIndex",
     "PackedIndexCRCError",
     "PackedIndexError",
     "PackedIndexTruncatedError",
     "PersistentPool",
+    "RegistryEntry",
+    "RegistryError",
     "RetryPolicy",
     "SemanticIndex",
     "SharedIndexHandle",
@@ -104,5 +123,8 @@ __all__ = [
     "batch_summary",
     "config_fingerprint",
     "parse_workers",
+    "read_shard_header",
     "sphere_signature",
+    "verify_shard",
+    "write_shard",
 ]

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 import weakref
 from collections import deque
@@ -65,6 +66,7 @@ from .pool import (
     SharedIndexSegment,
     auto_workers,
 )
+from .store import MmapIndexHandle
 from .resilience import (
     ON_ERROR_POLICIES,
     STAGE_INDEX,
@@ -161,19 +163,26 @@ _WORKER_GENERATION: int = 0
 def _init_worker(
     network: SemanticNetwork,
     config: XSDFConfig,
-    index: "SharedIndexHandle | PackedIndex | SemanticIndex | bytes | None",
+    index: (
+        "MmapIndexHandle | SharedIndexHandle | PackedIndex | SemanticIndex"
+        " | bytes | None"
+    ),
     cache_size: int | None,
     injector: FaultInjector | None = None,
     generation: int = 0,
 ) -> None:
     """Install this worker process's XSDF + caches (pool initializer).
 
-    ``index`` arrives pre-built from the parent.  The fast path is a
-    :class:`~repro.runtime.pool.SharedIndexHandle`: the parent
-    published the packed tables into shared memory once, and this
-    worker attaches **zero-copy** by name — no payload pickling, no
-    decode, the CSR tables are memoryview casts over the segment.  A
-    :class:`PackedIndex` pickles as its compact codec buffer (the
+    ``index`` arrives pre-built from the parent.  The fastest path is
+    a :class:`~repro.runtime.store.MmapIndexHandle`: the index lives
+    in an ``RXPD`` shard file, and this worker memory-maps it by path
+    — no payload pickling, no publish, and the pages are shared with
+    the parent *and* every other process mapping the same shard.
+    Next is a :class:`~repro.runtime.pool.SharedIndexHandle`: the
+    parent published the packed tables into shared memory once, and
+    this worker attaches **zero-copy** by name — no payload pickling,
+    no decode, the CSR tables are memoryview casts over the segment.
+    A :class:`PackedIndex` pickles as its compact codec buffer (the
     no-shared-memory fallback), and raw codec ``bytes`` are the chaos
     path.  Any payload that fails to attach or decode degrades this
     worker to a locally built :class:`SemanticIndex` — one rung down
@@ -189,7 +198,13 @@ def _init_worker(
     # mutation: it is written once per process, before any task runs.
     global _WORKER_XSDF, _WORKER_DOC_CACHE, _WORKER_INJECTOR, _WORKER_GENERATION  # lint: disable=cache-purity
     decode_degraded = False
-    if isinstance(index, SharedIndexHandle):
+    if isinstance(index, MmapIndexHandle):
+        try:
+            index = PackedIndex.from_mmap(index.path)
+        except (PackedIndexError, OSError, ValueError):  # lint: disable=silent-degrade  # surfaced via degrade_stats snapshot below
+            index = SemanticIndex(network)
+            decode_degraded = True
+    elif isinstance(index, SharedIndexHandle):
         try:
             index = PackedIndex.from_shared(index.name)
         except (PackedIndexError, OSError, ValueError):  # lint: disable=silent-degrade  # surfaced via degrade_stats snapshot below
@@ -539,6 +554,7 @@ class BatchExecutor:
         # once on the first parallel batch and reused until close().
         self._pool: PersistentPool | None = None
         self._segment: SharedIndexSegment | None = None
+        self._shard_bytes = 0
         self._finalizer: "weakref.finalize | None" = None
         self._stat_marks: dict[tuple[int, int], dict[str, float]] = {}
 
@@ -619,7 +635,9 @@ class BatchExecutor:
         The bench honesty fields: ``pool_reuse_count`` proves warm
         batches really reused the pool, ``shm_bytes`` is the published
         shared-index payload size (0 when the byte-shipping fallback
-        ran), ``generation``/``worker_respawns`` count spawns.
+        ran), ``shard_bytes`` the size of the mmap-shipped shard file
+        (0 unless workers attached by path — the two are mutually
+        exclusive), ``generation``/``worker_respawns`` count spawns.
         """
         stats = (
             self._pool.stats() if self._pool is not None
@@ -632,6 +650,7 @@ class BatchExecutor:
             }
         )
         stats["shm_bytes"] = self._segment.size if self._segment else 0
+        stats["shard_bytes"] = self._shard_bytes
         return stats
 
     # -- public API ----------------------------------------------------------
@@ -829,19 +848,26 @@ class BatchExecutor:
         return min(count_chunk, byte_cap)
 
     def _ship_index(self) -> (
-        "SharedIndexHandle | PackedIndex | SemanticIndex | bytes | None"
+        "MmapIndexHandle | SharedIndexHandle | PackedIndex | SemanticIndex"
+        " | bytes | None"
     ):
         """The index payload shipped to workers (chaos may corrupt it).
 
-        A :class:`PackedIndex` is published **once** into a
-        shared-memory segment (owned by this executor until
-        :meth:`close`); what crosses the pool boundary is a tiny
+        An index attached from an ``RXPD`` shard file ships as a tiny
+        :class:`~repro.runtime.store.MmapIndexHandle` — workers map
+        the file by path, sharing pages with the parent and every
+        other attaching process, and no segment needs publishing or
+        unlinking.  Otherwise a :class:`PackedIndex` is published
+        **once** into a shared-memory segment (owned by this executor
+        until :meth:`close`); what crosses the pool boundary is a tiny
         :class:`SharedIndexHandle` and workers attach zero-copy.
         Platforms without working shared memory fall back to shipping
         the index itself (its pickle is the compact codec buffer).  A
         ``corrupt-packed`` chaos schedule corrupts whichever payload
-        ships, so attach/decode fails with a typed error and workers
-        degrade one ladder rung — same semantics on both paths.
+        ships (the shard-path shortcut is skipped so corruption flows
+        through the shm/bytes paths), so attach/decode fails with a
+        typed error and workers degrade one ladder rung — same
+        semantics on every path.
         """
         index = self._ensure_index()
         injector = self.injector
@@ -852,6 +878,13 @@ class BatchExecutor:
         )
         if not isinstance(index, PackedIndex):
             return index
+        shard = index.shard_path
+        if shard is not None and not corrupting and os.path.isfile(shard):
+            size = os.path.getsize(shard)
+            self._shard_bytes = size
+            if self.metrics is not None:
+                self.metrics.gauge("shard_bytes", size)
+            return MmapIndexHandle(path=shard, size=size)
         payload = index.to_shared_payload()
         if corrupting:
             payload = injector.corrupt_bytes(payload)

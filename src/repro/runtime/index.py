@@ -169,15 +169,19 @@ class SemanticIndex:
 
     # -- observability -------------------------------------------------------
 
-    def stats(self) -> dict[str, int | float]:
+    def stats(self) -> dict[str, int | float | str]:
         """Size/build statistics for reports and benchmarks.
 
-        Counts are ints, ``build_seconds`` is a float; the LCS-memo
-        hit/miss counters make index-layer caching observable alongside
-        the runtime's LRU caches.
+        Counts are ints, ``build_seconds`` is a float, ``backing`` a
+        string; the LCS-memo hit/miss counters make index-layer caching
+        observable alongside the runtime's LRU caches.
         """
         return {
             "concepts": len(self._ancestors),
+            # Dict tables always live on this process's heap — reported
+            # so stats() is shape-compatible with PackedIndex.stats(),
+            # whose tables may be shm- or mmap-backed.
+            "backing": "heap",
             "ancestor_entries": sum(
                 len(closure) for closure in self._ancestors.values()
             ),

@@ -38,6 +38,7 @@ re-walking the whole network::
 
 from __future__ import annotations
 
+import mmap
 import os
 import struct
 import sys
@@ -62,6 +63,27 @@ _SHARED_MAGIC = b"RXPS"
 #: Shared header: magic, version, byteorder flag, pad, CRC-32 of the
 #: body, body length.  16 bytes, so the body starts 8-byte aligned.
 _SHARED_HEADER = struct.Struct("<4sHBxII")
+
+#: On-disk shard magic (``repro pack`` output).  The body is the exact
+#: ``RXPS`` shared layout — uncompressed, 8-byte aligned sections — so
+#: a file can be memory-mapped and served through the same zero-copy
+#: attach path workers use for shared-memory segments.
+_DISK_MAGIC = b"RXPD"
+
+#: Disk header: the shared header fields plus a 16-byte network
+#: fingerprint prefix (SHA-256 of the source network, zero when
+#: unknown) so attaching processes can refuse a shard built from a
+#: different network.  32 bytes, so the body stays 8-byte aligned.
+_DISK_HEADER = struct.Struct("<4sHBxII16s")
+
+#: Attribute names materialized on demand for mmap-attached indexes.
+#: Cold attach leaves the string tables undecoded and the per-concept
+#: memo lists unallocated (together they are the bulk of attach cost);
+#: the first access of any of these materializes them all.
+_LAZY_ATTRS = frozenset({
+    "_ids", "_id_of", "_tokens", "_depths", "_ic_list",
+    "_closures", "_bags", "_bag_sets", "_bag_counts",
+})
 
 #: Sentinel distinguishing "no memo entry" from a memoized ``None``.
 _MISSING = object()
@@ -251,6 +273,37 @@ class _SharedAttachment:
             pass
 
 
+class _MmapAttachment:
+    """Owns one read-only memory mapping of an ``RXPD`` shard file.
+
+    The mapping is created with ``ACCESS_READ`` so every attaching
+    process shares the same physical pages through the OS page cache —
+    a second attach costs address space, not resident memory.  The
+    backing fd is closed eagerly (POSIX mappings survive their fd);
+    :meth:`close` mirrors :class:`_SharedAttachment.close`'s
+    BufferError tolerance so teardown order never matters.
+    """
+
+    __slots__ = ("path", "size", "_mmap")
+
+    def __init__(self, path: str, mmap_obj: Any, size: int):
+        self.path = path
+        self.size = size
+        self._mmap = mmap_obj
+
+    @property
+    def buf(self) -> memoryview:
+        """A fresh view over the mapped shard."""
+        return memoryview(self._mmap)
+
+    def close(self) -> None:
+        """Unmap once no table views are exported (refcount otherwise)."""
+        try:
+            self._mmap.close()
+        except BufferError:  # lint: disable=silent-degrade  # refcount reclaims the mapping when the last view dies
+            pass
+
+
 class PackedIC:
     """Information-content view over a :class:`PackedIndex`.
 
@@ -371,6 +424,12 @@ class PackedIndex:
     #: import cycle between ``repro.similarity`` and ``repro.runtime``).
     is_packed = True
 
+    #: Path of the ``RXPD`` shard this index was attached from (set by
+    #: :meth:`from_mmap`; ``None`` for heap/shm-backed indexes).  The
+    #: executor ships this path to pool workers instead of a shared-
+    #: memory payload when it is set — the file outlives the parent.
+    shard_path: "str | None" = None
+
     def __init__(
         self,
         network: SemanticNetwork,
@@ -486,6 +545,7 @@ class PackedIndex:
         common slice/``tolist`` surface.
         """
         self._shared_owner: object | None = None
+        self._lazy_blobs: tuple | None = None
         self._ids = ids
         self._id_of = {cid: i for i, cid in enumerate(ids)}
         self._depths = depths.tolist()
@@ -497,22 +557,114 @@ class PackedIndex:
         self._gloss_tok = gloss_tok
         self._ic_values = ic_values
         self._ic_list = ic_values.tolist() if ic_values is not None else None
+        self._install_common(
+            n=len(ids),
+            max_ic=max_ic,
+            max_taxonomy_depth=max_taxonomy_depth,
+            ic_smoothing=ic_smoothing,
+        )
+        self._install_derived(len(ids))
+
+    def _install_lazy_tables(
+        self,
+        n: int,
+        id_blob: memoryview,
+        depths: memoryview,
+        anc_off: memoryview,
+        anc_cid: memoryview,
+        anc_dist: memoryview,
+        token_blob: memoryview,
+        gloss_off: "memoryview | None",
+        gloss_tok: "memoryview | None",
+        ic_values: "memoryview | None",
+        max_ic: float,
+        max_taxonomy_depth: int,
+        ic_smoothing: float,
+    ) -> None:
+        """Install mmap-backed tables without decoding the string blobs.
+
+        Cold attach must stay O(section count), not O(concepts): the
+        id/token tables (the bulk of the body) are kept as raw views and
+        decoded on the first access of any interned-string surface
+        (see ``__getattr__``); the CSR arrays are served as typed views
+        directly, exactly like the shared-memory path.
+        """
+        self._shared_owner = None
+        self._lazy_blobs = (id_blob, token_blob, depths, ic_values)
+        self._anc_off = anc_off
+        self._anc_cid = anc_cid
+        self._anc_dist = anc_dist
+        self._gloss_off = gloss_off
+        self._gloss_tok = gloss_tok
+        self._ic_values = ic_values
+        self._install_common(
+            n=n,
+            max_ic=max_ic,
+            max_taxonomy_depth=max_taxonomy_depth,
+            ic_smoothing=ic_smoothing,
+        )
+
+    def _install_common(
+        self,
+        n: int,
+        max_ic: float,
+        max_taxonomy_depth: int,
+        ic_smoothing: float,
+    ) -> None:
+        """(Re)initialize scalar metadata and the pair-kernel memo."""
+        self._n = n
         self._max_ic = max_ic
         self.max_taxonomy_depth = max_taxonomy_depth
         self._ic_smoothing = ic_smoothing
         self.build_seconds = 0.0
-        # Derived lazy state (never serialized).
-        n = len(ids)
-        self._closures: list[dict[int, int] | None] = [None] * n
-        self._bags: list[list[int] | None] = [None] * n
-        self._bag_sets: list[frozenset[int] | None] = [None] * n
-        self._bag_counts: list[dict[int, int] | None] = [None] * n
         self._pair_memo: dict[
             tuple[int, int], tuple[int, int, int, int] | None
         ] = {}
         self._pair_hits = 0
         self._pair_misses = 0
         self._ic_view: PackedIC | None = None
+
+    def _install_derived(self, n: int) -> None:
+        """Allocate the per-concept memo lists (never serialized)."""
+        self._closures: list[dict[int, int] | None] = [None] * n
+        self._bags: list[list[int] | None] = [None] * n
+        self._bag_sets: list[frozenset[int] | None] = [None] * n
+        self._bag_counts: list[dict[int, int] | None] = [None] * n
+
+    def __getattr__(self, name: str):
+        """Materialize the deferred string tables on first access.
+
+        Only fires for attributes missing from the instance dict: an
+        mmap attach leaves ``_ids``/``_id_of``/``_tokens``/``_depths``/
+        ``_ic_list`` unset so cold attach never pays the decode; the
+        first interned lookup decodes them all at once, after which
+        attribute access is back on the zero-overhead fast path.
+        """
+        if name in _LAZY_ATTRS and self.__dict__.get("_lazy_blobs") is not None:
+            self._materialize_lazy()
+            return self.__dict__[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def _materialize_lazy(self) -> None:
+        """Decode the deferred id/token/depth/IC tables (idempotent)."""
+        lazy = self.__dict__.get("_lazy_blobs")
+        if lazy is None:
+            return
+        id_blob, token_blob, depths, ic_values = lazy
+        ids = _decode_strings(bytes(id_blob))
+        if len(ids) != self._n:
+            raise PackedIndexError(
+                f"id table declares {self._n} concepts, holds {len(ids)}"
+            )
+        self._ids = ids
+        self._id_of = {cid: i for i, cid in enumerate(ids)}
+        self._tokens = _decode_strings(bytes(token_blob))
+        self._depths = depths.tolist()
+        self._ic_list = ic_values.tolist() if ic_values is not None else None
+        self._install_derived(self._n)
+        self._lazy_blobs = None
 
     # -- interning ------------------------------------------------------------
 
@@ -528,7 +680,9 @@ class PackedIndex:
         return self._ids[slot]
 
     def __len__(self) -> int:
-        return len(self._ids)
+        # ``_n`` (not ``len(self._ids)``) so sizing an mmap-attached
+        # index never forces the deferred string decode.
+        return self._n
 
     # -- packed kernels -------------------------------------------------------
 
@@ -976,6 +1130,18 @@ class PackedIndex:
         attach time, so a corrupted segment fails with the same typed
         errors as a corrupted codec buffer.
         """
+        body = self._shared_body()
+        header = _SHARED_HEADER.pack(
+            _SHARED_MAGIC,
+            _VERSION,
+            0 if sys.byteorder == "little" else 1,
+            zlib.crc32(body),
+            len(body),
+        )
+        return header + body
+
+    def _shared_body(self) -> bytes:
+        """The uncompressed 8-aligned section body (RXPS and RXPD)."""
         flags = (1 if self._gloss_off is not None else 0) | (
             2 if self._ic_values is not None else 0
         )
@@ -1004,16 +1170,40 @@ class PackedIndex:
                                   if self._ic_values is not None
                                   else array("d")),
         ]
-        body = b"".join(
+        return b"".join(
             _pad8(struct.pack("<II", len(section), 0) + section)
             for section in sections
         )
-        header = _SHARED_HEADER.pack(
-            _SHARED_MAGIC,
+
+    # -- on-disk shard layout -------------------------------------------------
+
+    def to_disk_payload(self, fingerprint: str | None = None) -> bytes:
+        """Serialize every table to the ``RXPD`` on-disk shard layout.
+
+        The body is byte-identical to :meth:`to_shared_payload`'s; only
+        the header differs: the disk header additionally records the
+        first 16 bytes of the source network's SHA-256 fingerprint (all
+        zeros when unknown) so :meth:`from_mmap` can refuse a shard
+        built from a different network.
+        """
+        digest = b"\x00" * 16
+        if fingerprint:
+            try:
+                digest = bytes.fromhex(fingerprint)[:16]
+            except ValueError:
+                raise PackedIndexError(
+                    "fingerprint must be a hex digest"
+                ) from None
+            if len(digest) < 16:
+                digest = digest.ljust(16, b"\x00")
+        body = self._shared_body()
+        header = _DISK_HEADER.pack(
+            _DISK_MAGIC,
             _VERSION,
             0 if sys.byteorder == "little" else 1,
             zlib.crc32(body),
             len(body),
+            digest,
         )
         return header + body
 
@@ -1070,15 +1260,29 @@ class PackedIndex:
             raise PackedIndexCRCError(
                 "shared buffer corrupted (checksum mismatch)"
             )
+        self._attach_body(body, owner, lazy=False)
+        self.build_seconds = time.perf_counter() - start
+
+    def _attach_body(
+        self, body: memoryview, owner: object | None, lazy: bool
+    ) -> None:
+        """Install table views over one shared/disk section body.
+
+        ``lazy=False`` (the shared-memory path) decodes the string
+        tables eagerly, exactly as before; ``lazy=True`` (the mmap
+        path) defers them so cold attach touches only the section
+        prologues — a handful of pages regardless of shard size.
+        """
+        body_len = len(body)
         sections: list[memoryview] = []
         offset = 0
         while offset < body_len:
             if offset + 8 > body_len:
-                raise PackedIndexError("section length truncated")
+                raise PackedIndexTruncatedError("section length truncated")
             (length,) = struct.unpack_from("<I", body, offset)
             offset += 8
             if offset + length > body_len:
-                raise PackedIndexError("section payload truncated")
+                raise PackedIndexTruncatedError("section payload truncated")
             sections.append(body[offset : offset + length])
             offset += (length + 7) & ~7
         if len(sections) != 10:
@@ -1091,11 +1295,6 @@ class PackedIndex:
             )
         except struct.error as exc:
             raise PackedIndexError(f"meta section malformed: {exc}") from None
-        ids = _decode_strings(bytes(sections[1]))
-        if len(ids) != n:
-            raise PackedIndexError(
-                f"id table declares {n} concepts, holds {len(ids)}"
-            )
         depths = _shared_array_view(sections[2])
         anc_off = _shared_array_view(sections[3])
         anc_cid = _shared_array_view(sections[4])
@@ -1106,7 +1305,6 @@ class PackedIndex:
             n and anc_off[-1] != len(anc_cid)
         ):
             raise PackedIndexError("ancestor tables inconsistent")
-        tokens = _decode_strings(bytes(sections[6]))
         gloss_off = gloss_tok = None
         if flags & 1:
             gloss_off = _shared_array_view(sections[7])
@@ -1120,22 +1318,123 @@ class PackedIndex:
             ic_values = _shared_array_view(sections[9])
             if len(ic_values) != n:
                 raise PackedIndexError("IC table inconsistent")
-        self._install_tables(
-            ids=ids,
-            depths=depths,
-            anc_off=anc_off,
-            anc_cid=anc_cid,
-            anc_dist=anc_dist,
-            tokens=tokens,
-            gloss_off=gloss_off,
-            gloss_tok=gloss_tok,
-            ic_values=ic_values,
-            max_ic=max_ic,
-            max_taxonomy_depth=max_depth,
-            ic_smoothing=smoothing,
-        )
+        if lazy:
+            self._install_lazy_tables(
+                n=n,
+                id_blob=sections[1],
+                depths=depths,
+                anc_off=anc_off,
+                anc_cid=anc_cid,
+                anc_dist=anc_dist,
+                token_blob=sections[6],
+                gloss_off=gloss_off,
+                gloss_tok=gloss_tok,
+                ic_values=ic_values,
+                max_ic=max_ic,
+                max_taxonomy_depth=max_depth,
+                ic_smoothing=smoothing,
+            )
+        else:
+            ids = _decode_strings(bytes(sections[1]))
+            if len(ids) != n:
+                raise PackedIndexError(
+                    f"id table declares {n} concepts, holds {len(ids)}"
+                )
+            tokens = _decode_strings(bytes(sections[6]))
+            self._install_tables(
+                ids=ids,
+                depths=depths,
+                anc_off=anc_off,
+                anc_cid=anc_cid,
+                anc_dist=anc_dist,
+                tokens=tokens,
+                gloss_off=gloss_off,
+                gloss_tok=gloss_tok,
+                ic_values=ic_values,
+                max_ic=max_ic,
+                max_taxonomy_depth=max_depth,
+                ic_smoothing=smoothing,
+            )
         self._shared_owner = owner
-        self.build_seconds = time.perf_counter() - start
+
+    @classmethod
+    def from_mmap(
+        cls,
+        path: "str | os.PathLike[str]",
+        verify: bool = False,
+        expect_fingerprint: str | None = None,
+    ) -> "PackedIndex":
+        """Attach zero-copy to an ``RXPD`` shard file on disk.
+
+        The file is memory-mapped read-only and the CSR tables become
+        typed ``memoryview`` casts over the mapping — no decode, no
+        copy, and every process attaching the same shard shares the
+        same physical pages through the OS page cache.  Cold attach is
+        O(section count): the id/token string tables stay undecoded
+        until first use, so attaching a 100k-concept shard touches a
+        handful of pages.
+
+        ``verify=True`` additionally checks the body CRC-32 (paging in
+        the whole shard — the write-time default trusts the filesystem
+        the way the shm path trusts the kernel, because unlike a shm
+        publish/attach pair the file was already CRC-stamped by
+        :meth:`to_disk_payload` and validated structurally here).
+        ``expect_fingerprint`` (a network SHA-256 hex digest) raises
+        when the shard records a different source network.  Raises
+        ``FileNotFoundError``/``OSError`` for missing/unmappable files
+        and the typed :class:`PackedIndexError` family for truncated or
+        corrupted shards.
+        """
+        path = os.fspath(path)
+        with open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            if size < _DISK_HEADER.size:
+                raise PackedIndexTruncatedError(
+                    "shard file shorter than the RXPD header"
+                )
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        owner = _MmapAttachment(path, mapped, size)
+        try:
+            start = time.perf_counter()
+            mv = owner.buf.cast("B")
+            magic, version, byteorder, crc, body_len, digest = (
+                _DISK_HEADER.unpack_from(mv, 0)
+            )
+            if magic != _DISK_MAGIC:
+                raise PackedIndexError("not an RXPD shard file (bad magic)")
+            if version != _VERSION:
+                raise PackedIndexError(
+                    f"unsupported shard version {version}"
+                )
+            if byteorder != (0 if sys.byteorder == "little" else 1):
+                raise PackedIndexError(
+                    "shard file has a foreign byte order"
+                )
+            if _DISK_HEADER.size + body_len > size:
+                raise PackedIndexTruncatedError(
+                    f"shard truncated: header declares {body_len} body "
+                    f"bytes, {size - _DISK_HEADER.size} present"
+                )
+            if expect_fingerprint is not None and digest != b"\x00" * 16:
+                expected = bytes.fromhex(expect_fingerprint)[:16]
+                if digest[: len(expected)] != expected:
+                    raise PackedIndexError(
+                        "shard was packed from a different network "
+                        "(fingerprint mismatch)"
+                    )
+            body = mv[_DISK_HEADER.size : _DISK_HEADER.size + body_len]
+            if verify and zlib.crc32(body) != crc:
+                raise PackedIndexCRCError(
+                    "shard corrupted (checksum mismatch)"
+                )
+            packed = cls.__new__(cls)
+            packed._attach_body(body, owner, lazy=True)
+            packed.shard_path = path
+            packed.build_seconds = time.perf_counter() - start
+            return packed
+        except BaseException:  # lint: disable=broad-except  # close-and-reraise cleanup, not a handler
+            owner.close()
+            raise
 
     @classmethod
     def from_shared(cls, name: str) -> "PackedIndex":
@@ -1196,6 +1495,9 @@ class PackedIndex:
         owner = self._shared_owner
         if owner is None:
             return
+        # Deferred string tables read through the mapping too — decode
+        # them into private objects before the attachment goes away.
+        self._materialize_lazy()
 
         def _materialize(view: "memoryview | None") -> "array | None":
             if view is None or isinstance(view, array):
@@ -1220,6 +1522,21 @@ class PackedIndex:
         """True while this index reads through a shared-memory segment."""
         return self._shared_owner is not None
 
+    @property
+    def backing(self) -> str:
+        """Where the flat tables live: ``mmap``, ``shm``, or ``heap``.
+
+        ``mmap`` — typed views over a memory-mapped ``RXPD`` shard
+        file (pages shared with every other attaching process);
+        ``shm`` — views over a ``multiprocessing.shared_memory``
+        segment (pages shared within one executor's pool); ``heap`` —
+        private ``array`` objects owned by this process.
+        """
+        owner = self._shared_owner
+        if owner is None:
+            return "heap"
+        return "mmap" if isinstance(owner, _MmapAttachment) else "shm"
+
     def __getstate__(self) -> dict[str, bytes]:
         """Pickle as the compact codec buffer, not the object graph."""
         return {"packed": self.to_bytes()}
@@ -1230,25 +1547,43 @@ class PackedIndex:
 
     # -- observability --------------------------------------------------------
 
-    def stats(self) -> dict[str, int | float]:
-        """Size/build statistics, including pair-kernel memo hit rates."""
+    def stats(self) -> dict[str, int | float | str]:
+        """Size/build statistics, including pair-kernel memo hit rates.
+
+        ``backing`` reports where the tables live (``heap``/``shm``/
+        ``mmap``).  ``packed_bytes`` is the compact codec size for
+        heap-backed indexes; for attached indexes it is the attachment
+        size (segment or shard file) — re-compressing a mapped shard
+        just to report a number would page the whole thing in.
+        """
+        if self._shared_owner is None:
+            packed_bytes = len(self.to_bytes())
+        else:
+            packed_bytes = getattr(self._shared_owner, "size", None)
+            if packed_bytes is None:
+                packed_bytes = len(self._shared_owner.buf)
         return {
-            "concepts": len(self._ids),
+            "concepts": self._n,
+            "backing": self.backing,
             "ancestor_entries": len(self._anc_cid),
             "gloss_tokens": (
                 len(self._gloss_tok) if self._gloss_tok is not None else 0
             ),
-            "distinct_tokens": len(self._tokens),
+            "distinct_tokens": (
+                len(self._tokens)
+                if self.__dict__.get("_lazy_blobs") is None
+                else -1  # undecoded token table (mmap attach, cold)
+            ),
             "pair_memo_pairs": len(self._pair_memo),
             "pair_memo_hits": self._pair_hits,
             "pair_memo_misses": self._pair_misses,
             "max_taxonomy_depth": self.max_taxonomy_depth,
-            "packed_bytes": len(self.to_bytes()),
+            "packed_bytes": packed_bytes,
             "build_seconds": round(self.build_seconds, 6),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"PackedIndex({len(self._ids)} concepts, "
+            f"PackedIndex({self._n} concepts, "
             f"{len(self._anc_cid)} ancestor entries)"
         )

@@ -365,15 +365,21 @@ class SemanticNetwork:
             concept = self._concepts[cid]
             update(repr((
                 cid, concept.words, concept.gloss, concept.pos,
-                concept.frequency,
+                # float() so an int-frequency network (Concept declares
+                # float, but callers may pass ints) hashes the same
+                # after a JSON save -> load coerces it to float.
+                float(concept.frequency),
             )).encode("utf-8"))
         for word in sorted(self._by_word):
             update(repr((word, tuple(self._by_word[word]))).encode("utf-8"))
         for source in sorted(self._edges):
             edge_map = self._edges[source]
             for relation in sorted(edge_map, key=lambda r: r.value):
+                # Targets sorted: edge *membership* is content, edge
+                # insertion order is not (save -> load canonicalizes
+                # relation order, and the digest must survive it).
                 update(repr(
-                    (source, relation.value, tuple(edge_map[relation]))
+                    (source, relation.value, tuple(sorted(edge_map[relation])))
                 ).encode("utf-8"))
         self._fingerprint = hasher.hexdigest()
         return self._fingerprint

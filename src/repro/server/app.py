@@ -57,6 +57,8 @@ from ..runtime.executor import (
 )
 from ..runtime.memo import config_fingerprint
 from ..runtime.metrics import MetricsRegistry
+from ..runtime.pack import PackedIndex
+from ..runtime.store import NetworkRegistry
 from ..runtime.resilience import STATUS_FAILED, DocOutcome
 from ..semnet.network import SemanticNetwork
 from .envelopes import (
@@ -92,8 +94,19 @@ class ServerConfig:
     packed: bool = True
     cache_size: int = DEFAULT_CACHE_SIZE
     workers: int = 1
+    #: RXPD shard to mmap-attach the served index from (skips the
+    #: startup index build; fingerprint-checked against the network).
+    shard: "str | None" = None
+    #: registry.toml manifest: serve every listed domain, selected per
+    #: request by the envelope's ``domain`` key.
+    registry: "str | None" = None
 
     def __post_init__(self) -> None:
+        if self.shard and self.registry:
+            raise ValueError(
+                "shard and registry are mutually exclusive "
+                "(the registry manifest already names each domain's shard)"
+            )
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
         if self.workers < 1:
@@ -145,6 +158,8 @@ class ServerApp:
         self._inflight = 0
         self._draining = False
         self._index = None
+        self._registry: NetworkRegistry | None = None
+        self._network_fingerprint: str | None = None
         self._sessions: "OrderedDict[str, BatchExecutor]" = OrderedDict()
         self._default_fingerprint: str | None = None
         self._scoring_pool: ThreadPoolExecutor | None = None
@@ -164,6 +179,26 @@ class ServerApp:
             )
         if self._default_fingerprint is None:
             with self.metrics.timer("server_warmup"):
+                if self.server_config.registry and self._registry is None:
+                    # The manifest's default domain becomes the served
+                    # network; other domains attach lazily per request.
+                    self._registry = NetworkRegistry.load(
+                        self.server_config.registry
+                    )
+                    attached = self._registry.attach(
+                        self._registry.default_domain
+                    )
+                    self.network = attached.network
+                    self._index = attached.index
+                    self._network_fingerprint = None
+                elif self.server_config.shard and self._index is None:
+                    # Zero-copy cold start: mmap the shard instead of
+                    # building the index; the fingerprint check refuses
+                    # a shard packed from a different network.
+                    self._index = PackedIndex.from_mmap(
+                        self.server_config.shard,
+                        expect_fingerprint=self.network.fingerprint(),
+                    )
                 session = self._make_session(self.config, default=True)
                 session.warm()
                 self._index = session.index
@@ -205,43 +240,58 @@ class ServerApp:
         while self._sessions:
             _, session = self._sessions.popitem()
             session.close()
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
         self._default_fingerprint = None
         if self.server_config.metrics_json:
             self.metrics.write_json(self.server_config.metrics_json)
 
     # -- sessions ------------------------------------------------------------
 
-    def _make_session(self, config: XSDFConfig,
-                      default: bool = False) -> BatchExecutor:
-        # Only the default session is wired into the registry: cache
-        # gauges are registered by fixed name, and the resident session
-        # is the one whose warmth the operator is tracking.  Override
-        # sessions still run, they just are not individually gauged.
-        # ``workers > 1`` sessions own a persistent worker pool + shared
-        # index segment, reused across every request they serve.
+    def _make_session(self, config: XSDFConfig, default: bool = False,
+                      domain: "str | None" = None) -> BatchExecutor:
+        # Only the default session is wired into the metrics registry:
+        # cache gauges are registered by fixed name, and the resident
+        # session is the one whose warmth the operator is tracking.
+        # Override sessions still run, they just are not individually
+        # gauged.  ``workers > 1`` sessions own a persistent worker
+        # pool + shared index segment, reused across every request they
+        # serve.  A ``domain`` session scores against that registry
+        # domain's network and (usually mmap-attached) index.
+        network, index = self.network, self._index
+        if domain is not None and self._registry is not None:
+            attached = self._registry.attach(domain)
+            network, index = attached.network, attached.index
         return BatchExecutor(
-            self.network,
+            network,
             config,
             workers=self.server_config.workers,
             packed=self.server_config.packed,
             cache_size=self.server_config.cache_size,
             metrics=self.metrics if default else None,
-            index=self._index,
+            index=index,
         )
 
-    def session_for(self, config: XSDFConfig) -> BatchExecutor:
+    def session_for(self, config: XSDFConfig,
+                    domain: "str | None" = None) -> BatchExecutor:
         """The resident session for this configuration (LRU-bounded).
 
         The default configuration's session is pinned; override
         sessions are created on demand, share the packed index, and are
-        evicted least-recently-used beyond ``max_sessions``.
+        evicted least-recently-used beyond ``max_sessions``.  Registry
+        domains get their own sessions — keyed by (domain, config
+        fingerprint), because cache keys are only sound within one
+        (network, configuration) pair.
         """
         fingerprint = config_fingerprint(config)
+        if domain is not None:
+            fingerprint = f"{domain}|{fingerprint}"
         session = self._sessions.get(fingerprint)
         if session is not None:
             self._sessions.move_to_end(fingerprint)
             return session
-        session = self._make_session(config)
+        session = self._make_session(config, domain=domain)
         self._sessions[fingerprint] = session
         self.metrics.count("server_sessions_created")
         while len(self._sessions) > self.server_config.max_sessions:
@@ -310,21 +360,37 @@ class ServerApp:
                               writer: asyncio.StreamWriter) -> None:
         if not await self._require_method(request, writer, "GET"):
             return
+        if self._network_fingerprint is None:
+            # Hashing a 100k-concept network takes real time; the
+            # network is frozen once served, so hash it once.
+            self._network_fingerprint = self.network.fingerprint()
         payload = {
             "status": "draining" if self._draining else "ok",
             "ready": self.ready,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "version": __version__,
             "index": {
-                "fingerprint": self.network.fingerprint(),
+                "fingerprint": self._network_fingerprint,
                 "kind": "packed" if self.server_config.packed else "dict",
                 "concepts": len(self.network),
+                # "mmap" proves the zero-copy shard attach is live,
+                # "shm" a pool segment, "heap" an in-process build.
+                "backing": (
+                    getattr(self._index, "backing", "heap")
+                    if self._index is not None else None
+                ),
             },
             "config_fingerprint": self._default_fingerprint,
             "inflight": self._inflight,
             "sessions": len(self._sessions),
             "rate_limiter": self.limiter.stats(),
         }
+        if self._registry is not None:
+            payload["registry"] = {
+                "default": self._registry.default_domain,
+                "domains": list(self._registry.domains()),
+                **self._registry.stats(),
+            }
         status = 200 if self.ready and not self._draining else 503
         await write_json_response(writer, status, payload)
         self.metrics.count(f"http_{status}")
@@ -382,11 +448,28 @@ class ServerApp:
             config = apply_overrides(
                 self.config, envelope.overrides, name=envelope.name
             )
+            if envelope.domain is not None:
+                if self._registry is None:
+                    raise EnvelopeError(
+                        400, "envelope",
+                        "this server has no network registry; "
+                        "'domain' is unavailable",
+                        name=envelope.name,
+                    )
+                if envelope.domain not in self._registry.domains():
+                    raise EnvelopeError(
+                        404, "envelope",
+                        f"unknown domain {envelope.domain!r} (registry "
+                        f"defines "
+                        f"{', '.join(self._registry.domains())})",
+                        error_type="UnknownDomain",
+                        name=envelope.name,
+                    )
         except EnvelopeError as exc:
             self.metrics.count("envelope_rejected")
             await self._write_envelope(writer, exc.status, exc.outcome)
             return
-        session = self.session_for(config)
+        session = self.session_for(config, domain=envelope.domain)
         self._inflight += 1
         try:
             record = await self._score(session, envelope.name, envelope.xml)

@@ -5,12 +5,16 @@ shapes:
 
 * the raw XML document (any non-JSON ``Content-Type``), named
   ``request`` unless an ``X-Repro-Name`` header is present;
-* a JSON envelope ``{"name": ..., "xml": ..., "config": {...}}`` whose
-  ``config`` object may override per-request pipeline knobs (``radius``,
-  ``approach``, ``threshold``, ``weights``, ``strip_target_dimension``,
-  ``structure_only``, ``prune``, ``memo``) — the same knobs ``repro
-  batch`` exposes as flags, with the same defaults, so a server answer
-  is always reproducible by a batch run.
+* a JSON envelope ``{"name": ..., "xml": ..., "config": {...},
+  "domain": ...}`` whose ``config`` object may override per-request
+  pipeline knobs (``radius``, ``approach``, ``threshold``, ``weights``,
+  ``strip_target_dimension``, ``structure_only``, ``prune``, ``memo``)
+  — the same knobs ``repro batch`` exposes as flags, with the same
+  defaults, so a server answer is always reproducible by a batch run.
+  The optional ``domain`` string selects a network from the server's
+  :class:`~repro.runtime.store.NetworkRegistry` (the raw-XML shape
+  carries it in the ``X-Repro-Domain`` header); servers without a
+  registry reject it.
 
 **Response envelope.**  Every disambiguation response ends with a
 ``DocOutcome``-shaped envelope line (``{"envelope": {...}}``): the PR-5
@@ -77,6 +81,7 @@ class DisambiguationRequest:
     name: str
     xml: str
     overrides: dict
+    domain: "str | None" = None
 
 
 def envelope_payload(outcome: DocOutcome) -> dict:
@@ -135,7 +140,17 @@ def parse_disambiguation_request(request: HTTPRequest) -> DisambiguationRequest:
                 f"(valid: {', '.join(sorted(OVERRIDE_KEYS))})",
                 name=name,
             )
-        return DisambiguationRequest(name=name, xml=xml, overrides=overrides)
+        domain = document.get("domain")
+        if domain is not None and (
+            not isinstance(domain, str) or not domain
+        ):
+            raise EnvelopeError(
+                400, "envelope", "'domain' must be a non-empty string",
+                name=name,
+            )
+        return DisambiguationRequest(
+            name=name, xml=xml, overrides=overrides, domain=domain
+        )
     try:
         xml = request.body.decode("utf-8")
     except UnicodeDecodeError as exc:
@@ -143,7 +158,10 @@ def parse_disambiguation_request(request: HTTPRequest) -> DisambiguationRequest:
             400, "envelope", f"request body is not valid UTF-8: {exc}"
         )
     name = request.header("x-repro-name", DEFAULT_NAME) or DEFAULT_NAME
-    return DisambiguationRequest(name=name, xml=xml, overrides={})
+    domain = request.header("x-repro-domain", "") or None
+    return DisambiguationRequest(
+        name=name, xml=xml, overrides={}, domain=domain
+    )
 
 
 def apply_overrides(base: XSDFConfig, overrides: dict,

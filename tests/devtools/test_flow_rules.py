@@ -528,6 +528,32 @@ class TestResourceLifecycle:
         assert len(_ids(findings, "resource-lifecycle")) == 1
         assert "'shm'" in findings[0].message
 
+    def test_fires_on_leaked_mmap(self, lint):
+        findings = lint(
+            """\
+            def attach(fh):
+                mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                return mapped[0:16]
+            """,
+            rules=["resource-lifecycle"],
+        )
+        assert len(_ids(findings, "resource-lifecycle")) == 1
+        assert "'mapped'" in findings[0].message
+
+    def test_silent_on_closed_mmap(self, lint):
+        findings = lint(
+            """\
+            def attach(fh):
+                mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                try:
+                    return bytes(mapped)
+                finally:
+                    mapped.close()
+            """,
+            rules=["resource-lifecycle"],
+        )
+        assert findings == []
+
     def test_silent_on_closed_shared_memory(self, lint):
         findings = lint(
             """\

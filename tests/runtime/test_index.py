@@ -161,10 +161,11 @@ class TestIndexQueries:
         assert stats["gloss_bags"] == len(lexicon)
         assert stats["ancestor_entries"] > stats["concepts"]
         assert stats["build_seconds"] >= 0
-        # Counts are ints (the annotation says int | float; only
-        # build_seconds is a float) and the LCS memo is observable.
+        # Counts are ints; build_seconds is a float and backing a
+        # string.  The LCS memo is observable.
+        assert stats["backing"] == "heap"
         for key, value in stats.items():
-            if key != "build_seconds":
+            if key not in ("build_seconds", "backing"):
                 assert isinstance(value, int), key
         assert stats["lcs_memo_hits"] + stats["lcs_memo_misses"] >= 0
 

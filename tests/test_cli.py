@@ -370,3 +370,128 @@ class TestBatchResilience:
         events = [e for e in report["events"] if e["event"] == "doc_failed"]
         assert len(events) == 1
         assert events[0]["stage"] == "parse"
+
+
+class TestPackAndStore:
+    def _pack_lexicon(self, tmp_path, lexicon):
+        """Bundled-lexicon shard + network JSON, written via the CLI."""
+        from repro.semnet.io import save_network
+
+        shard = tmp_path / "lexicon.rxpd"
+        network_json = tmp_path / "lexicon.network.json"
+        save_network(lexicon, str(network_json))
+        # Pack from the JSON file so the shard's tables were built from
+        # the exact network the batch runs will load (float summation
+        # order differs between a constructed network and its JSON
+        # round-trip, so cross-source comparisons are not bit-exact).
+        code, output = run([
+            "pack", str(shard), "--network", str(network_json), "--verify",
+        ])
+        assert code == 0
+        return shard, network_json, output
+
+    def test_pack_writes_and_verifies_a_shard(self, tmp_path, lexicon):
+        shard, _, output = self._pack_lexicon(tmp_path, lexicon)
+        assert shard.is_file()
+        assert f"packed {len(lexicon)} concepts" in output
+        assert "verified: body CRC ok" in output
+
+    def test_pack_synthetic_network(self, tmp_path):
+        shard = tmp_path / "synth.rxpd"
+        code, output = run([
+            "pack", str(shard), "--synthetic", "150", "--seed", "9",
+        ])
+        assert code == 0
+        assert "packed 150 concepts" in output
+
+    def test_pack_rejects_conflicting_sources(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run(["pack", str(tmp_path / "x.rxpd"),
+                 "--network", "a.json", "--synthetic", "10"])
+
+    def test_batch_shard_matches_plain_batch(
+        self, tmp_path, lexicon, xml_file
+    ):
+        shard, network_json, _ = self._pack_lexicon(tmp_path, lexicon)
+        plain_out = tmp_path / "plain.jsonl"
+        shard_out = tmp_path / "shard.jsonl"
+        code, _ = run([
+            "batch", xml_file, "--out", str(plain_out),
+            "--network", str(network_json),
+        ])
+        assert code == 0
+        code, _ = run([
+            "batch", xml_file, "--out", str(shard_out),
+            "--network", str(network_json), "--shard", str(shard),
+        ])
+        assert code == 0
+        assert shard_out.read_bytes() == plain_out.read_bytes()
+
+    def test_batch_summary_reports_index_backing(
+        self, tmp_path, lexicon, xml_file
+    ):
+        shard, network_json, _ = self._pack_lexicon(tmp_path, lexicon)
+        code, output = run([
+            "batch", xml_file, "--out", str(tmp_path / "r.jsonl"),
+            "--network", str(network_json), "--shard", str(shard),
+        ])
+        assert code == 0
+        assert "index=mmap" in output
+        code, output = run([
+            "batch", xml_file, "--out", str(tmp_path / "r2.jsonl"),
+        ])
+        assert code == 0
+        assert "index=heap" in output
+
+    def test_batch_registry_routes_and_matches(
+        self, tmp_path, lexicon, xml_file
+    ):
+        shard, network_json, _ = self._pack_lexicon(tmp_path, lexicon)
+        (tmp_path / "registry.toml").write_text(
+            'default = "general"\n'
+            '[networks.general]\n'
+            f'network = "{network_json.name}"\n'
+            f'shard = "{shard.name}"\n'
+        )
+        plain_out = tmp_path / "plain.jsonl"
+        reg_out = tmp_path / "reg.jsonl"
+        run([
+            "batch", xml_file, "--out", str(plain_out),
+            "--network", str(network_json),
+        ])
+        code, _ = run([
+            "batch", xml_file, "--out", str(reg_out),
+            "--registry", str(tmp_path / "registry.toml"),
+            "--domain", "general",
+        ])
+        assert code == 0
+        assert reg_out.read_bytes() == plain_out.read_bytes()
+
+    def test_batch_flag_conflicts_exit_cleanly(self, tmp_path, xml_file):
+        for argv in (
+            ["batch", xml_file, "--registry", "r.toml", "--network", "n"],
+            ["batch", xml_file, "--domain", "x"],
+            ["batch", xml_file, "--shard", "s.rxpd"],
+            ["batch", xml_file, "--shard", "s.rxpd", "--network", "n.json",
+             "--dict-index"],
+        ):
+            with pytest.raises(SystemExit):
+                run(argv)
+
+    def test_batch_stale_shard_fails_loudly(self, tmp_path, lexicon, xml_file):
+        from repro.runtime import PackedIndex, write_shard
+        from repro.semnet.generator import GeneratorConfig, generate_network
+        from repro.semnet.io import save_network
+
+        network_json = tmp_path / "lexicon.network.json"
+        save_network(lexicon, str(network_json))
+        other = generate_network(GeneratorConfig(n_concepts=50, seed=3))
+        shard = tmp_path / "stale.rxpd"
+        write_shard(
+            PackedIndex(other), str(shard), fingerprint=other.fingerprint()
+        )
+        with pytest.raises(SystemExit, match="cannot attach shard"):
+            run([
+                "batch", xml_file, "--out", str(tmp_path / "r.jsonl"),
+                "--network", str(network_json), "--shard", str(shard),
+            ])
