@@ -204,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pin the registry domain to serve from "
                             "(default: coverage-routed over the "
                             "manifest's default + fallback domains)")
+    batch.add_argument("--journal", default=None, metavar="PATH",
+                       help="append each completed document to this "
+                            "crash-safe outcome journal (WAL) as it "
+                            "finishes; a killed run loses at most the "
+                            "in-flight documents")
+    batch.add_argument("--resume", action="store_true",
+                       help="replay --journal before scoring: documents "
+                            "the journal proves complete are re-emitted "
+                            "byte-identically instead of re-scored "
+                            "(requires --journal)")
+    batch.add_argument("--chaos-seed", type=int, default=0, metavar="N",
+                       help="seed for --chaos-fault schedules "
+                            "(default 0)")
+    batch.add_argument("--chaos-fault", action="append", default=None,
+                       metavar="KIND[:MATCH[:RATE]]",
+                       help="inject a seeded fault schedule (repeatable); "
+                            "kinds: raise, slow, corrupt-packed, exit, "
+                            "kill_midbatch, bitrot")
 
     pack = sub.add_parser(
         "pack",
@@ -317,6 +335,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "manifest; requests pick one with the "
                             "envelope's 'domain' key (mutually "
                             "exclusive with --network/--shard)")
+    serve.add_argument("--scrub-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="run the background shard integrity "
+                            "scrubber, one bounded slice every N "
+                            "seconds (default 0 = off); damaged shards "
+                            "are quarantined and the server fails over "
+                            "to a heap-built index")
+    serve.add_argument("--scrub-slice-bytes", type=int, default=1 << 20,
+                       metavar="BYTES",
+                       help="bytes re-verified per scrub slice "
+                            "(default 1 MiB)")
+    serve.add_argument("--no-scrub-repair", action="store_true",
+                       help="detect + quarantine only; skip re-packing "
+                            "a damaged shard from its source network")
+    serve.add_argument("--reload-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="watch the registry manifest and shard "
+                            "files and hot-reload sessions when they "
+                            "change (default 0 = SIGHUP only)")
 
     audit = sub.add_parser("audit", help="rank nodes by ambiguity degree")
     audit.add_argument("file", help="path to the XML document")
@@ -452,8 +489,14 @@ def _cmd_disambiguate(args: argparse.Namespace, out) -> int:
 
 def _cmd_batch(args: argparse.Namespace, out) -> int:
     import json as jsonlib
+    from collections import defaultdict, deque
 
-    from .runtime.executor import DEFAULT_CACHE_SIZE, BatchExecutor
+    from .runtime.executor import (
+        DEFAULT_CACHE_SIZE,
+        BatchExecutor,
+        BatchRecord,
+    )
+    from .runtime.journal import document_digest
     from .runtime.metrics import MetricsRegistry, batch_summary
     from .runtime.resilience import BatchAbortError
 
@@ -468,11 +511,34 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
     network, prebuilt_index, registry, domain_note = _resolve_batch_index(
         args, documents
     )
+    injector = _make_injector(args)
+    config = _make_config(args)
+    journal, run_docs, todo_indices, replayed = _open_journal(
+        args, config, network, documents
+    )
+    # run_docs position -> final record, fed by the executor's
+    # record_hook in completion order.  This is both the journal's
+    # append point and the KeyboardInterrupt salvage: whatever is here
+    # when the batch dies is what the partial output can emit.
+    completed_by_pos: dict[int, BatchRecord] = {}
+    pending_by_name: dict[str, deque[int]] = defaultdict(deque)
+    digest_by_name: dict[str, str] = {}
+    for pos, (name, xml) in enumerate(run_docs):
+        pending_by_name[name].append(pos)
+        digest_by_name[name] = document_digest(xml)
+
+    def _record_hook(record: "BatchRecord") -> None:
+        queue = pending_by_name.get(record.name)
+        if queue:
+            completed_by_pos[queue.popleft()] = record
+        if journal is not None:
+            journal.append(record, digest_by_name[record.name])
+
     metrics = MetricsRegistry()
     try:
         executor = BatchExecutor(
             network,
-            _make_config(args),
+            config,
             workers=args.workers,
             chunk_size=args.chunk_size,
             use_index=not args.no_index,
@@ -486,8 +552,12 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
             doc_timeout=args.doc_timeout,
             on_error=args.on_error,
             index=prebuilt_index,
+            injector=injector,
+            record_hook=_record_hook,
         )
     except ValueError as exc:
+        if journal is not None:
+            journal.close()
         raise SystemExit(str(exc))
     profiler = None
     if args.profile:
@@ -496,13 +566,20 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     aborted: BatchAbortError | None = None
+    interrupted = False
     try:
-        records = executor.run(documents)
+        records = executor.run(run_docs)
     except BatchAbortError as exc:
         # Partial results are still written; the exit code reports the
         # abort.
         aborted = exc
         records = exc.records
+    except KeyboardInterrupt:
+        # Salvage what completed: the hook saw every finalized record,
+        # so the partial output (and the journal, flushed below) keeps
+        # the finished work instead of dying with a truncated file.
+        interrupted = True
+        records = [completed_by_pos[i] for i in sorted(completed_by_pos)]
     finally:
         # Snapshot the index backing before teardown: closing the
         # registry releases its mmap attachments (materializing the
@@ -516,11 +593,17 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         executor.close()
         if registry is not None:
             registry.close()
+        if journal is not None:
+            journal.close()
     if profiler is not None:
         profiler.disable()
     if args.metrics_json:
         metrics.write_json(args.metrics_json)
 
+    records = _merge_replayed(
+        documents, run_docs, todo_indices, replayed, records,
+        completed_by_pos, partial=interrupted or aborted is not None,
+    )
     failures = [r for r in records if not r.ok]
     quarantined: list = []
     emitted = records
@@ -555,8 +638,18 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         # "heap" that the index was (re)built in this process.
         summary += f", index={index_backing}"
     summary += domain_note
+    if args.journal:
+        summary += (
+            f", journal replayed={len(replayed)} "
+            f"scored={len(completed_by_pos)} -> {args.journal}"
+        )
     if quarantined:
         summary += f", {len(quarantined)} quarantined -> {quarantine_path}"
+    if interrupted:
+        summary = (
+            f"interrupted: wrote {len(records)}/{len(documents)} "
+            f"records; " + summary
+        )
     stream = sys.stderr if not args.out else out
     stream.write(summary + "\n")
     for record in failures:
@@ -572,6 +665,8 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         stream.write(f"  ABORTED (--on-error=fail): {aborted}\n")
     if profiler is not None:
         stream.write(_profile_summary(profiler))
+    if interrupted:
+        return 130  # the conventional SIGINT exit code (128 + 2)
     if aborted is not None:
         return 2
     if args.on_error == "quarantine":
@@ -636,6 +731,117 @@ def _resolve_batch_index(args: argparse.Namespace, documents):
     if args.network:
         return _load_network(args.network), None, None, ""
     return default_lexicon(), None, None, ""
+
+
+def _make_injector(args: argparse.Namespace):
+    """A seeded :class:`FaultInjector` from ``--chaos-fault`` flags."""
+    if not getattr(args, "chaos_fault", None):
+        return None
+    from .runtime.faults import FaultInjector, FaultSpec
+
+    try:
+        specs = [FaultSpec.parse(text) for text in args.chaos_fault]
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return FaultInjector(args.chaos_seed, specs)
+
+
+def _open_journal(args: argparse.Namespace, config, network, documents):
+    """Set up the batch journal and split replayed from to-score work.
+
+    Returns ``(journal, run_docs, todo_indices, replayed)``: the open
+    :class:`~repro.runtime.journal.JournalWriter` (or ``None``), the
+    documents still needing scores, their indices into ``documents``,
+    and ``{document index: journal entry}`` for the completed ones.
+    ``--resume`` refuses a journal stamped with a different config or
+    network fingerprint — replaying those records would break the
+    byte-identity contract.
+    """
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal")
+    if args.journal is None:
+        return None, documents, list(range(len(documents))), {}
+    from .runtime.journal import (
+        JournalError,
+        JournalWriter,
+        document_digest,
+        read_journal,
+    )
+    from .runtime.memo import config_fingerprint
+
+    meta = {
+        "config": config_fingerprint(config),
+        "network": network.fingerprint(),
+    }
+    replayed: dict[int, dict] = {}
+    todo = list(range(len(documents)))
+    if args.resume:
+        try:
+            replay = read_journal(args.journal)
+        except JournalError as exc:
+            raise SystemExit(f"cannot resume: {exc}")
+        if not replay.matches(meta["config"], meta["network"]):
+            raise SystemExit(
+                f"cannot resume: journal {args.journal} was written under "
+                f"a different configuration or network; rerun without "
+                f"--resume to start over"
+            )
+        done = replay.completed()
+        todo = []
+        for i, (name, xml) in enumerate(documents):
+            entry = done.get((name, document_digest(xml)))
+            if entry is None:
+                todo.append(i)
+            else:
+                replayed[i] = entry
+    try:
+        journal = JournalWriter(args.journal, meta=meta, resume=args.resume)
+    except OSError as exc:
+        raise SystemExit(f"cannot open journal {args.journal}: {exc}")
+    run_docs = [documents[i] for i in todo]
+    return journal, run_docs, todo, replayed
+
+
+def _merge_replayed(
+    documents, run_docs, todo_indices, replayed, records,
+    completed_by_pos, partial: bool,
+):
+    """Merge replayed journal entries and fresh records in input order.
+
+    Replayed entries are reconstituted into :class:`BatchRecord`
+    objects whose JSONL rendering is byte-identical to the line the
+    crashed run would have written (``to_dict`` round-trips through
+    canonical JSON).  Under a partial run (KeyboardInterrupt, abort)
+    unfinished documents are simply absent from the output.
+    """
+    from .runtime.executor import BatchRecord
+    from .runtime.resilience import DocOutcome
+
+    if partial:
+        scored_by_pos = completed_by_pos
+    else:
+        scored_by_pos = dict(enumerate(records))
+    pos_of_doc = {doc_idx: pos for pos, doc_idx in enumerate(todo_indices)}
+    merged = []
+    for doc_idx in range(len(documents)):
+        entry = replayed.get(doc_idx)
+        if entry is not None:
+            rec = entry["record"]
+            merged.append(BatchRecord(
+                name=rec["name"],
+                result=rec.get("result"),
+                error=rec.get("error"),
+                elapsed_s=0.0,
+                outcome=(
+                    DocOutcome.from_dict(entry["outcome"])
+                    if "outcome" in entry else None
+                ),
+            ))
+            continue
+        record = scored_by_pos.get(pos_of_doc[doc_idx])
+        if record is not None:
+            merged.append(record)
+    return merged
 
 
 def _cmd_pack(args: argparse.Namespace, out) -> int:
@@ -745,6 +951,11 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
             workers=args.workers,
             shard=args.shard,
             registry=args.registry,
+            network_path=args.network,
+            scrub_interval=args.scrub_interval,
+            scrub_slice_bytes=args.scrub_slice_bytes,
+            scrub_repair=not args.no_scrub_repair,
+            reload_interval=args.reload_interval,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))

@@ -527,12 +527,15 @@ class ExceptionFlowRule(ProjectRule):
 # resource-lifecycle
 # ---------------------------------------------------------------------------
 
-#: Calls that acquire an OS-backed resource needing release.
+#: Calls that acquire an OS-backed resource needing release.  Journal
+#: writers hold an unbuffered fd whose final frames are lost if never
+#: closed; threads (the scrubber's daemon included) must be stopped and
+#: joined, or a test run never exits cleanly.
 _ACQUIRERS = frozenset({
     "open", "mmap", "socket", "socketpair", "create_connection",
     "Pool", "ProcessPoolExecutor", "ThreadPoolExecutor",
     "TemporaryFile", "NamedTemporaryFile", "SpooledTemporaryFile",
-    "SharedMemory",
+    "SharedMemory", "Thread", "JournalWriter", "ShardScrubber",
 })
 
 #: Method names that release (or begin releasing) a resource.

@@ -42,8 +42,17 @@ scale cheap and observable without changing a single score:
 * :mod:`~repro.runtime.faults` — :class:`FaultInjector` and
   :class:`FaultSpec`, deterministic seeded fault schedules
   (raise-in-worker, slow-worker, corrupt-packed-bytes,
-  flaky-then-recover) that exercise every recovery path; surviving
-  documents stay bit-identical to a fault-free run.
+  flaky-then-recover, kill-midbatch, shard bitrot) that exercise every
+  recovery path; surviving documents stay bit-identical to a
+  fault-free run;
+* :mod:`~repro.runtime.journal` — :class:`JournalWriter` /
+  :func:`read_journal`, the append-only CRC-framed outcome journal
+  (WAL) behind ``repro batch --journal/--resume``: a killed batch
+  resumes byte-identically, re-scoring only what never landed;
+* :mod:`~repro.runtime.scrubber` — :class:`ShardScrubber`, the
+  background integrity scrubber for attached ``RXPD`` shards:
+  incremental CRC re-verification, typed damage detection, quarantine
+  renames, and optional re-pack repair from the source network.
 
 Typical use::
 
@@ -59,6 +68,13 @@ from .cache import LRUCache
 from .executor import BatchDocument, BatchExecutor, BatchRecord
 from .faults import FaultInjector, FaultSpec, InjectedFault
 from .index import SemanticIndex
+from .journal import (
+    JournalError,
+    JournalReplay,
+    JournalWriter,
+    document_digest,
+    read_journal,
+)
 from .memo import SphereMemo, config_fingerprint, sphere_signature
 from .metrics import MetricsRegistry, StageTimer, batch_summary
 from .pack import (
@@ -81,6 +97,7 @@ from .resilience import (
     DocOutcome,
     RetryPolicy,
 )
+from .scrubber import ScrubTarget, ShardScrubber
 from .store import (
     MmapIndexHandle,
     NetworkRegistry,
@@ -101,6 +118,9 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "InjectedFault",
+    "JournalError",
+    "JournalReplay",
+    "JournalWriter",
     "LRUCache",
     "MetricsRegistry",
     "MmapIndexHandle",
@@ -114,7 +134,9 @@ __all__ = [
     "RegistryEntry",
     "RegistryError",
     "RetryPolicy",
+    "ScrubTarget",
     "SemanticIndex",
+    "ShardScrubber",
     "SharedIndexHandle",
     "SharedIndexSegment",
     "SphereMemo",
@@ -122,7 +144,9 @@ __all__ = [
     "auto_workers",
     "batch_summary",
     "config_fingerprint",
+    "document_digest",
     "parse_workers",
+    "read_journal",
     "read_shard_header",
     "sphere_signature",
     "verify_shard",

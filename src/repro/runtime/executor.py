@@ -49,7 +49,7 @@ import time
 import weakref
 from collections import deque
 from dataclasses import dataclass
-from typing import IO, Iterable, Sequence
+from typing import IO, Callable, Iterable, Sequence
 
 from ..core.config import XSDFConfig
 from ..core.framework import XSDF
@@ -494,6 +494,11 @@ class BatchExecutor:
         (default False).  The pool-lifecycle tests, the chaos gate,
         and the bench's honesty measurements use this to exercise the
         real pool machinery on single-CPU hosts.
+    record_hook:
+        Optional callable invoked in the parent with each *final*
+        :class:`BatchRecord` as it completes, on every dispatch path
+        (serial, parallel, timeout-exhausted).  The batch journal's
+        append point; hook exceptions propagate and abort the batch.
     """
 
     def __init__(
@@ -514,6 +519,7 @@ class BatchExecutor:
         injector: FaultInjector | None = None,
         index: "PackedIndex | SemanticIndex | None" = None,
         oversubscribe: bool = False,
+        record_hook: "Callable[[BatchRecord], None] | None" = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -543,6 +549,7 @@ class BatchExecutor:
         self.breaker_threshold = breaker_threshold
         self.on_error = on_error
         self.injector = injector
+        self.record_hook = record_hook
         self._index: "PackedIndex | SemanticIndex | None" = (
             index if use_index else None
         )
@@ -726,6 +733,13 @@ class BatchExecutor:
                     stage=outcome.stage,
                     attempts=attempt,
                 )
+        hook = self.record_hook
+        if hook is not None:
+            # Runs in the parent, exactly once per final record, on
+            # every dispatch path — the journal's append point.  Hook
+            # failures (disk full under --journal) propagate: silently
+            # dropping durability would defeat the journal's contract.
+            hook(record)
         return record
 
     def _note_retry(self, outcome: DocOutcome, attempt: int) -> None:

@@ -28,6 +28,16 @@ Fault kinds:
   (serial drain, in-process test doubles) it raises a transient
   :class:`InjectedFault` instead — crashing the caller would take the
   test harness down with it.
+* ``kill_midbatch`` — SIGKILL the whole batch *process* when a
+  matching document comes up: the journal chaos gate's crash, taking
+  the parent (and its journal buffers) down with no cleanup at all.
+  Unlike ``exit`` this kind is meant to fire in the parent — the gate
+  runs it in a sacrificial subprocess and then proves ``--resume``
+  reconstructs a byte-identical output.
+* ``bitrot`` — not a per-document hook at all: ``bitrot_shard`` flips
+  one seeded byte inside an ``RXPD`` shard file *on disk*, past the
+  32-byte header, so the scrubber's incremental CRC pass (not the
+  attach-time check) is what must catch it.
 
 The module also ships two tiny test doubles (:class:`FaultyKernel`,
 :class:`BrokenMemo`) used by the ladder unit tests to fault a packed
@@ -40,11 +50,14 @@ import dataclasses
 import fnmatch
 import hashlib
 import os
+import signal
 import time
 from typing import Any
 
 #: Valid ``FaultSpec.kind`` values.
-FAULT_KINDS = ("raise", "slow", "corrupt-packed", "exit")
+FAULT_KINDS = (
+    "raise", "slow", "corrupt-packed", "exit", "kill_midbatch", "bitrot"
+)
 
 
 class InjectedFault(RuntimeError):
@@ -153,6 +166,56 @@ class FaultSpec:
         """
         return cls(kind="exit", match=match, rate=rate, max_attempt=max_attempt)
 
+    @classmethod
+    def kill_midbatch(
+        cls, match: str = "*", rate: float = 1.0
+    ) -> "FaultSpec":
+        """SIGKILL the whole batch process at a matching document.
+
+        The crash the journal must survive: no ``finally``, no flush,
+        no atexit — only what already reached the OS persists.
+        """
+        return cls(kind="kill_midbatch", match=match, rate=rate)
+
+    @classmethod
+    def bitrot(cls, match: str = "*", rate: float = 1.0) -> "FaultSpec":
+        """Flip one seeded byte inside a shard file on disk.
+
+        ``match`` patterns the shard's basename (not a document name);
+        applied through :meth:`FaultInjector.bitrot_shard`.
+        """
+        return cls(kind="bitrot", match=match, rate=rate)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse a CLI fault spec: ``KIND[:MATCH[:RATE]]``.
+
+        ``MATCH`` may itself contain colons (file paths); when the
+        final segment parses as a float it is the rate, otherwise it is
+        part of the match pattern.  Examples::
+
+            kill_midbatch:*doc-03*
+            raise:*.xml:0.25
+            bitrot
+        """
+        parts = text.split(":")
+        kind = parts[0]
+        match = "*"
+        rate = 1.0
+        if len(parts) >= 3:
+            try:
+                rate = float(parts[-1])
+            except ValueError:  # lint: disable=silent-degrade  # not a failure: a non-numeric tail is part of the match pattern
+                match = ":".join(parts[1:])
+            else:
+                match = ":".join(parts[1:-1])
+        elif len(parts) == 2:
+            match = parts[1]
+        try:
+            return cls(kind=kind, match=match, rate=rate)
+        except ValueError as exc:
+            raise ValueError(f"bad fault spec {text!r}: {exc}") from None
+
 
 class FaultInjector:
     """Seeded, stateless fault schedule shared by executor and workers.
@@ -210,8 +273,57 @@ class FaultInjector:
                     f"parent process (attempt {attempt}, seed {self.seed})",
                     transient=spec.transient,
                 )
+            if spec.kind == "kill_midbatch":
+                import multiprocessing
+
+                sigkill = getattr(signal, "SIGKILL", None)
+                target = os.getpid()
+                if multiprocessing.parent_process() is not None:
+                    # A pool worker reached the fault first: kill the
+                    # batch parent (the point of the schedule), then
+                    # die — the gate's crash must take the journal
+                    # buffers down, not just one worker.
+                    target = os.getppid()
+                if sigkill is not None:
+                    os.kill(target, sigkill)
+                os._exit(17)  # platforms without SIGKILL, and workers
             if spec.kind == "slow" and spec.delay_s > 0:
                 time.sleep(spec.delay_s)
+
+    def bitrot_shard(self, path: "str | os.PathLike[str]") -> "int | None":
+        """Flip one seeded byte of an ``RXPD`` shard file, in place.
+
+        Applies the first matching ``bitrot`` schedule (patterns match
+        the shard's basename); the flip position is deterministic in
+        the seed and the file size, and always lands past the 32-byte
+        disk header so attach-time magic checks still pass and the
+        *scrubber's* body CRC is what must catch it.  Returns the
+        flipped offset, or ``None`` when no schedule fires.
+        """
+        path = os.fspath(path)
+        base = os.path.basename(path)
+        header = 32  # RXPD disk header; flip inside the body
+        for spec_index, spec in enumerate(self.specs):
+            if spec.kind != "bitrot":
+                continue
+            if not fnmatch.fnmatch(base, spec.match):
+                continue
+            if spec.rate < 1.0 and self._roll(spec_index, base) >= spec.rate:
+                continue
+            size = os.path.getsize(path)
+            if size <= header + 1:
+                return None
+            pos = header + int(
+                self._roll(spec_index, "pos", size) * (size - header)
+            )
+            pos = min(pos, size - 1)
+            with open(path, "r+b") as fh:
+                fh.seek(pos)
+                byte = fh.read(1)
+                fh.seek(pos)
+                fh.write(bytes([byte[0] ^ 0xFF]))
+            return pos
+        return None
 
     @property
     def corrupts_packed(self) -> bool:

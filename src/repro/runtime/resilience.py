@@ -89,6 +89,25 @@ class DocOutcome:
             payload["degradations"] = list(self.degradations)
         return payload
 
+    @classmethod
+    def from_dict(cls, payload: "dict[str, Any]") -> "DocOutcome":
+        """Rebuild an outcome from its :meth:`to_dict` payload.
+
+        The journal replay path: a resumed batch reconstructs each
+        completed document's outcome exactly as the crashed run
+        recorded it, so summaries and quarantine sidecars match an
+        uninterrupted run.
+        """
+        return cls(
+            name=payload["name"],
+            status=payload.get("status", STATUS_OK),
+            attempts=payload.get("attempts", 1),
+            stage=payload.get("stage", ""),
+            error_type=payload.get("error_type", ""),
+            error=payload.get("error", ""),
+            degradations=tuple(payload.get("degradations", ())),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class RetryPolicy:

@@ -1,0 +1,406 @@
+"""Background integrity scrubber for attached ``RXPD`` index shards.
+
+A shard that rots on disk *after* ``repro pack`` is only caught at
+attach time — a long-lived server that attached it weeks ago keeps
+serving whatever the page cache (or the damaged disk) hands back.  The
+scrubber closes that gap: it re-verifies each registered shard's body
+CRC **incrementally**, one bounded slice per step, so a multi-GB shard
+is audited continuously without ever stalling the serving process.
+
+Damage handling is typed and loud:
+
+* detection — a short read (``truncated``), a body-CRC mismatch
+  (``crc-mismatch``), a bad or torn header (``bad-header``), or the
+  file vanishing (``missing``);
+* quarantine — the damaged shard is renamed to ``*.quarantined`` (the
+  evidence is preserved for a post-mortem, and no future attach can map
+  the bad bytes) and a metrics event is emitted;
+* failover — the ``on_damage`` callback fires so the owner (the server
+  app, the registry) can swap the serving sessions to a fallback or a
+  heap-built index with zero failed requests;
+* repair — when the target knows its source network path, the shard is
+  re-packed from the network in place, ready for a hot reload to
+  re-attach the mmap fast path.
+
+Steps are driven either by the scrubber's own daemon thread
+(:meth:`start` / :meth:`stop`, joined on all paths) or synchronously by
+tests and gates calling :meth:`step`.  Each step opens the shard,
+verifies one slice, and closes it — no file handle outlives a step, so
+a quarantine rename or an atomic re-pack never races a kept-open
+descriptor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import zlib
+from typing import Callable
+
+from .metrics import MetricsRegistry
+from .pack import (
+    _DISK_HEADER,
+    PackedIndexError,
+    PackedIndexTruncatedError,
+)
+from .store import read_shard_header
+
+#: Typed damage kinds reported by the scrubber.
+DAMAGE_MISSING = "missing"
+DAMAGE_TRUNCATED = "truncated"
+DAMAGE_CRC = "crc-mismatch"
+DAMAGE_HEADER = "bad-header"
+DAMAGE_IO = "io-error"
+
+#: Target lifecycle states.
+STATE_PENDING = "pending"
+STATE_CLEAN = "clean"
+STATE_QUARANTINED = "quarantined"
+STATE_REPAIRED = "repaired"
+
+
+@dataclasses.dataclass
+class ScrubTarget:
+    """One shard under scrub, with its verification state."""
+
+    path: str
+    network_path: "str | None" = None
+    domain: "str | None" = None
+    status: str = STATE_PENDING
+    passes: int = 0
+    damage: "str | None" = None
+    quarantined_path: "str | None" = None
+    last_error: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready state for ``/healthz``."""
+        payload: dict = {
+            "path": self.path,
+            "status": self.status,
+            "passes": self.passes,
+        }
+        if self.domain:
+            payload["domain"] = self.domain
+        if self.damage:
+            payload["damage"] = self.damage
+        if self.quarantined_path:
+            payload["quarantined_path"] = self.quarantined_path
+        if self.last_error:
+            payload["last_error"] = self.last_error
+        return payload
+
+
+class ShardScrubber:
+    """Incremental CRC re-verification with quarantine and repair.
+
+    ``slice_bytes`` bounds the I/O + CPU of one step; ``interval_s`` is
+    the daemon thread's sleep between steps (together they cap the
+    scrub bandwidth at roughly ``slice_bytes / interval_s``).
+    ``on_damage(target, kind)`` fires — after quarantine, outside the
+    scrubber lock — so the owner can fail over; it may be called from
+    the scrub thread and must be thread-safe.  ``repair=True`` re-packs
+    a quarantined shard from its source network when the target knows
+    one.
+    """
+
+    def __init__(
+        self,
+        slice_bytes: int = 1 << 20,
+        interval_s: float = 0.5,
+        metrics: "MetricsRegistry | None" = None,
+        on_damage: "Callable[[ScrubTarget, str], None] | None" = None,
+        repair: bool = True,
+    ) -> None:
+        if slice_bytes < 1:
+            raise ValueError("slice_bytes must be >= 1")
+        if interval_s < 0:
+            raise ValueError("interval_s must be >= 0")
+        self.slice_bytes = slice_bytes
+        self.interval_s = interval_s
+        self.metrics = metrics
+        self.on_damage = on_damage
+        self.repair = repair
+        self._targets: dict[str, ScrubTarget] = {}
+        #: Per-target pass cursor: offset, running CRC, expectations.
+        self._cursors: dict[str, dict] = {}
+        self._next = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # -- target registry ------------------------------------------------------
+
+    def add_target(
+        self,
+        path: "str | os.PathLike[str]",
+        network_path: "str | None" = None,
+        domain: "str | None" = None,
+    ) -> ScrubTarget:
+        """Register one shard for scrubbing (idempotent by path)."""
+        path = os.fspath(path)
+        with self._lock:
+            target = self._targets.get(path)
+            if target is None:
+                target = ScrubTarget(
+                    path=path, network_path=network_path, domain=domain
+                )
+                self._targets[path] = target
+            return target
+
+    def reset_targets(
+        self, targets: "list[tuple[str, str | None, str | None]]"
+    ) -> None:
+        """Replace the target set (hot reload swaps the watched shards)."""
+        with self._lock:
+            self._targets = {}
+            self._cursors = {}
+            self._next = 0
+        for path, network_path, domain in targets:
+            self.add_target(path, network_path=network_path, domain=domain)
+
+    def targets(self) -> "list[ScrubTarget]":
+        """The registered targets (snapshot)."""
+        with self._lock:
+            return list(self._targets.values())
+
+    # -- scrub steps ----------------------------------------------------------
+
+    def step(self) -> "dict | None":
+        """Verify one bounded slice of the next scrubbable target.
+
+        Returns a small event dict when something notable happened
+        (``pass-complete``, ``damage``, ``repaired``) and ``None`` for
+        an uneventful slice.  Synchronous — tests and gates drive the
+        scrubber deterministically through this, the daemon thread is
+        just a loop around it.
+        """
+        with self._lock:
+            scannable = [
+                t for t in self._targets.values()
+                if t.status != STATE_QUARANTINED or (
+                    self.repair and t.network_path
+                )
+            ]
+            if not scannable:
+                return None
+            target = scannable[self._next % len(scannable)]
+            self._next += 1
+        if target.status == STATE_QUARANTINED:
+            return self._repair(target.path)
+        event = self._scrub_slice(target.path)
+        if event is not None and event.get("event") == "damage":
+            self._handle_damage(
+                target.path, event["kind"], event.get("detail", "")
+            )
+        return event
+
+    def _scrub_slice(self, path: str) -> "dict | None":
+        """Advance one target's pass by one slice; classify any damage.
+
+        A raised/short read is returned as a typed damage verdict, not
+        handled here — :meth:`step` routes it to :meth:`_handle_damage`,
+        which quarantines the shard and emits the metrics events.
+        """
+        target = self._targets.get(path)
+        if target is None:
+            return None
+        try:
+            cursor = self._cursors.get(target.path)
+            if cursor is None:
+                header = read_shard_header(target.path)
+                stat = os.stat(target.path)
+                cursor = {
+                    "offset": _DISK_HEADER.size,
+                    "crc": 0,
+                    "end": _DISK_HEADER.size + header["body_bytes"],
+                    "expect_crc": header["crc"],
+                    "sig": (stat.st_ino, stat.st_mtime_ns, stat.st_size),
+                }
+                self._cursors[target.path] = cursor
+            with open(target.path, "rb") as fh:
+                stat = os.fstat(fh.fileno())
+                sig = (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+                if sig != cursor["sig"]:
+                    # The shard was atomically replaced (re-pack, hot
+                    # reload) mid-pass: restart against the new file,
+                    # this is churn, not damage.
+                    self._cursors.pop(target.path, None)
+                    return {"event": "restart", "path": target.path}
+                fh.seek(cursor["offset"])
+                want = min(self.slice_bytes, cursor["end"] - cursor["offset"])
+                chunk = fh.read(want)
+        except FileNotFoundError:  # lint: disable=silent-degrade  # verdict returned to step() -> _handle_damage quarantines + emits metrics
+            return {
+                "event": "damage", "kind": DAMAGE_MISSING,
+                "detail": "shard file is gone",
+            }
+        except PackedIndexTruncatedError as exc:  # lint: disable=silent-degrade,exception-flow  # verdict returned to step() -> _handle_damage quarantines + emits metrics
+            return {
+                "event": "damage", "kind": DAMAGE_TRUNCATED,
+                "detail": str(exc),
+            }
+        except PackedIndexError as exc:  # lint: disable=silent-degrade,exception-flow  # verdict returned to step() -> _handle_damage quarantines + emits metrics
+            return {
+                "event": "damage", "kind": DAMAGE_HEADER, "detail": str(exc),
+            }
+        except OSError as exc:  # lint: disable=silent-degrade  # verdict returned to step() -> _handle_damage quarantines + emits metrics
+            return {"event": "damage", "kind": DAMAGE_IO, "detail": str(exc)}
+        if len(chunk) < want:
+            return {
+                "event": "damage", "kind": DAMAGE_TRUNCATED,
+                "detail": (
+                    f"short read at offset {cursor['offset']}: "
+                    f"wanted {want}, got {len(chunk)}"
+                ),
+            }
+        cursor["crc"] = zlib.crc32(chunk, cursor["crc"])
+        cursor["offset"] += len(chunk)
+        if cursor["offset"] < cursor["end"]:
+            return None
+        self._cursors.pop(target.path, None)
+        if cursor["crc"] != cursor["expect_crc"]:
+            return {
+                "event": "damage", "kind": DAMAGE_CRC,
+                "detail": (
+                    f"body CRC {cursor['crc']:#010x} != stamped "
+                    f"{cursor['expect_crc']:#010x}"
+                ),
+            }
+        target.passes += 1
+        target.status = STATE_CLEAN
+        target.damage = None
+        if self.metrics is not None:
+            self.metrics.count("scrub_passes")
+        return {"event": "pass-complete", "path": target.path}
+
+    # -- damage handling ------------------------------------------------------
+
+    def _handle_damage(self, path: str, kind: str, detail: str) -> None:
+        """Quarantine the damaged shard, then notify the owner."""
+        target = self._targets.get(path)
+        if target is None:
+            return
+        target.damage = kind
+        target.last_error = detail
+        self._cursors.pop(target.path, None)
+        if self.metrics is not None:
+            self.metrics.count("scrub_damage")
+            self.metrics.event(
+                "shard_damage", path=target.path, kind=kind, detail=detail,
+            )
+        if kind != DAMAGE_MISSING:
+            quarantined = f"{target.path}.quarantined"
+            n = 1
+            while os.path.exists(quarantined):
+                quarantined = f"{target.path}.quarantined.{n}"
+                n += 1
+            try:
+                os.rename(target.path, quarantined)
+                target.quarantined_path = quarantined
+                if self.metrics is not None:
+                    self.metrics.count("scrub_quarantined")
+                    self.metrics.event(
+                        "shard_quarantined",
+                        path=target.path, moved_to=quarantined, kind=kind,
+                    )
+            except OSError as exc:
+                # The rename lost a race (concurrent re-pack, unlink);
+                # failover still proceeds on the damage verdict.
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "scrub_quarantine_failed",
+                        path=target.path, error=str(exc),
+                    )
+        target.status = STATE_QUARANTINED
+        callback = self.on_damage
+        if callback is not None:
+            try:
+                callback(target, kind)
+            except Exception as exc:  # lint: disable=broad-except  # scrub thread isolation: a failing failover hook must not kill the scrub loop
+                if self.metrics is not None:
+                    self.metrics.event(
+                        "scrub_callback_failed",
+                        path=target.path, error=str(exc),
+                    )
+
+    def _repair(self, path: str) -> "dict | None":
+        """Re-pack a quarantined shard from its source network."""
+        target = self._targets.get(path)
+        if target is None or not (self.repair and target.network_path):
+            return None
+        try:
+            from ..semnet.io import load_network
+            from .pack import PackedIndex
+            from .store import write_shard
+            network = load_network(target.network_path)
+            index = PackedIndex(network)
+            write_shard(index, target.path, fingerprint=network.fingerprint())
+        except Exception as exc:  # lint: disable=broad-except  # repair is best-effort: the shard stays quarantined, the failure is an event
+            target.last_error = f"repair failed: {exc}"
+            if self.metrics is not None:
+                self.metrics.event(
+                    "shard_repair_failed", path=target.path, error=str(exc),
+                )
+            return {"event": "repair-failed", "path": target.path}
+        target.status = STATE_REPAIRED
+        target.damage = None
+        target.last_error = ""
+        if self.metrics is not None:
+            self.metrics.count("scrub_repairs")
+            self.metrics.event(
+                "shard_repaired",
+                path=target.path, network=target.network_path,
+            )
+        return {"event": "repaired", "path": target.path}
+
+    # -- daemon thread --------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background scrub thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop = threading.Event()
+        thread = threading.Thread(
+            target=self._run, name="repro-scrub", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the scrub thread (idempotent, all paths)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=10.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.step()
+            except Exception as exc:  # lint: disable=broad-except  # scrub loop isolation: one bad step must not end supervision
+                if self.metrics is not None:
+                    self.metrics.event("scrub_error", error=str(exc))
+
+    @property
+    def running(self) -> bool:
+        """Whether the scrub thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def stats(self) -> dict:
+        """Scrubber state for ``/healthz``."""
+        with self._lock:
+            targets = [t.to_dict() for t in self._targets.values()]
+        return {
+            "running": self.running,
+            "interval_s": self.interval_s,
+            "slice_bytes": self.slice_bytes,
+            "repair": self.repair,
+            "passes": sum(t["passes"] for t in targets),
+            "quarantined": sum(
+                1 for t in targets if t["status"] == STATE_QUARANTINED
+            ),
+            "targets": targets,
+        }

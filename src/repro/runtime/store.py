@@ -100,11 +100,12 @@ def write_shard(
 def read_shard_header(path: "str | os.PathLike[str]") -> dict:
     """Parse and validate one shard's 32-byte header (no body I/O).
 
-    Returns ``{version, body_bytes, file_bytes, fingerprint}`` with
-    ``fingerprint`` the stamped hex prefix or ``None`` when the shard
-    was written without one.  Raises the typed
-    :class:`~repro.runtime.pack.PackedIndexError` family on bad or
-    truncated headers.
+    Returns ``{version, body_bytes, file_bytes, fingerprint, crc}``
+    with ``fingerprint`` the stamped hex prefix or ``None`` when the
+    shard was written without one, and ``crc`` the stamped CRC-32 of
+    the body (what the scrubber re-verifies incrementally).  Raises
+    the typed :class:`~repro.runtime.pack.PackedIndexError` family on
+    bad or truncated headers.
     """
     path = os.fspath(path)
     size = os.path.getsize(path)
@@ -114,7 +115,7 @@ def read_shard_header(path: "str | os.PathLike[str]") -> dict:
         raise PackedIndexTruncatedError(
             "shard file shorter than the RXPD header"
         )
-    magic, version, _byteorder, _crc, body_len, digest = _DISK_HEADER.unpack(
+    magic, version, _byteorder, crc, body_len, digest = _DISK_HEADER.unpack(
         raw
     )
     if magic != _DISK_MAGIC:
@@ -131,6 +132,7 @@ def read_shard_header(path: "str | os.PathLike[str]") -> dict:
         "body_bytes": body_len,
         "file_bytes": size,
         "fingerprint": digest.hex() if digest != b"\x00" * 16 else None,
+        "crc": crc,
     }
 
 
@@ -256,6 +258,9 @@ class NetworkRegistry:
         self._attach_count = 0
         self._evict_count = 0
         self._route_fallbacks = 0
+        # Shard paths the scrubber condemned: attach() skips the mmap
+        # rung for these until a repair/reload clears the mark.
+        self._damaged: set[str] = set()
 
     @classmethod
     def load(
@@ -344,7 +349,9 @@ class NetworkRegistry:
         entry = self.entry(domain)
         network = load_network(entry.network_path)
         index: "PackedIndex | None" = None
-        if entry.shard_path is not None:
+        if entry.shard_path is not None and entry.shard_path not in (
+            self._damaged
+        ):
             expect = (
                 network.fingerprint() if self.verify_fingerprints else None
             )
@@ -375,6 +382,32 @@ class NetworkRegistry:
         self._attached.pop(attached.entry.name, None)
         self._evict_count += 1
         attached.index.release_shared()
+
+    def mark_damaged(self, shard_path: str) -> tuple[str, ...]:
+        """Condemn one shard path after an integrity failure.
+
+        Every attached domain backed by that shard is *dropped* (not
+        evicted — ``release_shared`` would materialize the tables by
+        reading the damaged mapping, exactly the bytes we no longer
+        trust; sessions still holding the old index degrade through the
+        per-request resilience ladder instead).  Future :meth:`attach`
+        calls skip the mmap rung and heap-build from the network until
+        :meth:`clear_damaged` (post-repair reload) lifts the mark.
+        Returns the affected domain names.
+        """
+        self._damaged.add(shard_path)
+        affected = tuple(
+            name for name, att in self._attached.items()
+            if att.entry.shard_path == shard_path
+            and att.index.backing == "mmap"
+        )
+        for name in affected:
+            self._attached.pop(name, None)
+        return affected
+
+    def clear_damaged(self) -> None:
+        """Forget every damage mark (a repaired shard may re-attach)."""
+        self._damaged.clear()
 
     def close(self) -> None:
         """Release every attached shard (idempotent)."""
@@ -440,6 +473,7 @@ class NetworkRegistry:
             "attach_count": self._attach_count,
             "evictions": self._evict_count,
             "route_fallbacks": self._route_fallbacks,
+            "damaged": sorted(self._damaged),
             "backings": {
                 name: att.index.backing
                 for name, att in self._attached.items()

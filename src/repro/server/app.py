@@ -43,6 +43,8 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -100,6 +102,19 @@ class ServerConfig:
     #: registry.toml manifest: serve every listed domain, selected per
     #: request by the envelope's ``domain`` key.
     registry: "str | None" = None
+    #: The source network JSON behind ``shard`` (the CLI's --network):
+    #: lets the scrubber re-pack a quarantined shard automatically.
+    network_path: "str | None" = None
+    #: Scrub one bounded slice of every attached shard each interval
+    #: (seconds); 0 disables the background integrity scrubber.
+    scrub_interval: float = 0.0
+    #: Bytes re-verified per scrub slice.
+    scrub_slice_bytes: int = 1 << 20
+    #: Re-pack a quarantined shard from its source network when known.
+    scrub_repair: bool = True
+    #: Poll the registry manifest + shard files for changes and hot
+    #: reload (seconds); 0 means SIGHUP-only reloads.
+    reload_interval: float = 0.0
 
     def __post_init__(self) -> None:
         if self.shard and self.registry:
@@ -123,6 +138,12 @@ class ServerConfig:
             raise ValueError("drain_timeout must be >= 0")
         if self.max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
+        if self.scrub_interval < 0:
+            raise ValueError("scrub_interval must be >= 0")
+        if self.scrub_slice_bytes < 1:
+            raise ValueError("scrub_slice_bytes must be >= 1")
+        if self.reload_interval < 0:
+            raise ValueError("reload_interval must be >= 0")
 
 
 def run_one_document(session: BatchExecutor, name: str,
@@ -135,6 +156,16 @@ def run_one_document(session: BatchExecutor, name: str,
     line.
     """
     return session.run([(name, xml)])[0]
+
+
+def _close_stale(sessions: "OrderedDict[str, BatchExecutor]",
+                 registry: "NetworkRegistry | None") -> None:
+    """Close retired sessions (and registry) — submitted behind the
+    scoring queue so in-flight requests finish on them first."""
+    for session in sessions.values():
+        session.close()
+    if registry is not None:
+        registry.close()
 
 
 class ServerApp:
@@ -163,6 +194,18 @@ class ServerApp:
         self._sessions: "OrderedDict[str, BatchExecutor]" = OrderedDict()
         self._default_fingerprint: str | None = None
         self._scoring_pool: ThreadPoolExecutor | None = None
+        # -- durability & supervision state --------------------------------
+        self._scrubber = None
+        self._loop: "asyncio.AbstractEventLoop | None" = None
+        # Guards registry attach/damage calls, which may come from the
+        # event loop (sessions) or the scoring thread (failover).
+        self._registry_lock = threading.Lock()
+        #: domain (or "default") -> damage kind, while failed over.
+        self._degraded: dict[str, str] = {}
+        self._reload_generation = 0
+        self._reload_count = 0
+        self._reload_error = ""
+        self._watch_sig: "tuple | None" = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -232,8 +275,14 @@ class ServerApp:
 
         Every resident session drains its persistent pool and drops its
         shared-segment reference here, so a SIGTERM drain leaves no
-        worker processes or ``/dev/shm`` entries behind.
+        worker processes or ``/dev/shm`` entries behind.  The scrub
+        thread is stopped and joined first — it must not report damage
+        into a half-torn-down app.
         """
+        if self._scrubber is not None:
+            self._scrubber.stop()
+            self._scrubber = None
+        self._loop = None
         if self._scoring_pool is not None:
             self._scoring_pool.shutdown(wait=False, cancel_futures=True)
             self._scoring_pool = None
@@ -246,6 +295,264 @@ class ServerApp:
         self._default_fingerprint = None
         if self.server_config.metrics_json:
             self.metrics.write_json(self.server_config.metrics_json)
+
+    # -- durability: scrubbing, failover, hot reload -------------------------
+
+    def start_supervision(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Start the shard scrubber and seed the reload watch state.
+
+        Called by the server once the event loop exists (after
+        ``warm_up``): the scrub thread reports damage back onto
+        ``loop`` via :meth:`_on_scrub_damage`, and the watch signature
+        snapshot is what :meth:`maybe_reload` compares against.
+        """
+        self._loop = loop
+        self._watch_sig = self._watch_signature()
+        sc = self.server_config
+        if sc.scrub_interval > 0 and self._scrubber is None:
+            from ..runtime.scrubber import ShardScrubber
+
+            scrubber = ShardScrubber(
+                slice_bytes=sc.scrub_slice_bytes,
+                interval_s=sc.scrub_interval,
+                metrics=self.metrics,
+                on_damage=self._on_scrub_damage,
+                repair=sc.scrub_repair,
+            )
+            scrubber.reset_targets(self._scrub_targets())
+            self._scrubber = scrubber
+            scrubber.start()
+
+    def _scrub_targets(self) -> "list[tuple[str, str | None, str | None]]":
+        """(shard, source network, domain) triples to keep scrubbed."""
+        sc = self.server_config
+        targets: list[tuple[str, "str | None", "str | None"]] = []
+        if self._registry is not None:
+            for name in self._registry.domains():
+                entry = self._registry.entry(name)
+                if entry.shard_path:
+                    targets.append(
+                        (entry.shard_path, entry.network_path, name)
+                    )
+        elif sc.shard:
+            targets.append((sc.shard, sc.network_path, None))
+        return targets
+
+    def _on_scrub_damage(self, target, kind: str) -> None:
+        """Scrub-thread callback: hand the failover to the event loop."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._apply_failover, target, kind)
+        except RuntimeError:  # lint: disable=silent-degrade,handler-envelope  # shutdown race: the loop closed while the scrub thread was reporting
+            pass
+
+    def _apply_failover(self, target, kind: str) -> None:
+        """Event loop: record damage, condemn the shard, queue rebuild.
+
+        The actual rebuild runs on the single scoring thread — queued
+        *behind* every admitted request, so in-flight scoring finishes
+        on the old backing (whose reads survive through the resilience
+        ladder) before the swap.
+        """
+        key = target.domain or "default"
+        self._degraded[key] = kind
+        self.metrics.count("server_degraded")
+        self.metrics.event(
+            "server_backing_damaged",
+            domain=key, kind=kind, path=target.path,
+        )
+        if self._registry is not None:
+            with self._registry_lock:
+                self._registry.mark_damaged(target.path)
+        pool = self._scoring_pool
+        if pool is not None:
+            pool.submit(self._rebuild_backing, target.domain)
+
+    def _rebuild_backing(self, domain: "str | None") -> None:
+        """Scoring thread: build the replacement (heap) backing.
+
+        Serialized after all queued scoring by the single-worker pool;
+        installation hops back to the event loop.
+        """
+        loop = self._loop
+        try:
+            index = None
+            if domain is None or (
+                self._registry is not None
+                and domain == self._registry.default_domain
+            ):
+                # The default backing: heap-build from the served
+                # network (the mmap fast path is gone until repair).
+                index = PackedIndex(self.network)
+            elif self._registry is not None:
+                # Re-attach under the damage mark: the registry skips
+                # the condemned shard and heap-builds for the domain.
+                with self._registry_lock:
+                    self._registry.attach(domain)
+            if loop is not None and not loop.is_closed():
+                loop.call_soon_threadsafe(
+                    self._install_backing, domain, index
+                )
+        except Exception as exc:  # lint: disable=broad-except,handler-envelope  # failover is last-resort: a failed rebuild must surface as an event, not kill the scoring thread
+            self.metrics.event(
+                "server_failover_failed",
+                domain=domain or "default", error=str(exc),
+            )
+
+    def _install_backing(self, domain: "str | None",
+                         index: "PackedIndex | None") -> None:
+        """Event loop: atomically swap sessions onto the new backing.
+
+        Old sessions are closed on the scoring thread *after* any
+        queued work — the in-flight-requests-finish-first guarantee.
+        """
+        stale: "OrderedDict[str, BatchExecutor]" = OrderedDict()
+        if index is not None:
+            self._index = index
+            stale = self._sessions
+            self._sessions = OrderedDict()
+            session = self._make_session(self.config, default=True)
+            fingerprint = config_fingerprint(self.config)
+            self._sessions[fingerprint] = session
+            self._default_fingerprint = fingerprint
+        elif domain is not None:
+            prefix = f"{domain}|"
+            for key in [k for k in self._sessions if k.startswith(prefix)]:
+                stale[key] = self._sessions.pop(key)
+        self._defer_close(stale)
+        self.metrics.count("server_failovers")
+        self.metrics.event(
+            "server_failover",
+            domain=domain or "default",
+            backing=getattr(self._index, "backing", "heap"),
+        )
+
+    def _defer_close(self, sessions: "OrderedDict[str, BatchExecutor]",
+                     registry: "NetworkRegistry | None" = None) -> None:
+        """Close old sessions behind the scoring queue (or inline)."""
+        if not sessions and registry is None:
+            return
+        pool = self._scoring_pool
+        if pool is not None:
+            pool.submit(_close_stale, sessions, registry)
+        else:
+            _close_stale(sessions, registry)
+
+    def _watch_paths(self) -> "list[str]":
+        """The on-disk files whose change triggers a hot reload."""
+        sc = self.server_config
+        paths: list[str] = []
+        if sc.registry:
+            paths.append(sc.registry)
+            if self._registry is not None:
+                for name in self._registry.domains():
+                    entry = self._registry.entry(name)
+                    if entry.shard_path:
+                        paths.append(entry.shard_path)
+        elif sc.shard:
+            paths.append(sc.shard)
+        return paths
+
+    def _watch_signature(self) -> tuple:
+        """Fingerprint of every watched file (mtime + size)."""
+        sig = []
+        for path in self._watch_paths():
+            try:
+                stat = os.stat(path)
+                sig.append((path, stat.st_mtime_ns, stat.st_size))
+            except OSError:  # lint: disable=handler-envelope  # not a request path: a vanished watch file is itself the change signal
+                sig.append((path, None, None))
+        return tuple(sig)
+
+    def maybe_reload(self) -> bool:
+        """Reload iff a watched file changed since the last snapshot."""
+        sig = self._watch_signature()
+        if self._watch_sig is None:
+            self._watch_sig = sig
+            return False
+        if sig == self._watch_sig:
+            return False
+        return self.reload()
+
+    def reload(self) -> bool:
+        """Atomically swap serving state from the on-disk sources.
+
+        The reload contract: requests already admitted finish on the
+        old sessions (closed behind the scoring queue); new requests
+        see the new registry/shard; damage marks and degraded state
+        clear (a repaired shard re-attaches); and a *failed* reload
+        changes nothing — the old state keeps serving and the error is
+        surfaced in ``/healthz`` and the metrics events.
+        """
+        sc = self.server_config
+        try:
+            with self.metrics.timer("server_reload"):
+                old_registry = None
+                if sc.registry:
+                    registry = NetworkRegistry.load(sc.registry)
+                    attached = registry.attach(registry.default_domain)
+                    old_registry = self._registry
+                    with self._registry_lock:
+                        self._registry = registry
+                    self.network = attached.network
+                    new_index = attached.index
+                elif sc.shard:
+                    new_index = PackedIndex.from_mmap(
+                        sc.shard,
+                        expect_fingerprint=self.network.fingerprint(),
+                    )
+                else:
+                    # Nothing reloadable on disk; count the request so
+                    # operators see their SIGHUP landed.
+                    self._reload_generation += 1
+                    self.metrics.event("server_reload_noop")
+                    return False
+                self._index = new_index
+                stale = self._sessions
+                self._sessions = OrderedDict()
+                session = self._make_session(self.config, default=True)
+                fingerprint = config_fingerprint(self.config)
+                self._sessions[fingerprint] = session
+                self._default_fingerprint = fingerprint
+                self._network_fingerprint = None
+                self._defer_close(stale, registry=old_registry)
+                self._degraded.clear()
+                if self._scrubber is not None:
+                    self._scrubber.reset_targets(self._scrub_targets())
+                self._reload_generation += 1
+                self._reload_count += 1
+                self._reload_error = ""
+                self._watch_sig = self._watch_signature()
+                self.metrics.count("server_reloads")
+                self.metrics.event(
+                    "server_reload",
+                    generation=self._reload_generation,
+                    backing=getattr(self._index, "backing", "heap"),
+                )
+                return True
+        except Exception as exc:  # lint: disable=broad-except,handler-envelope  # a failed reload must leave the old state serving, not kill the daemon; the error is surfaced via /healthz
+            self._reload_error = str(exc)
+            self.metrics.event("server_reload_failed", error=str(exc))
+            return False
+
+    def durability_stats(self) -> dict:
+        """The scrub/reload/degraded block for ``/healthz``."""
+        return {
+            "degraded": dict(self._degraded),
+            "reload": {
+                "generation": self._reload_generation,
+                "count": self._reload_count,
+                "watching": self._watch_paths(),
+                "interval_s": self.server_config.reload_interval,
+                "last_error": self._reload_error,
+            },
+            "scrubber": (
+                self._scrubber.stats()
+                if self._scrubber is not None else None
+            ),
+        }
 
     # -- sessions ------------------------------------------------------------
 
@@ -261,7 +568,8 @@ class ServerApp:
         # domain's network and (usually mmap-attached) index.
         network, index = self.network, self._index
         if domain is not None and self._registry is not None:
-            attached = self._registry.attach(domain)
+            with self._registry_lock:
+                attached = self._registry.attach(domain)
             network, index = attached.network, attached.index
         return BatchExecutor(
             network,
@@ -364,8 +672,16 @@ class ServerApp:
             # Hashing a 100k-concept network takes real time; the
             # network is frozen once served, so hash it once.
             self._network_fingerprint = self.network.fingerprint()
+        if self._draining:
+            status_word = "draining"
+        elif self._degraded:
+            # Serving continues on the fallback backing, but the fast
+            # path is gone — operators should see it without digging.
+            status_word = "degraded"
+        else:
+            status_word = "ok"
         payload = {
-            "status": "draining" if self._draining else "ok",
+            "status": status_word,
             "ready": self.ready,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "version": __version__,
@@ -391,6 +707,7 @@ class ServerApp:
                 "domains": list(self._registry.domains()),
                 **self._registry.stats(),
             }
+        payload["durability"] = self.durability_stats()
         status = 200 if self.ready and not self._draining else 503
         await write_json_response(writer, status, payload)
         self.metrics.count(f"http_{status}")

@@ -44,6 +44,7 @@ class ReproServer:
         self._connections: set[asyncio.Task] = set()
         self._drain_requested: asyncio.Event | None = None
         self._drain_signals = 0
+        self._watch_task: asyncio.Task | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -54,14 +55,31 @@ class ReproServer:
     # -- startup -------------------------------------------------------------
 
     async def start(self) -> None:
-        """Warm the app (index + default session) and open the listener."""
+        """Warm the app (index + default session) and open the listener.
+
+        Also starts app supervision (the shard scrubber + reload watch
+        state) and, when ``reload_interval > 0``, a polling task that
+        hot-reloads the app whenever a watched manifest/shard changes
+        on disk.
+        """
         self._drain_requested = asyncio.Event()
         self.app.warm_up()
+        loop = asyncio.get_running_loop()
+        self.app.start_supervision(loop)
+        interval = self.app.server_config.reload_interval
+        if interval > 0:
+            self._watch_task = asyncio.ensure_future(self._watch_loop(interval))
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.app.server_config.host,
             self.app.server_config.port,
         )
+
+    async def _watch_loop(self, interval: float) -> None:
+        """Poll the watched files and hot-reload on change."""
+        while True:
+            await asyncio.sleep(interval)
+            self.app.maybe_reload()
 
     def request_drain(self) -> None:
         """Ask for a graceful drain (idempotent; callable from signals)."""
@@ -78,6 +96,10 @@ class ReproServer:
     async def drain(self) -> None:
         """Stop accepting, finish in-flight work, flush, and close."""
         self.app.begin_drain()
+        if self._watch_task is not None:
+            self._watch_task.cancel()
+            await asyncio.gather(self._watch_task, return_exceptions=True)
+            self._watch_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -115,6 +137,12 @@ class ReproServer:
             for signum in (signal.SIGTERM, signal.SIGINT):
                 loop.add_signal_handler(signum, self._on_signal)
                 installed.append(signum)
+            sighup = getattr(signal, "SIGHUP", None)
+            if sighup is not None:
+                # The operator's hot-reload trigger: re-read the
+                # registry manifest / shard without dropping a request.
+                loop.add_signal_handler(sighup, self.app.reload)
+                installed.append(sighup)
         except NotImplementedError:  # lint: disable=handler-envelope  # pragma: no cover - non-POSIX loops
             pass
         try:

@@ -621,6 +621,74 @@ class TestResourceLifecycle:
         )
         assert findings == []
 
+    def test_fires_on_leaked_journal_writer(self, lint):
+        # The durability handle: an unbuffered journal fd left open
+        # loses its final frames — the exact crash-window the WAL
+        # exists to close.
+        findings = lint(
+            """\
+            def record(path, records):
+                journal = JournalWriter(path, meta={})
+                for record in records:
+                    journal.append(record, "digest")
+            """,
+            rules=["resource-lifecycle"],
+        )
+        assert len(_ids(findings, "resource-lifecycle")) == 1
+        assert "'journal'" in findings[0].message
+
+    def test_fires_on_leaked_scrub_thread(self, lint):
+        findings = lint(
+            """\
+            def watch(targets):
+                scrub = ShardScrubber(interval_s=0.1)
+                scrub.start()
+                worker = Thread(target=scrub.step)
+                worker.start()
+            """,
+            rules=["resource-lifecycle"],
+        )
+        flagged = _ids(findings, "resource-lifecycle")
+        assert len(flagged) == 2
+        assert any("'scrub'" in f.message for f in flagged)
+        assert any("'worker'" in f.message for f in flagged)
+
+    def test_silent_on_closed_journal_and_stopped_scrubber(self, lint):
+        findings = lint(
+            """\
+            def record(path, records):
+                journal = JournalWriter(path, meta={})
+                try:
+                    for record in records:
+                        journal.append(record, "digest")
+                finally:
+                    journal.close()
+
+
+            def scrub_once(targets):
+                scrub = ShardScrubber(interval_s=0.1)
+                scrub.start()
+                try:
+                    return scrub.stats()
+                finally:
+                    scrub.stop()
+
+
+            def run_joined(fn):
+                worker = Thread(target=fn)
+                worker.start()
+                worker.join()
+
+
+            class Supervisor:
+                def start(self):
+                    scrub = ShardScrubber()
+                    self._scrubber = scrub
+            """,
+            rules=["resource-lifecycle"],
+        )
+        assert findings == []
+
     def test_silent_outside_src(self, lint):
         findings = lint(
             """\

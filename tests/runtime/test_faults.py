@@ -172,6 +172,108 @@ class TestCorruptPacked:
         assert not injector.corrupts_packed
 
 
+class TestSpecParse:
+    def test_bare_kind(self):
+        spec = FaultSpec.parse("bitrot")
+        assert (spec.kind, spec.match, spec.rate) == ("bitrot", "*", 1.0)
+
+    def test_kind_and_match(self):
+        spec = FaultSpec.parse("kill_midbatch:*doc-03*")
+        assert spec.kind == "kill_midbatch"
+        assert spec.match == "*doc-03*"
+        assert spec.rate == 1.0
+
+    def test_kind_match_and_rate(self):
+        spec = FaultSpec.parse("raise:*.xml:0.25")
+        assert (spec.kind, spec.match, spec.rate) == ("raise", "*.xml", 0.25)
+
+    def test_colons_in_match_fold_back_when_tail_is_not_a_rate(self):
+        # Paths contain colons; only a float-parseable tail is a rate.
+        spec = FaultSpec.parse("kill_midbatch:C:*docs*:final.xml")
+        assert spec.match == "C:*docs*:final.xml"
+        assert spec.rate == 1.0
+        with_rate = FaultSpec.parse("kill_midbatch:C:*docs*:0.5")
+        assert with_rate.match == "C:*docs*"
+        assert with_rate.rate == 0.5
+
+    def test_bad_kind_and_bad_rate_raise_with_the_spec_text(self):
+        with pytest.raises(ValueError, match="explode"):
+            FaultSpec.parse("explode:*")
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FaultSpec.parse("raise:*:2.5")
+
+    def test_constructors_for_the_new_kinds(self):
+        kill = FaultSpec.kill_midbatch(match="*batch*")
+        assert kill.kind == "kill_midbatch" and kill.match == "*batch*"
+        rot = FaultSpec.bitrot(rate=0.5)
+        assert rot.kind == "bitrot" and rot.rate == 0.5
+
+
+class TestBitrotShard:
+    def _shard(self, tmp_path, lexicon) -> str:
+        from repro.runtime.store import write_shard
+
+        path = str(tmp_path / "lexicon.rxpd")
+        write_shard(PackedIndex(lexicon), path,
+                    fingerprint=lexicon.fingerprint())
+        return path
+
+    def test_flip_is_seeded_in_body_and_in_place(self, tmp_path, lexicon):
+        path = self._shard(tmp_path, lexicon)
+        with open(path, "rb") as fh:
+            before = fh.read()
+        injector = FaultInjector(42, [FaultSpec.bitrot()])
+        offset = injector.bitrot_shard(path)
+        # Past the 32-byte disk header: attach-time magic checks still
+        # pass, only the scrubber's body CRC can catch the flip.
+        assert offset is not None and offset >= 32
+        assert offset == FaultInjector(
+            42, [FaultSpec.bitrot()]
+        ).bitrot_shard(self._shard(tmp_path, lexicon))  # deterministic
+        with open(path, "rb") as fh:
+            after = fh.read()
+        assert len(after) == len(before)
+        assert after[:32] == before[:32]
+        diff = [i for i, (a, b) in enumerate(zip(before, after)) if a != b]
+        assert diff == [offset]
+        assert after[offset] == before[offset] ^ 0xFF
+
+    def test_match_patterns_the_basename(self, tmp_path, lexicon):
+        path = self._shard(tmp_path, lexicon)
+        miss = FaultInjector(42, [FaultSpec.bitrot(match="other-*.rxpd")])
+        assert miss.bitrot_shard(path) is None
+        hit = FaultInjector(42, [FaultSpec.bitrot(match="lexicon.*")])
+        assert hit.bitrot_shard(path) is not None
+
+    def test_no_bitrot_spec_is_a_no_op(self, tmp_path, lexicon):
+        path = self._shard(tmp_path, lexicon)
+        with open(path, "rb") as fh:
+            before = fh.read()
+        injector = FaultInjector(42, [FaultSpec.raising()])
+        assert injector.bitrot_shard(path) is None
+        with open(path, "rb") as fh:
+            assert fh.read() == before
+
+    def test_tiny_file_is_left_alone(self, tmp_path):
+        stub = tmp_path / "stub.rxpd"
+        stub.write_bytes(b"\x00" * 33)
+        injector = FaultInjector(42, [FaultSpec.bitrot()])
+        assert injector.bitrot_shard(str(stub)) is None
+
+
+class TestKillMidbatchSpec:
+    # The fault itself SIGKILLs the process, so only the schedule logic
+    # is testable in-process; the actual kill (and the resume that
+    # follows) is proven by the kill-resume leg of the CI chaos gate.
+    def test_fires_only_for_matching_documents(self):
+        injector = FaultInjector(42, [
+            FaultSpec.kill_midbatch(match="*doc-05*")
+        ])
+        spec = injector.specs[0]
+        assert injector._fires(0, spec, "corpus/doc-05.xml")
+        assert not injector._fires(0, spec, "corpus/doc-06.xml")
+
+
 class TestDoubles:
     def test_faulty_kernel_raises_then_delegates(self, lexicon):
         packed = PackedIndex(lexicon)

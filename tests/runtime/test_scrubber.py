@@ -1,0 +1,267 @@
+"""The shard scrubber: incremental CRC passes, quarantine, repair.
+
+Driven synchronously through :meth:`ShardScrubber.step` so every
+damage kind is deterministic: a clean shard completes passes, a seeded
+bit flip is caught by the body CRC (not the attach-time header check),
+truncation and vanishing files get their own typed kinds, quarantine
+renames preserve the evidence (with collision suffixes), and repair
+re-packs from the source network.  The daemon-thread wrapper is tested
+for start/stop idempotence and a clean join.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runtime import MetricsRegistry, PackedIndex
+from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.runtime.scrubber import (
+    DAMAGE_CRC,
+    DAMAGE_MISSING,
+    DAMAGE_TRUNCATED,
+    STATE_CLEAN,
+    STATE_PENDING,
+    STATE_QUARANTINED,
+    STATE_REPAIRED,
+    ScrubTarget,
+    ShardScrubber,
+)
+from repro.runtime.store import write_shard
+from repro.semnet.io import save_network
+
+
+@pytest.fixture(scope="module")
+def packed(synthetic_network):
+    return PackedIndex(synthetic_network)
+
+
+@pytest.fixture()
+def shard(tmp_path, synthetic_network, packed):
+    """A freshly written RXPD shard for the synthetic network."""
+    path = tmp_path / "net.rxpd"
+    write_shard(packed, path, fingerprint=synthetic_network.fingerprint())
+    return os.fspath(path)
+
+
+def _drain(scrubber, want_event: str, limit: int = 200) -> dict:
+    """Step until an event of the wanted kind (or fail the test)."""
+    for _ in range(limit):
+        event = scrubber.step()
+        if event is not None and event["event"] == want_event:
+            return event
+    raise AssertionError(f"no {want_event!r} event within {limit} steps")
+
+
+class TestCleanPass:
+    def test_small_slices_accumulate_to_a_clean_pass(self, shard):
+        scrubber = ShardScrubber(slice_bytes=1024, interval_s=0)
+        target = scrubber.add_target(shard)
+        assert target.status == STATE_PENDING
+        event = _drain(scrubber, "pass-complete")
+        assert event["path"] == shard
+        assert target.status == STATE_CLEAN
+        assert target.passes == 1
+        # Passes keep cycling: the scrubber is continuous, not one-shot.
+        _drain(scrubber, "pass-complete")
+        assert target.passes == 2
+
+    def test_add_target_is_idempotent_by_path(self, shard):
+        scrubber = ShardScrubber(interval_s=0)
+        first = scrubber.add_target(shard, domain="a")
+        again = scrubber.add_target(shard, domain="ignored")
+        assert first is again
+        assert len(scrubber.targets()) == 1
+
+    def test_reset_targets_replaces_the_set(self, shard):
+        scrubber = ShardScrubber(interval_s=0)
+        scrubber.add_target(shard)
+        scrubber.reset_targets([("/elsewhere/other.rxpd", None, "web")])
+        targets = scrubber.targets()
+        assert [t.path for t in targets] == ["/elsewhere/other.rxpd"]
+        assert targets[0].domain == "web"
+
+    def test_step_without_targets_is_a_no_op(self):
+        assert ShardScrubber(interval_s=0).step() is None
+
+
+class TestDamageKinds:
+    def test_seeded_bitrot_is_caught_by_the_body_crc(self, shard):
+        metrics = MetricsRegistry()
+        seen = []
+        scrubber = ShardScrubber(
+            slice_bytes=1 << 16, interval_s=0, metrics=metrics,
+            on_damage=lambda target, kind: seen.append((target.path, kind)),
+            repair=False,
+        )
+        target = scrubber.add_target(shard)
+        injector = FaultInjector(42, [FaultSpec.bitrot()])
+        offset = injector.bitrot_shard(shard)
+        assert offset is not None and offset >= 32
+        event = _drain(scrubber, "damage")
+        assert event["kind"] == DAMAGE_CRC
+        assert target.status == STATE_QUARANTINED
+        assert target.damage == DAMAGE_CRC
+        assert seen == [(shard, DAMAGE_CRC)]
+        # Quarantine preserved the evidence under a new name.
+        assert not os.path.exists(shard)
+        assert os.path.exists(target.quarantined_path)
+        assert target.quarantined_path.endswith(".quarantined")
+        counters = metrics.report()["counters"]
+        assert counters["scrub_damage"] == 1
+        assert counters["scrub_quarantined"] == 1
+
+    def test_truncation_mid_body_is_typed(self, shard):
+        scrubber = ShardScrubber(slice_bytes=1 << 16, interval_s=0,
+                                 repair=False)
+        scrubber.add_target(shard)
+        with open(shard, "r+b") as fh:
+            fh.truncate(os.path.getsize(shard) - 100)
+        event = _drain(scrubber, "damage")
+        assert event["kind"] == DAMAGE_TRUNCATED
+
+    def test_vanished_file_is_missing_not_renamed(self, shard):
+        scrubber = ShardScrubber(interval_s=0, repair=False)
+        target = scrubber.add_target(shard)
+        os.unlink(shard)
+        event = _drain(scrubber, "damage")
+        assert event["kind"] == DAMAGE_MISSING
+        assert target.status == STATE_QUARANTINED
+        assert target.quarantined_path is None
+
+    def test_quarantine_name_collisions_get_suffixes(self, shard):
+        with open(shard + ".quarantined", "w") as fh:
+            fh.write("earlier corpse")
+        scrubber = ShardScrubber(slice_bytes=1 << 16, interval_s=0,
+                                 repair=False)
+        target = scrubber.add_target(shard)
+        FaultInjector(42, [FaultSpec.bitrot()]).bitrot_shard(shard)
+        _drain(scrubber, "damage")
+        assert target.quarantined_path == shard + ".quarantined.1"
+        assert os.path.exists(target.quarantined_path)
+
+    def test_atomic_replacement_mid_pass_restarts_not_damages(
+            self, shard, tmp_path, synthetic_network, packed):
+        scrubber = ShardScrubber(slice_bytes=256, interval_s=0)
+        scrubber.add_target(shard)
+        assert scrubber.step() is None  # pass begun, cursor mid-body
+        replacement = tmp_path / "replacement.rxpd"
+        write_shard(packed, replacement,
+                    fingerprint=synthetic_network.fingerprint())
+        os.replace(replacement, shard)
+        event = _drain(scrubber, "restart", limit=5)
+        assert event["path"] == shard
+        # And the new file then verifies clean.
+        _drain(scrubber, "pass-complete")
+
+    def test_callback_exception_does_not_break_the_scrubber(self, shard):
+        def _explode(target, kind):
+            raise RuntimeError("failover hook bug")
+
+        metrics = MetricsRegistry()
+        scrubber = ShardScrubber(slice_bytes=1 << 16, interval_s=0,
+                                 metrics=metrics, on_damage=_explode,
+                                 repair=False)
+        target = scrubber.add_target(shard)
+        FaultInjector(42, [FaultSpec.bitrot()]).bitrot_shard(shard)
+        _drain(scrubber, "damage")
+        assert target.status == STATE_QUARANTINED
+        events = [e["event"] for e in metrics.report()["events"]]
+        assert "scrub_callback_failed" in events
+
+
+class TestRepair:
+    def test_quarantined_shard_is_repacked_from_its_network(
+            self, shard, tmp_path, synthetic_network):
+        network_path = tmp_path / "net.json"
+        save_network(synthetic_network, network_path)
+        scrubber = ShardScrubber(slice_bytes=1 << 16, interval_s=0,
+                                 metrics=MetricsRegistry(), repair=True)
+        target = scrubber.add_target(
+            shard, network_path=os.fspath(network_path)
+        )
+        FaultInjector(42, [FaultSpec.bitrot()]).bitrot_shard(shard)
+        _drain(scrubber, "damage")
+        assert target.status == STATE_QUARANTINED
+        event = _drain(scrubber, "repaired")
+        assert event["path"] == shard
+        assert target.status == STATE_REPAIRED
+        assert os.path.exists(shard)
+        # The re-packed shard then scrubs clean.
+        _drain(scrubber, "pass-complete")
+        assert target.status == STATE_CLEAN
+
+    def test_no_network_path_means_no_repair(self, shard):
+        scrubber = ShardScrubber(slice_bytes=1 << 16, interval_s=0,
+                                 repair=True)
+        target = scrubber.add_target(shard)  # no network_path
+        FaultInjector(42, [FaultSpec.bitrot()]).bitrot_shard(shard)
+        _drain(scrubber, "damage")
+        # Nothing left to scrub: the target is quarantined and
+        # unrepairable, so steps go idle instead of spinning.
+        assert scrubber.step() is None
+        assert target.status == STATE_QUARANTINED
+
+    def test_failed_repair_keeps_the_quarantine(self, shard, tmp_path):
+        scrubber = ShardScrubber(slice_bytes=1 << 16, interval_s=0,
+                                 metrics=MetricsRegistry(), repair=True)
+        target = scrubber.add_target(
+            shard, network_path=os.fspath(tmp_path / "no-such-network.json")
+        )
+        FaultInjector(42, [FaultSpec.bitrot()]).bitrot_shard(shard)
+        _drain(scrubber, "damage")
+        event = _drain(scrubber, "repair-failed", limit=5)
+        assert event["path"] == shard
+        assert target.status == STATE_QUARANTINED
+        assert "repair failed" in target.last_error
+
+
+class TestDaemonThread:
+    def test_start_stop_join_and_idempotence(self, shard):
+        scrubber = ShardScrubber(slice_bytes=1024, interval_s=0.001)
+        scrubber.add_target(shard)
+        try:
+            scrubber.start()
+            scrubber.start()  # idempotent
+            assert scrubber.running
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if any(t.passes > 0 for t in scrubber.targets()):
+                    break
+                time.sleep(0.005)
+            assert any(t.passes > 0 for t in scrubber.targets())
+        finally:
+            scrubber.stop()
+        assert not scrubber.running
+        scrubber.stop()  # idempotent after the join
+
+    def test_stats_shape_for_healthz(self, shard):
+        scrubber = ShardScrubber(slice_bytes=1024, interval_s=0.5,
+                                 repair=False)
+        scrubber.add_target(shard, domain="default")
+        stats = scrubber.stats()
+        assert stats["running"] is False
+        assert stats["quarantined"] == 0
+        assert stats["targets"][0]["path"] == shard
+        assert stats["targets"][0]["domain"] == "default"
+        assert stats["targets"][0]["status"] == STATE_PENDING
+
+
+class TestValidation:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ShardScrubber(slice_bytes=0)
+        with pytest.raises(ValueError):
+            ShardScrubber(interval_s=-1)
+
+    def test_target_to_dict_includes_damage_fields(self):
+        target = ScrubTarget(path="/s.rxpd", domain="d",
+                             status=STATE_QUARANTINED, damage=DAMAGE_CRC,
+                             quarantined_path="/s.rxpd.quarantined",
+                             last_error="body CRC mismatch")
+        payload = target.to_dict()
+        assert payload["damage"] == DAMAGE_CRC
+        assert payload["quarantined_path"] == "/s.rxpd.quarantined"
+        assert payload["last_error"] == "body CRC mismatch"

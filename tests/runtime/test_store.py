@@ -374,6 +374,69 @@ class TestRegistry:
             NetworkRegistry.load(str(nofb))
 
 
+class TestDamageMarks:
+    def test_header_exposes_the_body_crc(self, lexicon_shard):
+        header = read_shard_header(lexicon_shard)
+        assert isinstance(header["crc"], int)
+        # The stamped CRC is the scrubber's ground truth: it must match
+        # an independent recomputation over the body bytes.
+        import zlib
+        with open(lexicon_shard, "rb") as fh:
+            fh.seek(32)
+            body = fh.read(header["body_bytes"])
+        assert zlib.crc32(body) == header["crc"]
+
+    def test_mark_damaged_drops_mmap_attachments_without_reading(
+            self, tmp_path):
+        manifest, nets = _registry_tree(tmp_path, shard_for=("alpha",))
+        registry = NetworkRegistry.load(manifest)
+        try:
+            alpha = registry.attach("alpha")
+            assert alpha.index.backing == "mmap"
+            shard_path = registry.entry("alpha").shard_path
+            affected = registry.mark_damaged(shard_path)
+            assert affected == ("alpha",)
+            assert registry.stats()["damaged"] == [shard_path]
+            # Dropped, not evicted: the damaged mapping must not be
+            # read to materialize, so the old handle stays mmap-backed
+            # (sessions degrade through the per-request ladder instead).
+            assert alpha.index.backing == "mmap"
+            assert registry.stats()["attached"] == 0
+        finally:
+            registry.close()
+
+    def test_attach_skips_condemned_shard_and_heap_builds(self, tmp_path):
+        manifest, nets = _registry_tree(tmp_path, shard_for=("alpha",))
+        registry = NetworkRegistry.load(manifest)
+        try:
+            shard_path = registry.entry("alpha").shard_path
+            registry.mark_damaged(shard_path)
+            attached = registry.attach("alpha")
+            assert attached.index.backing == "heap"
+            assert len(attached.index) == len(nets["alpha"])
+            # clear_damaged (post-repair reload) restores the fast
+            # path; close() first so the next attach is a real miss.
+            registry.close()
+            registry.clear_damaged()
+            assert registry.attach("alpha").index.backing == "mmap"
+        finally:
+            registry.close()
+
+    def test_mark_damaged_leaves_heap_attachments_alone(self, tmp_path):
+        manifest, nets = _registry_tree(tmp_path, shard_for=("alpha",))
+        registry = NetworkRegistry.load(manifest)
+        try:
+            shard_path = registry.entry("alpha").shard_path
+            registry.mark_damaged(shard_path)
+            registry.attach("alpha")  # heap build under the mark
+            # A second damage report for the same shard must not drop
+            # the heap fallback that replaced it.
+            assert registry.mark_damaged(shard_path) == ()
+            assert registry.stats()["attached"] == 1
+        finally:
+            registry.close()
+
+
 class TestDocumentTerms:
     def test_terms_are_distinct_lowercased_and_ordered(self):
         terms = document_terms("<Book><title>The BOOK of books</title></Book>")

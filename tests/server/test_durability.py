@@ -1,0 +1,239 @@
+"""Self-healing under a live server: scrub failover, hot reload, LRU.
+
+The durability contract, end to end but in-process: a seeded bit flip
+under a running server is detected by the scrubber, the damaged shard
+is quarantined, serving fails over to a heap build with zero failed
+requests, and ``/healthz`` flips to ``degraded``; a manifest change
+hot-reloads atomically (and a *failed* reload changes nothing); and
+the registry's attachment LRU stays sound while server sessions churn
+concurrently across domains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+
+import pytest
+
+from repro.runtime import PackedIndex
+from repro.runtime.faults import FaultInjector, FaultSpec
+from repro.runtime.store import write_shard
+from repro.semnet.generator import GeneratorConfig, generate_network
+from repro.semnet.io import save_network
+
+from .conftest import get, post, request, running
+
+
+def _registry_tree(tmp_path):
+    """Two-domain manifest (alpha default), both domains sharded."""
+    nets = {}
+    for name, seed in (("alpha", 101), ("beta", 202)):
+        net = generate_network(GeneratorConfig(
+            n_concepts=120, seed=seed, gloss_style="local"
+        ))
+        save_network(net, str(tmp_path / f"{name}.network.json"))
+        write_shard(
+            PackedIndex(net),
+            str(tmp_path / f"{name}.rxpd"),
+            fingerprint=net.fingerprint(),
+        )
+        nets[name] = net
+    manifest = tmp_path / "registry.toml"
+    manifest.write_text(
+        'default = "alpha"\n'
+        '\n'
+        '[networks.alpha]\n'
+        'network = "alpha.network.json"\n'
+        'shard = "alpha.rxpd"\n'
+        '\n'
+        '[networks.beta]\n'
+        'network = "beta.network.json"\n'
+        'shard = "beta.rxpd"\n'
+    )
+    return str(manifest), nets
+
+
+def _doc_for(network, n_words=8):
+    """An XML document speaking ``network``'s vocabulary."""
+    words = sorted(network.words())[:n_words]
+    body = "".join(f"<{w}>{w}</{w}>" for w in words)
+    return f"<record>{body}</record>"
+
+
+def _domain_request(xml: str, domain: str) -> bytes:
+    """A JSON-envelope request routed to a registry domain."""
+    return post("/v1/disambiguate", json.dumps(
+        {"xml": xml, "name": f"{domain}.xml", "domain": domain}
+    ).encode("utf-8"))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestHealthzDurability:
+    def test_block_shape_without_registry_or_scrubber(self, make_app):
+        async def go():
+            async with running(make_app()) as server:
+                return await request(server, get("/healthz"))
+
+        payload = run(go()).json()
+        assert payload["status"] == "ok"
+        durability = payload["durability"]
+        assert durability["degraded"] == {}
+        assert durability["scrubber"] is None
+        reload_block = durability["reload"]
+        assert reload_block["generation"] == 0
+        assert reload_block["count"] == 0
+        assert reload_block["watching"] == []
+        assert reload_block["last_error"] == ""
+
+
+class TestScrubFailover:
+    def test_bitrot_fails_over_with_zero_failed_requests(
+        self, make_app, tmp_path
+    ):
+        manifest, nets = _registry_tree(tmp_path)
+        shard = str(tmp_path / "alpha.rxpd")
+        doc = _doc_for(nets["alpha"])
+        app = make_app(
+            registry=manifest,
+            scrub_interval=0.01,
+            scrub_slice_bytes=1 << 20,
+            scrub_repair=False,
+        )
+
+        async def go():
+            async with running(app) as server:
+                before = await request(server, get("/healthz"))
+                assert before.json()["index"]["backing"] == "mmap"
+                offset = FaultInjector(
+                    42, [FaultSpec.bitrot()]
+                ).bitrot_shard(shard)
+                assert offset is not None
+                deadline = time.monotonic() + 20.0
+                payload = None
+                while time.monotonic() < deadline:
+                    # Every request during the failover window must
+                    # succeed: that IS the zero-failed-requests claim.
+                    answer = await request(
+                        server, _domain_request(doc, "alpha")
+                    )
+                    assert answer.status == 200
+                    payload = (await request(server, get("/healthz"))).json()
+                    # Degradation is marked before the heap rebuild
+                    # installs (it queues behind in-flight scoring), so
+                    # wait for the swap itself, not just the flag.
+                    if (payload["status"] == "degraded"
+                            and payload["index"]["backing"] == "heap"):
+                        break
+                    await asyncio.sleep(0.02)
+                assert payload is not None
+                assert payload["status"] == "degraded"
+                assert payload["index"]["backing"] == "heap"
+                assert payload["durability"]["degraded"]
+                assert payload["durability"]["scrubber"]["quarantined"] >= 1
+                # Serving continues on the fallback after the swap.
+                after = await request(server, _domain_request(doc, "alpha"))
+                assert after.status == 200
+
+        run(go())
+        # The evidence survived quarantine; the live path is gone.
+        assert not os.path.exists(shard)
+        assert os.path.exists(shard + ".quarantined")
+
+
+class TestHotReload:
+    def test_maybe_reload_fires_only_on_watched_changes(
+        self, make_app, tmp_path
+    ):
+        manifest, nets = _registry_tree(tmp_path)
+        doc = _doc_for(nets["alpha"])
+        app = make_app(registry=manifest)
+
+        async def go():
+            async with running(app) as server:
+                assert app.maybe_reload() is False  # nothing changed
+                stat = os.stat(manifest)
+                os.utime(manifest, ns=(
+                    stat.st_atime_ns, stat.st_mtime_ns + 1_000_000
+                ))
+                assert app.maybe_reload() is True
+                assert app.maybe_reload() is False  # snapshot re-seeded
+                payload = (await request(server, get("/healthz"))).json()
+                assert payload["durability"]["reload"]["count"] == 1
+                assert payload["durability"]["reload"]["generation"] == 1
+                assert manifest in payload["durability"]["reload"]["watching"]
+                # The swapped state serves, mmap-backed as before.
+                assert payload["index"]["backing"] == "mmap"
+                answer = await request(server, _domain_request(doc, "alpha"))
+                assert answer.status == 200
+
+        run(go())
+
+    def test_failed_reload_keeps_the_old_state_serving(
+        self, make_app, tmp_path
+    ):
+        manifest, nets = _registry_tree(tmp_path)
+        doc = _doc_for(nets["alpha"])
+        app = make_app(registry=manifest)
+
+        async def go():
+            async with running(app) as server:
+                with open(manifest, "w") as fh:
+                    fh.write("default = \"nowhere\"\nnot toml [[[")
+                assert app.reload() is False
+                payload = (await request(server, get("/healthz"))).json()
+                assert payload["durability"]["reload"]["last_error"]
+                assert payload["durability"]["reload"]["count"] == 0
+                # The old registry keeps serving both domains.
+                answer = await request(server, _domain_request(doc, "alpha"))
+                assert answer.status == 200
+
+        run(go())
+
+
+class TestRegistryLRUUnderSessions:
+    def test_evicted_domain_reattaches_cleanly_under_churn(
+        self, make_app, tmp_path
+    ):
+        # max_sessions=2 (default + one domain) forces session-LRU
+        # eviction while max_attached=1 forces attachment-LRU eviction
+        # underneath it: alpha's mmap is released while its session is
+        # being churned out.  Re-requesting alpha must re-attach fresh
+        # — same bytes as the cold answer, mmap-backed, no stale
+        # fingerprint and no dangling mapping.
+        manifest, nets = _registry_tree(tmp_path)
+        alpha_doc = _doc_for(nets["alpha"])
+        beta_doc = _doc_for(nets["beta"])
+        app = make_app(registry=manifest, max_sessions=2)
+
+        async def go():
+            async with running(app) as server:
+                cold = await request(server, _domain_request(
+                    alpha_doc, "alpha"
+                ))
+                assert cold.status == 200
+                app._registry.max_attached = 1
+                for _ in range(3):
+                    answers = await asyncio.gather(
+                        request(server, _domain_request(alpha_doc, "alpha")),
+                        request(server, _domain_request(beta_doc, "beta")),
+                    )
+                    assert [a.status for a in answers] == [200, 200]
+                stats = app._registry.stats()
+                assert stats["evictions"] >= 1
+                again = await request(server, _domain_request(
+                    alpha_doc, "alpha"
+                ))
+                assert again.status == 200
+                assert again.body == cold.body
+                attached = app._registry.attach("alpha")
+                assert attached.index.backing == "mmap"
+                assert attached.network.fingerprint() == \
+                    nets["alpha"].fingerprint()
+
+        run(go())

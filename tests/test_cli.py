@@ -372,6 +372,89 @@ class TestBatchResilience:
         assert events[0]["stage"] == "parse"
 
 
+class TestJournalResume:
+    """``--journal`` / ``--resume`` through the real entry point: the
+    journal skips completed documents on resume and the merged output
+    stays byte-identical to the uninterrupted run."""
+
+    def _corpus(self, tmp_path, figure1_xml, n=3):
+        for i in range(n):
+            (tmp_path / f"doc-{i}.xml").write_text(
+                figure1_xml, encoding="utf-8"
+            )
+        return str(tmp_path / "doc-*.xml")
+
+    def test_resume_replays_everything_byte_identically(
+        self, tmp_path, figure1_xml
+    ):
+        pattern = self._corpus(tmp_path, figure1_xml)
+        journal = tmp_path / "batch.rxjf"
+        first_out = tmp_path / "first.jsonl"
+        code, output = run([
+            "batch", pattern, "--out", str(first_out),
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        assert "journal replayed=0 scored=3" in output
+        assert journal.exists()
+        resumed_out = tmp_path / "resumed.jsonl"
+        code, output = run([
+            "batch", pattern, "--out", str(resumed_out),
+            "--journal", str(journal), "--resume",
+        ])
+        assert code == 0
+        assert "journal replayed=3 scored=0" in output
+        assert resumed_out.read_bytes() == first_out.read_bytes()
+
+    def test_edited_document_is_rescored_not_replayed(
+        self, tmp_path, figure1_xml
+    ):
+        # The journal keys on (name, sha256(xml)): rewriting one
+        # document invalidates only its own entry.
+        pattern = self._corpus(tmp_path, figure1_xml)
+        journal = tmp_path / "batch.rxjf"
+        out_path = tmp_path / "results.jsonl"
+        code, _ = run([
+            "batch", pattern, "--out", str(out_path),
+            "--journal", str(journal),
+        ])
+        assert code == 0
+        (tmp_path / "doc-1.xml").write_text(
+            figure1_xml.replace("?>", "?>\n<!-- edited -->", 1),
+            encoding="utf-8",
+        )
+        code, output = run([
+            "batch", pattern, "--out", str(out_path),
+            "--journal", str(journal), "--resume",
+        ])
+        assert code == 0
+        assert "journal replayed=2 scored=1" in output
+        assert len(out_path.read_text().splitlines()) == 3
+
+    def test_resume_without_journal_is_refused(self, tmp_path, figure1_xml):
+        pattern = self._corpus(tmp_path, figure1_xml, n=1)
+        with pytest.raises(SystemExit, match="requires --journal"):
+            run(["batch", pattern, "--resume"])
+
+    def test_resume_refuses_a_foreign_journal(self, tmp_path, figure1_xml):
+        from repro.runtime.journal import JournalWriter
+
+        pattern = self._corpus(tmp_path, figure1_xml, n=1)
+        journal = tmp_path / "foreign.rxjf"
+        JournalWriter(
+            journal, meta={"config": "someone-else", "network": "elsewhere"}
+        ).close()
+        with pytest.raises(SystemExit, match="different configuration"):
+            run([
+                "batch", pattern, "--journal", str(journal), "--resume",
+            ])
+
+    def test_bad_chaos_fault_spec_is_refused(self, tmp_path, figure1_xml):
+        pattern = self._corpus(tmp_path, figure1_xml, n=1)
+        with pytest.raises(SystemExit, match="bad fault spec"):
+            run(["batch", pattern, "--chaos-fault", "explode:*"])
+
+
 class TestPackAndStore:
     def _pack_lexicon(self, tmp_path, lexicon):
         """Bundled-lexicon shard + network JSON, written via the CLI."""
